@@ -1,0 +1,50 @@
+// Ablation: the §5.4 instruction-level-parallelism trick in the octet
+// SpMM — batching all TileK/4 B-fragment loads, then a
+// __threadfence_block, then all MMAs (vs interleaving load/compute,
+// which lets the compiler serialize them on shared registers).
+#include <cstdio>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const int m = scale == Scale::kPaper ? 2048 : 1024;
+  const int k = scale == Scale::kPaper ? 1024 : 512;
+  const int n = 256;
+  DenseBaseline base;
+  const auto& hw = base.hw();
+
+  std::printf("# Ablation: §5.4 load batching (ILP) in spmm_octet, "
+              "%dx%dx%d, V=4\n",
+              m, k, n);
+  std::printf("%-8s %-14s %-14s %s\n", "sparsity", "batched", "interleaved",
+              "batched speedup");
+  for (double sparsity : sparsity_grid()) {
+    gpusim::Device dev = fresh_device();
+    Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
+    auto a = to_device(dev, a_host);
+    auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
+    auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
+    DenseDevice<half_t> db{b, k, n, n, Layout::kRowMajor};
+    DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
+    const double on =
+        kernels::spmm_octet(dev, a, db, dc, {.batch_loads = true}).cycles(hw);
+    dev.flush_all_caches();
+    const double off =
+        kernels::spmm_octet(dev, a, db, dc, {.batch_loads = false}).cycles(hw);
+    std::printf("%-8.2f %12.0f c %12.0f c %10.2fx\n", sparsity, on, off,
+                off / on);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

@@ -1,0 +1,54 @@
+// Ablation: the §5.1 TileN trade-off in the FPU subwarp SpMM —
+// guideline V (wide vector loads need TileN/8 wide thread slices) vs
+// guideline II (grid size shrinks with TileN).  The paper found the
+// narrow TileN=16 (LDG.32, bigger grid) wins overall, which is why the
+// FPU baseline's Sectors/Req sits near 4 in Table 2.
+#include <cstdio>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const int m = scale == Scale::kPaper ? 2048 : 1024;
+  const int k = scale == Scale::kPaper ? 1024 : 512;
+  const int n = 256;
+  DenseBaseline base;
+  const auto& hw = base.hw();
+
+  std::printf("# Ablation: FPU subwarp SpMM TileN (guideline V vs II), "
+              "%dx%dx%d, V=4\n",
+              m, k, n);
+  std::printf("%-7s %-8s %12s %10s %10s %12s\n", "TileN", "sparsity",
+              "cycles", "grid", "sect/req", "widest LDG");
+  for (int tile_n : {16, 32, 64}) {
+    for (double sparsity : {0.7, 0.9}) {
+      gpusim::Device dev = fresh_device();
+      Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
+      auto a = to_device(dev, a_host);
+      auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
+      auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
+      DenseDevice<half_t> db{b, k, n, n, Layout::kRowMajor};
+      DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
+      auto r = kernels::spmm_fpu_subwarp(dev, a, db, dc, {.tile_n = tile_n});
+      const char* widest = r.stats.ldg128 > 0   ? "LDG.128"
+                           : r.stats.ldg64 > 0  ? "LDG.64"
+                           : r.stats.ldg32 > 0  ? "LDG.32"
+                                                : "LDG.16";
+      std::printf("%-7d %-8.2f %12.0f %10d %10.2f %12s\n", tile_n, sparsity,
+                  r.cycles(hw), r.config.grid,
+                  r.stats.sectors_per_request(), widest);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

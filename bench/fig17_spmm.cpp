@@ -1,0 +1,130 @@
+// Figure 17: SpMM speedup over cublasHgemm for the FPU baseline
+// ("fpu"), the cuSPARSE Blocked-ELL kernel ("blocked-ELL") and the
+// TCU-based 1-D Octet Tiling ("mma"), across V in {1,2,4,8},
+// N in {64,128,256} and the sparsity grid.  For V = 1 the octet and
+// Blocked-ELL kernels do not apply (the paper's V=1 panels show the
+// fine-grained baselines only).
+//
+// Prints one row per (V, N, sparsity, kernel) with the geometric-mean
+// speedup and box statistics over the DLMC-like suite, then the
+// paper's §7.2.1 headline aggregates.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/bench/summary.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
+#include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const auto shapes = suite_shapes(scale);
+  DenseBaseline dense;
+  const auto& hw = dense.hw();
+  const auto& params = dense.params();
+
+  std::printf("# Figure 17: SpMM speedup over cublasHgemm\n");
+  std::printf("%-4s %-4s %-8s %-12s %s\n", "V", "N", "sparsity", "kernel",
+              "geomean  [min q1 med q3 max]");
+
+  // (V, kernel) -> sparsity -> samples, for the §7.2.1 headlines.
+  std::map<std::pair<int, std::string>, std::map<double, std::vector<double>>>
+      all;
+
+  for (int v : {1, 2, 4, 8}) {
+    for (int n : {64, 128, 256}) {
+      for (double sparsity : sparsity_grid()) {
+        std::map<std::string, std::vector<double>> cell;
+        for (const Shape& shape : shapes) {
+          const double dense_cycles = dense.hgemm_cycles(shape.m, shape.k, n);
+          Cvs a_host = make_suite_cvs(shape, sparsity, v);
+
+          gpusim::Device dev = fresh_device();
+          auto a = to_device(dev, a_host);
+          auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
+          auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
+          DenseDevice<half_t> db{b, shape.k, n, n, Layout::kRowMajor};
+          DenseDevice<half_t> dc{c, shape.m, n, n, Layout::kRowMajor};
+
+          // fpu baseline (V=1 == Sputnik fine-grained).
+          cell["fpu"].push_back(
+              dense_cycles /
+              kernels::spmm_fpu_subwarp(dev, a, db, dc).cycles(hw, params));
+
+          if (v > 1) {
+            BlockedEll ell_host =
+                make_suite_blocked_ell(shape, sparsity, v);
+            auto ell = to_device(dev, ell_host);
+            cell["blocked-ELL"].push_back(
+                dense_cycles /
+                kernels::spmm_blocked_ell(dev, ell, db, dc)
+                    .cycles(hw, params));
+            cell["mma"].push_back(
+                dense_cycles /
+                kernels::spmm_octet(dev, a, db, dc).cycles(hw, params));
+          }
+        }
+        for (const auto& [name, samples] : cell) {
+          const BoxStats stats = summarize(samples);
+          std::printf("%-4d %-4d %-8.2f %-12s %s\n", v, n, sparsity,
+                      name.c_str(), to_string(stats).c_str());
+          all[{v, name}][sparsity].insert(all[{v, name}][sparsity].end(),
+                                          samples.begin(), samples.end());
+        }
+      }
+    }
+  }
+
+  // ---- §7.2.1 headlines ------------------------------------------------
+  std::printf("\n# headline: geomean speedup of mma over baselines "
+              "(paper: 1.34-4.51x over fpu, 1.71-7.19x over blocked-ELL)\n");
+  for (const char* base : {"fpu", "blocked-ELL"}) {
+    double lo = 1e30, hi = 0;
+    for (int v : {2, 4, 8}) {
+      for (double sparsity : sparsity_grid()) {
+        const auto& mma = all[{v, "mma"}][sparsity];
+        const auto& ref = all[{v, base}][sparsity];
+        if (mma.empty() || ref.empty()) continue;
+        const double ratio = geomean(mma) / geomean(ref);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+      }
+    }
+    std::printf("mma vs %-12s: %.2f-%.2fx\n", base, lo, hi);
+  }
+
+  std::printf("\n# headline: lowest sparsity with geomean speedup > 1 over "
+              "cublasHgemm (paper: >80%% at V=2, >70%% at V=4, >50%% at "
+              "V=8)\n");
+  for (int v : {2, 4, 8}) {
+    double threshold = 1.0;
+    bool found = false;
+    for (double sparsity : sparsity_grid()) {
+      if (geomean(all[{v, "mma"}][sparsity]) > 1.0) {
+        threshold = sparsity;
+        found = true;
+        break;
+      }
+    }
+    std::printf("V=%d: %s\n", v,
+                found ? (std::to_string(threshold).substr(0, 4) +
+                         " sparsity crosses 1.0")
+                            .c_str()
+                      : "never crosses 1.0");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

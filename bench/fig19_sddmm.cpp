@@ -1,0 +1,129 @@
+// Figure 19: SDDMM speedup over cublasHgemm for the FPU baseline
+// ("fpu"), the classic warp-tiling TCU baseline ("wmma") and the
+// octet tiling with its three inverted-pattern strategies
+// ("mma (reg)" / "mma (shfl)" / "mma (arch)"), across V in {1,2,4,8}
+// and K in {64,128,256}.  V = 1 panels show the FPU baseline only
+// (the TCU mappings need V >= 2).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/bench/summary.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const auto shapes = suite_shapes(scale);
+  DenseBaseline dense;
+  const auto& hw = dense.hw();
+  const auto& params = dense.params();
+
+  std::printf("# Figure 19: SDDMM speedup over cublasHgemm\n");
+  std::printf("%-4s %-4s %-8s %-12s %s\n", "V", "K", "sparsity", "kernel",
+              "geomean  [min q1 med q3 max]");
+
+  std::map<std::pair<int, std::string>, std::map<double, std::vector<double>>>
+      all;
+
+  for (int v : {1, 2, 4, 8}) {
+    for (int kdim : {64, 128, 256}) {
+      for (double sparsity : sparsity_grid()) {
+        std::map<std::string, std::vector<double>> cell;
+        for (const Shape& shape : shapes) {
+          // C[m x k_shape] sparse, inner dimension kdim.
+          const int m = shape.m, n = shape.k;
+          const double dense_cycles = dense.hgemm_cycles(m, kdim, n);
+          Rng rng(bench_seed(shape, sparsity, v) + 13);
+          Cvs mask_host = make_cvs_mask(m, n, v, sparsity, rng, 0.25);
+
+          gpusim::Device dev = fresh_device();
+          auto mask = to_device(dev, mask_host);
+          auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
+          auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);
+          auto out = dev.alloc<half_t>(mask_host.col_idx.size() *
+                                       static_cast<std::size_t>(v));
+          DenseDevice<half_t> da{a, m, kdim, kdim, Layout::kRowMajor};
+          DenseDevice<half_t> db{b, kdim, n, kdim, Layout::kColMajor};
+
+          cell["fpu"].push_back(
+              dense_cycles /
+              kernels::sddmm_fpu_subwarp(dev, da, db, mask, out)
+                  .cycles(hw, params));
+          if (v > 1) {
+            cell["wmma"].push_back(
+                dense_cycles / kernels::sddmm_wmma_warp(dev, da, db, mask, out)
+                                   .cycles(hw, params));
+            using kernels::InvertedPatternMode;
+            cell["mma (reg)"].push_back(
+                dense_cycles /
+                kernels::sddmm_octet(dev, da, db, mask, out,
+                                     {InvertedPatternMode::kExtraRegisters})
+                    .cycles(hw, params));
+            cell["mma (shfl)"].push_back(
+                dense_cycles /
+                kernels::sddmm_octet(dev, da, db, mask, out,
+                                     {InvertedPatternMode::kShuffle})
+                    .cycles(hw, params));
+            cell["mma (arch)"].push_back(
+                dense_cycles /
+                kernels::sddmm_octet(dev, da, db, mask, out,
+                                     {InvertedPatternMode::kArchSwitch})
+                    .cycles(hw, params));
+          }
+        }
+        for (const auto& [name, samples] : cell) {
+          std::printf("%-4d %-4d %-8.2f %-12s %s\n", v, kdim, sparsity,
+                      name.c_str(), to_string(summarize(samples)).c_str());
+          all[{v, name}][sparsity].insert(all[{v, name}][sparsity].end(),
+                                          samples.begin(), samples.end());
+        }
+      }
+    }
+  }
+
+  std::printf("\n# headline: geomean speedup of mma (reg) over baselines "
+              "(paper: 1.27-3.03x over fpu, 0.93-1.44x over wmma)\n");
+  for (const char* basek : {"fpu", "wmma"}) {
+    double lo = 1e30, hi = 0;
+    for (int v : {2, 4, 8}) {
+      for (double sparsity : sparsity_grid()) {
+        const auto& mma = all[{v, "mma (reg)"}][sparsity];
+        const auto& ref = all[{v, basek}][sparsity];
+        if (mma.empty() || ref.empty()) continue;
+        const double ratio = geomean(mma) / geomean(ref);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+      }
+    }
+    std::printf("mma (reg) vs %-6s: %.2f-%.2fx\n", basek, lo, hi);
+  }
+  // mma (arch) should dominate the other two strategies.
+  int arch_wins = 0, total_cells = 0;
+  for (int v : {2, 4, 8}) {
+    for (double sparsity : sparsity_grid()) {
+      const double arch = geomean(all[{v, "mma (arch)"}][sparsity]);
+      const double reg = geomean(all[{v, "mma (reg)"}][sparsity]);
+      const double shfl = geomean(all[{v, "mma (shfl)"}][sparsity]);
+      if (arch >= reg && arch >= shfl) ++arch_wins;
+      ++total_cells;
+    }
+  }
+  std::printf("# mma (arch) >= both software strategies in %d/%d cells "
+              "(paper: consistently)\n",
+              arch_wins, total_cells);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

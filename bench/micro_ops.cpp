@@ -1,0 +1,128 @@
+// google-benchmark micro suite for the substrate primitives: fp16
+// conversion, cache-model lookups, the octet MMA, warp loads, and the
+// benchmark generators.  These measure the SIMULATOR's own speed
+// (host wall-clock), complementing the model-cycle figure benches.
+#include <benchmark/benchmark.h>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/gpusim/cache.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/tensorcore.hpp"
+
+namespace vsparse {
+namespace {
+
+void BM_HalfFromFloat(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<float> xs(4096);
+  for (float& x : xs) x = rng.uniform_float(-100, 100);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (float x : xs) acc += half_t(x).bits();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HalfFromFloat);
+
+void BM_HalfToFloat(benchmark::State& state) {
+  std::vector<half_t> xs(4096);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = half_t::from_bits(static_cast<std::uint16_t>(i * 13));
+  }
+  for (auto _ : state) {
+    float acc = 0;
+    for (half_t x : xs) acc += static_cast<float>(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HalfToFloat);
+
+void BM_SectorCacheAccess(benchmark::State& state) {
+  gpusim::SectorCache cache(128 << 10, 128, 32, 4);
+  Rng rng(2);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.uniform_u64(1 << 20) * 32;
+  for (auto _ : state) {
+    int hits = 0;
+    for (auto a : addrs) hits += cache.access(a) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SectorCacheAccess);
+
+void BM_MmaM8n8k4(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 1 << 20;
+  gpusim::Device dev(cfg);
+  gpusim::MmaFragAB a{}, b{};
+  gpusim::MmaFragC c{};
+  Rng rng(3);
+  for (auto& lane : a) {
+    for (int i = 0; i < 4; ++i) lane[i] = half_t(rng.uniform_float(-1, 1));
+  }
+  for (auto& lane : b) {
+    for (int i = 0; i < 4; ++i) lane[i] = half_t(rng.uniform_float(-1, 1));
+  }
+  gpusim::LaunchConfig lcfg;
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      for (int i = 0; i < 64; ++i) gpusim::mma_m8n8k4(w, a, b, c);
+    });
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);  // MACs
+}
+BENCHMARK(BM_MmaM8n8k4);
+
+void BM_WarpLdg128(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 16 << 20;
+  gpusim::Device dev(cfg);
+  auto buf = dev.alloc<half8>(64 << 10);
+  gpusim::LaunchConfig lcfg;
+  Rng rng(4);
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::AddrLanes addr;
+      gpusim::Lanes<half8> dst;
+      for (int rep = 0; rep < 64; ++rep) {
+        const auto base = rng.uniform_u64(buf.size() - 32);
+        for (int lane = 0; lane < 32; ++lane) {
+          addr[static_cast<std::size_t>(lane)] =
+              buf.addr(base + static_cast<std::size_t>(lane));
+        }
+        w.ldg(addr, dst);
+      }
+      benchmark::DoNotOptimize(dst);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WarpLdg128);
+
+void BM_MakeCvs(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    Cvs m = make_cvs(1024, 512, 4, 0.9, rng);
+    benchmark::DoNotOptimize(m.nnz());
+  }
+}
+BENCHMARK(BM_MakeCvs);
+
+void BM_AttentionMask(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    Cvs m = make_attention_mask(2048, 8, 256, 0.9, rng);
+    benchmark::DoNotOptimize(m.nnz());
+  }
+}
+BENCHMARK(BM_AttentionMask);
+
+}  // namespace
+}  // namespace vsparse

@@ -1,0 +1,70 @@
+// Table 2: the five design guidelines measured on the three SpMM
+// implementations (MMA = octet tiling, CUDA = FPU subwarp baseline,
+// Blocked-ELL = cuSPARSE) at V in {4, 8} on A[2048x1024] x B[1024x256],
+// 90% sparsity: No-Instruction stall (guideline I), thread blocks (II),
+// Wait stall (III), Short-Scoreboard stall (IV), Sectors/Req (V).
+#include <cstdio>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+void print_row(const char* name, const kernels::KernelRun& r,
+               const gpusim::DeviceConfig& hw) {
+  const auto est = r.cost(hw);
+  std::printf("%-12s %8.1f%% %10d %8.1f%% %8.1f%% %10.2f\n", name,
+              est.stall_no_instruction * 100, r.config.grid,
+              est.stall_wait * 100, est.stall_short_scoreboard * 100,
+              r.stats.sectors_per_request());
+}
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const int m = scale == Scale::kPaper ? 2048 : 1024;
+  const int k = scale == Scale::kPaper ? 1024 : 512;
+  const int n = 256;
+  DenseBaseline base;
+
+  std::printf("# Table 2: 5-guideline profile of SpMM kernels, %dx%dx%d @ "
+              "90%%\n",
+              m, k, n);
+  for (int v : {4, 8}) {
+    std::printf("\nSpMM, V=%d      %-8s %10s %8s %9s %10s\n", v, "NoInstr",
+                "#TB", "Wait", "ShortSb", "Sect/Req");
+    gpusim::Device dev = fresh_device();
+    Cvs a_host = make_suite_cvs({m, k}, 0.9, v);
+    auto a = to_device(dev, a_host);
+    BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, v);
+    auto ell = to_device(dev, ell_host);
+    auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
+    auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
+    DenseDevice<half_t> db{b, k, n, n, Layout::kRowMajor};
+    DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
+
+    print_row("MMA", kernels::spmm_octet(dev, a, db, dc), base.hw());
+    dev.flush_all_caches();
+    print_row("CUDA", kernels::spmm_fpu_subwarp(dev, a, db, dc), base.hw());
+    dev.flush_all_caches();
+    print_row("Blocked-ELL", kernels::spmm_blocked_ell(dev, ell, db, dc),
+              base.hw());
+  }
+  std::printf(
+      "\n# paper (V=4): MMA 1.1%% / 2048 / 4.7%% / 4.5%% / 12.56;"
+      "\n#              CUDA 11.0%% / 2048 / 11.6%% / 2.6%% / 4.04;"
+      "\n#              Blocked-ELL 42.6%% / 1024 / 21.0%% / 11.9%% / 14.92\n"
+      "# paper (V=8): MMA 1.1%% / 1024 / 6.2%% / 2.6%% / 13.22;"
+      "\n#              CUDA 52.2%% / 1024 / 8.3%% / 2.0%% / 4.27;"
+      "\n#              Blocked-ELL 35.1%% / 512 / 16.2%% / 12.1%% / 13.85\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

@@ -1,0 +1,76 @@
+// Table 3: the five design guidelines measured on the three SDDMM
+// implementations (MMA = octet/reg, CUDA = FPU subwarp, WMMA = classic
+// warp tiling) at V in {4, 8} on A[2048x256] x B[256x1024] with the
+// 2048x1024 output mask 90% sparse.
+#include <cstdio>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+void print_row(const char* name, const kernels::KernelRun& r,
+               const gpusim::DeviceConfig& hw) {
+  const auto est = r.cost(hw);
+  std::printf("%-8s %8.1f%% %10d %8.1f%% %8.1f%% %10.2f\n", name,
+              est.stall_no_instruction * 100, r.config.grid,
+              est.stall_wait * 100, est.stall_short_scoreboard * 100,
+              r.stats.sectors_per_request());
+}
+
+int run(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  const int m = scale == Scale::kPaper ? 2048 : 1024;
+  const int kdim = 256;
+  const int n = scale == Scale::kPaper ? 1024 : 512;
+  DenseBaseline base;
+
+  std::printf("# Table 3: 5-guideline profile of SDDMM kernels, "
+              "%dx%dx%d, C 90%% sparse\n",
+              m, kdim, n);
+  for (int v : {4, 8}) {
+    std::printf("\nSDDMM, V=%d %-8s %10s %8s %9s %10s\n", v, "NoInstr",
+                "#TB", "Wait", "ShortSb", "Sect/Req");
+    gpusim::Device dev = fresh_device();
+    Rng rng(991 + v);
+    Cvs mask_host = make_cvs_mask(m, n, v, 0.9, rng, 0.25);
+    auto mask = to_device(dev, mask_host);
+    auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
+    auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);
+    auto out = dev.alloc<half_t>(mask_host.col_idx.size() *
+                                 static_cast<std::size_t>(v));
+    DenseDevice<half_t> da{a, m, kdim, kdim, Layout::kRowMajor};
+    DenseDevice<half_t> db{b, kdim, n, kdim, Layout::kColMajor};
+
+    print_row("MMA",
+              kernels::sddmm_octet(
+                  dev, da, db, mask, out,
+                  {kernels::InvertedPatternMode::kExtraRegisters}),
+              base.hw());
+    dev.flush_all_caches();
+    print_row("CUDA", kernels::sddmm_fpu_subwarp(dev, da, db, mask, out),
+              base.hw());
+    dev.flush_all_caches();
+    print_row("WMMA", kernels::sddmm_wmma_warp(dev, da, db, mask, out),
+              base.hw());
+  }
+  std::printf(
+      "\n# paper (V=4): MMA 0.8%% / 16384 / 10.7%% / 2.1%% / 3.83;"
+      "\n#              CUDA 6.1%% / 16384 / 28.1%% / 2.5%% / 3.53;"
+      "\n#              WMMA 0.3%% / 16384 / 10.6%% / 14.4%% / 3.82\n"
+      "# paper (V=8): MMA 1.0%% / 8192 / 11.0%% / 1.9%% / 9.25;"
+      "\n#              CUDA 7.3%% / 16384 / 24.6%% / 3.1%% / 3.33;"
+      "\n#              WMMA 0.4%% / 8192 / 9.5%% / 17.9%% / 9.26\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

@@ -1,0 +1,46 @@
+#include "vsparse/bench/runner.hpp"
+
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/dense/gemm.hpp"
+
+namespace vsparse::bench {
+
+gpusim::Device fresh_device(std::size_t dram_bytes) {
+  gpusim::DeviceConfig cfg = gpusim::DeviceConfig::volta_v100();
+  cfg.dram_capacity = dram_bytes;
+  return gpusim::Device(cfg);
+}
+
+double DenseBaseline::hgemm_cycles(int m, int k, int n) {
+  const auto key = std::make_tuple(m, k, n);
+  if (auto it = half_.find(key); it != half_.end()) return it->second;
+  gpusim::Device dev = fresh_device();
+  auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * k);
+  auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
+  auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
+  DenseDevice<half_t> da{a, m, k, k, Layout::kRowMajor};
+  DenseDevice<half_t> db{b, k, n, n, Layout::kRowMajor};
+  DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
+  const double cycles =
+      kernels::hgemm_tcu(dev, da, db, dc).cycles(hw_, params_);
+  half_.emplace(key, cycles);
+  return cycles;
+}
+
+double DenseBaseline::sgemm_cycles(int m, int k, int n) {
+  const auto key = std::make_tuple(m, k, n);
+  if (auto it = single_.find(key); it != single_.end()) return it->second;
+  gpusim::Device dev = fresh_device();
+  auto a = dev.alloc<float>(static_cast<std::size_t>(m) * k);
+  auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
+  auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);
+  DenseDevice<float> da{a, m, k, k, Layout::kRowMajor};
+  DenseDevice<float> db{b, k, n, n, Layout::kRowMajor};
+  DenseDevice<float> dc{c, m, n, n, Layout::kRowMajor};
+  const double cycles =
+      kernels::sgemm_fpu(dev, da, db, dc).cycles(hw_, params_);
+  single_.emplace(key, cycles);
+  return cycles;
+}
+
+}  // namespace vsparse::bench

@@ -1,0 +1,43 @@
+// Shared execution plumbing for the figure/table benches: a fresh
+// simulated device per kernel run (so cache state and the memory arena
+// are independent across measurements) and memoized dense-GEMM
+// baselines (each distinct (M,K,N) is simulated once; the paper's
+// speedups all normalize to cublasHgemm/Sgemm).
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "vsparse/gpusim/costmodel.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::bench {
+
+/// A device sized for bench problems.
+gpusim::Device fresh_device(std::size_t dram_bytes = std::size_t{1} << 30);
+
+/// Memoized dense baselines evaluated under one hardware model.
+class DenseBaseline {
+ public:
+  explicit DenseBaseline(
+      gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100(),
+      gpusim::CostParams params = {})
+      : hw_(hw), params_(params) {}
+
+  /// Model cycles of the cublasHgemm stand-in on (MxK)·(KxN).
+  double hgemm_cycles(int m, int k, int n);
+  /// Model cycles of the cublasSgemm stand-in.
+  double sgemm_cycles(int m, int k, int n);
+
+  const gpusim::DeviceConfig& hw() const { return hw_; }
+  const gpusim::CostParams& params() const { return params_; }
+
+ private:
+  gpusim::DeviceConfig hw_;
+  gpusim::CostParams params_;
+  std::map<std::tuple<int, int, int>, double> half_;
+  std::map<std::tuple<int, int, int>, double> single_;
+};
+
+}  // namespace vsparse::bench

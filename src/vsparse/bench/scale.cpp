@@ -1,0 +1,32 @@
+#include "vsparse/bench/scale.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vsparse::bench {
+
+Scale parse_scale(int argc, char** argv) {
+  std::string choice;
+  if (const char* env = std::getenv("VSPARSE_BENCH_SCALE")) choice = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) choice = argv[i] + 8;
+  }
+  Scale s = Scale::kSmall;
+  if (choice == "paper") {
+    s = Scale::kPaper;
+  } else if (!choice.empty() && choice != "small") {
+    std::fprintf(stderr, "unknown scale '%s' (want small|paper); using small\n",
+                 choice.c_str());
+  }
+  std::printf("# scale: %s (override with --scale=paper or "
+              "VSPARSE_BENCH_SCALE=paper)\n",
+              scale_name(s));
+  return s;
+}
+
+const char* scale_name(Scale s) {
+  return s == Scale::kPaper ? "paper" : "small";
+}
+
+}  // namespace vsparse::bench

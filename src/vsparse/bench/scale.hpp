@@ -1,0 +1,22 @@
+// Benchmark scale selection shared by every table/figure binary.
+//
+// `small` (the default) shrinks problem sizes ~2x per dimension so the
+// full bench suite completes in minutes on one CPU core; `paper` runs
+// the exact sizes of the paper's evaluation.  Selected via
+// `--scale=small|paper` or the VSPARSE_BENCH_SCALE environment
+// variable; every bench prints the scale it used.
+#pragma once
+
+#include <string>
+
+namespace vsparse::bench {
+
+enum class Scale { kSmall, kPaper };
+
+/// Parse --scale= from argv (falling back to VSPARSE_BENCH_SCALE, then
+/// kSmall) and echo the choice to stdout.
+Scale parse_scale(int argc, char** argv);
+
+const char* scale_name(Scale s);
+
+}  // namespace vsparse::bench

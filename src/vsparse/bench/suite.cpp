@@ -1,0 +1,40 @@
+#include "vsparse/bench/suite.hpp"
+
+#include "vsparse/formats/generate.hpp"
+
+namespace vsparse::bench {
+
+const std::vector<double>& sparsity_grid() {
+  static const std::vector<double> grid = {0.5, 0.7, 0.8, 0.9, 0.95, 0.98};
+  return grid;
+}
+
+std::vector<Shape> suite_shapes(Scale scale) {
+  if (scale == Scale::kPaper) {
+    // ResNet-50 1x1/3x3 weight GEMM shapes as used by DLMC.
+    return {{256, 256},  {512, 256},  {512, 512},  {1024, 512},
+            {1024, 1024}, {2048, 1024}, {512, 2048}, {2048, 512}};
+  }
+  // Fewer shapes, but realistic sizes: cache-resident toy shapes would
+  // distort the speedup crossovers the figures are about.
+  return {{512, 256}, {512, 512}, {1024, 512}};
+}
+
+std::uint64_t bench_seed(Shape shape, double sparsity, int v) {
+  return 0x5eedull ^ (static_cast<std::uint64_t>(shape.m) << 32) ^
+         (static_cast<std::uint64_t>(shape.k) << 16) ^
+         (static_cast<std::uint64_t>(sparsity * 1000) << 4) ^
+         static_cast<std::uint64_t>(v);
+}
+
+Cvs make_suite_cvs(Shape shape, double sparsity, int v) {
+  Rng rng(bench_seed(shape, sparsity, v));
+  return make_cvs(shape.m, shape.k, v, sparsity, rng, /*row_jitter=*/0.25);
+}
+
+BlockedEll make_suite_blocked_ell(Shape shape, double sparsity, int block) {
+  Rng rng(bench_seed(shape, sparsity, block) + 1);
+  return make_blocked_ell(shape.m, shape.k, block, sparsity, rng);
+}
+
+}  // namespace vsparse::bench

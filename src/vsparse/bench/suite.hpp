@@ -1,0 +1,39 @@
+// The synthetic DLMC-like benchmark suite (§7.1.1 substitution — see
+// DESIGN.md): ResNet-50 weight-matrix shapes under magnitude-pruning-
+// like row imbalance, at the paper's sparsity grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/bench/scale.hpp"
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/blocked_ell.hpp"
+#include "vsparse/formats/cvs.hpp"
+
+namespace vsparse::bench {
+
+struct Shape {
+  int m;
+  int k;
+};
+
+/// The paper's sparsity grid {0.5, 0.7, 0.8, 0.9, 0.95, 0.98}.
+const std::vector<double>& sparsity_grid();
+
+/// ResNet-50-like weight shapes: full size at paper scale, halved
+/// dimensions at small scale.
+std::vector<Shape> suite_shapes(Scale scale);
+
+/// Deterministic seed for a benchmark instance, so every kernel sees
+/// the identical matrix.
+std::uint64_t bench_seed(Shape shape, double sparsity, int v);
+
+/// §7.1.1 construction: CVS benchmark matrix for the instance.
+Cvs make_suite_cvs(Shape shape, double sparsity, int v);
+
+/// §7.1.1 construction: the Blocked-ELL twin with block = V, same
+/// sparsity and problem size.
+BlockedEll make_suite_blocked_ell(Shape shape, double sparsity, int block);
+
+}  // namespace vsparse::bench

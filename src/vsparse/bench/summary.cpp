@@ -1,0 +1,55 @@
+#include "vsparse/bench/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "vsparse/common/macros.hpp"
+
+namespace vsparse::bench {
+
+namespace {
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * (static_cast<double>(sorted.size()) - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double geomean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0;
+  double log_sum = 0;
+  for (double s : samples) {
+    VSPARSE_CHECK(s > 0);
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+BoxStats summarize(std::vector<double> samples) {
+  BoxStats out;
+  if (samples.empty()) return out;
+  out.geomean = geomean(samples);
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  out.max = samples.back();
+  out.q1 = quantile(samples, 0.25);
+  out.median = quantile(samples, 0.5);
+  out.q3 = quantile(samples, 0.75);
+  out.count = static_cast<int>(samples.size());
+  return out;
+}
+
+std::string to_string(const BoxStats& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%6.2f  [%5.2f %5.2f %5.2f %5.2f %5.2f] n=%d",
+                s.geomean, s.min, s.q1, s.median, s.q3, s.max, s.count);
+  return buf;
+}
+
+}  // namespace vsparse::bench

@@ -1,0 +1,25 @@
+// Aggregation helpers for the figure benches: geometric-mean speedups
+// (the paper's solid lines) and box-plot quartiles (its distributions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vsparse::bench {
+
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double geomean = 0;
+  int count = 0;
+};
+
+/// Quartiles + geometric mean of a sample of (positive) speedups.
+BoxStats summarize(std::vector<double> samples);
+
+/// "1.23 [0.9,1.1,1.4] n=12"-style compact rendering.
+std::string to_string(const BoxStats& s);
+
+/// Geometric mean of positive samples (0 if empty).
+double geomean(const std::vector<double>& samples);
+
+}  // namespace vsparse::bench

@@ -1,0 +1,59 @@
+#include "vsparse/formats/blocked_ell.hpp"
+
+namespace vsparse {
+
+double BlockedEll::sparsity() const {
+  const double total = static_cast<double>(rows) * cols;
+  if (total == 0) return 0.0;
+  std::int64_t real_blocks = 0;
+  for (std::int32_t c : col_idx) {
+    if (c >= 0) ++real_blocks;
+  }
+  const double nz = static_cast<double>(real_blocks) * block * block;
+  return 1.0 - nz / total;
+}
+
+void BlockedEll::validate() const {
+  VSPARSE_CHECK(block >= 1);
+  VSPARSE_CHECK(rows % block == 0);
+  VSPARSE_CHECK(cols % block == 0);
+  VSPARSE_CHECK(blocks_per_row >= 0);
+  VSPARSE_CHECK(blocks_per_row <= cols / block);
+  VSPARSE_CHECK(static_cast<std::int64_t>(col_idx.size()) == stored_blocks());
+  VSPARSE_CHECK(static_cast<std::int64_t>(values.size()) ==
+                stored_blocks() * block * block);
+  for (std::int32_t c : col_idx) {
+    VSPARSE_CHECK(c == -1 || (c >= 0 && c < cols / block));
+  }
+}
+
+DenseMatrix<half_t> BlockedEll::to_dense() const {
+  DenseMatrix<half_t> m(rows, cols);
+  for (int brow = 0; brow < block_rows(); ++brow) {
+    for (int slot = 0; slot < blocks_per_row; ++slot) {
+      const std::int32_t bcol =
+          col_idx[static_cast<std::size_t>(brow) *
+                      static_cast<std::size_t>(blocks_per_row) +
+                  static_cast<std::size_t>(slot)];
+      if (bcol < 0) continue;
+      for (int r = 0; r < block; ++r) {
+        for (int c = 0; c < block; ++c) {
+          m.at(brow * block + r, bcol * block + c) =
+              values[value_index(brow, slot, r, c)];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+BlockedEllDevice to_device(gpusim::Device& dev, const BlockedEll& m) {
+  return BlockedEllDevice{dev.alloc_copy<std::int32_t>(m.col_idx),
+                          dev.alloc_copy<half_t>(m.values),
+                          m.rows,
+                          m.cols,
+                          m.block,
+                          m.blocks_per_row};
+}
+
+}  // namespace vsparse

@@ -1,0 +1,68 @@
+// Blocked-ELL — the format behind cuSPARSE's TCU SpMM baseline (§3.2).
+//
+// The matrix is a grid of b x b blocks; every block-row stores the same
+// number of nonzero blocks (ELL padding), identified by a dense 2-D
+// column-index array.  Values are stored block-row-major, each block
+// row-major internally.  A column index of -1 marks an ELL padding slot
+// (all-zero block), matching cuSPARSE semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/fp16/half.hpp"
+#include "vsparse/formats/dense.hpp"
+
+namespace vsparse {
+
+struct BlockedEll {
+  int rows = 0;        ///< M, multiple of block
+  int cols = 0;        ///< K, multiple of block
+  int block = 4;       ///< block edge length b
+  int blocks_per_row = 0;  ///< nonzero blocks stored per block-row
+  /// Column-block index of slot (block_row, slot): size
+  /// (rows/block) * blocks_per_row, -1 = padding.
+  std::vector<std::int32_t> col_idx;
+  /// Values: [block_row][slot][r][c] flattened, b*b halves per slot.
+  std::vector<half_t> values;
+
+  int block_rows() const { return rows / block; }
+  std::int64_t stored_blocks() const {
+    return static_cast<std::int64_t>(block_rows()) * blocks_per_row;
+  }
+
+  /// Fraction of zeros implied by the stored-block count (padding slots
+  /// count as zeros).
+  double sparsity() const;
+
+  void validate() const;
+
+  /// Index into `values` of element (r, c) inside slot `slot` of block
+  /// row `brow`.
+  std::size_t value_index(int brow, int slot, int r, int c) const {
+    return ((static_cast<std::size_t>(brow) *
+                 static_cast<std::size_t>(blocks_per_row) +
+             static_cast<std::size_t>(slot)) *
+                static_cast<std::size_t>(block) +
+            static_cast<std::size_t>(r)) *
+               static_cast<std::size_t>(block) +
+           static_cast<std::size_t>(c);
+  }
+
+  DenseMatrix<half_t> to_dense() const;
+};
+
+/// Device mirror.
+struct BlockedEllDevice {
+  gpusim::Buffer<std::int32_t> col_idx;
+  gpusim::Buffer<half_t> values;
+  int rows = 0;
+  int cols = 0;
+  int block = 4;
+  int blocks_per_row = 0;
+};
+
+BlockedEllDevice to_device(gpusim::Device& dev, const BlockedEll& m);
+
+}  // namespace vsparse

@@ -1,0 +1,159 @@
+#include "vsparse/formats/blocksparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "vsparse/common/math.hpp"
+
+namespace vsparse {
+
+Cvs make_square_block_cvs(int m, int k, int v, double sparsity, Rng& rng) {
+  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  VSPARSE_CHECK(m % v == 0 && k % v == 0);
+  const int block_rows = m / v;
+  const int block_cols = k / v;
+  const int keep = std::clamp(
+      static_cast<int>(std::lround(block_cols * (1.0 - sparsity))), 0,
+      block_cols);
+
+  Cvs out;
+  out.rows = m;
+  out.cols = k;
+  out.v = v;
+  out.row_ptr.push_back(0);
+  std::vector<std::int32_t> scratch(static_cast<std::size_t>(block_cols));
+  std::iota(scratch.begin(), scratch.end(), 0);
+  std::vector<std::int32_t> chosen;
+  for (int br = 0; br < block_rows; ++br) {
+    // Sample `keep` distinct block columns.
+    for (int i = 0; i < keep; ++i) {
+      const auto j = static_cast<std::size_t>(
+          i + static_cast<int>(
+                  rng.uniform_u64(static_cast<std::uint64_t>(block_cols - i))));
+      std::swap(scratch[static_cast<std::size_t>(i)], scratch[j]);
+    }
+    chosen.assign(scratch.begin(), scratch.begin() + keep);
+    std::sort(chosen.begin(), chosen.end());
+    for (std::int32_t bc : chosen) {
+      for (int t = 0; t < v; ++t) {  // v column vectors per block
+        out.col_idx.push_back(bc * v + t);
+        for (int r = 0; r < v; ++r) {
+          out.values.push_back(half_t(rng.uniform_float(0.5f, 1.5f)));
+        }
+      }
+    }
+    out.row_ptr.push_back(static_cast<std::int32_t>(out.col_idx.size()));
+  }
+  return out;
+}
+
+bool has_square_block_structure(const Cvs& a) {
+  if (a.cols % a.v != 0) return false;
+  for (int vr = 0; vr < a.vec_rows(); ++vr) {
+    const std::int32_t begin = a.row_ptr[static_cast<std::size_t>(vr)];
+    const std::int32_t end = a.row_ptr[static_cast<std::size_t>(vr) + 1];
+    if ((end - begin) % a.v != 0) return false;
+    // Columns are sorted; every run of v must be a complete block.
+    for (std::int32_t i = begin; i < end; i += a.v) {
+      const std::int32_t c0 = a.col_idx[static_cast<std::size_t>(i)];
+      if (c0 % a.v != 0) return false;
+      for (int t = 1; t < a.v; ++t) {
+        if (a.col_idx[static_cast<std::size_t>(i + t)] != c0 + t) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Cvs transpose_square_block_cvs(const Cvs& a) {
+  VSPARSE_CHECK_MSG(has_square_block_structure(a),
+                    "transpose on the encoded form needs aligned square "
+                    "blocks (§8 Case 1)");
+  const int v = a.v;
+  const int t_block_rows = a.cols / v;
+
+  Cvs out;
+  out.rows = a.cols;
+  out.cols = a.rows;
+  out.v = v;
+
+  // Pass 1: count blocks per transposed block-row (CSC-style).
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(t_block_rows), 0);
+  for (int vr = 0; vr < a.vec_rows(); ++vr) {
+    for (std::int32_t i = a.row_ptr[static_cast<std::size_t>(vr)];
+         i < a.row_ptr[static_cast<std::size_t>(vr) + 1]; i += v) {
+      ++counts[static_cast<std::size_t>(
+          a.col_idx[static_cast<std::size_t>(i)] / v)];
+    }
+  }
+  out.row_ptr.resize(static_cast<std::size_t>(t_block_rows) + 1, 0);
+  for (int br = 0; br < t_block_rows; ++br) {
+    out.row_ptr[static_cast<std::size_t>(br) + 1] =
+        out.row_ptr[static_cast<std::size_t>(br)] +
+        counts[static_cast<std::size_t>(br)] * v;
+  }
+  out.col_idx.resize(static_cast<std::size_t>(out.row_ptr.back()));
+  out.values.resize(out.col_idx.size() * static_cast<std::size_t>(v));
+
+  // Pass 2: scatter blocks, transposing each block's v x v values.
+  std::vector<std::int32_t> cursor(static_cast<std::size_t>(t_block_rows), 0);
+  for (int vr = 0; vr < a.vec_rows(); ++vr) {
+    for (std::int32_t i = a.row_ptr[static_cast<std::size_t>(vr)];
+         i < a.row_ptr[static_cast<std::size_t>(vr) + 1]; i += v) {
+      const int bc = a.col_idx[static_cast<std::size_t>(i)] / v;
+      const std::int32_t dst =
+          out.row_ptr[static_cast<std::size_t>(bc)] +
+          cursor[static_cast<std::size_t>(bc)];
+      cursor[static_cast<std::size_t>(bc)] += v;
+      for (int t2 = 0; t2 < v; ++t2) {  // column within transposed block
+        out.col_idx[static_cast<std::size_t>(dst + t2)] = vr * v + t2;
+        for (int t1 = 0; t1 < v; ++t1) {
+          // T[bc*v + t1][vr*v + t2] = A[vr*v + t2][bc*v + t1]:
+          // source vector (i + t1) element t2.
+          out.values[(static_cast<std::size_t>(dst) +
+                      static_cast<std::size_t>(t2)) *
+                         static_cast<std::size_t>(v) +
+                     static_cast<std::size_t>(t1)] =
+              a.values[(static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(t1)) *
+                           static_cast<std::size_t>(v) +
+                       static_cast<std::size_t>(t2)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Cvs make_global_row_cvs(int m, int k, int v, int dense_vec_rows, Rng& rng) {
+  VSPARSE_CHECK(m % v == 0);
+  const int vec_rows = m / v;
+  VSPARSE_CHECK(dense_vec_rows >= 0 && dense_vec_rows <= vec_rows);
+  std::vector<char> dense(static_cast<std::size_t>(vec_rows), 0);
+  int placed = 0;
+  while (placed < dense_vec_rows) {
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(vec_rows)));
+    if (!dense[r]) {
+      dense[r] = 1;
+      ++placed;
+    }
+  }
+  Cvs out;
+  out.rows = m;
+  out.cols = k;
+  out.v = v;
+  out.row_ptr.push_back(0);
+  for (int vr = 0; vr < vec_rows; ++vr) {
+    if (dense[static_cast<std::size_t>(vr)]) {
+      for (int c = 0; c < k; ++c) out.col_idx.push_back(c);
+    }
+    out.row_ptr.push_back(static_cast<std::int32_t>(out.col_idx.size()));
+  }
+  out.values.resize(out.col_idx.size() * static_cast<std::size_t>(v));
+  for (half_t& h : out.values) h = half_t(rng.uniform_float(0.5f, 1.5f));
+  return out;
+}
+
+}  // namespace vsparse

@@ -1,0 +1,38 @@
+// §8 Discussion cases — structured constraints layered on top of the
+// column-vector sparse encoding.
+//
+// Case 1 (training): backward propagation needs both W and Wᵀ.  If the
+// nonzeros form SQUARE V x V blocks aligned in both dimensions, both
+// matrices admit the column-vector encoding, and the transpose can be
+// computed purely on the encoded form (one column index per block).
+//
+// Case 2 (global attention): all column vectors of a row are zero or
+// nonzero together — fully-dense rows in an otherwise empty matrix,
+// the "short and wide" pattern of the sparse transformer's global
+// tokens.  Such patterns are ordinary Cvs values; the helpers build
+// and recognize them.
+#pragma once
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/cvs.hpp"
+
+namespace vsparse {
+
+/// Random CVS matrix whose nonzeros form aligned V x V square blocks
+/// (Case 1).  `sparsity` counts zeros at block granularity.
+Cvs make_square_block_cvs(int m, int k, int v, double sparsity, Rng& rng);
+
+/// True iff the pattern consists of aligned v x v square blocks (every
+/// stored vector's column belongs to a fully-populated block column).
+bool has_square_block_structure(const Cvs& a);
+
+/// Transpose a square-block CVS matrix entirely on the encoded form —
+/// the §8 Case 1 operation enabling backward-pass SpMM with Wᵀ.
+/// Requires has_square_block_structure(a).
+Cvs transpose_square_block_cvs(const Cvs& a);
+
+/// CVS pattern where `dense_rows` randomly-chosen vector-rows are fully
+/// dense and all others empty (Case 2's global-attention rows).
+Cvs make_global_row_cvs(int m, int k, int v, int dense_vec_rows, Rng& rng);
+
+}  // namespace vsparse

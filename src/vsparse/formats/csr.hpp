@@ -1,0 +1,98 @@
+// Compressed Sparse Row — the fine-grained baseline format (V = 1) and
+// the index backbone the column-vector encoding generalizes (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/formats/dense.hpp"
+
+namespace vsparse {
+
+/// Standard CSR with int32 indices.
+template <class T>
+struct Csr {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int32_t> row_ptr;  ///< size rows + 1
+  std::vector<std::int32_t> col_idx;  ///< size nnz
+  std::vector<T> values;              ///< size nnz
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(col_idx.size()); }
+
+  /// Fraction of zero entries.
+  double sparsity() const {
+    const double total = static_cast<double>(rows) * cols;
+    return total == 0 ? 0.0 : 1.0 - static_cast<double>(nnz()) / total;
+  }
+
+  /// Structural invariants: monotone row_ptr, in-range sorted columns.
+  void validate() const {
+    VSPARSE_CHECK(static_cast<int>(row_ptr.size()) == rows + 1);
+    VSPARSE_CHECK(row_ptr.front() == 0);
+    VSPARSE_CHECK(row_ptr.back() == nnz());
+    VSPARSE_CHECK(values.size() == col_idx.size());
+    for (int r = 0; r < rows; ++r) {
+      VSPARSE_CHECK(row_ptr[static_cast<std::size_t>(r)] <=
+                    row_ptr[static_cast<std::size_t>(r) + 1]);
+      for (std::int32_t i = row_ptr[static_cast<std::size_t>(r)];
+           i < row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        const std::int32_t c = col_idx[static_cast<std::size_t>(i)];
+        VSPARSE_CHECK(c >= 0 && c < cols);
+        if (i > row_ptr[static_cast<std::size_t>(r)]) {
+          VSPARSE_CHECK(col_idx[static_cast<std::size_t>(i) - 1] < c);
+        }
+      }
+    }
+  }
+
+  static Csr<T> from_dense(const DenseMatrix<T>& m) {
+    Csr<T> out;
+    out.rows = m.rows();
+    out.cols = m.cols();
+    out.row_ptr.reserve(static_cast<std::size_t>(m.rows()) + 1);
+    out.row_ptr.push_back(0);
+    for (int r = 0; r < m.rows(); ++r) {
+      for (int c = 0; c < m.cols(); ++c) {
+        if (static_cast<float>(m.at(r, c)) != 0.0f) {
+          out.col_idx.push_back(c);
+          out.values.push_back(m.at(r, c));
+        }
+      }
+      out.row_ptr.push_back(static_cast<std::int32_t>(out.col_idx.size()));
+    }
+    return out;
+  }
+
+  DenseMatrix<T> to_dense() const {
+    DenseMatrix<T> m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (std::int32_t i = row_ptr[static_cast<std::size_t>(r)];
+           i < row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        m.at(r, col_idx[static_cast<std::size_t>(i)]) =
+            values[static_cast<std::size_t>(i)];
+      }
+    }
+    return m;
+  }
+};
+
+/// Device mirror of a CSR matrix.
+template <class T>
+struct CsrDevice {
+  gpusim::Buffer<std::int32_t> row_ptr;
+  gpusim::Buffer<std::int32_t> col_idx;
+  gpusim::Buffer<T> values;
+  int rows = 0;
+  int cols = 0;
+};
+
+template <class T>
+CsrDevice<T> to_device(gpusim::Device& dev, const Csr<T>& m) {
+  return CsrDevice<T>{dev.alloc_copy<std::int32_t>(m.row_ptr),
+                      dev.alloc_copy<std::int32_t>(m.col_idx),
+                      dev.alloc_copy<T>(m.values), m.rows, m.cols};
+}
+
+}  // namespace vsparse

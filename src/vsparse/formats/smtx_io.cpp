@@ -1,0 +1,104 @@
+#include "vsparse/formats/smtx_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace vsparse {
+
+namespace {
+
+/// Read one line of whitespace/comma separated integers.
+std::vector<std::int32_t> read_int_line(std::istream& is,
+                                        std::size_t expected) {
+  std::string line;
+  VSPARSE_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                    "smtx: unexpected end of stream");
+  for (char& c : line) {
+    if (c == ',') c = ' ';
+  }
+  std::istringstream ls(line);
+  std::vector<std::int32_t> out;
+  out.reserve(expected);
+  std::int64_t x;
+  while (ls >> x) {
+    VSPARSE_CHECK_MSG(x >= 0 && x <= 0x7fffffff, "smtx: index out of range");
+    out.push_back(static_cast<std::int32_t>(x));
+  }
+  return out;
+}
+
+}  // namespace
+
+SmtxPattern read_smtx(std::istream& is) {
+  const auto header = read_int_line(is, 3);
+  VSPARSE_CHECK_MSG(header.size() == 3,
+                    "smtx: header must be 'rows, cols, nnz'");
+  SmtxPattern p;
+  p.rows = header[0];
+  p.cols = header[1];
+  const auto nnz = static_cast<std::size_t>(header[2]);
+
+  p.row_ptr = read_int_line(is, static_cast<std::size_t>(p.rows) + 1);
+  VSPARSE_CHECK_MSG(p.row_ptr.size() == static_cast<std::size_t>(p.rows) + 1,
+                    "smtx: row_ptr length " << p.row_ptr.size() << " != rows+1");
+  VSPARSE_CHECK_MSG(p.row_ptr.front() == 0 &&
+                        p.row_ptr.back() == static_cast<std::int32_t>(nnz),
+                    "smtx: row_ptr endpoints inconsistent with nnz");
+  for (std::size_t i = 1; i < p.row_ptr.size(); ++i) {
+    VSPARSE_CHECK_MSG(p.row_ptr[i] >= p.row_ptr[i - 1],
+                      "smtx: row_ptr not monotone at row " << i);
+  }
+
+  p.col_idx = read_int_line(is, nnz);
+  VSPARSE_CHECK_MSG(p.col_idx.size() == nnz,
+                    "smtx: col_idx length " << p.col_idx.size()
+                                            << " != nnz " << nnz);
+  for (std::int32_t c : p.col_idx) {
+    VSPARSE_CHECK_MSG(c < p.cols, "smtx: column " << c << " out of range");
+  }
+  return p;
+}
+
+SmtxPattern read_smtx_file(const std::string& path) {
+  std::ifstream is(path);
+  VSPARSE_CHECK_MSG(is.good(), "smtx: cannot open " << path);
+  return read_smtx(is);
+}
+
+void write_smtx(std::ostream& os, const SmtxPattern& p) {
+  os << p.rows << ", " << p.cols << ", " << p.col_idx.size() << "\n";
+  for (std::size_t i = 0; i < p.row_ptr.size(); ++i) {
+    os << (i ? " " : "") << p.row_ptr[i];
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < p.col_idx.size(); ++i) {
+    os << (i ? " " : "") << p.col_idx[i];
+  }
+  os << "\n";
+}
+
+void write_smtx_file(const std::string& path, const SmtxPattern& p) {
+  std::ofstream os(path);
+  VSPARSE_CHECK_MSG(os.good(), "smtx: cannot open " << path << " for write");
+  write_smtx(os, p);
+}
+
+Cvs smtx_to_cvs(const SmtxPattern& p, int v, Rng& rng) {
+  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  Cvs out;
+  out.rows = p.rows * v;  // each pattern row becomes one vector-row
+  out.cols = p.cols;
+  out.v = v;
+  out.row_ptr = p.row_ptr;
+  out.col_idx = p.col_idx;
+  out.values.resize(out.col_idx.size() * static_cast<std::size_t>(v));
+  for (half_t& h : out.values) h = half_t(rng.uniform_float(0.5f, 1.5f));
+  out.validate();
+  return out;
+}
+
+SmtxPattern cvs_to_smtx(const Cvs& m) {
+  return SmtxPattern{m.vec_rows(), m.cols, m.row_ptr, m.col_idx};
+}
+
+}  // namespace vsparse

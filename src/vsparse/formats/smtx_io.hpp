@@ -1,0 +1,50 @@
+// DLMC .smtx file I/O.
+//
+// The Deep Learning Matrix Collection [22] distributes its pruned
+// weight patterns as ".smtx" text files:
+//
+//   <rows>, <cols>, <nnz>\n
+//   <row_ptr[0]> ... <row_ptr[rows]>\n
+//   <col_idx[0]> ... <col_idx[nnz-1]>\n
+//
+// (pattern only — no values, which is why §7.1.1 randomizes them).
+// These readers/writers let a user run the benchmarks on the *actual*
+// DLMC matrices when the dataset is available, instead of the
+// synthetic substitute in bench/suite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/cvs.hpp"
+
+namespace vsparse {
+
+/// Pattern-only sparse matrix as stored in a .smtx file.
+struct SmtxPattern {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::int32_t> row_ptr;
+  std::vector<std::int32_t> col_idx;
+};
+
+/// Parse a .smtx stream.  Throws CheckError on malformed input
+/// (inconsistent nnz, out-of-range columns, non-monotone row_ptr).
+SmtxPattern read_smtx(std::istream& is);
+SmtxPattern read_smtx_file(const std::string& path);
+
+/// Serialize in the same format.
+void write_smtx(std::ostream& os, const SmtxPattern& p);
+void write_smtx_file(const std::string& path, const SmtxPattern& p);
+
+/// §7.1.1 benchmark construction on a real DLMC pattern: reinterpret
+/// the CSR structure as vector-rows of grain V (the pattern's rows
+/// become vector-rows, as the paper does) and attach random nonzero
+/// values.  The resulting matrix is (rows*v) x cols.
+Cvs smtx_to_cvs(const SmtxPattern& p, int v, Rng& rng);
+
+/// Drop a Cvs back to its pattern (for round-trip archival).
+SmtxPattern cvs_to_smtx(const Cvs& m);
+
+}  // namespace vsparse

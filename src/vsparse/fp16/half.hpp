@@ -1,0 +1,198 @@
+// Software IEEE-754 binary16 ("half") type.
+//
+// The paper's kernels operate on CUDA `__half` operands with fp32
+// accumulation inside the tensor core.  This header provides the same
+// semantics on the host: storage is the 16-bit pattern, arithmetic is
+// performed by converting to float (all binary16 values are exactly
+// representable in binary32), and explicit `hadd`/`hmul` helpers
+// perform the fp16-rounded operations used by FPU-based kernels.
+//
+// Conversion uses the F16C hardware instructions when available
+// (-march=native on this host enables them) and a portable
+// round-to-nearest-even bit-manipulation fallback otherwise.  The two
+// paths are bit-identical; tests/fp16_test.cpp verifies this
+// exhaustively over all 65536 half patterns.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace vsparse {
+
+namespace fp16_detail {
+
+/// Portable float -> binary16 conversion with round-to-nearest-even,
+/// handling subnormals, infinities, and NaN (quietized).
+constexpr std::uint16_t float_to_half_bits_portable(float f) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  x &= 0x7fffffffu;
+
+  if (x >= 0x7f800000u) {
+    // Inf or NaN.  Preserve NaN-ness; quietize the payload.
+    return static_cast<std::uint16_t>(
+        sign | 0x7c00u | (x > 0x7f800000u ? 0x0200u | ((x >> 13) & 0x3ffu) : 0u));
+  }
+  if (x >= 0x477ff000u) {
+    // Rounds to a magnitude >= 65520 -> overflow to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (x < 0x33000001u) {
+    // Magnitude below half the smallest subnormal -> rounds to zero.
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (x < 0x38800000u) {
+    // Subnormal half: m = round(sig24 * 2^(e-126)) with e in [102,112],
+    // i.e. a right shift of (126 - e) in [14,24], rounded to nearest even.
+    const int shift = 126 - static_cast<int>(x >> 23);
+    const std::uint32_t sig = (x & 0x7fffffu) | 0x800000u;
+    const std::uint32_t shifted = sig >> shift;
+    const std::uint32_t rem = sig & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t out = shifted;
+    if (rem > halfway || (rem == halfway && (shifted & 1u))) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+  // Normal half.  Rebias the exponent and round the 13 dropped bits.
+  std::uint32_t out = (x - 0x38000000u) >> 13;
+  const std::uint32_t rem = x & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+/// Portable binary16 -> float conversion (exact).
+constexpr float half_bits_to_float_portable(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t sig = h & 0x3ffu;
+  std::uint32_t out = 0;
+  if (exp == 0) {
+    if (sig == 0) {
+      out = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t s = sig;
+      while ((s & 0x400u) == 0) {
+        s <<= 1;
+        ++e;
+      }
+      out = sign | ((127 - 15 - e) << 23) | ((s & 0x3ffu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7f800000u | (sig << 13);  // Inf / NaN
+  } else {
+    out = sign | ((exp + 127 - 15) << 23) | (sig << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+inline std::uint16_t float_to_half_bits(float f) {
+#if defined(__F16C__)
+  return static_cast<std::uint16_t>(
+      _cvtss_sh(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+#else
+  return float_to_half_bits_portable(f);
+#endif
+}
+
+inline float half_bits_to_float(std::uint16_t h) {
+#if defined(__F16C__)
+  return _cvtsh_ss(h);
+#else
+  return half_bits_to_float_portable(h);
+#endif
+}
+
+}  // namespace fp16_detail
+
+/// IEEE binary16 value.  Trivially copyable 16-bit POD so it can live in
+/// simulated device memory and be moved by sector-granular loads.
+class half_t {
+ public:
+  half_t() = default;
+
+  /// Implicit conversion from float mirrors the ergonomics of CUDA
+  /// `__half` construction; rounding is to nearest even.
+  half_t(float f) : bits_(fp16_detail::float_to_half_bits(f)) {}  // NOLINT
+
+  /// Exact widening conversion.
+  operator float() const { return fp16_detail::half_bits_to_float(bits_); }
+
+  /// Reinterpret a raw bit pattern as a half.
+  static half_t from_bits(std::uint16_t bits) {
+    half_t h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+
+  friend bool operator==(half_t a, half_t b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator!=(half_t a, half_t b) { return !(a == b); }
+  friend bool operator<(half_t a, half_t b) {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half_t) == 2);
+
+/// fp16-rounded addition: round(a + b) in binary16, as performed by a
+/// HADD instruction.  (Exact in fp32, then one rounding.)
+inline half_t hadd(half_t a, half_t b) {
+  return half_t(static_cast<float>(a) + static_cast<float>(b));
+}
+
+/// fp16-rounded multiplication, as performed by an HMUL instruction.
+inline half_t hmul(half_t a, half_t b) {
+  return half_t(static_cast<float>(a) * static_cast<float>(b));
+}
+
+/// True iff the value is a NaN pattern.
+inline bool isnan(half_t h) {
+  return (h.bits() & 0x7c00u) == 0x7c00u && (h.bits() & 0x3ffu) != 0;
+}
+
+/// True iff the value is +-infinity.
+inline bool isinf(half_t h) { return (h.bits() & 0x7fffu) == 0x7c00u; }
+
+}  // namespace vsparse
+
+namespace std {
+
+/// numeric_limits so generic test utilities can query binary16 bounds.
+template <>
+class numeric_limits<vsparse::half_t> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr int digits = 11;  // including the implicit bit
+
+  static vsparse::half_t max() { return vsparse::half_t::from_bits(0x7bff); }
+  static vsparse::half_t lowest() { return vsparse::half_t::from_bits(0xfbff); }
+  static vsparse::half_t min() { return vsparse::half_t::from_bits(0x0400); }
+  static vsparse::half_t denorm_min() {
+    return vsparse::half_t::from_bits(0x0001);
+  }
+  static vsparse::half_t epsilon() { return vsparse::half_t::from_bits(0x1400); }
+  static vsparse::half_t infinity() { return vsparse::half_t::from_bits(0x7c00); }
+  static vsparse::half_t quiet_NaN() {
+    return vsparse::half_t::from_bits(0x7e00);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,44 @@
+// Short vectors of binary16 values mirroring CUDA's half2 / "half4" /
+// float4 vector types.  The paper's column-vector sparse encoding
+// stores each nonzero as one of these: half2 for V=2, half4 for V=4,
+// and float4 (= 8 halves reinterpreted) for V=8 (§4.2).  On the
+// simulator they are plain contiguous arrays; their size determines the
+// width of the vector memory operation (LDG.32 / LDG.64 / LDG.128).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/fp16/half.hpp"
+
+namespace vsparse {
+
+/// Fixed-width vector of halves.  Trivially copyable, 2*N bytes.
+template <int N>
+struct HalfVec {
+  static_assert(N >= 1 && N <= 8);
+  std::array<half_t, N> v{};
+
+  half_t& operator[](int i) {
+    VSPARSE_DCHECK(i >= 0 && i < N);
+    return v[static_cast<std::size_t>(i)];
+  }
+  half_t operator[](int i) const {
+    VSPARSE_DCHECK(i >= 0 && i < N);
+    return v[static_cast<std::size_t>(i)];
+  }
+
+  static constexpr int width = N;
+  static constexpr std::size_t bytes = static_cast<std::size_t>(N) * 2;
+};
+
+using half2 = HalfVec<2>;
+using half4 = HalfVec<4>;
+using half8 = HalfVec<8>;  ///< what the paper stores via a float4 reinterpret
+
+static_assert(sizeof(half2) == 4);
+static_assert(sizeof(half4) == 8);
+static_assert(sizeof(half8) == 16);
+
+}  // namespace vsparse

@@ -1,0 +1,90 @@
+#include "vsparse/gpusim/cache.hpp"
+
+namespace vsparse::gpusim {
+
+SectorCache::SectorCache(std::size_t capacity_bytes, int line_bytes,
+                         int sector_bytes, int ways)
+    : line_bytes_(line_bytes),
+      sector_bytes_(sector_bytes),
+      sectors_per_line_(line_bytes / sector_bytes),
+      ways_(ways) {
+  VSPARSE_CHECK(is_pow2(static_cast<std::uint64_t>(line_bytes)));
+  VSPARSE_CHECK(is_pow2(static_cast<std::uint64_t>(sector_bytes)));
+  VSPARSE_CHECK(line_bytes % sector_bytes == 0);
+  VSPARSE_CHECK(sectors_per_line_ <= 32);
+  VSPARSE_CHECK(ways >= 1);
+  const std::size_t lines = capacity_bytes / static_cast<std::size_t>(line_bytes);
+  VSPARSE_CHECK(lines % static_cast<std::size_t>(ways) == 0);
+  sets_ = static_cast<int>(lines / static_cast<std::size_t>(ways));
+  VSPARSE_CHECK(sets_ >= 1);
+  lines_.resize(lines);
+}
+
+SectorCache::Line* SectorCache::find_line(std::uint64_t line_addr,
+                                          std::size_t set) {
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+std::size_t SectorCache::set_index(std::uint64_t line_addr) const {
+  // XOR-folded set hashing, as GPU caches use: without it, power-of-two
+  // strides (e.g. the 512 B row stride of a 256-column half matrix)
+  // alias a handful of sets and the effective capacity collapses.
+  std::uint64_t h = line_addr;
+  h ^= h >> 8;
+  h ^= h >> 16;
+  return static_cast<std::size_t>(h % static_cast<std::uint64_t>(sets_));
+}
+
+bool SectorCache::access(std::uint64_t sector_addr) {
+  VSPARSE_DCHECK(sector_addr % static_cast<std::uint64_t>(sector_bytes_) == 0);
+  const std::uint64_t line_addr =
+      sector_addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = set_index(line_addr);
+  const int sector_idx = static_cast<int>(
+      (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
+      static_cast<std::uint64_t>(sectors_per_line_));
+  const std::uint32_t sector_bit = 1u << sector_idx;
+
+  ++tick_;
+  if (Line* line = find_line(line_addr, set)) {
+    line->lru = tick_;
+    if (line->sector_valid & sector_bit) return true;
+    line->sector_valid |= sector_bit;  // sector miss, line resident
+    return false;
+  }
+
+  // Line miss: evict the LRU way of the set, install with one sector.
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  Line* victim = base;
+  for (int w = 1; w < ways_; ++w) {
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->tag = line_addr;
+  victim->sector_valid = sector_bit;
+  victim->lru = tick_;
+  return false;
+}
+
+void SectorCache::invalidate_sector(std::uint64_t sector_addr) {
+  const std::uint64_t line_addr =
+      sector_addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = set_index(line_addr);
+  if (Line* line = find_line(line_addr, set)) {
+    const int sector_idx = static_cast<int>(
+        (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
+        static_cast<std::uint64_t>(sectors_per_line_));
+    line->sector_valid &= ~(1u << sector_idx);
+    if (line->sector_valid == 0) line->tag = kInvalidTag;
+  }
+}
+
+void SectorCache::flush() {
+  for (Line& line : lines_) line = Line{};
+  tick_ = 0;
+}
+
+}  // namespace vsparse::gpusim

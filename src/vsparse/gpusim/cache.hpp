@@ -1,0 +1,64 @@
+// Sector-granular set-associative cache model.
+//
+// GPU L1/L2 caches tag at 128 B line granularity but fill and count
+// misses at 32 B *sector* granularity (§2.1, Jia et al. [11]).  The
+// paper's Fig. 5 ("L1$ Missed Sectors") and Fig. 18 ("Bytes L2$->L1$")
+// are defined in these units, so the model reproduces exactly that:
+// a lookup hits iff the line is resident AND the requested sector has
+// been filled; a miss fills only the requested sector (no prefetch of
+// sibling sectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/common/math.hpp"
+
+namespace vsparse::gpusim {
+
+class SectorCache {
+ public:
+  /// capacity/line/sector in bytes; capacity must be a multiple of
+  /// (ways * line_bytes) and line_bytes a power-of-two multiple of
+  /// sector_bytes.
+  SectorCache(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
+              int ways);
+
+  /// Access one sector.  `sector_addr` must be sector-aligned.
+  /// Returns true on hit; on miss the sector is filled (evicting the
+  /// LRU line of the set if the line was not resident).
+  bool access(std::uint64_t sector_addr);
+
+  /// Invalidate one sector if resident (used for store coherence).
+  void invalidate_sector(std::uint64_t sector_addr);
+
+  /// Drop all contents (kernel-boundary invalidation for L1).
+  void flush();
+
+  int num_sets() const { return sets_; }
+  int ways() const { return ways_; }
+  int line_bytes() const { return line_bytes_; }
+  int sector_bytes() const { return sector_bytes_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = kInvalidTag;
+    std::uint32_t sector_valid = 0;  ///< bit i = sector i resident
+    std::uint64_t lru = 0;           ///< last-touch tick
+  };
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+  Line* find_line(std::uint64_t line_addr, std::size_t set);
+  std::size_t set_index(std::uint64_t line_addr) const;
+
+  int line_bytes_;
+  int sector_bytes_;
+  int sectors_per_line_;
+  int ways_;
+  int sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  ///< sets_ * ways_, set-major
+};
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,97 @@
+// Analytic performance model: hardware counters -> model cycles.
+//
+// The paper reports wall-clock speedups measured on a V100; with no GPU
+// available, we substitute a roofline-style model evaluated over the
+// counters the functional simulator records.  All reproduced results
+// are *ratios* of model cycles between kernels run on the same model,
+// so the model's job is to encode the mechanisms the paper's analysis
+// attributes performance to:
+//
+//   * compute throughput: TCU (HMMA) vs FPU (FFMA/HFMA) pipes
+//     (guideline III — merging FMA chains into HMMA),
+//   * memory bandwidth at each level: LSU request rate, shared-memory
+//     bandwidth (incl. bank-conflict wavefronts), L1 sector return
+//     bandwidth, L2 and DRAM byte bandwidth (guidelines IV & V — the
+//     sector counts already reflect coalescing and vector-load width),
+//   * occupancy / thread-level parallelism (guideline II): low active
+//     warp counts expose latency that cannot be hidden,
+//   * issue-efficiency stalls (guideline I): "No Instruction" from L0
+//     i-cache overflow, "Wait" from fixed-latency dependency chains on
+//     address arithmetic, "Short Scoreboard" from shared-memory
+//     load-to-use dependencies.
+//
+// The three stall terms are also exported directly; Tables 1-3 of the
+// paper are reproduced from them.  Calibration constants live in
+// CostParams with documented paper anchor points.
+#pragma once
+
+#include "vsparse/gpusim/config.hpp"
+#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/stats.hpp"
+
+#include <string>
+
+namespace vsparse::gpusim {
+
+/// Calibration constants for the stall/latency terms.  Anchors: Table 1
+/// (Blocked-ELL block=4: No-Instr 42.6%, Wait 21.0%, Short-Scoreboard
+/// 11.9%), Table 2 (octet SpMM V=4: 1.1% / 4.7% / 4.5%; FPU V=4:
+/// 11.0% / 11.6% / 2.6%) and Table 3.
+struct CostParams {
+  /// "No Instruction" = coeff * (program/capacity)^exp * icache_pressure
+  /// when the program overflows the L0.  Fitted to the paper's anchor
+  /// points: 3776 SASS lines -> 11.0%, 6968 -> 52.2% (Table 2), with
+  /// Blocked-ELL's 4600 -> 42.6% absorbed into its icache_pressure.
+  double icache_stall_coeff = 0.0019;
+  double icache_stall_exp = 2.54;
+  double wait_stall_scale = 0.75;     ///< x integer-op share of issue slots
+  double wait_stall_base = 0.02;      ///< pipeline bubbles present in any kernel
+  /// "Short Scoreboard" = scale * smem-load share * ilp_factor (load
+  /// batching hides shared-memory latency too).
+  double smem_stall_scale = 1.4;
+  double max_total_stall = 0.85;      ///< clamp: issue never fully starves
+  double latency_hiding_warps = 8.0;  ///< resident warps/SM to hide latency
+};
+
+/// Occupancy and per-resource cycle breakdown for one launch.
+struct CostEstimate {
+  double cycles = 0;  ///< headline: estimated kernel duration (model cycles)
+
+  // occupancy
+  int ctas_per_sm = 0;
+  int active_warps_per_sm = 0;
+  double waves = 0;
+
+  // roofline terms (cycles on the busiest resource)
+  double issue_cycles = 0;
+  double tcu_cycles = 0;
+  double fma_cycles = 0;
+  double alu_cycles = 0;
+  double lsu_cycles = 0;
+  double smem_cycles = 0;
+  double l1_cycles = 0;
+  double l2_cycles = 0;
+  double dram_cycles = 0;
+
+  /// Which of the terms above bound the kernel.
+  std::string bound_by;
+
+  // stall fractions (of issue slots) — the Tables 1-3 columns
+  double stall_no_instruction = 0;
+  double stall_wait = 0;
+  double stall_short_scoreboard = 0;
+
+  /// Utilization of the busiest *compute* pipe (Fig. 5 middle panel).
+  double max_compute_pipe_utilization = 0;
+};
+
+/// Evaluate the model for one launch.
+CostEstimate estimate_cost(const DeviceConfig& dev, const LaunchConfig& cfg,
+                           const KernelStats& stats,
+                           const CostParams& params = {});
+
+/// Occupancy helper (also unit-tested standalone): CTAs resident per SM
+/// given the launch shape and register/smem budgets.
+int ctas_per_sm_limit(const DeviceConfig& dev, const LaunchConfig& cfg);
+
+}  // namespace vsparse::gpusim

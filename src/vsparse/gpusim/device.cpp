@@ -1,0 +1,59 @@
+#include "vsparse/gpusim/device.hpp"
+
+namespace vsparse::gpusim {
+
+Device::Device(DeviceConfig cfg)
+    : cfg_(cfg),
+      l2_(cfg.l2_bytes, cfg.line_bytes, cfg.sector_bytes, cfg.l2_ways) {
+  capacity_ = cfg_.dram_capacity;
+  // for_overwrite: the arena must not be value-initialized — it can be
+  // gigabytes, and alloc_bytes() zeroes each allocation on demand.
+  arena_ = std::make_unique_for_overwrite<std::byte[]>(capacity_);
+  l1_.reserve(static_cast<std::size_t>(cfg_.num_sms));
+  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
+    l1_.emplace_back(cfg_.l1_bytes, cfg_.line_bytes, cfg_.sector_bytes,
+                     cfg_.l1_ways);
+  }
+}
+
+std::uint64_t Device::alloc_bytes(std::size_t bytes) {
+  const std::size_t aligned = round_up<std::size_t>(used_, 256);
+  VSPARSE_CHECK_MSG(aligned + bytes <= capacity_,
+                    "simulated DRAM exhausted: want "
+                        << bytes << "B, used " << used_ << "B of "
+                        << capacity_ << "B — call Device::reset() between "
+                        << "independent experiments");
+  used_ = aligned + bytes;
+  std::memset(arena_.get() + aligned, 0, bytes);
+  allocations_.emplace(aligned, bytes);
+  live_ += bytes;
+  if (live_ > peak_) peak_ = live_;
+  return aligned;
+}
+
+void Device::free_bytes(std::uint64_t addr) {
+  auto it = allocations_.find(addr);
+  VSPARSE_CHECK_MSG(it != allocations_.end(),
+                    "free of unknown device address " << addr);
+  live_ -= it->second;
+  allocations_.erase(it);
+}
+
+void Device::reset() {
+  used_ = 0;
+  live_ = 0;
+  peak_ = 0;
+  allocations_.clear();
+  flush_all_caches();
+}
+
+void Device::flush_l1() {
+  for (SectorCache& c : l1_) c.flush();
+}
+
+void Device::flush_all_caches() {
+  flush_l1();
+  l2_.flush();
+}
+
+}  // namespace vsparse::gpusim

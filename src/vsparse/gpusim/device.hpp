@@ -1,0 +1,138 @@
+// Simulated device: DRAM arena, typed buffers, cache hierarchy, and
+// peak-memory accounting (the Table 4 "Peak Memory" column is the
+// high-water mark of live allocations on this device).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/common/math.hpp"
+#include "vsparse/gpusim/cache.hpp"
+#include "vsparse/gpusim/config.hpp"
+
+namespace vsparse::gpusim {
+
+class Device;
+
+/// Handle to a typed allocation in simulated device memory.  Copyable
+/// view (does not own); lifetime is managed by the Device (free/reset).
+template <class T>
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(Device* dev, std::uint64_t addr, std::size_t count)
+      : dev_(dev), addr_(addr), count_(count) {}
+
+  /// Device byte address of element `i` — what kernels feed to ldg/stg.
+  std::uint64_t addr(std::size_t i = 0) const {
+    VSPARSE_DCHECK(i <= count_);
+    return addr_ + i * sizeof(T);
+  }
+  std::size_t size() const { return count_; }
+  std::size_t bytes() const { return count_ * sizeof(T); }
+  bool empty() const { return count_ == 0; }
+
+  /// Host-side view for initialization / result readback (the simulated
+  /// DRAM is host memory, so "cudaMemcpy" is a plain span).
+  std::span<T> host();
+  std::span<const T> host() const;
+
+ private:
+  Device* dev_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// The simulated GPU.  Owns DRAM, the L2, and one L1 per SM.
+/// Execution itself lives in exec.hpp (`launch()`), which drives warps
+/// against this device.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = DeviceConfig::volta_v100());
+
+  const DeviceConfig& config() const { return cfg_; }
+
+  /// Allocate `count` elements of T, 256-byte aligned (so 128 B
+  /// transaction alignment analysis is meaningful).  Contents zeroed.
+  template <class T>
+  Buffer<T> alloc(std::size_t count) {
+    const std::uint64_t addr = alloc_bytes(count * sizeof(T));
+    return Buffer<T>(this, addr, count);
+  }
+
+  /// Allocate and fill from host data.
+  template <class T>
+  Buffer<T> alloc_copy(std::span<const T> src) {
+    Buffer<T> buf = alloc<T>(src.size());
+    std::memcpy(translate(buf.addr(), buf.bytes()), src.data(), buf.bytes());
+    return buf;
+  }
+
+  /// Logically release an allocation (for peak-memory accounting).  The
+  /// arena itself is bump-allocated and reclaimed only by reset().
+  template <class T>
+  void free(const Buffer<T>& buf) {
+    free_bytes(buf.addr());
+  }
+
+  /// Drop all allocations and flush caches.
+  void reset();
+
+  /// Currently-live allocated bytes.
+  std::size_t live_bytes() const { return live_; }
+  /// High-water mark of live bytes since construction / reset_peak().
+  std::size_t peak_bytes() const { return peak_; }
+  void reset_peak() { peak_ = live_; }
+
+  /// Bounds-checked translation of a device address range to host memory.
+  std::byte* translate(std::uint64_t addr, std::size_t len) {
+    VSPARSE_CHECK_MSG(addr + len <= used_,
+                      "device OOB access: addr=" << addr << " len=" << len
+                                                 << " used=" << used_);
+    return arena_.get() + addr;
+  }
+  const std::byte* translate(std::uint64_t addr, std::size_t len) const {
+    return const_cast<Device*>(this)->translate(addr, len);
+  }
+
+  SectorCache& l1(int sm) { return l1_[static_cast<std::size_t>(sm)]; }
+  SectorCache& l2() { return l2_; }
+
+  /// Invalidate all L1s (GPUs do this at kernel boundaries); L2 persists.
+  void flush_l1();
+  void flush_all_caches();
+
+ private:
+  std::uint64_t alloc_bytes(std::size_t bytes);
+  void free_bytes(std::uint64_t addr);
+
+  DeviceConfig cfg_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> allocations_;
+  std::vector<SectorCache> l1_;
+  SectorCache l2_;
+};
+
+template <class T>
+std::span<T> Buffer<T>::host() {
+  VSPARSE_CHECK(dev_ != nullptr);
+  return {reinterpret_cast<T*>(dev_->translate(addr_, bytes())), count_};
+}
+
+template <class T>
+std::span<const T> Buffer<T>::host() const {
+  VSPARSE_CHECK(dev_ != nullptr);
+  return {reinterpret_cast<const T*>(dev_->translate(addr_, bytes())), count_};
+}
+
+}  // namespace vsparse::gpusim

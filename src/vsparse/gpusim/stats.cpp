@@ -1,0 +1,120 @@
+#include "vsparse/gpusim/stats.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace vsparse::gpusim {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kHmma:
+      return "HMMA";
+    case Op::kHfma:
+      return "HFMA";
+    case Op::kFfma:
+      return "FFMA";
+    case Op::kImad:
+      return "IMAD";
+    case Op::kIadd3:
+      return "IADD3";
+    case Op::kLdg:
+      return "LDG";
+    case Op::kStg:
+      return "STG";
+    case Op::kLds:
+      return "LDS";
+    case Op::kSts:
+      return "STS";
+    case Op::kShfl:
+      return "SHFL";
+    case Op::kBar:
+      return "BAR";
+    case Op::kCvt:
+      return "CVT";
+    case Op::kMisc:
+      return "MISC";
+    case Op::kNumOps:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t KernelStats::total_instructions() const {
+  return std::accumulate(ops, ops + kNumOps, std::uint64_t{0});
+}
+
+std::uint64_t KernelStats::math_instructions() const {
+  return op(Op::kHmma) + op(Op::kHfma) + op(Op::kFfma);
+}
+
+double KernelStats::sectors_per_request() const {
+  if (global_load_requests == 0) return 0.0;
+  return static_cast<double>(global_load_sectors) /
+         static_cast<double>(global_load_requests);
+}
+
+double KernelStats::smem_to_global_load_ratio() const {
+  if (global_load_requests == 0) return 0.0;
+  return static_cast<double>(smem_load_requests) /
+         static_cast<double>(global_load_requests);
+}
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  for (int i = 0; i < kNumOps; ++i) ops[i] += o.ops[i];
+  ldg16 += o.ldg16;
+  ldg32 += o.ldg32;
+  ldg64 += o.ldg64;
+  ldg128 += o.ldg128;
+  global_load_requests += o.global_load_requests;
+  global_load_sectors += o.global_load_sectors;
+  global_store_requests += o.global_store_requests;
+  global_store_sectors += o.global_store_sectors;
+  l1_sector_hits += o.l1_sector_hits;
+  l1_sector_misses += o.l1_sector_misses;
+  l2_sector_hits += o.l2_sector_hits;
+  l2_sector_misses += o.l2_sector_misses;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  smem_load_requests += o.smem_load_requests;
+  smem_store_requests += o.smem_store_requests;
+  smem_load_bytes += o.smem_load_bytes;
+  smem_store_bytes += o.smem_store_bytes;
+  smem_wavefronts += o.smem_wavefronts;
+  ctas_launched += o.ctas_launched;
+  warps_launched += o.warps_launched;
+  return *this;
+}
+
+std::string KernelStats::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const KernelStats& s) {
+  os << "instructions:";
+  for (int i = 0; i < kNumOps; ++i) {
+    if (s.ops[i] != 0) {
+      os << ' ' << op_name(static_cast<Op>(i)) << '=' << s.ops[i];
+    }
+  }
+  os << "\nldg widths: 16b=" << s.ldg16 << " 32b=" << s.ldg32
+     << " 64b=" << s.ldg64 << " 128b=" << s.ldg128;
+  os << "\nglobal: load_req=" << s.global_load_requests
+     << " load_sectors=" << s.global_load_sectors
+     << " store_req=" << s.global_store_requests
+     << " store_sectors=" << s.global_store_sectors
+     << " sectors/req=" << s.sectors_per_request();
+  os << "\nL1: hits=" << s.l1_sector_hits << " misses=" << s.l1_sector_misses
+     << "  L2: hits=" << s.l2_sector_hits << " misses=" << s.l2_sector_misses
+     << "  DRAM rd=" << s.dram_read_bytes << "B wr=" << s.dram_write_bytes
+     << 'B';
+  os << "\nsmem: ld_req=" << s.smem_load_requests
+     << " st_req=" << s.smem_store_requests
+     << " wavefronts=" << s.smem_wavefronts;
+  os << "\nlaunch: ctas=" << s.ctas_launched << " warps=" << s.warps_launched;
+  return os;
+}
+
+}  // namespace vsparse::gpusim

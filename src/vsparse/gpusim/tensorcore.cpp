@@ -1,0 +1,83 @@
+#include "vsparse/gpusim/tensorcore.hpp"
+
+#include <bit>
+
+namespace vsparse::gpusim {
+
+namespace {
+
+/// Lane index of the j-th thread (0..3) of the low/high group of octet o.
+constexpr int octet_lane(int octet, int j, bool high) {
+  return (high ? 16 : 0) + 4 * octet + j;
+}
+
+}  // namespace
+
+void mma_m8n8k4(Warp& w, const MmaFragAB& a, const MmaFragAB& b, MmaFragC& c,
+                MmaFlags flags) {
+  w.count(Op::kHmma,
+          static_cast<std::uint64_t>(std::popcount(flags.step_mask & 0xFu)));
+
+  // Effective source fragments: SWITCH exchanges the Mat_a sources of
+  // groups i and i+4 and inverts the Mat_b mux, which is equivalent to
+  // swapping the low/high halves of both fragments (header comment).
+  const MmaFragAB* ea = &a;
+  const MmaFragAB* eb = &b;
+  MmaFragAB swapped_a, swapped_b;
+  if (flags.switch_groups) {
+    swapped_a = a;
+    swapped_b = b;
+    for (int lane = 0; lane < 16; ++lane) {
+      std::swap(swapped_a[static_cast<std::size_t>(lane)],
+                swapped_a[static_cast<std::size_t>(lane + 16)]);
+      std::swap(swapped_b[static_cast<std::size_t>(lane)],
+                swapped_b[static_cast<std::size_t>(lane + 16)]);
+    }
+    ea = &swapped_a;
+    eb = &swapped_b;
+  }
+
+  for (int octet = 0; octet < 4; ++octet) {
+    for (int step = 0; step < 4; ++step) {
+      if (!(flags.step_mask & (1u << step))) continue;
+      const bool rows_high = (step == 1 || step == 3);
+      const bool cols_high = (step >= 2);
+      const int col_base = cols_high ? 4 : 0;
+      for (int r = 0; r < 4; ++r) {
+        const int row_lane = octet_lane(octet, r, rows_high);
+        const half4& arow = (*ea)[static_cast<std::size_t>(row_lane)];
+        // The accumulator for this output row lives in the lane that
+        // sourced the A row in the *unswitched* layout: the destination
+        // (Acc buffer) is per thread group and is not switched.
+        auto& crow = c[static_cast<std::size_t>(row_lane)];
+        for (int col = 0; col < 4; ++col) {
+          const int col_lane = octet_lane(octet, col, cols_high);
+          const half4& bcol = (*eb)[static_cast<std::size_t>(col_lane)];
+          float sum = 0.0f;
+          for (int k = 0; k < 4; ++k) {
+            sum += static_cast<float>(arow[k]) * static_cast<float>(bcol[k]);
+          }
+          crow[static_cast<std::size_t>(col_base + col)] += sum;
+        }
+      }
+    }
+  }
+}
+
+void wmma_m8n32k16(Warp& w, const half_t (&a)[8][16],
+                   const half_t (&b)[16][32], float (&c)[8][32]) {
+  // (8*32*16) MACs / (8*4*4 per HMMA.884 step * 4 octets / 4 steps):
+  // the hardware instruction decomposes into 16 HMMA steps.
+  w.count(Op::kHmma, 16);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      float sum = 0.0f;
+      for (int k = 0; k < 16; ++k) {
+        sum += static_cast<float>(a[i][k]) * static_cast<float>(b[k][j]);
+      }
+      c[i][j] += sum;
+    }
+  }
+}
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,30 @@
+// Common result type for all kernels: the functional output lives in
+// device memory; the performance-relevant products are the hardware
+// counters plus the launch shape, which together feed the cost model.
+#pragma once
+
+#include "vsparse/gpusim/costmodel.hpp"
+#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/stats.hpp"
+
+namespace vsparse::kernels {
+
+/// What a kernel launch produced (besides its output buffers).
+struct KernelRun {
+  gpusim::KernelStats stats;
+  gpusim::LaunchConfig config;
+
+  /// Evaluate the performance model for this run.
+  gpusim::CostEstimate cost(const gpusim::DeviceConfig& dev,
+                            const gpusim::CostParams& params = {}) const {
+    return gpusim::estimate_cost(dev, config, stats, params);
+  }
+
+  /// Model cycles (convenience for speedup ratios).
+  double cycles(const gpusim::DeviceConfig& dev,
+                const gpusim::CostParams& params = {}) const {
+    return cost(dev, params).cycles;
+  }
+};
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,41 @@
+// Dense GEMM baselines on the simulator — the stand-ins for
+// cublasHgemm (TCU) and cublasSgemm (FPU) that every speedup in the
+// paper is measured against.
+//
+// hgemm_tcu: classic smem-staged tensor-core GEMM.  CTA = 128 threads
+// (4 warps) computing a 64x64 output tile; the K loop stages 64x16 A
+// and 16x64 B tiles through shared memory with LDG.128 (128 B
+// coalesced), then each warp computes a 16x64 stripe with
+// wmma.m8n32k16.  This exhibits exactly the properties §3.1 profiles:
+// high smem reuse (high smem-load-to-global-load ratio), HMMA-dominated
+// math, small SASS footprint.
+//
+// sgemm_fpu: the same tiling computed with FFMA on fp32 operands
+// (cublasSgemm stand-in for the single-precision panels of Fig. 4).
+#pragma once
+
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+struct HgemmParams {
+  /// K-dimension split (cuBLAS-style): split_k CTAs cooperate on each
+  /// output tile via an fp32 workspace + reduction pass, trading extra
+  /// traffic for machine occupancy on small grids.  0 = auto heuristic
+  /// (split until the grid covers ~2x the SM count).
+  int split_k = 0;
+};
+
+/// C[MxN] (row-major, half) = A[MxK] (row-major, half) * B (half,
+/// row- or column-major).  M, N must be multiples of 64; K of 16.
+KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                    const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                    const HgemmParams& params = {});
+
+/// C[MxN] (row-major, float) = A * B in single precision on the FPU.
+/// Same shape constraints.
+KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
+                    const DenseDevice<float>& b, DenseDevice<float>& c);
+
+}  // namespace vsparse::kernels

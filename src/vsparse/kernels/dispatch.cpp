@@ -1,0 +1,91 @@
+#include "vsparse/kernels/dispatch.hpp"
+
+#include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
+#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
+#include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+#include "vsparse/kernels/spmm/spmm_wmma.hpp"
+
+namespace vsparse::kernels {
+
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               SpmmAlgorithm algo) {
+  if (algo == SpmmAlgorithm::kAuto) {
+    algo = a.v >= 2 ? SpmmAlgorithm::kOctet : SpmmAlgorithm::kFpuSubwarp;
+  }
+  switch (algo) {
+    case SpmmAlgorithm::kOctet:
+      return spmm_octet(dev, a, b, c);
+    case SpmmAlgorithm::kWmmaWarp:
+      return spmm_wmma_warp(dev, a, b, c);
+    case SpmmAlgorithm::kFpuSubwarp:
+      return spmm_fpu_subwarp(dev, a, b, c);
+    case SpmmAlgorithm::kCsrFine:
+      return spmm_csr_fine(dev, a, b, c);
+    case SpmmAlgorithm::kAuto:
+      break;
+  }
+  VSPARSE_CHECK_MSG(false, "unreachable spmm algorithm");
+  return {};
+}
+
+KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                const DenseDevice<half_t>& b, const CvsDevice& mask,
+                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo) {
+  if (algo == SddmmAlgorithm::kAuto) {
+    algo = mask.v >= 2 ? SddmmAlgorithm::kOctet : SddmmAlgorithm::kFpuSubwarp;
+  }
+  switch (algo) {
+    case SddmmAlgorithm::kOctet:
+      return sddmm_octet(dev, a, b, mask, out_values);
+    case SddmmAlgorithm::kWmmaWarp:
+      return sddmm_wmma_warp(dev, a, b, mask, out_values);
+    case SddmmAlgorithm::kFpuSubwarp:
+      return sddmm_fpu_subwarp(dev, a, b, mask, out_values);
+    case SddmmAlgorithm::kCsrFine:
+      return sddmm_csr_fine(dev, a, b, mask, out_values);
+    case SddmmAlgorithm::kAuto:
+      break;
+  }
+  VSPARSE_CHECK_MSG(false, "unreachable sddmm algorithm");
+  return {};
+}
+
+DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
+                              SpmmAlgorithm algo) {
+  gpusim::DeviceConfig cfg = gpusim::DeviceConfig::volta_v100();
+  const std::size_t need =
+      a.values.size() * 2 + a.col_idx.size() * 8 +
+      (static_cast<std::size_t>(b.rows()) * b.cols() +
+       static_cast<std::size_t>(a.rows) * b.cols()) *
+          2 +
+      (16u << 20);
+  cfg.dram_capacity = std::max(cfg.dram_capacity, need * 2);
+  gpusim::Device dev(cfg);
+  CvsDevice da = to_device(dev, a);
+  DenseDevice<half_t> db = to_device(dev, b);
+  DenseMatrix<half_t> c(a.rows, b.cols());
+  DenseDevice<half_t> dc = to_device(dev, c);
+  spmm(dev, da, db, dc, algo);
+  return from_device(dc);
+}
+
+Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
+               const Cvs& mask, SddmmAlgorithm algo) {
+  gpusim::Device dev;
+  DenseDevice<half_t> da = to_device(dev, a);
+  DenseDevice<half_t> db = to_device(dev, b);
+  CvsDevice dmask = to_device(dev, mask);
+  auto out = dev.alloc<half_t>(mask.values.size());
+  sddmm(dev, da, db, dmask, out, algo);
+  Cvs result = mask;
+  auto host = out.host();
+  std::copy(host.begin(), host.end(), result.values.begin());
+  return result;
+}
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,64 @@
+// High-level dispatch API — the cuSPARSE-style entry points a
+// downstream user calls without choosing a kernel by hand.
+//
+//   spmm(dev, a, b, c)    // picks octet / fpu by V, validates shapes
+//   sddmm(dev, a, b, mask, out)
+//
+// Selection policy (documented, overridable):
+//   * V in {2,4,8}  -> TCU-based 1-D Octet Tiling (the paper's kernel)
+//   * V == 1        -> FPU 1-D subwarp tiling (Sputnik semantics; the
+//                      TCU mappings need at least 2-wide vectors)
+//   * Algorithm::k* -> force a specific implementation (for studies)
+//
+// All entry points return the KernelRun (counters + launch shape) so
+// callers keep full observability.
+#pragma once
+
+#include "vsparse/formats/blocked_ell.hpp"
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+enum class SpmmAlgorithm {
+  kAuto,        ///< octet for V>=2, FPU subwarp for V=1
+  kOctet,       ///< TCU-based 1-D Octet Tiling (§5.3)
+  kWmmaWarp,    ///< classic warp-level WMMA mapping (§5.2)
+  kFpuSubwarp,  ///< Sputnik-extended FPU tiling (§5.1)
+  kCsrFine,     ///< fine-grained row-per-warp (cuSPARSE-style, V=1)
+};
+
+enum class SddmmAlgorithm {
+  kAuto,        ///< octet(reg) for V>=2, FPU subwarp for V=1
+  kOctet,       ///< §6.3 with the extra-registers inverted-pattern fix
+  kWmmaWarp,    ///< §6.2
+  kFpuSubwarp,  ///< §6.1
+  kCsrFine,     ///< fine-grained (V=1)
+};
+
+/// C[MxN] = A_cvs[MxK] * B[KxN] (half, row-major B/C).
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               SpmmAlgorithm algo = SpmmAlgorithm::kAuto);
+
+/// out_values = (A[MxK] * B[KxN]) ⊙ mask in mask storage order
+/// (A row-major, B column-major).
+KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                const DenseDevice<half_t>& b, const CvsDevice& mask,
+                gpusim::Buffer<half_t>& out_values,
+                SddmmAlgorithm algo = SddmmAlgorithm::kAuto);
+
+/// Convenience: full host-side round trip — encode, upload, run, and
+/// download.  `algo` as in spmm().  Intended for quickstarts and tests;
+/// steady-state users should keep operands resident.
+DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
+                              SpmmAlgorithm algo = SpmmAlgorithm::kAuto);
+
+/// Host-side SDDMM round trip; returns the masked products as a Cvs
+/// sharing `mask`'s pattern.
+Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
+               const Cvs& mask,
+               SddmmAlgorithm algo = SddmmAlgorithm::kAuto);
+
+}  // namespace vsparse::kernels

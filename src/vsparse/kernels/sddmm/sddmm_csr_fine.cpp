@@ -1,0 +1,126 @@
+#include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "vsparse/common/math.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+template <class T>
+KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
+                              const DenseDevice<T>& b,
+                              const CvsDeviceT<T>& mask,
+                              gpusim::Buffer<T>& out_values) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  VSPARSE_CHECK(mask.v == 1);
+  VSPARSE_CHECK(b.rows == k);
+  VSPARSE_CHECK(mask.rows == m && mask.cols == n);
+  VSPARSE_CHECK(a.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(b.layout == Layout::kColMajor);
+  VSPARSE_CHECK(out_values.size() == mask.col_idx.size());
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = m;  // one warp per output row
+  cfg.cta_threads = 32;
+  cfg.smem_bytes = 0;
+  cfg.profile = {
+      .name = sizeof(T) == 2 ? "sddmm_csr_fine_half" : "sddmm_csr_fine_f32",
+      .regs_per_thread = 36,
+      .static_instrs = 300,
+      .icache_pressure = 1.0,
+      .ilp_factor = 1.3,  // serialized per-nonzero chain
+  };
+
+  auto row_ptr = mask.row_ptr.host();
+  auto col_host = mask.col_idx.host();
+  auto mask_vals = mask.values.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int row = cta.cta_id();
+    Warp w = cta.warp(0);
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> d{};
+      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(row));
+      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(row) + 1);
+      w.ldg(addr, d, 0x3u);
+      w.count(Op::kImad, 2);
+    }
+    const std::int32_t begin = row_ptr[static_cast<std::size_t>(row)];
+    const std::int32_t end = row_ptr[static_cast<std::size_t>(row) + 1];
+
+    const int k_chunks = ceil_div(k, 32);
+    for (std::int32_t j = begin; j < end; ++j) {
+      const std::int32_t col = col_host[static_cast<std::size_t>(j)];
+      // Column index (single-lane load).
+      {
+        AddrLanes addr{};
+        Lanes<std::int32_t> d{};
+        addr[0] = mask.col_idx.addr(static_cast<std::size_t>(j));
+        w.ldg(addr, d, 0x1u);
+        w.count(Op::kImad, 1);
+      }
+      float dot = 0.0f;
+      for (int c = 0; c < k_chunks; ++c) {
+        AddrLanes aaddr{}, baddr{};
+        Lanes<T> av{}, bv{};
+        std::uint32_t msk = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int kk = 32 * c + lane;
+          if (kk >= k) continue;
+          aaddr[static_cast<std::size_t>(lane)] = a.addr(row, kk);
+          baddr[static_cast<std::size_t>(lane)] = b.addr(kk, col);
+          msk |= 1u << lane;
+        }
+        w.ldg(aaddr, av, msk);
+        w.ldg(baddr, bv, msk);
+        w.count(Op::kFfma, 1);
+        for (int lane = 0; lane < 32; ++lane) {
+          if (!(msk & (1u << lane))) continue;
+          dot += static_cast<float>(av[static_cast<std::size_t>(lane)]) *
+                 static_cast<float>(bv[static_cast<std::size_t>(lane)]);
+        }
+      }
+      // Butterfly reduction across the warp.
+      w.count(Op::kShfl, 5);
+      w.count(Op::kFfma, 5);
+      // Mask multiply + single-lane store.
+      const float mv =
+          static_cast<float>(mask_vals[static_cast<std::size_t>(j)]);
+      AddrLanes saddr{};
+      Lanes<T> out{};
+      saddr[0] = out_values.addr(static_cast<std::size_t>(j));
+      out[0] = T(dot * mv);
+      w.count(Op::kFfma, 1);
+      w.stg(saddr, out, 0x1u);
+    }
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace
+
+KernelRun sddmm_csr_fine(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                         const DenseDevice<half_t>& b, const CvsDevice& mask,
+                         gpusim::Buffer<half_t>& out_values) {
+  return sddmm_csr_fine_impl<half_t>(dev, a, b, mask, out_values);
+}
+
+KernelRun sddmm_csr_fine_f32(gpusim::Device& dev, const DenseDevice<float>& a,
+                             const DenseDevice<float>& b,
+                             const CvsDeviceT<float>& mask,
+                             gpusim::Buffer<float>& out_values) {
+  return sddmm_csr_fine_impl<float>(dev, a, b, mask, out_values);
+}
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,28 @@
+// Fine-grained CSR SDDMM — re-implementation of cusparseSDDMM (the
+// Fig. 4 baseline; the library offers it in single or higher precision
+// only, but we provide half too for the §3.1 comparison).
+//
+// One warp per output row; per nonzero, the 32 lanes split the K
+// dimension, each computing a strided partial dot product, combined
+// with a 5-round butterfly shuffle.  The serialized per-nonzero walk
+// plus full-warp reduction per output element is why the library needs
+// > 95% sparsity to pay off.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// V must be 1.  A row-major, B column-major.
+KernelRun sddmm_csr_fine(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                         const DenseDevice<half_t>& b, const CvsDevice& mask,
+                         gpusim::Buffer<half_t>& out_values);
+
+KernelRun sddmm_csr_fine_f32(gpusim::Device& dev, const DenseDevice<float>& a,
+                             const DenseDevice<float>& b,
+                             const CvsDeviceT<float>& mask,
+                             gpusim::Buffer<float>& out_values);
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,42 @@
+// SDDMM with FPU-based 1-D Subwarp Tiling — the baseline extended from
+// Sputnik (§6.1, Fig. 12a).
+//
+// Each subwarp of 8 threads owns a 1-D tile of TileN nonzero output
+// vectors of one vector-row; thread t covers the K slice
+// [8t, 8t+8) of each TileK = 64 stride, loading its A-row and B-column
+// segments with LDG.128 (guidelines IV & V hold).  Partial sums are
+// combined across the subwarp with three butterfly shuffle rounds.
+//
+// The §6.1 pathologies are visible in the model: every thread holds
+// V x TileN fp32 partial sums (register pressure / spilling at V=8),
+// the unrolled inner loops blow up the SASS size, and all four
+// subwarps of a warp redundantly re-load the same A rows (no smem).
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+struct SddmmFpuParams {
+  int tile_n = 8;  ///< nonzero vectors per subwarp (CTA covers 4x this)
+};
+
+/// out_values receives the masked products in mask storage order.
+/// V in {1,2,4,8}; half precision.
+KernelRun sddmm_fpu_subwarp(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                            const DenseDevice<half_t>& b,
+                            const CvsDevice& mask,
+                            gpusim::Buffer<half_t>& out_values,
+                            const SddmmFpuParams& params = {});
+
+/// Single-precision variant (Fig. 4's "sputnik" SDDMM panels).
+KernelRun sddmm_fpu_subwarp_f32(gpusim::Device& dev,
+                                const DenseDevice<float>& a,
+                                const DenseDevice<float>& b,
+                                const CvsDeviceT<float>& mask,
+                                gpusim::Buffer<float>& out_values,
+                                const SddmmFpuParams& params = {});
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,246 @@
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "vsparse/common/math.hpp"
+#include "vsparse/fp16/vec.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+constexpr int kTileN = 32;  // nonzero output vectors per CTA (§6.4)
+constexpr int kTileK = 64;  // K stride (§6.4)
+
+const char* mode_suffix(InvertedPatternMode mode) {
+  switch (mode) {
+    case InvertedPatternMode::kExtraRegisters:
+      return "reg";
+    case InvertedPatternMode::kShuffle:
+      return "shfl";
+    case InvertedPatternMode::kArchSwitch:
+      return "arch";
+  }
+  return "?";
+}
+
+}  // namespace
+
+KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                      const DenseDevice<half_t>& b, const CvsDevice& mask,
+                      gpusim::Buffer<half_t>& out_values,
+                      const SddmmOctetParams& params) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  const int v = mask.v;
+  VSPARSE_CHECK(b.rows == k);
+  VSPARSE_CHECK(mask.rows == m && mask.cols == n);
+  VSPARSE_CHECK(a.layout == Layout::kRowMajor);
+  VSPARSE_CHECK_MSG(b.layout == Layout::kColMajor,
+                    "sddmm expects a column-major RHS (§4.1)");
+  VSPARSE_CHECK(v == 2 || v == 4 || v == 8);
+  VSPARSE_CHECK(out_values.size() ==
+                mask.col_idx.size() * static_cast<std::size_t>(v));
+
+  const int vec_rows = mask.vec_rows();
+  const int n_tiles = ceil_div(n, kTileN);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = vec_rows * n_tiles;
+  cfg.cta_threads = 32;
+  cfg.smem_bytes = 0;  // both operands go straight to registers
+  const bool reg_mode = params.mode == InvertedPatternMode::kExtraRegisters;
+  const bool shfl_mode = params.mode == InvertedPatternMode::kShuffle;
+  cfg.profile = {
+      .name = std::string("sddmm_octet_") + mode_suffix(params.mode) + "_v" +
+              std::to_string(v),
+      // mma(arch) uses ~33% fewer registers than mma(reg) (§7.3.2).
+      .regs_per_thread = reg_mode ? 24 + 8 * v : 24 + 5 * v,
+      .static_instrs = 380 + 8 * v + (shfl_mode ? 64 : 0),
+      .icache_pressure = 1.0,
+      .ilp_factor = 0.7,
+  };
+
+  auto row_ptr = mask.row_ptr.host();
+  auto mask_vals = mask.values.host();
+  auto a_host = a.buf.host();
+  auto b_host = b.buf.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int vr = cta.cta_id() / n_tiles;
+    const int tile = cta.cta_id() % n_tiles;
+    Warp w = cta.warp(0);
+
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> d{};
+      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(vr));
+      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
+      w.ldg(addr, d, 0x3u);
+      w.count(Op::kImad, 3);
+    }
+    const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
+    const std::int32_t end = row_ptr[static_cast<std::size_t>(vr) + 1];
+    const std::int32_t j0 = begin + tile * kTileN;
+    if (j0 >= end) return;  // early-exit CTA (most of them at high sparsity)
+    const int jcnt = std::min<std::int32_t>(kTileN, end - j0);
+
+    // The tile's 32 column indices (one coalesced LDG.32).
+    std::int32_t cols[kTileN];
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> d{};
+      std::uint32_t msk = 0;
+      for (int l = 0; l < jcnt; ++l) {
+        addr[static_cast<std::size_t>(l)] =
+            mask.col_idx.addr(static_cast<std::size_t>(j0 + l));
+        msk |= 1u << l;
+      }
+      w.ldg(addr, d, msk);
+      w.count(Op::kImad, 2);
+      for (int l = 0; l < jcnt; ++l) {
+        cols[l] = d[static_cast<std::size_t>(l)];
+      }
+    }
+
+    // fp32 partial sums: acc[j][t] for the 32 output vectors.
+    float acc[kTileN][8] = {};
+
+    for (int k0 = 0; k0 < k; k0 += kTileK) {
+      const int kcnt = std::min(kTileK, k - k0);
+
+      // ---- A fragment: V rows x 64 ks, LDG.128 straight to registers.
+      // 8 lanes per row; V = 8 needs two passes.
+      for (int pass = 0; pass < ceil_div(v * 8, 32); ++pass) {
+        AddrLanes addr{};
+        Lanes<half8> d{};
+        std::uint32_t msk = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int flat = pass * 32 + lane;
+          const int t = flat / 8;
+          const int kk = 8 * (flat % 8);
+          if (t >= v || kk >= kcnt) continue;
+          addr[static_cast<std::size_t>(lane)] = a.addr(vr * v + t, k0 + kk);
+          msk |= 1u << lane;
+        }
+        w.count(Op::kImad, 1);
+        w.ldg(addr, d, msk);
+      }
+
+      // ---- 4 sub-steps of 8 output vectors each --------------------
+      for (int ss = 0; ss < 4; ++ss) {
+        const int jbase = 8 * ss;
+        if (jbase >= jcnt) break;
+        // B fragment: 8 columns x 64 ks, two LDG.128 (8 128 B
+        // transactions — each column is contiguous in the col-major B).
+        for (int pass = 0; pass < 2; ++pass) {
+          AddrLanes addr{};
+          Lanes<half8> d{};
+          std::uint32_t msk = 0;
+          for (int lane = 0; lane < 32; ++lane) {
+            const int flat = pass * 32 + lane;
+            const int j = jbase + flat / 8;
+            const int kk = 8 * (flat % 8);
+            if (j >= jcnt || kk >= kcnt) continue;
+            addr[static_cast<std::size_t>(lane)] = b.addr(k0 + kk, cols[j]);
+            msk |= 1u << lane;
+          }
+          w.count(Op::kImad, 1);
+          w.ldg(addr, d, msk);
+        }
+        // Four mma.m8n8k4 per sub-step: each octet owns a 16-wide K
+        // slice of the (8 x 64)·(64 x V) switched product.
+        w.count(Op::kHmma, 16);
+        if (shfl_mode) {
+          // Source operands of the inverted steps are exchanged between
+          // thread groups i and i+4 before issue.
+          w.count(Op::kShfl, 8);
+        }
+        // Functional math (operands were loaded above; values are
+        // identical to the fragment contents).
+        for (int j = jbase; j < std::min(jbase + 8, jcnt); ++j) {
+          const std::int32_t col = cols[j];
+          for (int t = 0; t < v; ++t) {
+            float sum = 0.0f;
+            const half_t* arow =
+                &a_host[static_cast<std::size_t>(vr * v + t) *
+                            static_cast<std::size_t>(a.ld) +
+                        static_cast<std::size_t>(k0)];
+            const half_t* bcol =
+                &b_host[static_cast<std::size_t>(col) *
+                            static_cast<std::size_t>(b.ld) +
+                        static_cast<std::size_t>(k0)];
+            for (int kk = 0; kk < kcnt; ++kk) {
+              sum += static_cast<float>(arow[kk]) * static_cast<float>(bcol[kk]);
+            }
+            acc[j][t] += sum;
+          }
+        }
+      }
+    }
+
+    // ---- combine the octet partial sums with warp shuffles ----------
+    w.count(Op::kShfl, static_cast<std::uint64_t>(2 * v));
+    w.count(Op::kFfma, static_cast<std::uint64_t>(2 * v));
+    if (reg_mode) {
+      // Merge the second accumulator set kept for the inverted steps.
+      w.count(Op::kFfma, static_cast<std::uint64_t>(v));
+    }
+
+    // ---- apply the mask values and write back -----------------------
+    w.count(Op::kHfma, static_cast<std::uint64_t>(v));
+    w.count(Op::kCvt, static_cast<std::uint64_t>(v));
+    {
+      // One output vector per lane: width V*2 bytes, contiguous in the
+      // CVS value array (perfectly coalesced).
+      AddrLanes addr{};
+      std::uint32_t msk = 0;
+      for (int l = 0; l < jcnt; ++l) {
+        addr[static_cast<std::size_t>(l)] = out_values.addr(
+            static_cast<std::size_t>(j0 + l) * static_cast<std::size_t>(v));
+        msk |= 1u << l;
+      }
+      const auto fill = [&](auto& frag) {
+        for (int l = 0; l < jcnt; ++l) {
+          for (int t = 0; t < v; ++t) {
+            const float mv = static_cast<float>(
+                mask_vals[static_cast<std::size_t>(j0 + l) *
+                              static_cast<std::size_t>(v) +
+                          static_cast<std::size_t>(t)]);
+            frag[static_cast<std::size_t>(l)][t] = half_t(acc[l][t] * mv);
+          }
+        }
+      };
+      switch (v) {
+        case 2: {
+          Lanes<half2> frag{};
+          fill(frag);
+          w.stg(addr, frag, msk);
+          break;
+        }
+        case 4: {
+          Lanes<half4> frag{};
+          fill(frag);
+          w.stg(addr, frag, msk);
+          break;
+        }
+        default: {
+          Lanes<half8> frag{};
+          fill(frag);
+          w.stg(addr, frag, msk);
+          break;
+        }
+      }
+    }
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,54 @@
+// SDDMM with TCU-based 1-D Octet Tiling (§6.3 / §6.4).
+//
+// C = (A[MxK] * B[KxN]) ⊙ mask, A row-major, B column-major (the
+// self-attention transpose, §4.1), mask and output in column-vector
+// sparse encoding.
+//
+// Launch shape: ceil(M/V) x ceil(N/32) single-warp CTAs (§6.4); CTA t
+// of a vector-row owns its nonzero vectors [32t, 32t+32) and exits
+// early when the row has fewer — so the grid size matches the paper's
+// [M/V]x[N/32] while only ~(1-sparsity) of the CTAs do work.
+//
+// Per K-stride of 64: the warp loads the V x 64 A fragment and, per
+// 8-output-vector sub-step, the 64 x 8 B fragment — both with LDG.128
+// generating 128 B coalesced transactions (guideline V), both straight
+// to registers (guideline IV; neither operand is reused within the
+// CTA).  Each octet owns a 16-wide K slice; at the end the four octets'
+// partial sums are combined with warp shuffles.
+//
+// After the High Group Switch, each octet computes an (8x16)·(16x8)
+// tile in four mma.m8n8k4 steps whose source rows/columns alternate
+// between the low and high thread groups — the "inverted pattern".
+// Three remedies (Fig. 19's mma(reg)/(shfl)/(arch)):
+//   kExtraRegisters — second accumulator set, merged at the end
+//                     (more registers -> lower occupancy),
+//   kShuffle        — SHFL the sources before the inverted steps
+//                     (extra SHFL issue slots),
+//   kArchSwitch     — the proposed HMMA...SWITCH instruction (Fig. 15):
+//                     the TCU swaps operand buses; no extra cost.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+enum class InvertedPatternMode {
+  kExtraRegisters,  ///< "mma (reg)"
+  kShuffle,         ///< "mma (shfl)"
+  kArchSwitch,      ///< "mma (arch)" — needs the Fig. 15 TCU extension
+};
+
+struct SddmmOctetParams {
+  InvertedPatternMode mode = InvertedPatternMode::kExtraRegisters;
+};
+
+/// out_values receives the masked products in the mask's storage order
+/// (mask.nnz_vectors * V halves).  Requires V in {2,4,8}.
+KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                      const DenseDevice<half_t>& b, const CvsDevice& mask,
+                      gpusim::Buffer<half_t>& out_values,
+                      const SddmmOctetParams& params = {});
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,24 @@
+// SDDMM with TCU-based 1-D Warp Tiling (§6.2) — the classic
+// wmma.m8n32k16 mapping, used as the TCU baseline in Fig. 19 ("wmma";
+// structured-sparse SDDMM is not offered by off-the-shelf libraries).
+//
+// Good kernel/compute efficiency (small SASS, one partial-sum copy),
+// but the classic fragment layout of Fig. 13 degrades memory access to
+// 16 B coalescing for both operands, copies the LHS fragment four times
+// (register pressure), and forces TileN to a multiple of 32 with
+// zero-padded residue wmma executions.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// out_values receives the masked products in mask storage order.
+/// V in {2,4,8}; half precision only (TCU).
+KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                          const DenseDevice<half_t>& b, const CvsDevice& mask,
+                          gpusim::Buffer<half_t>& out_values);
+
+}  // namespace vsparse::kernels

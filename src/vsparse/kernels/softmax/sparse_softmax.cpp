@@ -1,0 +1,391 @@
+#include "vsparse/kernels/softmax/sparse_softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "vsparse/common/math.hpp"
+#include "vsparse/fp16/vec.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+/// One warp load of a V-wide half vector per active lane (LDG.16/32/
+/// 64/128 depending on V).
+void issue_vector_ldg(Warp& w, const AddrLanes& addr, std::uint32_t msk,
+                      int v) {
+  switch (v) {
+    case 1: {
+      Lanes<half_t> d{};
+      w.ldg(addr, d, msk);
+      break;
+    }
+    case 2: {
+      Lanes<half2> d{};
+      w.ldg(addr, d, msk);
+      break;
+    }
+    case 4: {
+      Lanes<half4> d{};
+      w.ldg(addr, d, msk);
+      break;
+    }
+    default: {
+      Lanes<half8> d{};
+      w.ldg(addr, d, msk);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
+                         const gpusim::Buffer<half_t>& in_values,
+                         gpusim::Buffer<half_t>& out_values, float scale) {
+  const int v = pattern.v;
+  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  const std::size_t expected =
+      pattern.col_idx.size() * static_cast<std::size_t>(v);
+  VSPARSE_CHECK(in_values.size() == expected);
+  VSPARSE_CHECK(out_values.size() == expected);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = std::max(1, pattern.vec_rows());
+  cfg.cta_threads = 32;
+  cfg.smem_bytes = 0;
+  cfg.profile = {
+      .name = "sparse_softmax_v" + std::to_string(v),
+      .regs_per_thread = 32 + 2 * v,
+      .static_instrs = 280,
+      .icache_pressure = 1.0,
+      .ilp_factor = 0.8,
+  };
+
+  auto row_ptr = pattern.row_ptr.host();
+  auto in_host = in_values.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int vr = cta.cta_id();
+    if (vr >= pattern.vec_rows()) return;
+    Warp w = cta.warp(0);
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> d{};
+      addr[0] = pattern.row_ptr.addr(static_cast<std::size_t>(vr));
+      addr[1] = pattern.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
+      w.ldg(addr, d, 0x3u);
+      w.count(Op::kImad, 2);
+    }
+    const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
+    const std::int32_t end = row_ptr[static_cast<std::size_t>(vr) + 1];
+    const int cnt = end - begin;
+    if (cnt == 0) return;
+
+    // Per-element state for the V rows of the vector-row.
+    float maxv[8], denom[8];
+    for (int t = 0; t < v; ++t) {
+      maxv[t] = -std::numeric_limits<float>::infinity();
+      denom[t] = 0.0f;
+    }
+
+    // Helper issuing one strided pass over the row's vectors: each
+    // active lane loads/stores one V-wide vector.
+    const auto for_each_chunk = [&](auto&& body) {
+      for (std::int32_t c0 = 0; c0 < cnt; c0 += 32) {
+        const int cc = std::min<std::int32_t>(32, cnt - c0);
+        AddrLanes addr{};
+        std::uint32_t msk = 0;
+        for (int l = 0; l < cc; ++l) {
+          addr[static_cast<std::size_t>(l)] = in_values.addr(
+              static_cast<std::size_t>(begin + c0 + l) *
+              static_cast<std::size_t>(v));
+          msk |= 1u << l;
+        }
+        body(c0, cc, addr, msk);
+      }
+    };
+
+    // Pass 1: running maximum (for numerical stability).
+    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+                       std::uint32_t msk) {
+      issue_vector_ldg(w, addr, msk, v);
+      w.count(Op::kHfma, static_cast<std::uint64_t>(v));  // max ops
+      for (int l = 0; l < cc; ++l) {
+        for (int t = 0; t < v; ++t) {
+          const float x = static_cast<float>(
+                              in_host[static_cast<std::size_t>(begin + c0 + l) *
+                                          static_cast<std::size_t>(v) +
+                                      static_cast<std::size_t>(t)]) *
+                          scale;
+          maxv[t] = std::max(maxv[t], x);
+        }
+      }
+    });
+    // Butterfly reduction of the per-lane maxima.
+    w.count(Op::kShfl, static_cast<std::uint64_t>(5 * v));
+    w.count(Op::kHfma, static_cast<std::uint64_t>(5 * v));
+
+    // Pass 2: sum of exponentials (MUFU.EX2 ~ one issue slot each).
+    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+                       std::uint32_t msk) {
+      issue_vector_ldg(w, addr, msk, v);
+      w.count(Op::kMisc, static_cast<std::uint64_t>(v));  // EX2
+      w.count(Op::kFfma, static_cast<std::uint64_t>(v));
+      for (int l = 0; l < cc; ++l) {
+        for (int t = 0; t < v; ++t) {
+          const float x = static_cast<float>(
+                              in_host[static_cast<std::size_t>(begin + c0 + l) *
+                                          static_cast<std::size_t>(v) +
+                                      static_cast<std::size_t>(t)]) *
+                          scale;
+          denom[t] += std::exp(x - maxv[t]);
+        }
+      }
+    });
+    w.count(Op::kShfl, static_cast<std::uint64_t>(5 * v));
+    w.count(Op::kFfma, static_cast<std::uint64_t>(5 * v));
+
+    // Pass 3: normalize and store.
+    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+                       std::uint32_t msk) {
+      issue_vector_ldg(w, addr, msk, v);
+      w.count(Op::kMisc, static_cast<std::uint64_t>(v));  // EX2
+      w.count(Op::kFfma, static_cast<std::uint64_t>(v));
+      w.count(Op::kCvt, static_cast<std::uint64_t>(v));
+      AddrLanes oaddr{};
+      for (int l = 0; l < cc; ++l) {
+        oaddr[static_cast<std::size_t>(l)] = out_values.addr(
+            static_cast<std::size_t>(begin + c0 + l) *
+            static_cast<std::size_t>(v));
+      }
+      const auto fill_and_store = [&](auto frag_proto) {
+        using Frag = decltype(frag_proto);
+        Lanes<Frag> frag{};
+        for (int l = 0; l < cc; ++l) {
+          for (int t = 0; t < v; ++t) {
+            const float x =
+                static_cast<float>(
+                    in_host[static_cast<std::size_t>(begin + c0 + l) *
+                                static_cast<std::size_t>(v) +
+                            static_cast<std::size_t>(t)]) *
+                scale;
+            const float e = std::exp(x - maxv[t]);
+            frag[static_cast<std::size_t>(l)][t] =
+                half_t(denom[t] > 0 ? e / denom[t] : 0.0f);
+          }
+        }
+        w.stg(oaddr, frag, msk);
+      };
+      switch (v) {
+        case 1: {
+          // 2-byte stores.
+          Lanes<half_t> frag{};
+          for (int l = 0; l < cc; ++l) {
+            const float x =
+                static_cast<float>(
+                    in_host[static_cast<std::size_t>(begin + c0 + l)]) *
+                scale;
+            const float e = std::exp(x - maxv[0]);
+            frag[static_cast<std::size_t>(l)] =
+                half_t(denom[0] > 0 ? e / denom[0] : 0.0f);
+          }
+          w.stg(oaddr, frag, msk);
+          break;
+        }
+        case 2:
+          fill_and_store(half2{});
+          break;
+        case 4:
+          fill_and_store(half4{});
+          break;
+        default:
+          fill_and_store(half8{});
+          break;
+      }
+    });
+  });
+
+  return {stats, cfg};
+}
+
+KernelRun dense_softmax(gpusim::Device& dev, DenseDevice<half_t>& mat,
+                        float scale) {
+  VSPARSE_CHECK(mat.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(mat.cols % 8 == 0);  // vectorized 8-half row chunks
+  const int rows = mat.rows, cols = mat.cols;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = std::max(1, rows);
+  cfg.cta_threads = 32;
+  cfg.profile = {
+      .name = "dense_softmax",
+      .regs_per_thread = 32,
+      .static_instrs = 240,
+      .icache_pressure = 1.0,
+      .ilp_factor = 0.8,
+  };
+
+  auto host = mat.buf.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int r = cta.cta_id();
+    Warp w = cta.warp(0);
+    half_t* row = &host[static_cast<std::size_t>(r) *
+                        static_cast<std::size_t>(mat.ld)];
+
+    // Lane l covers columns l*8 + [0,8) strided by 256 (LDG.128 passes).
+    const auto pass = [&](bool store, auto&& body) {
+      for (int c0 = 0; c0 < cols; c0 += 256) {
+        AddrLanes addr{};
+        std::uint32_t msk = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int cc = c0 + lane * 8;
+          if (cc >= cols) continue;
+          addr[static_cast<std::size_t>(lane)] = mat.addr(r, cc);
+          msk |= 1u << lane;
+        }
+        Lanes<half8> d{};
+        w.ldg(addr, d, msk);
+        body(c0, std::min(256, cols - c0));
+        if (store) {
+          // Re-pack the (now updated) row values into the store frags.
+          for (int lane = 0; lane < 32; ++lane) {
+            if (!(msk & (1u << lane))) continue;
+            for (int e = 0; e < 8; ++e) {
+              const int cc = c0 + lane * 8 + e;
+              if (cc < cols) d[static_cast<std::size_t>(lane)][e] = row[cc];
+            }
+          }
+          w.count(Op::kCvt, 8);
+          w.stg(addr, d, msk);
+        }
+      }
+    };
+
+    float maxv = -std::numeric_limits<float>::infinity();
+    pass(false, [&](int c0, int cc) {
+      w.count(Op::kHfma, 8);
+      for (int c = c0; c < c0 + cc; ++c) {
+        maxv = std::max(maxv, static_cast<float>(row[c]) * scale);
+      }
+    });
+    w.count(Op::kShfl, 5);
+    w.count(Op::kHfma, 5);
+    float denom = 0.0f;
+    pass(false, [&](int c0, int cc) {
+      w.count(Op::kMisc, 8);
+      w.count(Op::kFfma, 8);
+      for (int c = c0; c < c0 + cc; ++c) {
+        denom += std::exp(static_cast<float>(row[c]) * scale - maxv);
+      }
+    });
+    w.count(Op::kShfl, 5);
+    w.count(Op::kFfma, 5);
+    pass(true, [&](int c0, int cc) {
+      w.count(Op::kMisc, 8);
+      w.count(Op::kFfma, 8);
+      for (int c = c0; c < c0 + cc; ++c) {
+        const float e = std::exp(static_cast<float>(row[c]) * scale - maxv);
+        row[c] = half_t(denom > 0 ? e / denom : 0.0f);
+      }
+    });
+  });
+
+  return {stats, cfg};
+}
+
+KernelRun dense_softmax_f32(gpusim::Device& dev, DenseDevice<float>& mat,
+                            float scale) {
+  VSPARSE_CHECK(mat.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(mat.cols % 4 == 0);
+  const int rows = mat.rows, cols = mat.cols;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = std::max(1, rows);
+  cfg.cta_threads = 32;
+  cfg.profile = {
+      .name = "dense_softmax_f32",
+      .regs_per_thread = 32,
+      .static_instrs = 240,
+      .icache_pressure = 1.0,
+      .ilp_factor = 0.8,
+  };
+
+  auto host = mat.buf.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int r = cta.cta_id();
+    Warp w = cta.warp(0);
+    float* row = &host[static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(mat.ld)];
+
+    // Lane l covers 4 floats (LDG.128) strided by 128 columns per pass.
+    const auto pass = [&](bool store, auto&& body) {
+      for (int c0 = 0; c0 < cols; c0 += 128) {
+        AddrLanes addr{};
+        std::uint32_t msk = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int cc = c0 + lane * 4;
+          if (cc >= cols) continue;
+          addr[static_cast<std::size_t>(lane)] = mat.addr(r, cc);
+          msk |= 1u << lane;
+        }
+        Lanes<std::array<float, 4>> d{};
+        w.ldg(addr, d, msk);
+        body(c0, std::min(128, cols - c0));
+        if (store) {
+          for (int lane = 0; lane < 32; ++lane) {
+            if (!(msk & (1u << lane))) continue;
+            for (int e = 0; e < 4; ++e) {
+              const int cc = c0 + lane * 4 + e;
+              if (cc < cols) d[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] = row[cc];
+            }
+          }
+          w.stg(addr, d, msk);
+        }
+      }
+    };
+
+    float maxv = -std::numeric_limits<float>::infinity();
+    pass(false, [&](int c0, int cc) {
+      w.count(Op::kFfma, 4);
+      for (int c = c0; c < c0 + cc; ++c) {
+        maxv = std::max(maxv, row[c] * scale);
+      }
+    });
+    w.count(Op::kShfl, 5);
+    w.count(Op::kFfma, 5);
+    float denom = 0.0f;
+    pass(false, [&](int c0, int cc) {
+      w.count(Op::kMisc, 4);
+      w.count(Op::kFfma, 4);
+      for (int c = c0; c < c0 + cc; ++c) {
+        denom += std::exp(row[c] * scale - maxv);
+      }
+    });
+    w.count(Op::kShfl, 5);
+    w.count(Op::kFfma, 5);
+    pass(true, [&](int c0, int cc) {
+      w.count(Op::kMisc, 4);
+      w.count(Op::kFfma, 4);
+      for (int c = c0; c < c0 + cc; ++c) {
+        const float e = std::exp(row[c] * scale - maxv);
+        row[c] = denom > 0 ? e / denom : 0.0f;
+      }
+    });
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace vsparse::kernels

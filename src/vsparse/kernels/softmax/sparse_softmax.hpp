@@ -1,0 +1,39 @@
+// Sparse softmax over the column-vector sparse encoding — the custom
+// kernel §7.4 implements for the sparse-attention pipeline:
+//
+//   A = Softmax((QKᵀ ⊙ C) / sqrt(k))
+//
+// Input and output are CVS value arrays sharing the attention mask's
+// pattern; the softmax normalizes each *matrix* row over its stored
+// nonzeros (absent entries are -inf, i.e. excluded).
+//
+// One warp per vector-row; the 32 lanes stride the row's nonzero
+// vectors, making three passes (max, sum-of-exp, normalize) with
+// butterfly-shuffle reductions.  The V elements of each vector are
+// processed in the lane's registers (independent rows of the output).
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// out_values <- softmax(scale * in_values) per matrix row, where both
+/// arrays follow `pattern`'s storage order.  In-place (out == in) is
+/// allowed.
+KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
+                         const gpusim::Buffer<half_t>& in_values,
+                         gpusim::Buffer<half_t>& out_values, float scale);
+
+/// Row-wise dense softmax (the dense-attention baseline path).  One
+/// warp per row, three strided passes; in-place on a row-major matrix.
+KernelRun dense_softmax(gpusim::Device& dev, DenseDevice<half_t>& mat,
+                        float scale);
+
+/// Single-precision dense softmax (the Dense(float) baseline path of
+/// Table 4).
+KernelRun dense_softmax_f32(gpusim::Device& dev, DenseDevice<float>& mat,
+                            float scale);
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,246 @@
+#include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
+
+#include <string>
+
+#include "vsparse/common/math.hpp"
+#include "vsparse/fp16/vec.hpp"
+#include "vsparse/gpusim/tensorcore.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+// Preferred output-stripe width; narrows to 64 when N is not a
+// multiple of 128 (cuSPARSE handles any multiple of 64).
+constexpr int kPreferredTileN = 128;
+
+}  // namespace
+
+KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
+                           const DenseDevice<half_t>& b,
+                           DenseDevice<half_t>& c) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  const int blk = a.block;
+  VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
+  VSPARSE_CHECK(b.layout == Layout::kRowMajor &&
+                c.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(blk == 2 || blk == 4 || blk == 8 || blk == 16);
+  VSPARSE_CHECK_MSG(n % 64 == 0,
+                    "blocked-ELL SpMM requires N % 64 == 0, got " << n);
+  const int tile_n = n % kPreferredTileN == 0 ? kPreferredTileN : 64;
+
+  const int block_rows = m / blk;
+  const int n_tiles = n / tile_n;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = block_rows * n_tiles;
+  cfg.cta_threads = 32;
+  // smem: the value block + the b x 128 B stripe.
+  cfg.smem_bytes = static_cast<std::size_t>(blk) * blk * 2 +
+                   static_cast<std::size_t>(blk) * kPreferredTileN * 2;
+  cfg.profile = {
+      .name = "spmm_blocked_ell_b" + std::to_string(blk),
+      .regs_per_thread = 88,
+      .static_instrs = 2800 + 7200 / blk,
+      .icache_pressure = 2.4,
+      .ilp_factor = 1.0,
+  };
+
+  auto col_host = a.col_idx.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    const int brow = cta.cta_id() % block_rows;  // rows fastest
+    const int n0 = (cta.cta_id() / block_rows) * tile_n;
+    Warp w = cta.warp(0);
+    w.count(Op::kImad, 4);
+
+    float acc[32][kPreferredTileN] = {};
+
+    const auto block_off = [&](int r, int cc) {
+      return static_cast<std::uint32_t>((r * blk + cc) * 2);
+    };
+    const auto btile_off = [&](int r, int nn) {
+      return static_cast<std::uint32_t>(blk * blk * 2 + (r * kPreferredTileN + nn) * 2);
+    };
+
+    // Gather the block-row's column indices up front (coalesced).
+    for (int p = 0; p * 32 < a.blocks_per_row; ++p) {
+      AddrLanes addr{};
+      Lanes<std::int32_t> d{};
+      std::uint32_t mask = 0;
+      for (int l = 0; l < 32 && p * 32 + l < a.blocks_per_row; ++l) {
+        addr[static_cast<std::size_t>(l)] = a.col_idx.addr(
+            static_cast<std::size_t>(brow) *
+                static_cast<std::size_t>(a.blocks_per_row) +
+            static_cast<std::size_t>(p * 32 + l));
+        mask |= 1u << l;
+      }
+      w.ldg(addr, d, mask);
+      w.count(Op::kImad, 2);
+    }
+
+    for (int slot = 0; slot < a.blocks_per_row; ++slot) {
+      // The library kernel recomputes tile/block addresses per slot:
+      // a large integer-op share (the Table 1 "Wait" source).
+      w.count(Op::kImad, 8);
+      w.count(Op::kIadd3, 4);
+      const std::int32_t bcol =
+          col_host[static_cast<std::size_t>(brow) *
+                       static_cast<std::size_t>(a.blocks_per_row) +
+                   static_cast<std::size_t>(slot)];
+      if (bcol < 0) continue;  // ELL padding slot
+
+      // ---- stage the value block through smem -----------------------
+      {
+        // 16 B per lane when the block is big enough; blk = 2 blocks
+        // are only 8 B total.
+        const int chunk_bytes = std::min(16, blk * blk * 2);
+        const int chunks = ceil_div(blk * blk * 2, chunk_bytes);
+        const std::size_t base =
+            (static_cast<std::size_t>(brow) *
+                 static_cast<std::size_t>(a.blocks_per_row) +
+             static_cast<std::size_t>(slot)) *
+            static_cast<std::size_t>(blk) * static_cast<std::size_t>(blk);
+        for (int pass = 0; pass < ceil_div(chunks, 32); ++pass) {
+          AddrLanes addr{};
+          Lanes<std::uint32_t> soff{};
+          std::uint32_t mask = 0;
+          for (int l = 0; l < 32; ++l) {
+            const int chunk = pass * 32 + l;
+            if (chunk >= chunks) break;
+            addr[static_cast<std::size_t>(l)] = a.values.addr(
+                base + static_cast<std::size_t>(chunk) *
+                           static_cast<std::size_t>(chunk_bytes / 2));
+            soff[static_cast<std::size_t>(l)] =
+                static_cast<std::uint32_t>(chunk * chunk_bytes);
+            mask |= 1u << l;
+          }
+          if (chunk_bytes == 16) {
+            Lanes<half8> d{};
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+          } else {
+            Lanes<half4> d{};
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+          }
+        }
+      }
+
+      // ---- stage the b x 128 B stripe through smem -------------------
+      // Each pass: 32 lanes x 8 halves = 2 rows of 128.
+      for (int pass = 0; pass < ceil_div(blk, 2); ++pass) {
+        AddrLanes addr{};
+        Lanes<std::uint32_t> soff{};
+        Lanes<half8> d{};
+        std::uint32_t mask = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int r = 2 * pass + lane / 16;
+          if (r >= blk) continue;
+          const int nn = 8 * (lane % 16);
+          if (nn >= tile_n) continue;
+          addr[static_cast<std::size_t>(lane)] =
+              b.addr(bcol * blk + r, n0 + nn);
+          soff[static_cast<std::size_t>(lane)] = btile_off(r, nn);
+          mask |= 1u << lane;
+        }
+        w.count(Op::kImad, 2);
+        w.ldg(addr, d, mask);
+        w.sts(soff, d, mask);
+      }
+      cta.sync();
+
+      // ---- compute with zero-padded wmma ------------------------------
+      // ceil(blk/8) row tiles x 4 column tiles of m8n32k16, each padded
+      // from k = blk to 16.  Fragments are read back from smem (LDS) —
+      // the Short-Scoreboard-heavy pattern of §3.2.
+      const int row_tiles = ceil_div(blk, 8);
+      for (int rt = 0; rt < row_tiles; ++rt) {
+        half_t afrag[8][16] = {};
+        {
+          Lanes<std::uint32_t> off{};
+          Lanes<half4> d;
+          for (int lane = 0; lane < 32; ++lane) {
+            const int r = std::min(rt * 8 + lane / 4, blk - 1);
+            const int cc = std::min(4 * (lane % 4), blk - 1);
+            off[static_cast<std::size_t>(lane)] = block_off(r, cc);
+          }
+          w.lds(off, d);
+        }
+        for (int r = 0; r < 8; ++r) {
+          const int gr = rt * 8 + r;
+          if (gr >= blk) break;
+          for (int cc = 0; cc < blk; ++cc) {
+            afrag[r][cc] = *reinterpret_cast<const half_t*>(cta.smem() +
+                                                            block_off(gr, cc));
+          }
+        }
+        for (int ct = 0; ct < tile_n / 32; ++ct) {
+          half_t bfrag[16][32] = {};
+          for (int pass = 0; pass < 2; ++pass) {
+            Lanes<std::uint32_t> off{};
+            Lanes<half8> d;
+            for (int lane = 0; lane < 32; ++lane) {
+              const int r = std::min(8 * pass + lane / 4, blk - 1);
+              const int nn = 32 * ct + 8 * (lane % 4);
+              off[static_cast<std::size_t>(lane)] = btile_off(r, nn);
+            }
+            w.lds(off, d);
+          }
+          for (int r = 0; r < blk && r < 16; ++r) {
+            for (int nn = 0; nn < 32; ++nn) {
+              bfrag[r][nn] = *reinterpret_cast<const half_t*>(
+                  cta.smem() + btile_off(r, 32 * ct + nn));
+            }
+          }
+          float cfrag[8][32];
+          for (int r = 0; r < 8; ++r) {
+            for (int nn = 0; nn < 32; ++nn) {
+              const int gr = rt * 8 + r;
+              cfrag[r][nn] = gr < blk ? acc[gr][32 * ct + nn] : 0.0f;
+            }
+          }
+          gpusim::wmma_m8n32k16(w, afrag, bfrag, cfrag);
+          for (int r = 0; r < 8; ++r) {
+            const int gr = rt * 8 + r;
+            if (gr >= blk) break;
+            for (int nn = 0; nn < 32; ++nn) {
+              acc[gr][32 * ct + nn] = cfrag[r][nn];
+            }
+          }
+        }
+      }
+      cta.sync();
+    }
+
+    // ---- writeback ----------------------------------------------------
+    w.count(Op::kCvt, static_cast<std::uint64_t>(blk * tile_n / 32));
+    for (int pass = 0; pass < ceil_div(blk * tile_n, 32 * 8); ++pass) {
+      AddrLanes addr{};
+      Lanes<half8> frag{};
+      std::uint32_t mask = 0;
+      for (int lane = 0; lane < 32; ++lane) {
+        const int flat = (pass * 32 + lane) * 8;
+        const int r = flat / tile_n;
+        if (r >= blk) continue;
+        const int nn = flat % tile_n;
+        addr[static_cast<std::size_t>(lane)] = c.addr(brow * blk + r, n0 + nn);
+        for (int e = 0; e < 8; ++e) {
+          frag[static_cast<std::size_t>(lane)][e] = half_t(acc[r][nn + e]);
+        }
+        mask |= 1u << lane;
+      }
+      w.stg(addr, frag, mask);
+    }
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace vsparse::kernels

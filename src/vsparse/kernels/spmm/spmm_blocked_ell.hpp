@@ -1,0 +1,31 @@
+// Blocked-ELL SpMM — re-implementation of the cuSPARSE TCU baseline the
+// paper profiles in §3.2 and compares against in Figs. 6/17/18.
+//
+// Each CTA (one warp) produces a (block x 128) output stripe.  Per
+// stored block slot it stages the b x b value block AND the b x 128 B
+// tile through shared memory (the library kernel's pattern — which is
+// exactly what §3.2's "Short Scoreboard" analysis criticizes: the B
+// data has little reuse yet round-trips through smem), then computes
+// with wmma ops zero-padded to k = 16, wasting (16 - b)/16 of the TCU
+// work for small blocks.
+//
+// Profile calibration: §3.2 reports 4600 SASS lines at block size 4 and
+// Table 1/2 stall fractions; `static_instrs = 2800 + 7200/b` reproduces
+// the block-4 figure and shrinks for the simpler large-block loops.
+// icache_pressure > 1 models the library kernel's irregular control
+// flow re-fetching the overflowed program body each slot iteration.
+#pragma once
+
+#include "vsparse/formats/blocked_ell.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// C[MxN] = A_blocked_ell[MxK] * B[KxN] (half, row-major B and C).
+/// Requires N % 128 == 0 and block in {2, 4, 8, 16}.
+KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
+                           const DenseDevice<half_t>& b,
+                           DenseDevice<half_t>& c);
+
+}  // namespace vsparse::kernels

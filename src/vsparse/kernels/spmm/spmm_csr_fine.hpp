@@ -1,0 +1,26 @@
+// Fine-grained CSR SpMM — re-implementation of the cusparseSpMM
+// row-per-warp algorithm used as the cuSPARSE baseline in Fig. 4.
+//
+// Each CTA (one warp) produces a 1 x 32 output slice: the warp walks
+// the row's nonzeros one at a time; for each, every lane loads one B
+// element of its output column (narrow LDG, low reuse) and FMAs.  The
+// serialized nonzero walk is why the library only pays off at very high
+// (> 95%) sparsity.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// Half-precision fine-grained SpMM (V must be 1).  N % 32 == 0.
+KernelRun spmm_csr_fine(gpusim::Device& dev, const CvsDevice& a,
+                        const DenseDevice<half_t>& b, DenseDevice<half_t>& c);
+
+/// Single-precision variant.
+KernelRun spmm_csr_fine_f32(gpusim::Device& dev, const CvsDeviceT<float>& a,
+                            const DenseDevice<float>& b,
+                            DenseDevice<float>& c);
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,402 @@
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "vsparse/common/math.hpp"
+#include "vsparse/fp16/vec.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+constexpr int kSubwarpSize = 8;
+constexpr int kSubwarps = 4;  // per CTA (one warp)
+
+/// Issue one warp-wide global load where lane `l` reads `width` bytes
+/// from addr[l]; splits into the widest legal LDG ops.  Returns data as
+/// raw bytes per lane.
+template <int kWidth>
+void ldg_bytes(Warp& w, const AddrLanes& addr, std::uint32_t mask,
+               std::array<std::array<std::byte, kWidth>, 32>& out) {
+  static_assert(kWidth == 2 || kWidth == 4 || kWidth == 8 || kWidth == 16 ||
+                kWidth == 32);
+  if constexpr (kWidth <= 16) {
+    Lanes<std::array<std::byte, kWidth>> dst;
+    w.ldg(addr, dst, mask);
+    for (int l = 0; l < 32; ++l) out[static_cast<std::size_t>(l)] = dst[static_cast<std::size_t>(l)];
+  } else {
+    // 32 B per lane: two LDG.128.
+    for (int half = 0; half < 2; ++half) {
+      AddrLanes a2 = addr;
+      for (auto& x : a2) x += static_cast<std::uint64_t>(16 * half);
+      Lanes<std::array<std::byte, 16>> dst;
+      w.ldg(a2, dst, mask);
+      for (int l = 0; l < 32; ++l) {
+        std::memcpy(out[static_cast<std::size_t>(l)].data() + 16 * half,
+                    dst[static_cast<std::size_t>(l)].data(), 16);
+      }
+    }
+  }
+}
+
+template <class T>
+KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
+                        const DenseDevice<T>& b, DenseDevice<T>& c,
+                        const SpmmFpuParams& params) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  const int v = a.v;
+  VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
+  VSPARSE_CHECK(b.layout == Layout::kRowMajor &&
+                c.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  const int tile_n = params.tile_n;
+  const int tile_k = params.tile_k;
+  VSPARSE_CHECK(tile_n % kSubwarpSize == 0);
+  VSPARSE_CHECK_MSG(n % tile_n == 0, "N must be a multiple of TileN="
+                                         << tile_n);
+  VSPARSE_CHECK(tile_k % 16 == 0 && tile_k <= 64);
+  VSPARSE_CHECK(tile_n <= 64);
+  const int wt = tile_n / kSubwarpSize;  ///< output columns per thread
+  VSPARSE_CHECK(static_cast<std::size_t>(wt) * sizeof(T) <= 16);
+
+  const int vec_rows = a.vec_rows();
+  const int n_tiles = n / tile_n;
+  const int row_groups = ceil_div(vec_rows, kSubwarps);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = row_groups * n_tiles;
+  cfg.cta_threads = 32;
+  cfg.smem_bytes = static_cast<std::size_t>(kSubwarps) * tile_k *
+                       (4 + static_cast<std::size_t>(v) * sizeof(T)) +
+                   16;  // tail slack for the vectorized broadcast reads
+  // Calibration (§7.2.2): the fully-unrolled V x TileK x (TileN/8)
+  // loops produce 3776 / 6968 SASS lines at V = 4 / 8 (TileK=16, wt=2).
+  cfg.profile = {
+      .name = std::string(sizeof(T) == 2 ? "spmm_fpu_v" : "spmm_fpu_f32_v") +
+              std::to_string(v),
+      .regs_per_thread = 24 + 2 * v * wt,
+      .static_instrs = 600 + 25 * v * tile_k * wt,
+      .icache_pressure = 1.0,
+      .ilp_factor = 1.0,
+  };
+
+  auto row_ptr = a.row_ptr.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    // Row groups enumerate fastest (B-slice L1 reuse, as in Sputnik).
+    const int vr0 = (cta.cta_id() % row_groups) * kSubwarps;
+    const int n0 = (cta.cta_id() / row_groups) * tile_n;
+    Warp w = cta.warp(0);
+
+    // Row extents for the 4 vector-rows (one LDG.32, 5 lanes).
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> dst{};
+      std::uint32_t mask = 0;
+      for (int l = 0; l < 5 && vr0 + l <= vec_rows; ++l) {
+        addr[static_cast<std::size_t>(l)] =
+            a.row_ptr.addr(static_cast<std::size_t>(vr0 + l));
+        mask |= 1u << l;
+      }
+      w.ldg(addr, dst, mask);
+      w.count(Op::kImad, 4);
+    }
+    std::int32_t begin[kSubwarps], cnt[kSubwarps];
+    int max_cnt = 0;
+    for (int s = 0; s < kSubwarps; ++s) {
+      if (vr0 + s < vec_rows) {
+        begin[s] = row_ptr[static_cast<std::size_t>(vr0 + s)];
+        cnt[s] = row_ptr[static_cast<std::size_t>(vr0 + s) + 1] - begin[s];
+      } else {
+        begin[s] = 0;
+        cnt[s] = 0;
+      }
+      max_cnt = std::max(max_cnt, cnt[s]);
+    }
+
+    // Per-subwarp fp32 accumulators for the V x TileN tile.
+    float acc[kSubwarps][8][64] = {};
+
+    const auto idx_off = [&](int s, int j) {
+      return static_cast<std::uint32_t>((s * tile_k + j) * 4);
+    };
+    const auto val_off = [&](int s, int j, int t) {
+      return static_cast<std::uint32_t>(kSubwarps * tile_k * 4 +
+                                        ((s * tile_k + j) * v + t) *
+                                            static_cast<int>(sizeof(T)));
+    };
+    const auto staged_idx = [&](int s, int j) {
+      return *reinterpret_cast<const std::int32_t*>(cta.smem() +
+                                                    idx_off(s, j));
+    };
+    const auto staged_val = [&](int s, int j, int t) {
+      return static_cast<float>(
+          *reinterpret_cast<const T*>(cta.smem() + val_off(s, j, t)));
+    };
+
+    const int steps = ceil_div(max_cnt, tile_k);
+    for (int step = 0; step < steps; ++step) {
+      const int i0 = step * tile_k;
+
+      // ---- stage LHS indices: each lane takes two consecutive ints of
+      // its subwarp's chunk per pass (one LDG.64 when tile_k=16). ------
+      for (int p = 0; p < tile_k / 16; ++p) {
+        AddrLanes addr{};
+        Lanes<std::array<std::int32_t, 2>> dst{};
+        Lanes<std::uint32_t> soff{};
+        std::uint32_t mask = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int s = lane / kSubwarpSize;
+          const int t = lane % kSubwarpSize;
+          const int j = 16 * p + 2 * t;  // two consecutive indices per lane
+          if (i0 + j >= cnt[s]) continue;
+          addr[static_cast<std::size_t>(lane)] = a.col_idx.addr(
+              static_cast<std::size_t>(begin[s] + i0 + j));
+          soff[static_cast<std::size_t>(lane)] = idx_off(s, j);
+          mask |= 1u << lane;
+        }
+        w.count(Op::kImad, 2);
+        w.ldg(addr, dst, mask);
+        w.sts(soff, dst, mask);
+      }
+
+      // ---- stage LHS values: one V-vector per lane per pass. ---------
+      const int passes = tile_k / kSubwarpSize;
+      for (int p = 0; p < passes; ++p) {
+        AddrLanes addr{};
+        Lanes<std::uint32_t> soff{};
+        std::uint32_t mask = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int s = lane / kSubwarpSize;
+          const int t = lane % kSubwarpSize;
+          const int j = p * kSubwarpSize + t;
+          if (i0 + j >= cnt[s]) continue;
+          addr[static_cast<std::size_t>(lane)] = a.values.addr(
+              static_cast<std::size_t>(begin[s] + i0 + j) *
+              static_cast<std::size_t>(v));
+          soff[static_cast<std::size_t>(lane)] = val_off(s, j, 0);
+          mask |= 1u << lane;
+        }
+        w.count(Op::kImad, 2);
+        switch (static_cast<int>(v * sizeof(T))) {
+          case 2: {
+            Lanes<std::array<std::byte, 2>> d;
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+            break;
+          }
+          case 4: {
+            Lanes<std::array<std::byte, 4>> d;
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+            break;
+          }
+          case 8: {
+            Lanes<std::array<std::byte, 8>> d;
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+            break;
+          }
+          case 16: {
+            Lanes<std::array<std::byte, 16>> d;
+            w.ldg(addr, d, mask);
+            w.sts(soff, d, mask);
+            break;
+          }
+          default: {  // float V=8: 32 B per vector, two passes
+            std::array<std::array<std::byte, 32>, 32> d;
+            ldg_bytes<32>(w, addr, mask, d);
+            Lanes<std::array<std::byte, 16>> lo, hi;
+            for (int l = 0; l < 32; ++l) {
+              std::memcpy(lo[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data(), 16);
+              std::memcpy(hi[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data() + 16, 16);
+            }
+            w.sts(soff, lo, mask);
+            Lanes<std::uint32_t> soff2 = soff;
+            for (auto& o : soff2) o += 16;
+            w.sts(soff2, hi, mask);
+            break;
+          }
+        }
+      }
+
+      // ---- walk the staged nonzeros (fully unrolled in SASS) ---------
+      for (int kk = 0; kk < tile_k; ++kk) {
+        std::uint32_t active = 0;
+        for (int s = 0; s < kSubwarps; ++s) {
+          if (i0 + kk < cnt[s]) {
+            active |= 0xFFu << (8 * s);
+          }
+        }
+        if (active == 0) continue;
+
+        // Broadcast LDS of the staged values for this k (indices stay
+        // in registers after staging, as Sputnik does).
+        {
+          Lanes<std::uint32_t> off{};
+          Lanes<std::array<std::byte, 4>> d{};
+          for (int lane = 0; lane < 32; ++lane) {
+            off[static_cast<std::size_t>(lane)] =
+                val_off(lane / kSubwarpSize, kk, 0);
+          }
+          w.lds(off, d, active);
+        }
+        w.count(Op::kImad, 2);
+        w.count(Op::kIadd3, 1);
+
+        // Load each thread's B-row slice straight to registers.
+        AddrLanes addr{};
+        for (int lane = 0; lane < 32; ++lane) {
+          if (!(active & (1u << lane))) continue;
+          const int s = lane / kSubwarpSize;
+          const int t = lane % kSubwarpSize;
+          const std::int32_t row = staged_idx(s, kk);
+          addr[static_cast<std::size_t>(lane)] = b.addr(row, n0 + wt * t);
+        }
+        constexpr int kSliceBytes = 16;  // upper bound; actual below
+        std::array<std::array<std::byte, kSliceBytes>, 32> slice{};
+        const int slice_bytes = wt * static_cast<int>(sizeof(T));
+        switch (slice_bytes) {
+          case 2: {
+            Lanes<std::array<std::byte, 2>> d{};
+            w.ldg(addr, d, active);
+            for (int l = 0; l < 32; ++l)
+              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data(), 2);
+            break;
+          }
+          case 4: {
+            Lanes<std::array<std::byte, 4>> d{};
+            w.ldg(addr, d, active);
+            for (int l = 0; l < 32; ++l)
+              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data(), 4);
+            break;
+          }
+          case 8: {
+            Lanes<std::array<std::byte, 8>> d{};
+            w.ldg(addr, d, active);
+            for (int l = 0; l < 32; ++l)
+              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data(), 8);
+            break;
+          }
+          default: {
+            Lanes<std::array<std::byte, 16>> d{};
+            w.ldg(addr, d, active);
+            for (int l = 0; l < 32; ++l)
+              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
+                          d[static_cast<std::size_t>(l)].data(), 16);
+            break;
+          }
+        }
+
+        // MACs: V * wt per thread.  Half precision uses HMUL + FADD
+        // (fp32 accumulate, §3.1); single uses FFMA.
+        if constexpr (sizeof(T) == 2) {
+          w.count(Op::kHfma, static_cast<std::uint64_t>(v * wt));
+          w.count(Op::kFfma, static_cast<std::uint64_t>(v * wt));
+        } else {
+          w.count(Op::kFfma, static_cast<std::uint64_t>(v * wt));
+        }
+        for (int lane = 0; lane < 32; ++lane) {
+          if (!(active & (1u << lane))) continue;
+          const int s = lane / kSubwarpSize;
+          const int t = lane % kSubwarpSize;
+          const auto* bvals =
+              reinterpret_cast<const T*>(slice[static_cast<std::size_t>(lane)].data());
+          for (int vv = 0; vv < v; ++vv) {
+            const float av = staged_val(s, kk, vv);
+            for (int e = 0; e < wt; ++e) {
+              acc[s][vv][wt * t + e] += av * static_cast<float>(bvals[e]);
+            }
+          }
+        }
+      }
+    }
+
+    // ---- writeback ----------------------------------------------------
+    if constexpr (sizeof(T) == 2) {
+      w.count(Op::kCvt, static_cast<std::uint64_t>(v));
+    }
+    for (int vv = 0; vv < v; ++vv) {
+      AddrLanes addr{};
+      std::uint32_t mask = 0;
+      Lanes<std::array<std::byte, 16>> frag{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const int s = lane / kSubwarpSize;
+        const int t = lane % kSubwarpSize;
+        if (vr0 + s >= vec_rows) continue;
+        addr[static_cast<std::size_t>(lane)] =
+            c.addr((vr0 + s) * v + vv, n0 + wt * t);
+        for (int e = 0; e < wt; ++e) {
+          const T value = T(acc[s][vv][wt * t + e]);
+          std::memcpy(frag[static_cast<std::size_t>(lane)].data() +
+                          e * sizeof(T),
+                      &value, sizeof(T));
+        }
+        mask |= 1u << lane;
+      }
+      const int slice_bytes = wt * static_cast<int>(sizeof(T));
+      switch (slice_bytes) {
+        case 2: {
+          Lanes<std::array<std::byte, 2>> d{};
+          for (int l = 0; l < 32; ++l)
+            std::memcpy(d[static_cast<std::size_t>(l)].data(),
+                        frag[static_cast<std::size_t>(l)].data(), 2);
+          w.stg(addr, d, mask);
+          break;
+        }
+        case 4: {
+          Lanes<std::array<std::byte, 4>> d{};
+          for (int l = 0; l < 32; ++l)
+            std::memcpy(d[static_cast<std::size_t>(l)].data(),
+                        frag[static_cast<std::size_t>(l)].data(), 4);
+          w.stg(addr, d, mask);
+          break;
+        }
+        case 8: {
+          Lanes<std::array<std::byte, 8>> d{};
+          for (int l = 0; l < 32; ++l)
+            std::memcpy(d[static_cast<std::size_t>(l)].data(),
+                        frag[static_cast<std::size_t>(l)].data(), 8);
+          w.stg(addr, d, mask);
+          break;
+        }
+        default:
+          w.stg(addr, frag, mask);
+          break;
+      }
+    }
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace
+
+KernelRun spmm_fpu_subwarp(gpusim::Device& dev, const CvsDevice& a,
+                           const DenseDevice<half_t>& b,
+                           DenseDevice<half_t>& c,
+                           const SpmmFpuParams& params) {
+  return spmm_fpu_impl<half_t>(dev, a, b, c, params);
+}
+
+KernelRun spmm_fpu_subwarp_f32(gpusim::Device& dev,
+                               const CvsDeviceT<float>& a,
+                               const DenseDevice<float>& b,
+                               DenseDevice<float>& c,
+                               const SpmmFpuParams& params) {
+  return spmm_fpu_impl<float>(dev, a, b, c, params);
+}
+
+}  // namespace vsparse::kernels

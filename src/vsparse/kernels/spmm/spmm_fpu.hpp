@@ -1,0 +1,52 @@
+// SpMM with FPU-based 1-D Subwarp Tiling — the baseline extended from
+// Sputnik (§5.1, Fig. 9a).
+//
+// Each 1-D tile (V x TileK)·(TileK x TileN) is owned by a subwarp of 8
+// threads; a CTA holds 4 subwarps (one warp) covering 4 consecutive
+// vector-rows of the same TileN column block.  The LHS fragment is
+// staged through shared memory; every thread then walks the staged
+// nonzeros, loading its TileN/8-wide slice of the corresponding B row
+// straight into registers and accumulating with HMUL+FADD (half) or
+// FFMA (single).
+//
+// The design trade-offs the paper analyzes are visible in the counters:
+//  * memory access is good only when TileN/8 is wide (TileN=64 gives
+//    LDG.128) — but the paper's tuned configuration uses TileN=16
+//    (LDG.32, "Sectors/Req" ~4) to raise the grid size (guideline II
+//    beats guideline V for this kernel);
+//  * the fully-unrolled inner loops blow up the SASS size
+//    (3776 / 6968 lines at V = 4 / 8 — guideline I violated), and the
+//    address arithmetic shows up as IMAD/IADD3 "Wait" stalls;
+//  * subwarps of a warp advance in lockstep to the longest row among
+//    them (divergence penalty of row imbalance).
+//
+// V = 1 with float values IS Sputnik's fine-grained kernel (Fig. 4).
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+struct SpmmFpuParams {
+  int tile_n = 16;  ///< per-tile output width (the paper's tuned value)
+  int tile_k = 16;  ///< staged nonzeros per stride
+};
+
+/// Half-precision FPU SpMM over a CVS operand (V in {1,2,4,8}).
+/// Requires N % tile_n == 0.
+KernelRun spmm_fpu_subwarp(gpusim::Device& dev, const CvsDevice& a,
+                           const DenseDevice<half_t>& b,
+                           DenseDevice<half_t>& c,
+                           const SpmmFpuParams& params = {});
+
+/// Single-precision variant (the Fig. 4 "sputnik (single)" baseline,
+/// V = 1; larger V works too).
+KernelRun spmm_fpu_subwarp_f32(gpusim::Device& dev,
+                               const CvsDeviceT<float>& a,
+                               const DenseDevice<float>& b,
+                               DenseDevice<float>& c,
+                               const SpmmFpuParams& params = {});
+
+}  // namespace vsparse::kernels

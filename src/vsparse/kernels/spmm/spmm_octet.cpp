@@ -1,0 +1,267 @@
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "vsparse/common/math.hpp"
+#include "vsparse/fp16/vec.hpp"
+
+namespace vsparse::kernels {
+
+namespace {
+
+using gpusim::AddrLanes;
+using gpusim::Cta;
+using gpusim::Lanes;
+using gpusim::Op;
+using gpusim::Warp;
+
+constexpr int kTileN = 64;
+
+/// One staged B fragment: 4 B rows x 64 columns, loaded by a single
+/// LDG.128 (lane l holds B[k_{l/8}][n0 + 8*(l%8) .. +8)).
+struct BFrag {
+  Lanes<half8> lanes;
+  int valid = 0;  ///< how many of the 4 rows are real (residue handling)
+};
+
+}  // namespace
+
+KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
+                     const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                     const SpmmOctetParams& params) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  const int v = a.v;
+  VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
+  VSPARSE_CHECK(b.layout == Layout::kRowMajor);
+  VSPARSE_CHECK(c.layout == Layout::kRowMajor);
+  VSPARSE_CHECK_MSG(v == 2 || v == 4 || v == 8,
+                    "spmm_octet supports V in {2,4,8}; got " << v);
+  VSPARSE_CHECK_MSG(n % kTileN == 0, "spmm_octet requires N % 64 == 0");
+  VSPARSE_CHECK(params.tile_k >= 4 && params.tile_k % 4 == 0 &&
+                params.tile_k <= 32);
+
+  const int tile_k = params.tile_k;
+  const int vec_rows = a.vec_rows();
+  const int n_tiles = n / kTileN;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid = vec_rows * n_tiles;
+  cfg.cta_threads = 32;
+  // smem: staged indices (tile_k ints) + values (tile_k * v halves).
+  cfg.smem_bytes =
+      static_cast<std::size_t>(tile_k) * (4 + static_cast<std::size_t>(v) * 2);
+  // Profile calibrated to the paper's SASS statistics (§7.2.2): 384 /
+  // 416 SASS lines for V = 4 / 8 at TileK = 32; registers hold the V*64
+  // fp32 accumulator split across 32 lanes (2V each) plus operands.
+  cfg.profile = {
+      .name = "spmm_octet_v" + std::to_string(v),
+      .regs_per_thread = 26 + 2 * v + tile_k / 4,
+      .static_instrs = 352 + 8 * v + 2 * (tile_k - 32),
+      .icache_pressure = 1.0,
+      .ilp_factor = params.batch_loads ? 0.5 : 1.0,
+      // Without the §5.4 batching, the compiler's register reuse
+      // serializes the B-fragment loads behind the MMAs: fewer loads in
+      // flight -> a fraction of peak memory bandwidth.
+      .mlp_factor = params.batch_loads ? 1.0 : 0.65,
+  };
+
+  auto row_ptr = a.row_ptr.host();
+
+  gpusim::KernelStats stats = gpusim::launch(dev, cfg, [&](Cta& cta) {
+    // Rows enumerate fastest: consecutive CTAs on an SM share the same
+    // 64-wide B slice, which then lives in that SM's L1 (K x 64 x 2 B
+    // = at most 128 KiB) — the reuse structure §4 counts on.
+    const int vr = cta.cta_id() % vec_rows;
+    const int n0 = (cta.cta_id() / vec_rows) * kTileN;
+    Warp w = cta.warp(0);
+
+    // Row extent: two scalar loads of csrRowPtr (one LDG.32, 2 lanes).
+    {
+      AddrLanes addr{};
+      Lanes<std::int32_t> dst{};
+      addr[0] = a.row_ptr.addr(static_cast<std::size_t>(vr));
+      addr[1] = a.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
+      w.ldg(addr, dst, 0x3u);
+      w.count(Op::kImad, 3);  // vr/n0 decomposition + pointer math
+    }
+    const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
+    const std::int32_t end = row_ptr[static_cast<std::size_t>(vr) + 1];
+
+    // fp32 accumulator for the V x 64 output tile (2V registers/lane).
+    float acc[8][kTileN] = {};
+
+    std::vector<BFrag> frags(static_cast<std::size_t>(tile_k / 4));
+
+    for (std::int32_t i0 = begin; i0 < end; i0 += tile_k) {
+      const int cnt = std::min<std::int32_t>(tile_k, end - i0);
+
+      // ---- stage the LHS fragment (indices + values) into smem ------
+      {
+        // Indices: one lane per staged vector, LDG.32 coalesced.
+        AddrLanes addr{};
+        Lanes<std::int32_t> idx{};
+        std::uint32_t mask = 0;
+        for (int l = 0; l < std::min(cnt, 32); ++l) {
+          addr[static_cast<std::size_t>(l)] =
+              a.col_idx.addr(static_cast<std::size_t>(i0 + l));
+          mask |= 1u << l;
+        }
+        w.ldg(addr, idx, mask);
+        Lanes<std::uint32_t> soff{};
+        for (int l = 0; l < std::min(cnt, 32); ++l) {
+          soff[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(l * 4);
+        }
+        w.sts(soff, idx, mask);
+        w.count(Op::kImad, 2);
+      }
+      {
+        // Values: one V-wide vector per lane; the CVS layout keeps the
+        // whole stride contiguous, so this is 128 B coalesced.
+        std::uint32_t mask = 0;
+        AddrLanes addr{};
+        for (int l = 0; l < std::min(cnt, 32); ++l) {
+          addr[static_cast<std::size_t>(l)] = a.values.addr(
+              static_cast<std::size_t>(i0 + l) * static_cast<std::size_t>(v));
+          mask |= 1u << l;
+        }
+        Lanes<std::uint32_t> soff{};
+        for (int l = 0; l < std::min(cnt, 32); ++l) {
+          soff[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(
+              tile_k * 4 + l * v * 2);
+        }
+        switch (v) {
+          case 2: {
+            Lanes<half2> val;
+            w.ldg(addr, val, mask);
+            w.sts(soff, val, mask);
+            break;
+          }
+          case 4: {
+            Lanes<half4> val;
+            w.ldg(addr, val, mask);
+            w.sts(soff, val, mask);
+            break;
+          }
+          default: {
+            Lanes<half8> val;
+            w.ldg(addr, val, mask);
+            w.sts(soff, val, mask);
+            break;
+          }
+        }
+        w.count(Op::kImad, 2);
+      }
+
+      const int steps = ceil_div(cnt, 4);
+      const bool full_stride = cnt == tile_k;
+      const bool batch = params.batch_loads && full_stride;
+
+      // Reads back the staged column indices (broadcast LDS).
+      const auto staged_col = [&](int j) -> std::int32_t {
+        return *reinterpret_cast<const std::int32_t*>(cta.smem() + j * 4);
+      };
+      const auto staged_val = [&](int j, int t) -> float {
+        return static_cast<float>(*reinterpret_cast<const half_t*>(
+            cta.smem() + tile_k * 4 + (j * v + t) * 2));
+      };
+
+      // ---- per 4-vector step: load the 64x4 B fragment ---------------
+      const auto load_bfrag = [&](int s, BFrag& f) {
+        f.valid = std::min(4, cnt - 4 * s);
+        AddrLanes addr{};
+        std::uint32_t mask = 0;
+        for (int lane = 0; lane < 32; ++lane) {
+          const int j = lane / 8;  // which of the 4 B rows
+          if (j >= f.valid) continue;
+          const std::int32_t col = staged_col(4 * s + j);
+          addr[static_cast<std::size_t>(lane)] =
+              b.addr(col, n0 + 8 * (lane % 8));
+          mask |= 1u << lane;
+        }
+        w.count(Op::kImad, 1);
+        w.ldg(addr, f.lanes, mask);
+      };
+
+      // ---- the octet-tiling MMA: (64x4)·(4xV) -------------------------
+      const auto issue_mma = [&](int s, const BFrag& f) {
+        // LDS of the staged A values for this step (4 vectors x V
+        // halves, held once per octet).
+        {
+          // The step's values span 8*v bytes of smem; lanes broadcast
+          // over it in half2 units.
+          Lanes<std::uint32_t> off{};
+          Lanes<half2> d;
+          for (int lane = 0; lane < 32; ++lane) {
+            off[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
+                tile_k * 4 + 4 * s * v * 2 + (lane % (2 * v)) * 4);
+          }
+          w.lds(off, d);
+        }
+        // Two mma.m8n8k4 (8 HMMA) cover the 64 output rows; with the
+        // future-work SASS edit, STEP 2&3 vanish for V <= 4.
+        const unsigned steps_mask =
+            (params.skip_steps_for_small_v && v <= 4) ? 0x3u : 0xFu;
+        w.count(Op::kHmma,
+                2 * static_cast<std::uint64_t>(std::popcount(steps_mask)));
+        // Functional math: acc[t][nn] += A[k_j][t] * B[k_j][nn].
+        for (int j = 0; j < f.valid; ++j) {
+          float avals[8];
+          for (int t = 0; t < v; ++t) avals[t] = staged_val(4 * s + j, t);
+          for (int lane = 0; lane < 32; ++lane) {
+            if (lane / 8 != j) continue;
+            const int nn0 = 8 * (lane % 8);
+            for (int e = 0; e < 8; ++e) {
+              const float bv =
+                  static_cast<float>(f.lanes[static_cast<std::size_t>(lane)][e]);
+              for (int t = 0; t < v; ++t) {
+                acc[t][nn0 + e] += avals[t] * bv;
+              }
+            }
+          }
+        }
+      };
+
+      if (batch) {
+        // §5.4: all loads first, a fence, then all MMAs — prevents the
+        // compiler from serializing loads behind MMAs on shared regs.
+        for (int s = 0; s < steps; ++s) load_bfrag(s, frags[static_cast<std::size_t>(s)]);
+        w.fence();
+        for (int s = 0; s < steps; ++s) issue_mma(s, frags[static_cast<std::size_t>(s)]);
+      } else {
+        // Residue stride: interleave load and compute per 4 vectors.
+        for (int s = 0; s < steps; ++s) {
+          load_bfrag(s, frags[0]);
+          issue_mma(s, frags[0]);
+        }
+      }
+    }
+
+    // ---- writeback: shuffle-reorganize, convert, vector stores -------
+    w.count(Op::kShfl, static_cast<std::uint64_t>(2 * v));
+    w.count(Op::kCvt, static_cast<std::uint64_t>(v * kTileN / 32));
+    const int row_groups = ceil_div(v * kTileN, 32 * 8);  // rows per STG.128
+    for (int g = 0; g < row_groups; ++g) {
+      AddrLanes addr{};
+      Lanes<half8> frag{};
+      std::uint32_t mask = 0;
+      for (int lane = 0; lane < 32; ++lane) {
+        const int flat = (g * 32 + lane) * 8;  // element offset in tile
+        const int t = flat / kTileN;
+        if (t >= v) continue;
+        const int nn = flat % kTileN;
+        addr[static_cast<std::size_t>(lane)] = c.addr(vr * v + t, n0 + nn);
+        for (int e = 0; e < 8; ++e) {
+          frag[static_cast<std::size_t>(lane)][e] = half_t(acc[t][nn + e]);
+        }
+        mask |= 1u << lane;
+      }
+      w.stg(addr, frag, mask);
+    }
+  });
+
+  return {stats, cfg};
+}
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,50 @@
+// SpMM with TCU-based 1-D Octet Tiling — the paper's primary
+// contribution (§5.3 / §5.4).
+//
+// C[MxN] = A[MxK] * B[KxN], A in column-vector sparse encoding
+// (V in {2,4,8}), B and C row-major half.
+//
+// Launch shape: ceil(M/V) x (N/64) CTAs of one warp each (§5.4), so the
+// grid scales with M*N/(64V) (guideline II).  Each CTA:
+//
+//   * traverses the vector-row's nonzeros in strides of TileK,
+//   * stages the LHS fragment (indices + values, contiguous in the CVS
+//     layout) into shared memory once per stride — it is reused by all
+//     64 output columns, so smem staging is the right choice
+//     (guideline IV applies to the *B* operand, which has few reuse
+//     opportunities and goes straight to registers),
+//   * per 4 nonzero vectors, loads the 64x4 B fragment with ONE
+//     LDG.128 (each lane takes 8 consecutive halves of one B row:
+//     four 128 B coalesced transactions — guideline V),
+//   * issues the octet-tiling MMA computing (64x4)·(4xV) — LHS/RHS
+//     switched so V lies along TCU columns; 8 HMMA steps per step
+//     (2 mma.m8n8k4), independent of V (STEP 2&3 removal for V<=4
+//     needs an assembler, §7.1.3 — exposed as `skip_steps_for_small_v`
+//     for the ablation bench only),
+//   * batches all TileK/4 B-fragment loads, a __threadfence_block, then
+//     all MMAs (the §5.4 ILP trick, `batch_loads`),
+//   * reorganizes the accumulators with warp shuffles and writes C with
+//     vector stores.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+struct SpmmOctetParams {
+  int tile_k = 32;      ///< nonzero vectors staged per stride (multiple of 4)
+  bool batch_loads = true;  ///< §5.4 ILP trick (ablation: set false)
+  /// Future-work HMMA removal (§7.1.3): skip STEP 2&3 when V <= 4.
+  /// Off by default to match the evaluated kernel.
+  bool skip_steps_for_small_v = false;
+};
+
+/// Launch the octet-tiling SpMM.  Requires N % 64 == 0 and
+/// a.v in {2,4,8} (use the FPU kernel for V=1).
+KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
+                     const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                     const SpmmOctetParams& params = {});
+
+}  // namespace vsparse::kernels

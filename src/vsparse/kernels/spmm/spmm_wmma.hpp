@@ -1,0 +1,25 @@
+// SpMM with TCU-based 1-D Warp Tiling (§5.2) — the classic
+// wmma.m8n32k16 mapping used as an intermediate design point between
+// the FPU baseline and the octet tiling.
+//
+// Grid and warp tile match the octet kernel (one V x 64 output tile per
+// single-warp CTA — guidelines I/II/III hold), but the classic fragment
+// layout of Fig. 10 caps the B loads at LDG.64 with 64 B coalescing
+// (guideline V violated), TileK must be a multiple of 16 (costlier
+// residue handling), and a (V x 16)·(16 x 32) wmma wastes computation
+// whenever V < 8.
+#pragma once
+
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::kernels {
+
+/// C = A_cvs * B with the classic warp-level WMMA mapping.
+/// Requires N % 64 == 0 and V in {2,4,8}.
+KernelRun spmm_wmma_warp(gpusim::Device& dev, const CvsDevice& a,
+                         const DenseDevice<half_t>& b,
+                         DenseDevice<half_t>& c);
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,102 @@
+#include "vsparse/report/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace vsparse::report {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Record make_record(const kernels::KernelRun& run,
+                   const gpusim::DeviceConfig& hw,
+                   std::vector<std::pair<std::string, std::string>> labels) {
+  return Record{run.config.profile.name, std::move(labels), run.stats,
+                run.cost(hw)};
+}
+
+std::string to_json(const Record& r) {
+  std::ostringstream os;
+  os << "{\"kernel\":\"" << escape_json(r.kernel) << "\"";
+  for (const auto& [k, v] : r.labels) {
+    os << ",\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
+  }
+  os << ",\"cycles\":" << r.cost.cycles << ",\"bound_by\":\""
+     << escape_json(r.cost.bound_by) << "\""
+     << ",\"stall_no_instruction\":" << r.cost.stall_no_instruction
+     << ",\"stall_wait\":" << r.cost.stall_wait
+     << ",\"stall_short_scoreboard\":" << r.cost.stall_short_scoreboard
+     << ",\"ctas_per_sm\":" << r.cost.ctas_per_sm
+     << ",\"active_warps_per_sm\":" << r.cost.active_warps_per_sm
+     << ",\"instructions\":" << r.stats.total_instructions()
+     << ",\"hmma\":" << r.stats.op(gpusim::Op::kHmma)
+     << ",\"ldg128\":" << r.stats.ldg128
+     << ",\"sectors_per_request\":" << r.stats.sectors_per_request()
+     << ",\"l1_sector_misses\":" << r.stats.l1_sector_misses
+     << ",\"bytes_l2_to_l1\":" << r.stats.bytes_l2_to_l1()
+     << ",\"dram_read_bytes\":" << r.stats.dram_read_bytes << "}";
+  return os.str();
+}
+
+std::string csv_header() {
+  return "kernel,labels,cycles,bound_by,stall_no_instruction,stall_wait,"
+         "stall_short_scoreboard,ctas_per_sm,active_warps_per_sm,"
+         "instructions,hmma,ldg128,sectors_per_request,l1_sector_misses,"
+         "bytes_l2_to_l1,dram_read_bytes";
+}
+
+std::string to_csv_row(const Record& r) {
+  std::ostringstream labels;
+  for (std::size_t i = 0; i < r.labels.size(); ++i) {
+    if (i) labels << ';';
+    labels << r.labels[i].first << '=' << r.labels[i].second;
+  }
+  std::ostringstream os;
+  os << r.kernel << ',' << labels.str() << ',' << r.cost.cycles << ','
+     << r.cost.bound_by << ',' << r.cost.stall_no_instruction << ','
+     << r.cost.stall_wait << ',' << r.cost.stall_short_scoreboard << ','
+     << r.cost.ctas_per_sm << ',' << r.cost.active_warps_per_sm << ','
+     << r.stats.total_instructions() << ',' << r.stats.op(gpusim::Op::kHmma)
+     << ',' << r.stats.ldg128 << ',' << r.stats.sectors_per_request() << ','
+     << r.stats.l1_sector_misses << ',' << r.stats.bytes_l2_to_l1() << ','
+     << r.stats.dram_read_bytes;
+  return os.str();
+}
+
+void write_json(std::ostream& os, const std::vector<Record>& records) {
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    os << "  " << to_json(records[i]) << (i + 1 < records.size() ? "," : "")
+       << "\n";
+  }
+  os << "]\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<Record>& records) {
+  os << csv_header() << "\n";
+  for (const Record& r : records) os << to_csv_row(r) << "\n";
+}
+
+}  // namespace vsparse::report

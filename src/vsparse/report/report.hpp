@@ -1,0 +1,42 @@
+// Structured export of kernel measurements: JSON records and CSV rows
+// for downstream tooling (plotting the reproduced figures, regression
+// tracking).  Used by the bench binaries behind --csv/--json flags and
+// available to library users directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vsparse/gpusim/costmodel.hpp"
+#include "vsparse/kernels/api.hpp"
+
+namespace vsparse::report {
+
+/// One measured data point: a kernel run plus the experiment coordinates
+/// it belongs to (free-form key=value labels like v=4, sparsity=0.9).
+struct Record {
+  std::string kernel;
+  std::vector<std::pair<std::string, std::string>> labels;
+  gpusim::KernelStats stats;
+  gpusim::CostEstimate cost;
+};
+
+/// Build a record from a KernelRun under a hardware model.
+Record make_record(const kernels::KernelRun& run,
+                   const gpusim::DeviceConfig& hw,
+                   std::vector<std::pair<std::string, std::string>> labels);
+
+/// Serialize one record as a single-line JSON object.
+std::string to_json(const Record& r);
+
+/// CSV header matching to_csv_row's columns (labels flattened into a
+/// single "labels" column as k=v;k=v).
+std::string csv_header();
+std::string to_csv_row(const Record& r);
+
+/// Write a batch in either format.
+void write_json(std::ostream& os, const std::vector<Record>& records);
+void write_csv(std::ostream& os, const std::vector<Record>& records);
+
+}  // namespace vsparse::report

@@ -1,0 +1,187 @@
+#include "vsparse/transformer/fidelity.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/common/rng.hpp"
+#include "vsparse/fp16/half.hpp"
+#include "vsparse/formats/generate.hpp"
+
+namespace vsparse::transformer {
+
+namespace {
+
+using Mat = std::vector<float>;  // row-major seq x cols
+
+/// Quantize a matrix to binary16 and back (the fp16 pipeline's operand
+/// rounding; accumulation stays fp32 as on the TCU).
+Mat quantize(const Mat& m) {
+  Mat out(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out[i] = static_cast<float>(half_t(m[i]));
+  }
+  return out;
+}
+
+Mat matmul(const Mat& a, int m, int k, const Mat& b, int n) {
+  Mat c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a[static_cast<std::size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) {
+        c[static_cast<std::size_t>(i) * n + j] +=
+            av * b[static_cast<std::size_t>(kk) * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+/// One attention head + mean-pool + classifier, parameterized by
+/// whether operands are fp16-quantized and whether the sparse mask is
+/// applied.  `mask_dense` is a seq x seq 0/1 matrix (empty = dense).
+Mat forward(const Mat& x, int seq, int d, const Mat& wq, const Mat& wk,
+            const Mat& wv, const Mat& wcls, int classes, bool fp16,
+            const Mat& mask_dense) {
+  const auto maybe_q = [&](const Mat& m) { return fp16 ? quantize(m) : m; };
+  Mat q = matmul(maybe_q(x), seq, d, maybe_q(wq), d);
+  Mat k = matmul(maybe_q(x), seq, d, maybe_q(wk), d);
+  Mat v = matmul(maybe_q(x), seq, d, maybe_q(wv), d);
+  if (fp16) {
+    q = quantize(q);
+    k = quantize(k);
+    v = quantize(v);
+  }
+  // scores = q k^T / sqrt(d), masked.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  Mat probs(static_cast<std::size_t>(seq) * seq, 0.0f);
+  for (int i = 0; i < seq; ++i) {
+    float maxv = -1e30f;
+    std::vector<float> row(static_cast<std::size_t>(seq), -1e30f);
+    for (int j = 0; j < seq; ++j) {
+      if (!mask_dense.empty() &&
+          mask_dense[static_cast<std::size_t>(i) * seq + j] == 0.0f) {
+        continue;
+      }
+      float dot = 0.0f;
+      for (int kk = 0; kk < d; ++kk) {
+        dot += q[static_cast<std::size_t>(i) * d + kk] *
+               k[static_cast<std::size_t>(j) * d + kk];
+      }
+      if (fp16) dot = static_cast<float>(half_t(dot));
+      row[static_cast<std::size_t>(j)] = dot * scale;
+      maxv = std::max(maxv, dot * scale);
+    }
+    float denom = 0.0f;
+    for (int j = 0; j < seq; ++j) {
+      if (row[static_cast<std::size_t>(j)] > -1e29f) {
+        denom += std::exp(row[static_cast<std::size_t>(j)] - maxv);
+      }
+    }
+    for (int j = 0; j < seq; ++j) {
+      if (row[static_cast<std::size_t>(j)] > -1e29f) {
+        float p = std::exp(row[static_cast<std::size_t>(j)] - maxv) / denom;
+        if (fp16) p = static_cast<float>(half_t(p));
+        probs[static_cast<std::size_t>(i) * seq + j] = p;
+      }
+    }
+  }
+  Mat ctx = matmul(probs, seq, seq, v, d);
+  if (fp16) ctx = quantize(ctx);
+  // Mean-pool over the sequence, then classify.
+  Mat pooled(static_cast<std::size_t>(d), 0.0f);
+  for (int i = 0; i < seq; ++i) {
+    for (int kk = 0; kk < d; ++kk) {
+      pooled[static_cast<std::size_t>(kk)] +=
+          ctx[static_cast<std::size_t>(i) * d + kk] / seq;
+    }
+  }
+  return matmul(pooled, 1, d, maybe_q(wcls), classes);
+}
+
+double cosine(const Mat& a, const Mat& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i], y = b[i];
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  return na > 0 && nb > 0 ? dot / (std::sqrt(na) * std::sqrt(nb)) : 1.0;
+}
+
+int argmax(const Mat& a) {
+  int best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace
+
+FidelityReport measure_fidelity(const FidelityConfig& cfg,
+                                std::uint64_t seed) {
+  VSPARSE_CHECK(cfg.seq % cfg.v == 0);
+  Rng rng(seed);
+  const int d = cfg.head_dim;
+  const auto randmat = [&](int rows, int cols, float s) {
+    Mat m(static_cast<std::size_t>(rows) * cols);
+    for (float& x : m) x = rng.uniform_float(-s, s);
+    return m;
+  };
+  const Mat wq = randmat(d, d, 0.3f), wk = randmat(d, d, 0.3f),
+            wv = randmat(d, d, 0.3f), wcls = randmat(d, cfg.classes, 0.3f);
+
+  // The fixed banded+random mask, densified for the host reference.
+  Cvs mask = make_attention_mask(cfg.seq, cfg.v, cfg.band, cfg.sparsity, rng);
+  Mat mask_dense(static_cast<std::size_t>(cfg.seq) * cfg.seq, 0.0f);
+  for (int vr = 0; vr < mask.vec_rows(); ++vr) {
+    for (std::int32_t i = mask.row_ptr[static_cast<std::size_t>(vr)];
+         i < mask.row_ptr[static_cast<std::size_t>(vr) + 1]; ++i) {
+      const std::int32_t c = mask.col_idx[static_cast<std::size_t>(i)];
+      for (int t = 0; t < cfg.v; ++t) {
+        mask_dense[static_cast<std::size_t>(vr * cfg.v + t) * cfg.seq + c] =
+            1.0f;
+      }
+    }
+  }
+
+  FidelityReport rep;
+  double dh_cos = 0, sh_cos = 0;
+  int dh_agree = 0, sh_agree = 0;
+  double max_rel = 0;
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    const Mat x = randmat(cfg.seq, d, 1.0f);
+    // fp32 references: dense-dense and masked (the model the sparse
+    // pipeline approximates numerically is the MASKED fp32 model).
+    const Mat ref_dense =
+        forward(x, cfg.seq, d, wq, wk, wv, wcls, cfg.classes, false, {});
+    const Mat ref_masked = forward(x, cfg.seq, d, wq, wk, wv, wcls,
+                                   cfg.classes, false, mask_dense);
+    const Mat dense_half =
+        forward(x, cfg.seq, d, wq, wk, wv, wcls, cfg.classes, true, {});
+    const Mat sparse_half = forward(x, cfg.seq, d, wq, wk, wv, wcls,
+                                    cfg.classes, true, mask_dense);
+    dh_cos += cosine(ref_dense, dense_half);
+    sh_cos += cosine(ref_masked, sparse_half);
+    dh_agree += argmax(ref_dense) == argmax(dense_half) ? 1 : 0;
+    sh_agree += argmax(ref_masked) == argmax(sparse_half) ? 1 : 0;
+    for (std::size_t i = 0; i < ref_masked.size(); ++i) {
+      const double want = ref_masked[i];
+      const double got = sparse_half[i];
+      const double denom = std::max(1e-3, std::fabs(want));
+      max_rel = std::max(max_rel, std::fabs(got - want) / denom);
+    }
+  }
+  rep.dense_half_cosine = dh_cos / cfg.trials;
+  rep.sparse_half_cosine = sh_cos / cfg.trials;
+  rep.dense_half_agreement = static_cast<double>(dh_agree) / cfg.trials;
+  rep.sparse_half_agreement = static_cast<double>(sh_agree) / cfg.trials;
+  rep.sparse_half_max_rel_err = max_rel;
+  return rep;
+}
+
+}  // namespace vsparse::transformer

@@ -1,0 +1,73 @@
+// Tests for the benchmark-support library: summaries, suite
+// determinism, and the dense-baseline cache.
+#include <gtest/gtest.h>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/bench/suite.hpp"
+#include "vsparse/bench/summary.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+TEST(Summary, GeomeanAndQuartiles) {
+  BoxStats s = summarize({1.0, 2.0, 4.0, 8.0});
+  EXPECT_NEAR(s.geomean, 2.8284, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_NEAR(s.median, 3.0, 1e-9);
+  EXPECT_EQ(s.count, 4);
+}
+
+TEST(Summary, SingleSample) {
+  BoxStats s = summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.geomean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(Summary, EmptyIsZero) {
+  BoxStats s = summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.geomean, 0.0);
+}
+
+TEST(Summary, RejectsNonPositive) {
+  EXPECT_THROW(geomean({1.0, 0.0}), CheckError);
+}
+
+TEST(Suite, DeterministicConstruction) {
+  Cvs a = make_suite_cvs({512, 256}, 0.9, 4);
+  Cvs b = make_suite_cvs({512, 256}, 0.9, 4);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].bits(), b.values[i].bits());
+  }
+}
+
+TEST(Suite, BlockedEllTwinMatchesSparsity) {
+  Cvs cvs = make_suite_cvs({512, 256}, 0.9, 4);
+  BlockedEll ell = make_suite_blocked_ell({512, 256}, 0.9, 4);
+  EXPECT_EQ(ell.rows, cvs.rows);
+  EXPECT_EQ(ell.cols, cvs.cols);
+  EXPECT_NEAR(ell.sparsity(), cvs.sparsity(), 0.05);
+}
+
+TEST(Suite, ScalesDiffer) {
+  EXPECT_LT(suite_shapes(Scale::kSmall).size(),
+            suite_shapes(Scale::kPaper).size());
+}
+
+TEST(DenseBaselineCache, MemoizesAndIsConsistent) {
+  DenseBaseline base;
+  const double a = base.hgemm_cycles(256, 128, 128);
+  const double b = base.hgemm_cycles(256, 128, 128);
+  EXPECT_DOUBLE_EQ(a, b);
+  // Bigger problems cost more.
+  EXPECT_GT(base.hgemm_cycles(512, 128, 128), a);
+  // Single precision costs more than half on the same problem.
+  EXPECT_GT(base.sgemm_cycles(256, 128, 128), a);
+}
+
+}  // namespace
+}  // namespace vsparse::bench

@@ -1,0 +1,154 @@
+// Tests for the §8 Discussion-case utilities: square-block encoding,
+// encoded-form transpose (Case 1, training), and global-attention rows
+// (Case 2) — including the backward-pass SpMM they enable.
+#include "vsparse/formats/blocksparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/reference.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse {
+namespace {
+
+TEST(SquareBlock, GeneratorProducesAlignedBlocks) {
+  Rng rng(1);
+  Cvs a = make_square_block_cvs(64, 128, 4, 0.75, rng);
+  a.validate();
+  EXPECT_TRUE(has_square_block_structure(a));
+  EXPECT_NEAR(a.sparsity(), 0.75, 0.05);
+}
+
+TEST(SquareBlock, DetectsNonBlockStructure) {
+  Rng rng(2);
+  Cvs a = make_cvs(64, 128, 4, 0.75, rng);  // arbitrary columns
+  EXPECT_FALSE(has_square_block_structure(a));
+  Cvs b = make_square_block_cvs(64, 128, 4, 0.75, rng);
+  b.col_idx[0] += 1;  // break alignment
+  EXPECT_FALSE(has_square_block_structure(b));
+}
+
+TEST(SquareBlock, TransposeMatchesDenseTranspose) {
+  Rng rng(3);
+  for (int v : {2, 4, 8}) {
+    Cvs a = make_square_block_cvs(8 * v, 16 * v, v, 0.6, rng);
+    Cvs at = transpose_square_block_cvs(a);
+    at.validate();
+    EXPECT_TRUE(has_square_block_structure(at));
+    DenseMatrix<half_t> da = a.to_dense();
+    DenseMatrix<half_t> dat = at.to_dense();
+    ASSERT_EQ(dat.rows(), da.cols());
+    ASSERT_EQ(dat.cols(), da.rows());
+    for (int r = 0; r < da.rows(); ++r) {
+      for (int c = 0; c < da.cols(); ++c) {
+        ASSERT_EQ(dat.at(c, r).bits(), da.at(r, c).bits())
+            << "v=" << v << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(SquareBlock, TransposeIsInvolution) {
+  Rng rng(4);
+  Cvs a = make_square_block_cvs(32, 64, 4, 0.5, rng);
+  Cvs back = transpose_square_block_cvs(transpose_square_block_cvs(a));
+  EXPECT_EQ(back.row_ptr, a.row_ptr);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    ASSERT_EQ(back.values[i].bits(), a.values[i].bits());
+  }
+}
+
+TEST(SquareBlock, TransposeRejectsIrregularPattern) {
+  Rng rng(5);
+  Cvs a = make_cvs(32, 64, 4, 0.5, rng);
+  EXPECT_THROW(transpose_square_block_cvs(a), CheckError);
+}
+
+// §8 Case 1 end to end: forward Y = W X and backward dX = Wᵀ dY both
+// run on the octet SpMM, using the two encodings of the same weights.
+TEST(SquareBlock, TrainingBackwardPassOnEncodedTranspose) {
+  Rng rng(6);
+  const int m = 64, k = 96, n = 64, v = 4;
+  Cvs w = make_square_block_cvs(m, k, v, 0.7, rng);
+  for (half_t& h : w.values) {
+    h = half_t(static_cast<float>(rng.uniform_int(-2, 2)));
+  }
+  Cvs wt = transpose_square_block_cvs(w);
+  DenseMatrix<half_t> x(k, n), dy(m, n);
+  x.fill_random_int(rng);
+  dy.fill_random_int(rng);
+
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 64 << 20;
+  cfg.num_sms = 4;
+  gpusim::Device dev(cfg);
+  auto dw = to_device(dev, w);
+  auto dwt = to_device(dev, wt);
+  auto dx = to_device(dev, x);
+  auto ddy = to_device(dev, dy);
+  DenseMatrix<half_t> yh(m, n), dxh(k, n);
+  auto dy_out = to_device(dev, yh);
+  auto dx_out = to_device(dev, dxh);
+
+  kernels::spmm_octet(dev, dw, dx, dy_out);    // forward
+  kernels::spmm_octet(dev, dwt, ddy, dx_out);  // backward
+
+  DenseMatrix<half_t> y_ref = spmm_reference(w, x);
+  DenseMatrix<half_t> dx_ref = spmm_reference(wt, dy);
+  DenseMatrix<half_t> y_got = from_device(dy_out);
+  DenseMatrix<half_t> dx_got = from_device(dx_out);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      ASSERT_EQ(y_got.at(r, c).bits(), y_ref.at(r, c).bits());
+    }
+  }
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < n; ++c) {
+      ASSERT_EQ(dx_got.at(r, c).bits(), dx_ref.at(r, c).bits());
+    }
+  }
+}
+
+TEST(GlobalRows, PatternAndKernelExecution) {
+  Rng rng(7);
+  Cvs a = make_global_row_cvs(64, 128, 8, /*dense_vec_rows=*/2, rng);
+  a.validate();
+  // Exactly two fully-dense vector rows.
+  int dense_rows = 0;
+  for (int vr = 0; vr < a.vec_rows(); ++vr) {
+    const int cnt = a.row_ptr[static_cast<std::size_t>(vr) + 1] -
+                    a.row_ptr[static_cast<std::size_t>(vr)];
+    EXPECT_TRUE(cnt == 0 || cnt == 128);
+    if (cnt == 128) ++dense_rows;
+  }
+  EXPECT_EQ(dense_rows, 2);
+
+  // The octet kernel handles the extreme row-length imbalance.
+  DenseMatrix<half_t> b(128, 64);
+  b.fill_random_int(rng);
+  for (half_t& h : a.values) {
+    h = half_t(static_cast<float>(rng.uniform_int(-2, 2)));
+  }
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 64 << 20;
+  cfg.num_sms = 4;
+  gpusim::Device dev(cfg);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> ch(64, 64);
+  auto dc = to_device(dev, ch);
+  kernels::spmm_octet(dev, da, db, dc);
+  DenseMatrix<half_t> got = from_device(dc);
+  DenseMatrix<half_t> ref = spmm_reference(a, b);
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      ASSERT_EQ(got.at(r, c).bits(), ref.at(r, c).bits());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsparse

@@ -1,0 +1,176 @@
+// Correctness + counter tests for the dense GEMM baselines.
+#include "vsparse/kernels/dense/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/reference.hpp"
+
+namespace vsparse::kernels {
+namespace {
+
+gpusim::DeviceConfig test_config() {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 256 << 20;
+  cfg.num_sms = 8;
+  return cfg;
+}
+
+class HgemmTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HgemmTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  gpusim::Device dev(test_config());
+  Rng rng(1000 + m + k + n);
+  DenseMatrix<half_t> a(m, k), b(k, n);
+  a.fill_random_int(rng);
+  b.fill_random_int(rng);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> c_host(m, n);
+  auto dc = to_device(dev, c_host);
+
+  KernelRun run = hgemm_tcu(dev, da, db, dc);
+  DenseMatrix<half_t> c = from_device(dc);
+  DenseMatrix<half_t> ref = gemm_reference(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(c.at(i, j).bits(), ref.at(i, j).bits())
+          << "(" << i << "," << j << ") got " << static_cast<float>(c.at(i, j))
+          << " want " << static_cast<float>(ref.at(i, j));
+    }
+  }
+  // HMMA covers the whole problem: one HMMA.884 step = 4 octets x
+  // (4x4 outputs x 4 k) = 256 MACs.
+  const auto hmma = run.stats.op(gpusim::Op::kHmma);
+  EXPECT_EQ(hmma, static_cast<std::uint64_t>(m) * n * k / 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HgemmTest,
+                         ::testing::Values(std::tuple{64, 16, 64},
+                                           std::tuple{64, 32, 128},
+                                           std::tuple{128, 64, 64},
+                                           std::tuple{192, 48, 128}));
+
+TEST(Hgemm, ColMajorBMatchesReference) {
+  gpusim::Device dev(test_config());
+  Rng rng(7);
+  DenseMatrix<half_t> a(64, 32), b(32, 64, Layout::kColMajor);
+  a.fill_random_int(rng);
+  b.fill_random_int(rng);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> c_host(64, 64);
+  auto dc = to_device(dev, c_host);
+  hgemm_tcu(dev, da, db, dc);
+  DenseMatrix<half_t> c = from_device(dc);
+  DenseMatrix<half_t> ref = gemm_reference(a, b);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      ASSERT_EQ(c.at(i, j).bits(), ref.at(i, j).bits()) << i << "," << j;
+    }
+  }
+}
+
+TEST(Hgemm, RejectsUnpaddedShapes) {
+  gpusim::Device dev(test_config());
+  DenseMatrix<half_t> a(60, 16), b(16, 64);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> ch(60, 64);
+  auto dc = to_device(dev, ch);
+  EXPECT_THROW(hgemm_tcu(dev, da, db, dc), CheckError);
+}
+
+TEST(Hgemm, GoodMemoryBehaviour) {
+  // The §3.1 signature of a dense TCU GEMM: perfectly coalesced global
+  // loads (LDG.128, high sectors/request) and heavy smem reuse.
+  gpusim::Device dev(test_config());
+  Rng rng(9);
+  DenseMatrix<half_t> a(256, 128), b(128, 256);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> ch(256, 256);
+  auto dc = to_device(dev, ch);
+  KernelRun run = hgemm_tcu(dev, da, db, dc);
+  EXPECT_GT(run.stats.sectors_per_request(), 10.0);
+  EXPECT_GT(run.stats.smem_to_global_load_ratio(), 2.0);
+  EXPECT_EQ(run.stats.ldg32, 0u);  // everything is LDG.128
+  EXPECT_EQ(run.stats.ldg64, 0u);
+}
+
+class SgemmTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SgemmTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  gpusim::Device dev(test_config());
+  Rng rng(2000 + m + k + n);
+  DenseMatrix<float> a(m, k), b(k, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<float> c_host(m, n);
+  auto dc = to_device(dev, c_host);
+  sgemm_fpu(dev, da, db, dc);
+  DenseMatrix<float> c = from_device(dc);
+  // fp32 throughout with identical accumulation order per element.
+  DenseMatrix<float> ref = gemm_reference(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_NEAR(c.at(i, j), ref.at(i, j), 1e-3f) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SgemmTest,
+                         ::testing::Values(std::tuple{64, 16, 64},
+                                           std::tuple{128, 32, 64},
+                                           std::tuple{64, 64, 192}));
+
+TEST(Sgemm, UsesFpuNotTcu) {
+  gpusim::Device dev(test_config());
+  Rng rng(3);
+  DenseMatrix<float> a(64, 32), b(32, 64);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<float> ch(64, 64);
+  auto dc = to_device(dev, ch);
+  KernelRun run = sgemm_fpu(dev, da, db, dc);
+  EXPECT_EQ(run.stats.op(gpusim::Op::kHmma), 0u);
+  EXPECT_GT(run.stats.op(gpusim::Op::kFfma), 0u);
+}
+
+TEST(GemmCost, HalfBeatsSingleAndTcuBeatsFpu) {
+  // The Fig. 4/5 premise: cublasHgemm is much faster than cublasSgemm on
+  // the same problem because of TCU math and halved traffic.
+  gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100();
+  gpusim::Device dev(test_config());
+  Rng rng(4);
+  const int m = 256, k = 128, n = 256;
+  DenseMatrix<half_t> ah(m, k), bh(k, n);
+  ah.fill_random(rng);
+  bh.fill_random(rng);
+  DenseMatrix<float> af(m, k), bf(k, n);
+  af.fill_random(rng);
+  bf.fill_random(rng);
+  auto dah = to_device(dev, ah);
+  auto dbh = to_device(dev, bh);
+  DenseMatrix<half_t> chh(m, n);
+  auto dch = to_device(dev, chh);
+  auto daf = to_device(dev, af);
+  auto dbf = to_device(dev, bf);
+  DenseMatrix<float> chf(m, n);
+  auto dcf = to_device(dev, chf);
+
+  KernelRun h = hgemm_tcu(dev, dah, dbh, dch);
+  KernelRun s = sgemm_fpu(dev, daf, dbf, dcf);
+  EXPECT_LT(h.cycles(hw), s.cycles(hw));
+}
+
+}  // namespace
+}  // namespace vsparse::kernels

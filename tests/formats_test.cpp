@@ -1,0 +1,274 @@
+// Tests for the sparse formats: CSR, column-vector sparse encoding,
+// Blocked-ELL, and the §7.1.1 benchmark generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/blocked_ell.hpp"
+#include "vsparse/formats/csr.hpp"
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/reference.hpp"
+
+namespace vsparse {
+namespace {
+
+TEST(Dense, LayoutConversion) {
+  DenseMatrix<float> m(3, 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) m.at(r, c) = static_cast<float>(10 * r + c);
+  }
+  DenseMatrix<float> t = m.with_layout(Layout::kColMajor);
+  EXPECT_EQ(t.at(2, 3), 23.0f);
+  EXPECT_EQ(t.data()[0], 0.0f);
+  EXPECT_EQ(t.data()[1], 10.0f);  // col-major: (1,0) second
+  EXPECT_EQ(t.ld(), 3);
+  EXPECT_EQ(m.ld(), 4);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  Rng rng(1);
+  DenseMatrix<half_t> m(16, 24);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 24; ++c) {
+      m.at(r, c) = rng.bernoulli(0.3f)
+                       ? half_t(rng.uniform_float(0.5f, 1.5f))
+                       : half_t(0.0f);
+    }
+  }
+  Csr<half_t> csr = Csr<half_t>::from_dense(m);
+  csr.validate();
+  DenseMatrix<half_t> back = csr.to_dense();
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 24; ++c) {
+      EXPECT_EQ(back.at(r, c).bits(), m.at(r, c).bits());
+    }
+  }
+}
+
+TEST(Cvs, FigureEightExample) {
+  // Reproduces Fig. 8: a 6x8 matrix (V=2 -> 3 vector rows) with
+  // nonzero vectors at (vr0: cols 0,2,6), (vr1: col 3), (vr2: cols 1,6).
+  DenseMatrix<half_t> m(6, 8);
+  auto put = [&](int vr, int c, float base) {
+    m.at(vr * 2, c) = half_t(base);
+    m.at(vr * 2 + 1, c) = half_t(base + 1);
+  };
+  put(0, 0, 0.0f);  // values {0,1} — but 0 would vanish; use nonzero
+  m.at(0, 0) = half_t(12.0f);
+  m.at(1, 0) = half_t(1.0f);
+  put(0, 2, 2.0f);
+  put(0, 6, 4.0f);
+  put(1, 3, 6.0f);
+  put(2, 1, 8.0f);
+  put(2, 6, 10.0f);
+
+  Cvs cvs = Cvs::from_dense(m, 2);
+  cvs.validate();
+  EXPECT_EQ(cvs.vec_rows(), 3);
+  EXPECT_EQ(cvs.nnz_vectors(), 6);
+  const std::vector<std::int32_t> expected_row_ptr = {0, 3, 4, 6};
+  const std::vector<std::int32_t> expected_col_idx = {0, 2, 6, 3, 1, 6};
+  EXPECT_EQ(cvs.row_ptr, expected_row_ptr);
+  EXPECT_EQ(cvs.col_idx, expected_col_idx);
+  // Vector elements are contiguous.
+  EXPECT_EQ(static_cast<float>(cvs.values[0]), 12.0f);
+  EXPECT_EQ(static_cast<float>(cvs.values[1]), 1.0f);
+  EXPECT_EQ(static_cast<float>(cvs.values[2]), 2.0f);
+}
+
+TEST(Cvs, RoundTripAllV) {
+  Rng rng(2);
+  for (int v : {1, 2, 4, 8}) {
+    DenseMatrix<half_t> m(32, 20);
+    for (int r = 0; r < 32; ++r) {
+      for (int c = 0; c < 20; ++c) {
+        if (rng.bernoulli(0.2f)) m.at(r, c) = half_t(rng.uniform_float(1, 2));
+      }
+    }
+    Cvs cvs = Cvs::from_dense(m, v);
+    cvs.validate();
+    DenseMatrix<half_t> back = cvs.to_dense();
+    // Round trip preserves every nonzero; vector granularity may add
+    // explicit zeros within stored vectors, which to_dense writes back
+    // as 0 — so dense representations must match exactly.
+    for (int r = 0; r < 32; ++r) {
+      for (int c = 0; c < 20; ++c) {
+        EXPECT_EQ(back.at(r, c).bits(), m.at(r, c).bits())
+            << "v=" << v << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Cvs, V1MatchesCsrStructure) {
+  Rng rng(3);
+  DenseMatrix<half_t> m(8, 16);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      if (rng.bernoulli(0.25f)) m.at(r, c) = half_t(1.0f);
+    }
+  }
+  Cvs cvs = Cvs::from_dense(m, 1);
+  Csr<half_t> csr = Csr<half_t>::from_dense(m);
+  EXPECT_EQ(cvs.row_ptr, csr.row_ptr);
+  EXPECT_EQ(cvs.col_idx, csr.col_idx);
+}
+
+TEST(Cvs, RejectsBadShapes) {
+  DenseMatrix<half_t> m(10, 4);
+  EXPECT_THROW(Cvs::from_dense(m, 4), CheckError);  // 10 % 4 != 0
+  EXPECT_THROW(Cvs::from_dense(m, 3), CheckError);  // V must be 1/2/4/8
+}
+
+TEST(BlockedEll, RoundTripAndSparsity) {
+  Rng rng(4);
+  BlockedEll ell = make_blocked_ell(64, 64, 8, 0.75, rng);
+  ell.validate();
+  EXPECT_EQ(ell.blocks_per_row, 2);  // ceil(8 * 0.25)
+  EXPECT_NEAR(ell.sparsity(), 0.75, 1e-9);
+  DenseMatrix<half_t> dense = ell.to_dense();
+  // Every stored block appears in the dense matrix with nonzero values.
+  int nonzeros = 0;
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      if (static_cast<float>(dense.at(r, c)) != 0.0f) ++nonzeros;
+    }
+  }
+  EXPECT_EQ(nonzeros, 64 * 64 / 4);
+}
+
+TEST(BlockedEll, DistinctColumnsPerRow) {
+  Rng rng(5);
+  BlockedEll ell = make_blocked_ell(32, 128, 4, 0.5, rng);
+  for (int brow = 0; brow < ell.block_rows(); ++brow) {
+    std::set<std::int32_t> seen;
+    for (int s = 0; s < ell.blocks_per_row; ++s) {
+      const std::int32_t c =
+          ell.col_idx[static_cast<std::size_t>(brow * ell.blocks_per_row + s)];
+      EXPECT_TRUE(seen.insert(c).second) << "duplicate block column";
+    }
+  }
+}
+
+class GeneratorSparsityTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GeneratorSparsityTest, CvsHitsTargetSparsity) {
+  const auto [v, sparsity] = GetParam();
+  Rng rng(6);
+  Cvs cvs = make_cvs(256, 512, v, sparsity, rng);
+  cvs.validate();
+  EXPECT_NEAR(cvs.sparsity(), sparsity, 0.02) << "v=" << v;
+  // All stored values nonzero.
+  for (half_t h : cvs.values) EXPECT_NE(static_cast<float>(h), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsityGrid, GeneratorSparsityTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95, 0.98)));
+
+TEST(Generators, RowJitterProducesImbalance) {
+  Rng rng(7);
+  Cvs uniform = make_cvs(512, 256, 1, 0.8, rng, /*row_jitter=*/0.0);
+  Cvs jittered = make_cvs(512, 256, 1, 0.8, rng, /*row_jitter=*/0.5);
+  auto row_nnz_range = [](const Cvs& m) {
+    int lo = 1 << 30, hi = 0;
+    for (int r = 0; r < m.vec_rows(); ++r) {
+      const int n = m.row_ptr[static_cast<std::size_t>(r) + 1] -
+                    m.row_ptr[static_cast<std::size_t>(r)];
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    return hi - lo;
+  };
+  EXPECT_EQ(row_nnz_range(uniform), 0);
+  EXPECT_GT(row_nnz_range(jittered), 10);
+}
+
+TEST(Generators, MaskIsAllOnes) {
+  Rng rng(8);
+  Cvs mask = make_cvs_mask(64, 128, 4, 0.9, rng);
+  for (half_t h : mask.values) EXPECT_EQ(static_cast<float>(h), 1.0f);
+}
+
+TEST(Generators, AttentionMaskBandPlusRandom) {
+  Rng rng(9);
+  const int seq = 512, v = 8, band = 64;
+  Cvs mask = make_attention_mask(seq, v, band, 0.9, rng);
+  mask.validate();
+  EXPECT_NEAR(mask.sparsity(), 0.9, 0.02);
+  // Band coverage: the diagonal entry of every vector-row is present.
+  for (int vr = 0; vr < mask.vec_rows(); ++vr) {
+    bool has_diag = false;
+    for (std::int32_t i = mask.row_ptr[static_cast<std::size_t>(vr)];
+         i < mask.row_ptr[static_cast<std::size_t>(vr) + 1]; ++i) {
+      if (mask.col_idx[static_cast<std::size_t>(i)] == vr * v) {
+        has_diag = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_diag) << "vector-row " << vr << " misses its diagonal";
+  }
+}
+
+TEST(Reference, SpmmAgreesWithDenseGemm) {
+  Rng rng(10);
+  Cvs a = make_cvs(32, 48, 4, 0.7, rng);
+  DenseMatrix<half_t> b(48, 24);
+  b.fill_random_int(rng);
+  // Sparse reference == dense GEMM on the densified A.
+  DenseMatrix<half_t> c_sparse = spmm_reference(a, b);
+  DenseMatrix<half_t> c_dense = gemm_reference(a.to_dense(), b);
+  for (int r = 0; r < 32; ++r) {
+    for (int j = 0; j < 24; ++j) {
+      EXPECT_EQ(c_sparse.at(r, j).bits(), c_dense.at(r, j).bits());
+    }
+  }
+}
+
+TEST(Reference, SddmmMasksDenseProduct) {
+  Rng rng(11);
+  DenseMatrix<half_t> a(16, 32);
+  a.fill_random_int(rng);
+  DenseMatrix<half_t> b(32, 24, Layout::kColMajor);
+  b.fill_random_int(rng);
+  Cvs mask = make_cvs_mask(16, 24, 2, 0.6, rng);
+  Cvs out = sddmm_reference(a, b, mask);
+  DenseMatrix<half_t> full = gemm_reference(a, b);
+  DenseMatrix<half_t> sparse = out.to_dense();
+  DenseMatrix<half_t> mask_dense = mask.to_dense();
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 24; ++c) {
+      if (static_cast<float>(mask_dense.at(r, c)) != 0.0f) {
+        EXPECT_EQ(sparse.at(r, c).bits(), full.at(r, c).bits());
+      } else {
+        EXPECT_EQ(static_cast<float>(sparse.at(r, c)), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Reference, SoftmaxRowsSumToOne) {
+  Rng rng(12);
+  Cvs logits = make_cvs(64, 64, 4, 0.8, rng);
+  Cvs probs = sparse_softmax_reference(logits, 0.125f);
+  for (int vr = 0; vr < probs.vec_rows(); ++vr) {
+    for (int t = 0; t < probs.v; ++t) {
+      float sum = 0.0f;
+      for (std::int32_t i = probs.row_ptr[static_cast<std::size_t>(vr)];
+           i < probs.row_ptr[static_cast<std::size_t>(vr) + 1]; ++i) {
+        sum += static_cast<float>(
+            probs.values[static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(probs.v) +
+                         static_cast<std::size_t>(t)]);
+      }
+      EXPECT_NEAR(sum, 1.0f, 0.02f);  // half rounding per element
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsparse

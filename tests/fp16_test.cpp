@@ -1,0 +1,173 @@
+// Unit + property tests for the software binary16 type.
+#include "vsparse/fp16/half.hpp"
+#include "vsparse/fp16/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "vsparse/common/rng.hpp"
+
+namespace vsparse {
+namespace {
+
+TEST(Half, ZeroAndSigns) {
+  EXPECT_EQ(half_t(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(static_cast<float>(half_t::from_bits(0x8000)), -0.0f);
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(half_t(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half_t(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(half_t(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half_t(65504.0f).bits(), 0x7bffu);  // max finite half
+  EXPECT_EQ(half_t(0.000061035156f).bits(), 0x0400u);  // min normal
+  EXPECT_FLOAT_EQ(static_cast<float>(half_t::from_bits(0x3555)), 0.333251953125f);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(isinf(half_t(65536.0f)));
+  EXPECT_TRUE(isinf(half_t(1e10f)));
+  EXPECT_TRUE(isinf(half_t(-1e10f)));
+  EXPECT_EQ(half_t(1e10f).bits(), 0x7c00u);
+  EXPECT_EQ(half_t(-1e10f).bits(), 0xfc00u);
+  // 65520 is the rounding boundary: everything >= 65520 becomes inf.
+  EXPECT_TRUE(isinf(half_t(65520.0f)));
+  EXPECT_EQ(half_t(65519.996f).bits(), 0x7bffu);
+}
+
+TEST(Half, UnderflowAndSubnormals) {
+  // Smallest subnormal: 2^-24.
+  EXPECT_EQ(half_t(5.9604644775390625e-8f).bits(), 0x0001u);
+  // Half the smallest subnormal rounds to zero (ties-to-even).
+  EXPECT_EQ(half_t(2.98023223876953125e-8f).bits(), 0x0000u);
+  // Just above half the smallest subnormal rounds up.
+  EXPECT_EQ(half_t(3.1e-8f).bits(), 0x0001u);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1+2^-10):
+  // rounds to even (1.0).
+  EXPECT_EQ(half_t(1.00048828125f).bits(), 0x3c00u);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+  EXPECT_EQ(half_t(1.00146484375f).bits(), 0x3c02u);
+}
+
+TEST(Half, NanPropagation) {
+  const half_t n = half_t(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(isnan(n));
+  EXPECT_TRUE(std::isnan(static_cast<float>(n)));
+  EXPECT_FALSE(isnan(half_t(1.0f)));
+  EXPECT_FALSE(isinf(n));
+}
+
+// Exhaustive: every half bit pattern converts to float and back
+// unchanged (NaNs keep NaN-ness; everything else is bit-exact).
+TEST(Half, ExhaustiveRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const half_t h = half_t::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    const half_t back = half_t(f);
+    if (isnan(h)) {
+      EXPECT_TRUE(isnan(back)) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+    }
+  }
+}
+
+// The portable conversion path must agree with the hardware (F16C)
+// path bit-for-bit in both directions.
+TEST(Half, PortableMatchesHardwareHalfToFloat) {
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float portable = fp16_detail::half_bits_to_float_portable(h);
+    const float active = fp16_detail::half_bits_to_float(h);
+    if (std::isnan(portable)) {
+      EXPECT_TRUE(std::isnan(active)) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(portable),
+                std::bit_cast<std::uint32_t>(active))
+          << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Half, PortableMatchesHardwareFloatToHalf) {
+  Rng rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    const auto word = static_cast<std::uint32_t>(rng() & 0xffffffffu);
+    const float f = std::bit_cast<float>(word);
+    const std::uint16_t portable = fp16_detail::float_to_half_bits_portable(f);
+    const std::uint16_t active = fp16_detail::float_to_half_bits(f);
+    if (std::isnan(f)) {
+      EXPECT_EQ(portable & 0x7c00u, 0x7c00u);
+      EXPECT_NE(portable & 0x3ffu, 0u);
+      EXPECT_EQ(active & 0x7c00u, 0x7c00u);
+    } else {
+      EXPECT_EQ(portable, active)
+          << "float bits=" << word << " value=" << f;
+    }
+  }
+}
+
+// Property: conversion is monotone on finite floats.
+TEST(Half, MonotoneConversion) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const float a = rng.uniform_float(-70000.0f, 70000.0f);
+    const float b = rng.uniform_float(-70000.0f, 70000.0f);
+    const float lo = std::min(a, b), hi = std::max(a, b);
+    EXPECT_LE(static_cast<float>(half_t(lo)), static_cast<float>(half_t(hi)))
+        << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+// Property: round-to-nearest error is within half a ULP of the result.
+TEST(Half, RoundingErrorBound) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.uniform_float(-60000.0f, 60000.0f);
+    const float r = static_cast<float>(half_t(f));
+    const float mag = std::max(std::fabs(f), 6.1035156e-5f);  // >= min normal
+    // ulp(half) = 2^-10 relative for normals.
+    EXPECT_LE(std::fabs(r - f), mag * (1.0f / 1024.0f) * 0.5f + 1e-7f)
+        << "f=" << f << " r=" << r;
+  }
+}
+
+TEST(Half, HaddHmulRoundOnce) {
+  // 2048 + 1 is not representable in half (ulp at 2048 is 2):
+  // ties-to-even keeps 2048.
+  EXPECT_EQ(hadd(half_t(2048.0f), half_t(1.0f)).bits(), half_t(2048.0f).bits());
+  EXPECT_EQ(hadd(half_t(2048.0f), half_t(3.0f)).bits(), half_t(2052.0f).bits());
+  EXPECT_EQ(static_cast<float>(hmul(half_t(3.0f), half_t(5.0f))), 15.0f);
+  // Product overflow saturates to inf.
+  EXPECT_TRUE(isinf(hmul(half_t(300.0f), half_t(300.0f))));
+}
+
+TEST(Half, NumericLimits) {
+  using lim = std::numeric_limits<half_t>;
+  EXPECT_FLOAT_EQ(static_cast<float>(lim::max()), 65504.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(lim::lowest()), -65504.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(lim::min()), 6.103515625e-5f);
+  EXPECT_FLOAT_EQ(static_cast<float>(lim::epsilon()), 0.0009765625f);
+  EXPECT_TRUE(isinf(lim::infinity()));
+  EXPECT_TRUE(isnan(lim::quiet_NaN()));
+}
+
+TEST(HalfVec, LayoutAndAccess) {
+  half4 v;
+  for (int i = 0; i < 4; ++i) v[i] = half_t(static_cast<float>(i + 1));
+  EXPECT_EQ(static_cast<float>(v[2]), 3.0f);
+  // Contiguous 2-byte packing is what the vector memory ops rely on.
+  const auto* raw = reinterpret_cast<const std::uint16_t*>(&v);
+  EXPECT_EQ(raw[0], half_t(1.0f).bits());
+  EXPECT_EQ(raw[3], half_t(4.0f).bits());
+}
+
+}  // namespace
+}  // namespace vsparse

@@ -1,0 +1,123 @@
+// Tests for the .smtx reader/writer (DLMC's on-disk format) and the
+// tiling autotuner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/smtx_io.hpp"
+#include "vsparse/kernels/autotune.hpp"
+
+namespace vsparse {
+namespace {
+
+TEST(Smtx, ParsesCanonicalFile) {
+  // The Fig. 8 example matrix as an smtx pattern.
+  std::istringstream is(
+      "3, 8, 6\n"
+      "0 3 4 6\n"
+      "0 2 6 3 1 6\n");
+  SmtxPattern p = read_smtx(is);
+  EXPECT_EQ(p.rows, 3);
+  EXPECT_EQ(p.cols, 8);
+  const std::vector<std::int32_t> rp = {0, 3, 4, 6};
+  const std::vector<std::int32_t> ci = {0, 2, 6, 3, 1, 6};
+  EXPECT_EQ(p.row_ptr, rp);
+  EXPECT_EQ(p.col_idx, ci);
+}
+
+TEST(Smtx, AcceptsCommaSeparators) {
+  std::istringstream is(
+      "2, 4, 2\n"
+      "0, 1, 2\n"
+      "3, 0\n");
+  SmtxPattern p = read_smtx(is);
+  EXPECT_EQ(p.col_idx[0], 3);
+}
+
+TEST(Smtx, RejectsMalformedInput) {
+  {
+    std::istringstream is("3, 8\n");  // short header
+    EXPECT_THROW(read_smtx(is), CheckError);
+  }
+  {
+    std::istringstream is(
+        "2, 4, 2\n"
+        "0 1 2\n"
+        "5 0\n");  // column 5 out of range
+    EXPECT_THROW(read_smtx(is), CheckError);
+  }
+  {
+    std::istringstream is(
+        "2, 4, 2\n"
+        "0 2 1\n"  // non-monotone row_ptr (and back != nnz)
+        "1 0\n");
+    EXPECT_THROW(read_smtx(is), CheckError);
+  }
+  {
+    std::istringstream is(
+        "2, 4, 3\n"
+        "0 1 3\n"
+        "1 0\n");  // col_idx shorter than nnz
+    EXPECT_THROW(read_smtx(is), CheckError);
+  }
+}
+
+TEST(Smtx, RoundTripThroughCvs) {
+  Rng rng(1);
+  Cvs original = make_cvs(64, 96, 4, 0.8, rng);
+  SmtxPattern p = cvs_to_smtx(original);
+  std::ostringstream os;
+  write_smtx(os, p);
+  std::istringstream is(os.str());
+  SmtxPattern back = read_smtx(is);
+  EXPECT_EQ(back.row_ptr, original.row_ptr);
+  EXPECT_EQ(back.col_idx, original.col_idx);
+
+  Rng rng2(2);
+  Cvs rebuilt = smtx_to_cvs(back, 4, rng2);
+  rebuilt.validate();
+  EXPECT_EQ(rebuilt.rows, original.rows);
+  EXPECT_EQ(rebuilt.cols, original.cols);
+  EXPECT_EQ(rebuilt.nnz_vectors(), original.nnz_vectors());
+}
+
+TEST(Smtx, FileRoundTrip) {
+  Rng rng(3);
+  Cvs m = make_cvs(32, 64, 2, 0.7, rng);
+  const std::string path = "/tmp/vsparse_test.smtx";
+  write_smtx_file(path, cvs_to_smtx(m));
+  SmtxPattern p = read_smtx_file(path);
+  EXPECT_EQ(p.rows, m.vec_rows());
+  EXPECT_EQ(p.col_idx, m.col_idx);
+  EXPECT_THROW(read_smtx_file("/nonexistent/x.smtx"), CheckError);
+}
+
+TEST(Autotune, OctetPrefersBatchingAndRanksAllCandidates) {
+  Rng rng(4);
+  std::vector<kernels::TuneProblem> problems;
+  problems.push_back({make_cvs(256, 256, 4, 0.9, rng), 128});
+  problems.push_back({make_cvs(256, 256, 4, 0.7, rng), 128});
+  auto result = kernels::autotune_spmm_octet(problems);
+  EXPECT_EQ(result.ranking.size(), 6u);  // 3 TileK x 2 batching
+  EXPECT_TRUE(result.best.batch_loads);  // the §5.4 trick should win
+  EXPECT_GT(result.best_geomean_cycles, 0);
+  // Ranking is sorted best-first.
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_LE(result.ranking[i - 1].second, result.ranking[i].second);
+  }
+}
+
+TEST(Autotune, FpuReproducesThePapersNarrowTileChoice) {
+  Rng rng(5);
+  std::vector<kernels::TuneProblem> problems;
+  problems.push_back({make_cvs(512, 256, 4, 0.9, rng), 256});
+  auto result = kernels::autotune_spmm_fpu(problems);
+  EXPECT_EQ(result.ranking.size(), 6u);
+  // §5.1/§7.2.2: the tuned configuration gives up wide loads for grid
+  // size — TileN=16 must win.
+  EXPECT_EQ(result.best.tile_n, 16);
+}
+
+}  // namespace
+}  // namespace vsparse

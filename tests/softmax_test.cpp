@@ -1,0 +1,103 @@
+// Tests for the CVS sparse-softmax kernel (§7.4).
+#include "vsparse/kernels/softmax/sparse_softmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/reference.hpp"
+
+namespace vsparse::kernels {
+namespace {
+
+gpusim::DeviceConfig test_config() {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 64 << 20;
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+class SoftmaxSweep : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(SoftmaxSweep, MatchesReference) {
+  const auto [v, sparsity] = GetParam();
+  Rng rng(10 + v);
+  Cvs logits = make_cvs(64, 96, v, sparsity, rng);
+  const float scale = 0.125f;
+  Cvs ref = sparse_softmax_reference(logits, scale);
+
+  gpusim::Device dev(test_config());
+  auto pattern = to_device(dev, logits);
+  auto out = dev.alloc<half_t>(logits.values.size());
+  sparse_softmax(dev, pattern, pattern.values, out, scale);
+
+  auto got = out.host();
+  for (std::size_t i = 0; i < ref.values.size(); ++i) {
+    ASSERT_NEAR(static_cast<float>(got[i]), static_cast<float>(ref.values[i]),
+                2e-3f)
+        << "value " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SoftmaxSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0.5, 0.9, 0.98)));
+
+TEST(Softmax, InPlaceOperation) {
+  Rng rng(3);
+  Cvs logits = make_cvs(32, 64, 4, 0.8, rng);
+  Cvs ref = sparse_softmax_reference(logits, 1.0f);
+  gpusim::Device dev(test_config());
+  auto pattern = to_device(dev, logits);
+  sparse_softmax(dev, pattern, pattern.values, pattern.values, 1.0f);
+  auto got = pattern.values.host();
+  for (std::size_t i = 0; i < ref.values.size(); ++i) {
+    ASSERT_NEAR(static_cast<float>(got[i]), static_cast<float>(ref.values[i]),
+                2e-3f);
+  }
+}
+
+TEST(Softmax, RowsSumToOneAndLargeLogitsStable) {
+  // Large logits (up to the half max) must not overflow thanks to the
+  // max-subtraction pass.
+  Rng rng(4);
+  Cvs logits = make_cvs(16, 128, 4, 0.7, rng);
+  for (half_t& h : logits.values) {
+    h = half_t(rng.uniform_float(50000.0f, 60000.0f));
+  }
+  gpusim::Device dev(test_config());
+  auto pattern = to_device(dev, logits);
+  auto out = dev.alloc<half_t>(logits.values.size());
+  sparse_softmax(dev, pattern, pattern.values, out, 1.0f);
+  auto got = out.host();
+  for (int vr = 0; vr < logits.vec_rows(); ++vr) {
+    for (int t = 0; t < 4; ++t) {
+      float sum = 0.0f;
+      for (std::int32_t i = logits.row_ptr[static_cast<std::size_t>(vr)];
+           i < logits.row_ptr[static_cast<std::size_t>(vr) + 1]; ++i) {
+        const float p = static_cast<float>(
+            got[static_cast<std::size_t>(i) * 4 + static_cast<std::size_t>(t)]);
+        EXPECT_TRUE(std::isfinite(p));
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0f, 0.03f);
+    }
+  }
+}
+
+TEST(Softmax, EmptyRowsAreNoOp) {
+  Cvs logits;
+  logits.rows = 8;
+  logits.cols = 16;
+  logits.v = 4;
+  logits.row_ptr = {0, 0, 0};
+  gpusim::Device dev(test_config());
+  auto pattern = to_device(dev, logits);
+  auto out = dev.alloc<half_t>(0);
+  EXPECT_NO_THROW(sparse_softmax(dev, pattern, pattern.values, out, 1.0f));
+}
+
+}  // namespace
+}  // namespace vsparse::kernels

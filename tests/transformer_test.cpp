@@ -1,0 +1,171 @@
+// Tests for the sparse-attention pipeline and the §7.4 transformer
+// model: functional agreement with the host reference, the Fig. 20
+// stage breakdown, the Table 4 memory shape, and the fidelity proxy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/reference.hpp"
+#include "vsparse/transformer/attention.hpp"
+#include "vsparse/transformer/fidelity.hpp"
+#include "vsparse/transformer/model.hpp"
+
+namespace vsparse::transformer {
+namespace {
+
+gpusim::DeviceConfig test_config() {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 512 << 20;
+  cfg.num_sms = 8;
+  return cfg;
+}
+
+TEST(SparseAttention, MatchesHostReference) {
+  const int seq = 128, d = 64, v = 8;
+  Rng rng(42);
+  DenseMatrix<half_t> q(seq, d), k(seq, d), vals(seq, d);
+  q.fill_random(rng, -0.5f, 0.5f);
+  k.fill_random(rng, -0.5f, 0.5f);
+  vals.fill_random(rng, -0.5f, 0.5f);
+  Cvs mask = make_attention_mask(seq, v, 32, 0.8, rng);
+
+  gpusim::Device dev(test_config());
+  auto dq = to_device(dev, q);
+  auto dk = to_device(dev, k);
+  auto dv = to_device(dev, vals);
+  auto dmask = to_device(dev, mask);
+  auto scratch = dev.alloc<half_t>(mask.values.size());
+  DenseMatrix<half_t> out_h(seq, d);
+  auto dout = to_device(dev, out_h);
+
+  AttentionBreakdown br =
+      sparse_attention_head(dev, dq, dk, dv, dmask, scratch, dout);
+  DenseMatrix<half_t> got = from_device(dout);
+
+  // Host reference: SDDMM -> sparse softmax -> SpMM with the same
+  // rounding points.
+  DenseMatrix<half_t> kt = k.with_layout(Layout::kColMajor);
+  DenseMatrix<half_t> kt_view(d, seq, Layout::kRowMajor);
+  for (int i = 0; i < seq; ++i) {
+    for (int j = 0; j < d; ++j) kt_view.at(j, i) = k.at(i, j);
+  }
+  Cvs scores = sddmm_reference(q, kt_view.with_layout(Layout::kColMajor), mask);
+  Cvs probs = sparse_softmax_reference(
+      scores, 1.0f / std::sqrt(static_cast<float>(d)));
+  DenseMatrix<half_t> ref = spmm_reference(probs, vals);
+  for (int i = 0; i < seq; ++i) {
+    for (int j = 0; j < d; ++j) {
+      ASSERT_NEAR(static_cast<float>(got.at(i, j)),
+                  static_cast<float>(ref.at(i, j)), 5e-3f)
+          << i << "," << j;
+    }
+  }
+  EXPECT_GT(br.qk.stats.op(gpusim::Op::kHmma), 0u);
+  EXPECT_GT(br.av.stats.op(gpusim::Op::kHmma), 0u);
+}
+
+TEST(DenseAttention, RowsOfProbsSumToOne) {
+  const int seq = 64, d = 64;
+  Rng rng(7);
+  DenseMatrix<half_t> q(seq, d), k(seq, d), vals(seq, d);
+  q.fill_random(rng, -0.25f, 0.25f);
+  k.fill_random(rng, -0.25f, 0.25f);
+  vals.fill_random(rng, -0.25f, 0.25f);
+  gpusim::Device dev(test_config());
+  auto dq = to_device(dev, q);
+  auto dk = to_device(dev, k);
+  auto dv = to_device(dev, vals);
+  DenseMatrix<half_t> scores_h(seq, seq);
+  auto dscores = to_device(dev, scores_h);
+  DenseMatrix<half_t> out_h(seq, d);
+  auto dout = to_device(dev, out_h);
+  dense_attention_head(dev, dq, dk, dv, dscores, dout);
+  DenseMatrix<half_t> probs = from_device(dscores);
+  for (int i = 0; i < seq; ++i) {
+    float sum = 0;
+    for (int j = 0; j < seq; ++j) sum += static_cast<float>(probs.at(i, j));
+    EXPECT_NEAR(sum, 1.0f, 0.05f) << "row " << i;
+  }
+  // Output rows are convex combinations of V rows: bounded by V range.
+  DenseMatrix<half_t> out = from_device(dout);
+  for (int j = 0; j < d; ++j) {
+    EXPECT_LE(std::fabs(static_cast<float>(out.at(0, j))), 0.3f);
+  }
+}
+
+TEST(Model, SparseForwardRunsAndBreaksDown) {
+  gpusim::Device dev(test_config());
+  ModelConfig cfg;
+  cfg.seq = 256;
+  cfg.layers = 2;
+  cfg.batch = 2;
+  cfg.band = 64;
+  cfg.mode = Mode::kSparseHalf;
+  ForwardResult r = run_transformer_forward(dev, cfg, 1);
+  EXPECT_GT(r.qk_cycles, 0);
+  EXPECT_GT(r.softmax_cycles, 0);
+  EXPECT_GT(r.av_cycles, 0);
+  EXPECT_GT(r.other_cycles, 0);
+  EXPECT_GT(r.peak_memory_bytes, 0u);
+  EXPECT_GT(r.throughput(1.38e9, cfg.batch), 0);
+}
+
+TEST(Model, MemoryShapeMatchesTable4) {
+  // Dense(float) ~ 2x Dense(half) peak memory; Sparse(half) far below
+  // both (the score matrices dominate).
+  ModelConfig cfg;
+  cfg.seq = 1024;  // large enough for score matrices to dominate
+  cfg.layers = 1;
+  cfg.batch = 2;
+  cfg.band = 64;
+
+  auto peak_for = [&](Mode mode) {
+    gpusim::Device dev(test_config());
+    cfg.mode = mode;
+    return run_transformer_forward(dev, cfg, 2).peak_memory_bytes;
+  };
+  const auto dense_f = peak_for(Mode::kDenseFloat);
+  const auto dense_h = peak_for(Mode::kDenseHalf);
+  const auto sparse_h = peak_for(Mode::kSparseHalf);
+  EXPECT_GT(dense_f, dense_h);
+  EXPECT_NEAR(static_cast<double>(dense_f) / dense_h, 2.0, 0.35);
+  EXPECT_LT(sparse_h * 2, dense_h);
+}
+
+TEST(Model, SparseFasterThanDenseAtHighSparsity) {
+  // The Table 4 throughput ordering at 90% sparsity.
+  ModelConfig cfg;
+  cfg.seq = 512;
+  cfg.layers = 1;
+  cfg.batch = 1;
+  cfg.band = 64;
+  cfg.sparsity = 0.9;
+  gpusim::DeviceConfig hw;
+  auto cycles_for = [&](Mode mode) {
+    gpusim::Device dev(test_config());
+    cfg.mode = mode;
+    return run_transformer_forward(dev, cfg, 3).total_cycles();
+  };
+  const double dense_f = cycles_for(Mode::kDenseFloat);
+  const double dense_h = cycles_for(Mode::kDenseHalf);
+  const double sparse_h = cycles_for(Mode::kSparseHalf);
+  EXPECT_LT(dense_h, dense_f);
+  EXPECT_LT(sparse_h, dense_h);
+}
+
+TEST(Fidelity, HalfAndSparsePipelinesPreserveDecisions) {
+  FidelityConfig cfg;
+  cfg.seq = 128;
+  cfg.trials = 10;
+  cfg.band = 32;
+  FidelityReport rep = measure_fidelity(cfg, 99);
+  EXPECT_GT(rep.dense_half_cosine, 0.999);
+  EXPECT_GT(rep.sparse_half_cosine, 0.999);
+  EXPECT_GE(rep.dense_half_agreement, 0.9);
+  EXPECT_GE(rep.sparse_half_agreement, 0.9);
+}
+
+}  // namespace
+}  // namespace vsparse::transformer
