@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ampere.dir/ablation_ampere.cpp.o"
+  "CMakeFiles/ablation_ampere.dir/ablation_ampere.cpp.o.d"
+  "ablation_ampere"
+  "ablation_ampere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ampere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ilp.dir/ablation_ilp.cpp.o"
+  "CMakeFiles/ablation_ilp.dir/ablation_ilp.cpp.o.d"
+  "ablation_ilp"
+  "ablation_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

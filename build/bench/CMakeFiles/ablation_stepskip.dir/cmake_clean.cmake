@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stepskip.dir/ablation_stepskip.cpp.o"
+  "CMakeFiles/ablation_stepskip.dir/ablation_stepskip.cpp.o.d"
+  "ablation_stepskip"
+  "ablation_stepskip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stepskip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

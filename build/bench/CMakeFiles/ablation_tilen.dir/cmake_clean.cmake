@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tilen.dir/ablation_tilen.cpp.o"
+  "CMakeFiles/ablation_tilen.dir/ablation_tilen.cpp.o.d"
+  "ablation_tilen"
+  "ablation_tilen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tilen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

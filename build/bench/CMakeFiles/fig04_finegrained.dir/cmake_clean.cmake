@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_finegrained.dir/fig04_finegrained.cpp.o"
+  "CMakeFiles/fig04_finegrained.dir/fig04_finegrained.cpp.o.d"
+  "fig04_finegrained"
+  "fig04_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

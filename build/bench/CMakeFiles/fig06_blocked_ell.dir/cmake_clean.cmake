@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_blocked_ell.dir/fig06_blocked_ell.cpp.o"
+  "CMakeFiles/fig06_blocked_ell.dir/fig06_blocked_ell.cpp.o.d"
+  "fig06_blocked_ell"
+  "fig06_blocked_ell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_blocked_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_blocked_ell.
+# This may be replaced when dependencies are built.

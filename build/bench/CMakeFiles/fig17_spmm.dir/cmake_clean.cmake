@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_spmm.dir/fig17_spmm.cpp.o"
+  "CMakeFiles/fig17_spmm.dir/fig17_spmm.cpp.o.d"
+  "fig17_spmm"
+  "fig17_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_l2l1_bytes.dir/fig18_l2l1_bytes.cpp.o"
+  "CMakeFiles/fig18_l2l1_bytes.dir/fig18_l2l1_bytes.cpp.o.d"
+  "fig18_l2l1_bytes"
+  "fig18_l2l1_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_l2l1_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

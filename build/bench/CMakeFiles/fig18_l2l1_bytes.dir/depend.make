@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_l2l1_bytes.
+# This may be replaced when dependencies are built.

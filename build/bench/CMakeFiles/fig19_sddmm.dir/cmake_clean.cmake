@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_sddmm.dir/fig19_sddmm.cpp.o"
+  "CMakeFiles/fig19_sddmm.dir/fig19_sddmm.cpp.o.d"
+  "fig19_sddmm"
+  "fig19_sddmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_attention.dir/fig20_attention.cpp.o"
+  "CMakeFiles/fig20_attention.dir/fig20_attention.cpp.o.d"
+  "fig20_attention"
+  "fig20_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_stalls.dir/table1_stalls.cpp.o"
+  "CMakeFiles/table1_stalls.dir/table1_stalls.cpp.o.d"
+  "table1_stalls"
+  "table1_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

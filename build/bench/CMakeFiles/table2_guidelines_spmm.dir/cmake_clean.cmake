@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_guidelines_spmm.dir/table2_guidelines_spmm.cpp.o"
+  "CMakeFiles/table2_guidelines_spmm.dir/table2_guidelines_spmm.cpp.o.d"
+  "table2_guidelines_spmm"
+  "table2_guidelines_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_guidelines_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_guidelines_sddmm.dir/table3_guidelines_sddmm.cpp.o"
+  "CMakeFiles/table3_guidelines_sddmm.dir/table3_guidelines_sddmm.cpp.o.d"
+  "table3_guidelines_sddmm"
+  "table3_guidelines_sddmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_guidelines_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_transformer.dir/table4_transformer.cpp.o"
+  "CMakeFiles/table4_transformer.dir/table4_transformer.cpp.o.d"
+  "table4_transformer"
+  "table4_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_and_deploy.dir/prune_and_deploy.cpp.o"
+  "CMakeFiles/prune_and_deploy.dir/prune_and_deploy.cpp.o.d"
+  "prune_and_deploy"
+  "prune_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_smtx.dir/run_smtx.cpp.o"
+  "CMakeFiles/run_smtx.dir/run_smtx.cpp.o.d"
+  "run_smtx"
+  "run_smtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_smtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

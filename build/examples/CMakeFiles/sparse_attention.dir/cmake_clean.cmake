@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_attention.dir/sparse_attention.cpp.o"
+  "CMakeFiles/sparse_attention.dir/sparse_attention.cpp.o.d"
+  "sparse_attention"
+  "sparse_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

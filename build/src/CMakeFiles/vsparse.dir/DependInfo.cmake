@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsparse/bench/runner.cpp" "src/CMakeFiles/vsparse.dir/vsparse/bench/runner.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/bench/runner.cpp.o.d"
+  "/root/repo/src/vsparse/bench/scale.cpp" "src/CMakeFiles/vsparse.dir/vsparse/bench/scale.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/bench/scale.cpp.o.d"
+  "/root/repo/src/vsparse/bench/suite.cpp" "src/CMakeFiles/vsparse.dir/vsparse/bench/suite.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/bench/suite.cpp.o.d"
+  "/root/repo/src/vsparse/bench/summary.cpp" "src/CMakeFiles/vsparse.dir/vsparse/bench/summary.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/bench/summary.cpp.o.d"
+  "/root/repo/src/vsparse/formats/blocked_ell.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/blocked_ell.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/blocked_ell.cpp.o.d"
+  "/root/repo/src/vsparse/formats/blocksparse.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/blocksparse.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/blocksparse.cpp.o.d"
+  "/root/repo/src/vsparse/formats/cvs.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/cvs.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/cvs.cpp.o.d"
+  "/root/repo/src/vsparse/formats/generate.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/generate.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/generate.cpp.o.d"
+  "/root/repo/src/vsparse/formats/reference.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/reference.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/reference.cpp.o.d"
+  "/root/repo/src/vsparse/formats/smtx_io.cpp" "src/CMakeFiles/vsparse.dir/vsparse/formats/smtx_io.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/formats/smtx_io.cpp.o.d"
+  "/root/repo/src/vsparse/gpusim/cache.cpp" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/cache.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/cache.cpp.o.d"
+  "/root/repo/src/vsparse/gpusim/costmodel.cpp" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/costmodel.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/costmodel.cpp.o.d"
+  "/root/repo/src/vsparse/gpusim/device.cpp" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/device.cpp.o.d"
+  "/root/repo/src/vsparse/gpusim/stats.cpp" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/stats.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/stats.cpp.o.d"
+  "/root/repo/src/vsparse/gpusim/tensorcore.cpp" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/tensorcore.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/gpusim/tensorcore.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/autotune.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/autotune.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/autotune.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/dense/gemm.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/dense/gemm.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/dense/gemm.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/dispatch.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/dispatch.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/dispatch.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/elementwise.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/elementwise.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/elementwise.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/sddmm/sddmm_csr_fine.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_csr_fine.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_csr_fine.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/sddmm/sddmm_fpu.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_fpu.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_fpu.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/sddmm/sddmm_octet.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_octet.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_octet.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/sddmm/sddmm_wmma.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_wmma.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/sddmm/sddmm_wmma.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/softmax/sparse_softmax.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/softmax/sparse_softmax.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/softmax/sparse_softmax.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/spmm/spmm_blocked_ell.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_blocked_ell.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_blocked_ell.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/spmm/spmm_csr_fine.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_csr_fine.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_csr_fine.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/spmm/spmm_fpu.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_fpu.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_fpu.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/spmm/spmm_octet.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_octet.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_octet.cpp.o.d"
+  "/root/repo/src/vsparse/kernels/spmm/spmm_wmma.cpp" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_wmma.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/kernels/spmm/spmm_wmma.cpp.o.d"
+  "/root/repo/src/vsparse/report/report.cpp" "src/CMakeFiles/vsparse.dir/vsparse/report/report.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/report/report.cpp.o.d"
+  "/root/repo/src/vsparse/transformer/attention.cpp" "src/CMakeFiles/vsparse.dir/vsparse/transformer/attention.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/transformer/attention.cpp.o.d"
+  "/root/repo/src/vsparse/transformer/fidelity.cpp" "src/CMakeFiles/vsparse.dir/vsparse/transformer/fidelity.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/transformer/fidelity.cpp.o.d"
+  "/root/repo/src/vsparse/transformer/model.cpp" "src/CMakeFiles/vsparse.dir/vsparse/transformer/model.cpp.o" "gcc" "src/CMakeFiles/vsparse.dir/vsparse/transformer/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for vsparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksparse_test.dir/blocksparse_test.cpp.o"
+  "CMakeFiles/blocksparse_test.dir/blocksparse_test.cpp.o.d"
+  "blocksparse_test"
+  "blocksparse_test.pdb"
+  "blocksparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_gemm_test.dir/dense_gemm_test.cpp.o"
+  "CMakeFiles/dense_gemm_test.dir/dense_gemm_test.cpp.o.d"
+  "dense_gemm_test"
+  "dense_gemm_test.pdb"
+  "dense_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_and_report_test.dir/dispatch_and_report_test.cpp.o"
+  "CMakeFiles/dispatch_and_report_test.dir/dispatch_and_report_test.cpp.o.d"
+  "dispatch_and_report_test"
+  "dispatch_and_report_test.pdb"
+  "dispatch_and_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_and_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_param_sweep_test.dir/kernel_param_sweep_test.cpp.o"
+  "CMakeFiles/kernel_param_sweep_test.dir/kernel_param_sweep_test.cpp.o.d"
+  "kernel_param_sweep_test"
+  "kernel_param_sweep_test.pdb"
+  "kernel_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

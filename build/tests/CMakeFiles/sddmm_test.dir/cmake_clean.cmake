@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddmm_test.dir/sddmm_test.cpp.o"
+  "CMakeFiles/sddmm_test.dir/sddmm_test.cpp.o.d"
+  "sddmm_test"
+  "sddmm_test.pdb"
+  "sddmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtx_autotune_test.dir/smtx_autotune_test.cpp.o"
+  "CMakeFiles/smtx_autotune_test.dir/smtx_autotune_test.cpp.o.d"
+  "smtx_autotune_test"
+  "smtx_autotune_test.pdb"
+  "smtx_autotune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtx_autotune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

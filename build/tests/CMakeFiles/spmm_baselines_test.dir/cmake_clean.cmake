@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_baselines_test.dir/spmm_baselines_test.cpp.o"
+  "CMakeFiles/spmm_baselines_test.dir/spmm_baselines_test.cpp.o.d"
+  "spmm_baselines_test"
+  "spmm_baselines_test.pdb"
+  "spmm_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_octet_test.dir/spmm_octet_test.cpp.o"
+  "CMakeFiles/spmm_octet_test.dir/spmm_octet_test.cpp.o.d"
+  "spmm_octet_test"
+  "spmm_octet_test.pdb"
+  "spmm_octet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_octet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bench_util_test[1]_include.cmake")
+include("/root/repo/build/tests/blocksparse_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/coalescing_property_test[1]_include.cmake")
+include("/root/repo/build/tests/costmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/dense_gemm_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatch_and_report_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/fp16_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/mma_test[1]_include.cmake")
+include("/root/repo/build/tests/sddmm_test[1]_include.cmake")
+include("/root/repo/build/tests/smtx_autotune_test[1]_include.cmake")
+include("/root/repo/build/tests/softmax_test[1]_include.cmake")
+include("/root/repo/build/tests/spmm_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/spmm_octet_test[1]_include.cmake")
+include("/root/repo/build/tests/transformer_test[1]_include.cmake")
