@@ -15,10 +15,12 @@ namespace vsparse::bench {
 namespace {
 
 double octet_speedup(const gpusim::DeviceConfig& hw, Shape shape, int n,
-                     int v, double sparsity) {
+                     int v, double sparsity,
+                     const gpusim::SimOptions& sim) {
   gpusim::DeviceConfig dc = hw;
   dc.dram_capacity = std::size_t{1} << 30;
   gpusim::Device dev(dc);
+  dev.set_sim_options(sim);
   Cvs a_host = make_suite_cvs(shape, sparsity, v);
   auto a = to_device(dev, a_host);
   auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
@@ -34,6 +36,8 @@ double octet_speedup(const gpusim::DeviceConfig& hw, Shape shape, int n,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const Shape shape = scale == Scale::kPaper ? Shape{2048, 1024}
                                              : Shape{1024, 512};
   const int n = 256, v = 4;
@@ -46,12 +50,13 @@ int run(int argc, char** argv) {
   std::printf("%-8s %-12s %-12s\n", "sparsity", "V100", "A100");
   for (double sparsity : sparsity_grid()) {
     std::printf("%-8.2f %10.2fx %10.2fx\n", sparsity,
-                octet_speedup(volta, shape, n, v, sparsity),
-                octet_speedup(ampere, shape, n, v, sparsity));
+                octet_speedup(volta, shape, n, v, sparsity, sim),
+                octet_speedup(ampere, shape, n, v, sparsity, sim));
   }
   std::printf("\n# prediction: the bigger L2 + bandwidth help the sparse "
               "kernel's low-reuse traffic, but the doubled TCU rate helps "
               "dense more — watch where the crossover moves\n");
+  throughput.print_summary();
   return 0;
 }
 

@@ -14,10 +14,12 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Ablation: §5.4 load batching (ILP) in spmm_octet, "
@@ -26,7 +28,7 @@ int run(int argc, char** argv) {
   std::printf("%-8s %-14s %-14s %s\n", "sparsity", "batched", "interleaved",
               "batched speedup");
   for (double sparsity : sparsity_grid()) {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
     auto a = to_device(dev, a_host);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
@@ -41,6 +43,7 @@ int run(int argc, char** argv) {
     std::printf("%-8.2f %12.0f c %12.0f c %10.2fx\n", sparsity, on, off,
                 off / on);
   }
+  throughput.print_summary();
   return 0;
 }
 

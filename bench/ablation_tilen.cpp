@@ -15,10 +15,12 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Ablation: FPU subwarp SpMM TileN (guideline V vs II), "
@@ -28,7 +30,7 @@ int run(int argc, char** argv) {
               "cycles", "grid", "sect/req", "widest LDG");
   for (int tile_n : {16, 32, 64}) {
     for (double sparsity : {0.7, 0.9}) {
-      gpusim::Device dev = fresh_device();
+      gpusim::Device dev = fresh_device(sim);
       Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
       auto a = to_device(dev, a_host);
       auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
@@ -45,6 +47,7 @@ int run(int argc, char** argv) {
                   r.stats.sectors_per_request(), widest);
     }
   }
+  throughput.print_summary();
   return 0;
 }
 

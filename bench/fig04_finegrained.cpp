@@ -23,9 +23,11 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const auto shapes = suite_shapes(scale);
   const int n = 256;  // dense output width (SpMM) / inner dim (SDDMM)
-  DenseBaseline dense;
+  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -43,7 +45,7 @@ int run(int argc, char** argv) {
 
       // ---- SpMM --------------------------------------------------------
       {
-        gpusim::Device dev = fresh_device();
+        gpusim::Device dev = fresh_device(sim);
         auto a = to_device(dev, a_host);
         auto af = to_device_f32(dev, a_host);
         auto bh = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
@@ -71,7 +73,7 @@ int run(int argc, char** argv) {
       {
         // C[m x k] sparse = A[m x n] * B[n x k]; dense equivalent is the
         // full (m x n x k) GEMM.
-        gpusim::Device dev = fresh_device();
+        gpusim::Device dev = fresh_device(sim);
         Rng rng(bench_seed(shape, sparsity, 1) + 7);
         Cvs mask_host = make_cvs_mask(shape.m, shape.k, 1, sparsity, rng, 0.25);
         auto mask = to_device(dev, mask_host);
@@ -116,6 +118,7 @@ int run(int argc, char** argv) {
   std::printf("\n# paper shape: single-precision kernels beat cublasSgemm "
               "from ~80%% sparsity; half-precision ones only at extreme "
               "sparsity (the paper's motivation)\n");
+  throughput.print_summary();
   return 0;
 }
 

@@ -17,11 +17,13 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
   const double sparsity = 0.9;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Figure 5: GEMM vs SpMM profile, %dx%dx%d, %.0f%% sparse\n",
@@ -47,7 +49,7 @@ int run(int argc, char** argv) {
   // ---- dense GEMM ------------------------------------------------------
   kernels::KernelRun gemm_s, gemm_h, spmm_s, spmm_h;
   {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     auto a = dev.alloc<float>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);
@@ -57,7 +59,7 @@ int run(int argc, char** argv) {
     gemm_s = report("GEMM", "single", kernels::sgemm_fpu(dev, da, db, dc));
   }
   {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
@@ -68,7 +70,7 @@ int run(int argc, char** argv) {
   }
   // ---- fine-grained SpMM ------------------------------------------------
   {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     auto a = to_device_f32(dev, a_host);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);
@@ -78,7 +80,7 @@ int run(int argc, char** argv) {
                     kernels::spmm_fpu_subwarp_f32(dev, a, db, dc));
   }
   {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     auto a = to_device(dev, a_host);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
@@ -103,6 +105,7 @@ int run(int argc, char** argv) {
   std::printf("# HMMA fusion removes %.1f%% of the GEMM's math "
               "instructions (paper: 92.3%%)\n",
               instr_drop * 100);
+  throughput.print_summary();
   return 0;
 }
 

@@ -27,8 +27,10 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const auto shapes = suite_shapes(scale);
-  DenseBaseline dense;
+  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -48,7 +50,7 @@ int run(int argc, char** argv) {
           const double dense_cycles = dense.hgemm_cycles(shape.m, shape.k, n);
           Cvs a_host = make_suite_cvs(shape, sparsity, v);
 
-          gpusim::Device dev = fresh_device();
+          gpusim::Device dev = fresh_device(sim);
           auto a = to_device(dev, a_host);
           auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
           auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
@@ -121,6 +123,7 @@ int run(int argc, char** argv) {
                             .c_str()
                       : "never crosses 1.0");
   }
+  throughput.print_summary();
   return 0;
 }
 

@@ -16,6 +16,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -28,7 +30,7 @@ int run(int argc, char** argv) {
               "blocked-ELL", "ratio");
 
   for (double sparsity : sparsity_grid()) {
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, sparsity, v);
     auto a = to_device(dev, a_host);
     BlockedEll ell_host = make_suite_blocked_ell({m, k}, sparsity, v);
@@ -48,6 +50,7 @@ int run(int argc, char** argv) {
   }
   std::printf("\n# paper shape: the vector encoding loads fewer (or equal) "
               "bytes from L2 at every sparsity level\n");
+  throughput.print_summary();
   return 0;
 }
 

@@ -22,8 +22,10 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const auto shapes = suite_shapes(scale);
-  DenseBaseline dense;
+  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -45,7 +47,7 @@ int run(int argc, char** argv) {
           Rng rng(bench_seed(shape, sparsity, v) + 13);
           Cvs mask_host = make_cvs_mask(m, n, v, sparsity, rng, 0.25);
 
-          gpusim::Device dev = fresh_device();
+          gpusim::Device dev = fresh_device(sim);
           auto mask = to_device(dev, mask_host);
           auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
           auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);
@@ -120,6 +122,7 @@ int run(int argc, char** argv) {
   std::printf("# mma (arch) >= both software strategies in %d/%d cells "
               "(paper: consistently)\n",
               arch_wins, total_cells);
+  throughput.print_summary();
   return 0;
 }
 

@@ -23,10 +23,12 @@ struct Parts {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const std::vector<int> seqs = scale == Scale::kPaper
                                     ? std::vector<int>{2048, 4096, 8192}
                                     : std::vector<int>{1024, 2048};
-  DenseBaseline dense_base;
+  DenseBaseline dense_base(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense_base.hw();
   const auto& params = dense_base.params();
 
@@ -48,7 +50,7 @@ int run(int argc, char** argv) {
       Parts dense{};
       {
         gpusim::Device dev =
-            fresh_device(std::size_t{2} << 30);
+            fresh_device(sim, std::size_t{2} << 30);
         auto q = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
         auto k = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
         auto v = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
@@ -71,7 +73,7 @@ int run(int argc, char** argv) {
       // ---- sparse attention head per sparsity -------------------------
       for (double sparsity : {0.90, 0.95, 0.98}) {
         gpusim::Device dev =
-            fresh_device(std::size_t{2} << 30);
+            fresh_device(sim, std::size_t{2} << 30);
         Rng rng(7000 + seq + kdim);
         Cvs mask_host = make_attention_mask(seq, 8, 256, sparsity, rng);
         auto mask = to_device(dev, mask_host);
@@ -103,6 +105,7 @@ int run(int argc, char** argv) {
   std::printf("\n# paper shape: whole-layer speedup 1.35-1.78x @90%%, "
               "1.48-2.09x @95%%, 1.57-2.30x @98%%; sparse QK^T loses to "
               "dense at k=64 but wins at k=256\n");
+  throughput.print_summary();
   return 0;
 }
 

@@ -13,15 +13,17 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
 
   std::printf("# Table 1: stall reasons, Blocked-ELL SpMM, block=4, "
               "%dx%dx%d @ 90%%\n",
               m, k, n);
-  gpusim::Device dev = fresh_device();
+  gpusim::Device dev = fresh_device(sim);
   BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, 4);
   auto ell = to_device(dev, ell_host);
   auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
@@ -41,6 +43,7 @@ int run(int argc, char** argv) {
   std::printf("\n# SASS-size estimate: %d instructions (paper: ~4600 lines "
               "vs a 768-instruction L0)\n",
               run_result.config.profile.static_instrs);
+  throughput.print_summary();
   return 0;
 }
 

@@ -26,10 +26,12 @@ void print_row(const char* name, const kernels::KernelRun& r,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
 
   std::printf("# Table 2: 5-guideline profile of SpMM kernels, %dx%dx%d @ "
               "90%%\n",
@@ -37,7 +39,7 @@ int run(int argc, char** argv) {
   for (int v : {4, 8}) {
     std::printf("\nSpMM, V=%d      %-8s %10s %8s %9s %10s\n", v, "NoInstr",
                 "#TB", "Wait", "ShortSb", "Sect/Req");
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, 0.9, v);
     auto a = to_device(dev, a_host);
     BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, v);
@@ -61,6 +63,7 @@ int run(int argc, char** argv) {
       "# paper (V=8): MMA 1.1%% / 1024 / 6.2%% / 2.6%% / 13.22;"
       "\n#              CUDA 52.2%% / 1024 / 8.3%% / 2.0%% / 4.27;"
       "\n#              Blocked-ELL 35.1%% / 512 / 16.2%% / 12.1%% / 13.85\n");
+  throughput.print_summary();
   return 0;
 }
 

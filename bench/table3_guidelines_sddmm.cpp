@@ -26,10 +26,12 @@ void print_row(const char* name, const kernels::KernelRun& r,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int kdim = 256;
   const int n = scale == Scale::kPaper ? 1024 : 512;
-  DenseBaseline base;
+  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
 
   std::printf("# Table 3: 5-guideline profile of SDDMM kernels, "
               "%dx%dx%d, C 90%% sparse\n",
@@ -37,7 +39,7 @@ int run(int argc, char** argv) {
   for (int v : {4, 8}) {
     std::printf("\nSDDMM, V=%d %-8s %10s %8s %9s %10s\n", v, "NoInstr",
                 "#TB", "Wait", "ShortSb", "Sect/Req");
-    gpusim::Device dev = fresh_device();
+    gpusim::Device dev = fresh_device(sim);
     Rng rng(991 + v);
     Cvs mask_host = make_cvs_mask(m, n, v, 0.9, rng, 0.25);
     auto mask = to_device(dev, mask_host);
@@ -67,6 +69,7 @@ int run(int argc, char** argv) {
       "# paper (V=8): MMA 1.0%% / 8192 / 11.0%% / 1.9%% / 9.25;"
       "\n#              CUDA 7.3%% / 16384 / 24.6%% / 3.1%% / 3.33;"
       "\n#              WMMA 0.4%% / 8192 / 9.5%% / 17.9%% / 9.26\n");
+  throughput.print_summary();
   return 0;
 }
 

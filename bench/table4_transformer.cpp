@@ -18,6 +18,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  SimThroughput throughput(sim.threads);
   using transformer::Mode;
   transformer::ModelConfig cfg;
   cfg.seq = scale == Scale::kPaper ? 4096 : 1024;
@@ -35,7 +37,7 @@ int run(int argc, char** argv) {
   const Mode modes[3] = {Mode::kDenseFloat, Mode::kDenseHalf,
                          Mode::kSparseHalf};
   for (int i = 0; i < 3; ++i) {
-    gpusim::Device dev = fresh_device(std::size_t{6} << 30);
+    gpusim::Device dev = fresh_device(sim, std::size_t{6} << 30);
     cfg.mode = modes[i];
     auto r = transformer::run_transformer_forward(dev, cfg, 17);
     thr[i] = r.throughput(clock_hz, cfg.batch);
@@ -80,6 +82,7 @@ int run(int argc, char** argv) {
               "agreement %.0f%%, max rel err %.3g\n",
               rep.sparse_half_cosine, rep.sparse_half_agreement * 100,
               rep.sparse_half_max_rel_err);
+  throughput.print_summary();
   return 0;
 }
 

@@ -1,6 +1,12 @@
 #include "vsparse/bench/runner.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
 #include "vsparse/formats/dense.hpp"
+#include "vsparse/gpusim/engine/engine.hpp"
 #include "vsparse/kernels/dense/gemm.hpp"
 
 namespace vsparse::bench {
@@ -11,10 +17,58 @@ gpusim::Device fresh_device(std::size_t dram_bytes) {
   return gpusim::Device(cfg);
 }
 
+gpusim::Device fresh_device(const gpusim::SimOptions& sim,
+                            std::size_t dram_bytes) {
+  gpusim::Device dev = fresh_device(dram_bytes);
+  dev.set_sim_options(sim);
+  return dev;
+}
+
+namespace {
+
+int clamp_threads(long n) {
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+int parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return clamp_threads(std::strtol(argv[i] + 10, nullptr, 10));
+    }
+  }
+  if (const char* env = std::getenv("VSPARSE_SIM_THREADS")) {
+    if (*env != '\0') return clamp_threads(std::strtol(env, nullptr, 10));
+  }
+  return 1;
+}
+
+SimThroughput::SimThroughput(int threads)
+    : threads_(threads),
+      start_ctas_(gpusim::total_simulated_ctas()),
+      start_(std::chrono::steady_clock::now()) {}
+
+void SimThroughput::print_summary() const {
+  const std::uint64_t ctas = gpusim::total_simulated_ctas() - start_ctas_;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = secs > 0.0 ? static_cast<double>(ctas) / secs : 0.0;
+  std::printf(
+      "# throughput: {\"sim_ctas\":%llu,\"wall_seconds\":%.3f,"
+      "\"ctas_per_sec\":%.1f,\"threads\":%d}\n",
+      static_cast<unsigned long long>(ctas), secs, rate, threads_);
+}
+
 double DenseBaseline::hgemm_cycles(int m, int k, int n) {
   const auto key = std::make_tuple(m, k, n);
   if (auto it = half_.find(key); it != half_.end()) return it->second;
-  gpusim::Device dev = fresh_device();
+  gpusim::Device dev = fresh_device(sim_);
   auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * k);
   auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
   auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
@@ -30,7 +84,7 @@ double DenseBaseline::hgemm_cycles(int m, int k, int n) {
 double DenseBaseline::sgemm_cycles(int m, int k, int n) {
   const auto key = std::make_tuple(m, k, n);
   if (auto it = single_.find(key); it != single_.end()) return it->second;
-  gpusim::Device dev = fresh_device();
+  gpusim::Device dev = fresh_device(sim_);
   auto a = dev.alloc<float>(static_cast<std::size_t>(m) * k);
   auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
   auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);

@@ -5,6 +5,8 @@
 // speedups all normalize to cublasHgemm/Sgemm).
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <tuple>
 
@@ -17,13 +19,44 @@ namespace vsparse::bench {
 /// A device sized for bench problems.
 gpusim::Device fresh_device(std::size_t dram_bytes = std::size_t{1} << 30);
 
+/// A bench device with a host execution policy baked in: every launch
+/// on the returned device defaults to `sim.threads` workers.
+gpusim::Device fresh_device(const gpusim::SimOptions& sim,
+                            std::size_t dram_bytes = std::size_t{1} << 30);
+
+/// Host thread count for the simulator, shared by every bench driver.
+/// Sources, in priority order: a `--threads=N` argument, the
+/// VSPARSE_SIM_THREADS environment variable, default 1 (the serial,
+/// historically bit-exact engine).  N <= 0 requests one worker per
+/// hardware thread.  The returned value is always >= 1.
+int parse_threads(int argc, char** argv);
+
+/// Wall-clock throughput of the simulator itself (how fast the host
+/// simulates, not how fast the modeled GPU would run).  Snapshot at
+/// construction, then print_summary() emits one JSON line:
+///
+///   # throughput: {"sim_ctas":123,"wall_seconds":4.5,
+///                  "ctas_per_sec":27.3,"threads":8}
+class SimThroughput {
+ public:
+  explicit SimThroughput(int threads);
+
+  /// Print the summary JSON line to stdout.
+  void print_summary() const;
+
+ private:
+  int threads_;
+  std::uint64_t start_ctas_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Memoized dense baselines evaluated under one hardware model.
 class DenseBaseline {
  public:
   explicit DenseBaseline(
       gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100(),
-      gpusim::CostParams params = {})
-      : hw_(hw), params_(params) {}
+      gpusim::CostParams params = {}, gpusim::SimOptions sim = {})
+      : hw_(hw), params_(params), sim_(sim) {}
 
   /// Model cycles of the cublasHgemm stand-in on (MxK)·(KxN).
   double hgemm_cycles(int m, int k, int n);
@@ -36,6 +69,7 @@ class DenseBaseline {
  private:
   gpusim::DeviceConfig hw_;
   gpusim::CostParams params_;
+  gpusim::SimOptions sim_;
   std::map<std::tuple<int, int, int>, double> half_;
   std::map<std::tuple<int, int, int>, double> single_;
 };

@@ -2,8 +2,10 @@
 
 namespace vsparse::gpusim {
 
-SectorCache::SectorCache(std::size_t capacity_bytes, int line_bytes,
-                         int sector_bytes, int ways)
+namespace detail {
+
+SetArray::SetArray(std::size_t capacity_bytes, int line_bytes,
+                   int sector_bytes, int ways)
     : line_bytes_(line_bytes),
       sector_bytes_(sector_bytes),
       sectors_per_line_(line_bytes / sector_bytes),
@@ -20,8 +22,7 @@ SectorCache::SectorCache(std::size_t capacity_bytes, int line_bytes,
   lines_.resize(lines);
 }
 
-SectorCache::Line* SectorCache::find_line(std::uint64_t line_addr,
-                                          std::size_t set) {
+SetArray::Line* SetArray::find_line(std::uint64_t line_addr, std::size_t set) {
   Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
   for (int w = 0; w < ways_; ++w) {
     if (base[w].tag == line_addr) return &base[w];
@@ -29,7 +30,7 @@ SectorCache::Line* SectorCache::find_line(std::uint64_t line_addr,
   return nullptr;
 }
 
-std::size_t SectorCache::set_index(std::uint64_t line_addr) const {
+std::size_t SetArray::set_index(std::uint64_t line_addr) const {
   // XOR-folded set hashing, as GPU caches use: without it, power-of-two
   // strides (e.g. the 512 B row stride of a 256-column half matrix)
   // alias a handful of sets and the effective capacity collapses.
@@ -39,7 +40,7 @@ std::size_t SectorCache::set_index(std::uint64_t line_addr) const {
   return static_cast<std::size_t>(h % static_cast<std::uint64_t>(sets_));
 }
 
-bool SectorCache::access(std::uint64_t sector_addr) {
+bool SetArray::access(std::uint64_t sector_addr, std::uint64_t tick) {
   VSPARSE_DCHECK(sector_addr % static_cast<std::uint64_t>(sector_bytes_) == 0);
   const std::uint64_t line_addr =
       sector_addr / static_cast<std::uint64_t>(line_bytes_);
@@ -49,9 +50,8 @@ bool SectorCache::access(std::uint64_t sector_addr) {
       static_cast<std::uint64_t>(sectors_per_line_));
   const std::uint32_t sector_bit = 1u << sector_idx;
 
-  ++tick_;
   if (Line* line = find_line(line_addr, set)) {
-    line->lru = tick_;
+    line->lru = tick;
     if (line->sector_valid & sector_bit) return true;
     line->sector_valid |= sector_bit;  // sector miss, line resident
     return false;
@@ -65,11 +65,11 @@ bool SectorCache::access(std::uint64_t sector_addr) {
   }
   victim->tag = line_addr;
   victim->sector_valid = sector_bit;
-  victim->lru = tick_;
+  victim->lru = tick;
   return false;
 }
 
-void SectorCache::invalidate_sector(std::uint64_t sector_addr) {
+void SetArray::invalidate_sector(std::uint64_t sector_addr) {
   const std::uint64_t line_addr =
       sector_addr / static_cast<std::uint64_t>(line_bytes_);
   const std::size_t set = set_index(line_addr);
@@ -82,9 +82,38 @@ void SectorCache::invalidate_sector(std::uint64_t sector_addr) {
   }
 }
 
-void SectorCache::flush() {
+void SetArray::flush() {
   for (Line& line : lines_) line = Line{};
-  tick_ = 0;
+}
+
+}  // namespace detail
+
+ShardedCache::ShardedCache(std::size_t capacity_bytes, int line_bytes,
+                           int sector_bytes, int ways, int num_slices)
+    : array_(capacity_bytes, line_bytes, sector_bytes, ways),
+      num_slices_(num_slices) {
+  VSPARSE_CHECK(num_slices >= 1);
+  slices_ = std::make_unique<Slice[]>(static_cast<std::size_t>(num_slices));
+}
+
+bool ShardedCache::access(std::uint64_t sector_addr) {
+  Slice& slice = slice_of_sector(sector_addr);
+  std::lock_guard<std::mutex> lock(slice.mu);
+  // Per-slice LRU clock: within a set (which belongs to exactly one
+  // slice) ticks are monotone in access order, so LRU decisions match
+  // a single global clock — slicing never changes serial counters.
+  return array_.access(sector_addr, ++slice.tick);
+}
+
+void ShardedCache::invalidate_sector(std::uint64_t sector_addr) {
+  Slice& slice = slice_of_sector(sector_addr);
+  std::lock_guard<std::mutex> lock(slice.mu);
+  array_.invalidate_sector(sector_addr);
+}
+
+void ShardedCache::flush() {
+  array_.flush();
+  for (int s = 0; s < num_slices_; ++s) slices_[static_cast<std::size_t>(s)].tick = 0;
 }
 
 }  // namespace vsparse::gpusim

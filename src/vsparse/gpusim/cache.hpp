@@ -1,4 +1,4 @@
-// Sector-granular set-associative cache model.
+// Sector-granular set-associative cache models.
 //
 // GPU L1/L2 caches tag at 128 B line granularity but fill and count
 // misses at 32 B *sector* granularity (§2.1, Jia et al. [11]).  The
@@ -7,9 +7,22 @@
 // a lookup hits iff the line is resident AND the requested sector has
 // been filled; a miss fills only the requested sector (no prefetch of
 // sibling sectors).
+//
+// Two front-ends share the line/set logic (detail::SetArray):
+//   * SectorCache  — unsynchronized; one per SM as its private L1.
+//   * ShardedCache — the device-wide L2, partitioned into address-
+//     interleaved slices (slice = set % num_slices) each with its own
+//     lock and LRU clock so concurrent SM threads contend only when
+//     they touch the same slice.  Slicing is *counter-preserving*: the
+//     line -> set mapping is identical to SectorCache's and LRU order
+//     within a set depends only on that slice's access order, so a
+//     serial access stream produces bit-identical hit/miss results for
+//     any slice count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "vsparse/common/macros.hpp"
@@ -17,24 +30,34 @@
 
 namespace vsparse::gpusim {
 
-class SectorCache {
+namespace detail {
+
+/// Geometry plus the tag/sector/LRU state shared by both cache
+/// front-ends.  Not synchronized; callers serialize access per set
+/// (SectorCache globally, ShardedCache per slice).
+class SetArray {
  public:
   /// capacity/line/sector in bytes; capacity must be a multiple of
   /// (ways * line_bytes) and line_bytes a power-of-two multiple of
   /// sector_bytes.
-  SectorCache(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
-              int ways);
+  SetArray(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
+           int ways);
 
-  /// Access one sector.  `sector_addr` must be sector-aligned.
-  /// Returns true on hit; on miss the sector is filled (evicting the
-  /// LRU line of the set if the line was not resident).
-  bool access(std::uint64_t sector_addr);
+  /// Access one sector (sector-aligned address) stamping LRU with
+  /// `tick`.  Returns true on hit; on miss the sector is filled
+  /// (evicting the LRU line of the set if the line was not resident).
+  bool access(std::uint64_t sector_addr, std::uint64_t tick);
 
-  /// Invalidate one sector if resident (used for store coherence).
+  /// Invalidate one sector if resident (store coherence).
   void invalidate_sector(std::uint64_t sector_addr);
 
-  /// Drop all contents (kernel-boundary invalidation for L1).
+  /// Drop all contents.
   void flush();
+
+  /// Set index of the line holding `sector_addr` (XOR-folded hash).
+  std::size_t set_of_sector(std::uint64_t sector_addr) const {
+    return set_index(sector_addr / static_cast<std::uint64_t>(line_bytes_));
+  }
 
   int num_sets() const { return sets_; }
   int ways() const { return ways_; }
@@ -57,8 +80,87 @@ class SectorCache {
   int sectors_per_line_;
   int ways_;
   int sets_;
-  std::uint64_t tick_ = 0;
   std::vector<Line> lines_;  ///< sets_ * ways_, set-major
+};
+
+}  // namespace detail
+
+/// Single-owner cache (the per-SM L1).  Not thread-safe; each SM's L1
+/// is only ever touched by the thread executing that SM's CTAs.
+class SectorCache {
+ public:
+  SectorCache(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
+              int ways)
+      : array_(capacity_bytes, line_bytes, sector_bytes, ways) {}
+
+  /// Access one sector.  `sector_addr` must be sector-aligned.
+  /// Returns true on hit; on miss the sector is filled (evicting the
+  /// LRU line of the set if the line was not resident).
+  bool access(std::uint64_t sector_addr) {
+    return array_.access(sector_addr, ++tick_);
+  }
+
+  /// Invalidate one sector if resident (used for store coherence).
+  void invalidate_sector(std::uint64_t sector_addr) {
+    array_.invalidate_sector(sector_addr);
+  }
+
+  /// Drop all contents (kernel-boundary invalidation for L1).
+  void flush() {
+    array_.flush();
+    tick_ = 0;
+  }
+
+  int num_sets() const { return array_.num_sets(); }
+  int ways() const { return array_.ways(); }
+  int line_bytes() const { return array_.line_bytes(); }
+  int sector_bytes() const { return array_.sector_bytes(); }
+
+ private:
+  detail::SetArray array_;
+  std::uint64_t tick_ = 0;
+};
+
+/// The device-wide L2: the same cache model, sliced for concurrency.
+/// Real GPU L2s are physically partitioned into address-interleaved
+/// slices; here each slice owns the sets with set % num_slices ==
+/// slice_id, guarded by a per-slice mutex so SM threads running on
+/// different host threads serialize only within a slice.
+class ShardedCache {
+ public:
+  ShardedCache(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
+               int ways, int num_slices);
+
+  /// Thread-safe sector access (locks the owning slice).
+  bool access(std::uint64_t sector_addr);
+
+  /// Thread-safe sector invalidation (store coherence).
+  void invalidate_sector(std::uint64_t sector_addr);
+
+  /// Drop all contents.  Not concurrency-safe against in-flight
+  /// accesses; only called between launches.
+  void flush();
+
+  int num_slices() const { return num_slices_; }
+  int num_sets() const { return array_.num_sets(); }
+  int ways() const { return array_.ways(); }
+  int line_bytes() const { return array_.line_bytes(); }
+  int sector_bytes() const { return array_.sector_bytes(); }
+
+ private:
+  struct Slice {
+    std::mutex mu;
+    std::uint64_t tick = 0;
+  };
+
+  Slice& slice_of_sector(std::uint64_t sector_addr) {
+    return slices_[array_.set_of_sector(sector_addr) %
+                   static_cast<std::size_t>(num_slices_)];
+  }
+
+  detail::SetArray array_;
+  int num_slices_;
+  std::unique_ptr<Slice[]> slices_;
 };
 
 }  // namespace vsparse::gpusim

@@ -37,6 +37,13 @@ struct DeviceConfig {
   int sector_bytes = 32;   ///< fill & miss-count granularity
   int l1_ways = 4;
   int l2_ways = 16;
+  /// Concurrency slices of the L2 (real GPUs interleave the L2 across
+  /// address-hashed slices; V100 has 32).  Slicing is counter-neutral:
+  /// sets are distributed set-index-interleaved across slices, so any
+  /// value yields bit-identical hit/miss counts under serial execution
+  /// — the slice count only bounds lock contention when the execution
+  /// engine runs SMs on multiple host threads.
+  int l2_slices = 16;
   int smem_banks = 32;     ///< 4-byte-wide shared-memory banks
 
   // --- L0 instruction cache (per sub-core) ---------------------------

@@ -4,16 +4,12 @@ namespace vsparse::gpusim {
 
 Device::Device(DeviceConfig cfg)
     : cfg_(cfg),
-      l2_(cfg.l2_bytes, cfg.line_bytes, cfg.sector_bytes, cfg.l2_ways) {
+      l2_(cfg.l2_bytes, cfg.line_bytes, cfg.sector_bytes, cfg.l2_ways,
+          cfg.l2_slices) {
   capacity_ = cfg_.dram_capacity;
   // for_overwrite: the arena must not be value-initialized — it can be
   // gigabytes, and alloc_bytes() zeroes each allocation on demand.
   arena_ = std::make_unique_for_overwrite<std::byte[]>(capacity_);
-  l1_.reserve(static_cast<std::size_t>(cfg_.num_sms));
-  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
-    l1_.emplace_back(cfg_.l1_bytes, cfg_.line_bytes, cfg_.sector_bytes,
-                     cfg_.l1_ways);
-  }
 }
 
 std::uint64_t Device::alloc_bytes(std::size_t bytes) {
@@ -47,12 +43,9 @@ void Device::reset() {
   flush_all_caches();
 }
 
-void Device::flush_l1() {
-  for (SectorCache& c : l1_) c.flush();
-}
-
 void Device::flush_all_caches() {
-  flush_l1();
+  // L1s live in per-launch SmContexts and are born cold; the only
+  // persistent cache a Device owns is the L2.
   l2_.flush();
 }
 

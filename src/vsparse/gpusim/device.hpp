@@ -1,6 +1,12 @@
-// Simulated device: DRAM arena, typed buffers, cache hierarchy, and
-// peak-memory accounting (the Table 4 "Peak Memory" column is the
+// Simulated device: DRAM arena, typed buffers, the shared (sliced) L2,
+// and peak-memory accounting (the Table 4 "Peak Memory" column is the
 // high-water mark of live allocations on this device).
+//
+// Per-SM state (L1, shared-memory arena, counter block) lives in the
+// execution engine's SmContext (engine/sm_context.hpp), created fresh
+// for every launch — which is exactly the kernel-boundary L1
+// invalidation semantics real GPUs have.  The Device holds only the
+// state that is shared across SMs and persists across launches.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +21,7 @@
 #include "vsparse/common/math.hpp"
 #include "vsparse/gpusim/cache.hpp"
 #include "vsparse/gpusim/config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
 
 namespace vsparse::gpusim {
 
@@ -49,9 +56,12 @@ class Buffer {
   std::size_t count_ = 0;
 };
 
-/// The simulated GPU.  Owns DRAM, the L2, and one L1 per SM.
-/// Execution itself lives in exec.hpp (`launch()`), which drives warps
-/// against this device.
+/// The simulated GPU.  Owns DRAM and the sliced L2; per-SM L1s belong
+/// to the engine's per-launch SmContexts.  Execution itself lives in
+/// the engine (`launch()` in gpusim/engine/), which drives warps
+/// against this device — possibly from several host threads, so
+/// everything reachable from here during a launch is either read-only
+/// (config, arena translation) or internally synchronized (the L2).
 class Device {
  public:
   explicit Device(DeviceConfig cfg = DeviceConfig::volta_v100());
@@ -91,8 +101,11 @@ class Device {
   void reset_peak() { peak_ = live_; }
 
   /// Bounds-checked translation of a device address range to host memory.
+  /// Guarded against `addr + len` wrapping around std::uint64_t: the
+  /// length is checked against the arena first, then the address
+  /// against the remaining room, so no sum can overflow.
   std::byte* translate(std::uint64_t addr, std::size_t len) {
-    VSPARSE_CHECK_MSG(addr + len <= used_,
+    VSPARSE_CHECK_MSG(len <= used_ && addr <= used_ - len,
                       "device OOB access: addr=" << addr << " len=" << len
                                                  << " used=" << used_);
     return arena_.get() + addr;
@@ -101,12 +114,19 @@ class Device {
     return const_cast<Device*>(this)->translate(addr, len);
   }
 
-  SectorCache& l1(int sm) { return l1_[static_cast<std::size_t>(sm)]; }
-  SectorCache& l2() { return l2_; }
+  ShardedCache& l2() { return l2_; }
 
-  /// Invalidate all L1s (GPUs do this at kernel boundaries); L2 persists.
-  void flush_l1();
+  /// Flush every cache level.  L1s are per-launch (engine SmContexts),
+  /// so "all caches" a Device can flush between launches is the L2;
+  /// benches call this to make back-to-back kernel runs cache-cold.
   void flush_all_caches();
+
+  /// Default execution options used by `launch()` when the caller does
+  /// not pass explicit SimOptions (or passes threads == 0 meaning
+  /// "inherit").  Lets a driver opt a whole device into multi-threaded
+  /// simulation without plumbing options through every kernel call.
+  const SimOptions& sim_options() const { return sim_options_; }
+  void set_sim_options(const SimOptions& opts) { sim_options_ = opts; }
 
  private:
   std::uint64_t alloc_bytes(std::size_t bytes);
@@ -119,8 +139,8 @@ class Device {
   std::size_t live_ = 0;
   std::size_t peak_ = 0;
   std::unordered_map<std::uint64_t, std::size_t> allocations_;
-  std::vector<SectorCache> l1_;
-  SectorCache l2_;
+  ShardedCache l2_;
+  SimOptions sim_options_;
 };
 
 template <class T>

@@ -1,0 +1,134 @@
+// CTA/warp execution contexts — the handles kernel bodies are written
+// against.  The warp-op template bodies (ldg/stg/lds/sts/shfl) live in
+// warp_ops.hpp so they stay header-only for inlining into kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sm_context.hpp"
+#include "vsparse/gpusim/stats.hpp"
+
+namespace vsparse::gpusim {
+
+class Cta;
+
+/// Handle through which kernel code issues warp-level operations.
+class Warp {
+ public:
+  Warp(Cta* cta, int warp_id) : cta_(cta), warp_id_(warp_id) {}
+
+  int warp_id() const { return warp_id_; }
+
+  /// Manual instruction accounting for work the C++ body does implicitly
+  /// (address arithmetic -> IMAD/IADD3, predicate logic -> MISC...).
+  /// Placed where the corresponding CUDA kernel would execute them.
+  void count(Op op, std::uint64_t n = 1);
+
+  /// Global load: each active lane reads a naturally-aligned value of
+  /// type V from its device address.  sizeof(V) in {2,4,8,16} selects
+  /// LDG.{16,32,64,128}.  Coalescing (unique 32 B sectors across the
+  /// warp) is measured, then the L1 (this SM) and L2 models are walked.
+  template <class V>
+  void ldg(const AddrLanes& addr, Lanes<V>& dst,
+           std::uint32_t mask = kFullMask);
+
+  /// Global store: write-through to DRAM via L2; L1 bypassed (Volta
+  /// global stores do not allocate in L1).
+  template <class V>
+  void stg(const AddrLanes& addr, const Lanes<V>& src,
+           std::uint32_t mask = kFullMask);
+
+  /// Shared-memory load/store; `off` are byte offsets into CTA smem.
+  /// Bank conflicts (32 banks x 4 B) expand into extra wavefronts.
+  template <class V>
+  void lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
+           std::uint32_t mask = kFullMask);
+  template <class V>
+  void sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
+           std::uint32_t mask = kFullMask);
+
+  /// Warp shuffle: dst[lane] = src[srclane[lane]] for active lanes.
+  template <class T>
+  void shfl(Lanes<T>& dst, const Lanes<T>& src, const Lanes<int>& srclane,
+            std::uint32_t mask = kFullMask);
+
+  /// dst[lane] = src[lane ^ xor_mask] (butterfly reduction step).
+  template <class T>
+  void shfl_xor(Lanes<T>& dst, const Lanes<T>& src, int xor_mask,
+                std::uint32_t mask = kFullMask);
+
+  /// __threadfence_block(): the §5.4 ILP trick uses this to separate the
+  /// load batch from the MMA batch.  Counted as a MEMBAR issue slot.
+  void fence();
+
+  Cta& cta() { return *cta_; }
+
+ private:
+  KernelStats& stats();
+  Device& device();
+  SmContext& sm();
+  int sm_id() const;
+
+  Cta* cta_;
+  int warp_id_;
+};
+
+/// Per-CTA execution context: identity, shared memory, warp handles.
+/// Backed by the SmContext of the SM this CTA was scheduled on.
+class Cta {
+ public:
+  Cta(SmContext* sm, const LaunchConfig* cfg, int cta_id)
+      : sm_(sm), cfg_(cfg), cta_id_(cta_id) {}
+
+  int cta_id() const { return cta_id_; }
+  int num_ctas() const { return cfg_->grid; }
+  int sm_id() const { return sm_->sm_id(); }
+  int num_warps() const { return cfg_->cta_threads / 32; }
+
+  Warp warp(int w) {
+    VSPARSE_DCHECK(w >= 0 && w < num_warps());
+    return Warp(this, w);
+  }
+
+  /// Run `fn(Warp&)` for every warp of the CTA (one execution phase).
+  template <class F>
+  void for_each_warp(F&& fn) {
+    for (int w = 0; w < num_warps(); ++w) {
+      Warp wp(this, w);
+      fn(wp);
+    }
+  }
+
+  /// __syncthreads(): counted once per warp.
+  void sync() {
+    sm_->stats().op(Op::kBar) += static_cast<std::uint64_t>(num_warps());
+  }
+
+  /// Raw shared-memory storage (kernels address it via lds/sts offsets;
+  /// this pointer backs those accesses).
+  std::byte* smem() { return sm_->smem(); }
+  std::size_t smem_bytes() const { return cfg_->smem_bytes; }
+
+  Device& device() { return sm_->device(); }
+  KernelStats& stats() { return sm_->stats(); }
+  SmContext& sm() { return *sm_; }
+
+ private:
+  SmContext* sm_;
+  const LaunchConfig* cfg_;
+  int cta_id_;
+};
+
+inline KernelStats& Warp::stats() { return cta_->stats(); }
+inline Device& Warp::device() { return cta_->device(); }
+inline SmContext& Warp::sm() { return cta_->sm(); }
+inline int Warp::sm_id() const { return cta_->sm_id(); }
+
+inline void Warp::count(Op op, std::uint64_t n) { stats().op(op) += n; }
+
+inline void Warp::fence() { count(Op::kBar); }
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,106 @@
+#include "vsparse/gpusim/engine/engine.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "vsparse/gpusim/engine/scheduler.hpp"
+#include "vsparse/gpusim/engine/sm_context.hpp"
+#include "vsparse/gpusim/engine/thread_pool.hpp"
+
+namespace vsparse::gpusim {
+
+namespace {
+
+std::atomic<std::uint64_t> g_total_ctas{0};
+
+/// Run one CTA on its home SM: fresh zeroed smem, then the body.
+void run_cta(SmContext& sm, const LaunchConfig& cfg, int cta_id,
+             const std::function<void(Cta&)>& body) {
+  sm.prepare_smem(cfg.smem_bytes);
+  Cta cta(&sm, &cfg, cta_id);
+  body(cta);
+  sm.stats().ctas_launched += 1;
+  sm.stats().warps_launched += static_cast<std::uint64_t>(cfg.cta_threads / 32);
+}
+
+}  // namespace
+
+std::uint64_t total_simulated_ctas() {
+  return g_total_ctas.load(std::memory_order_relaxed);
+}
+
+KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
+                       const std::function<void(Cta&)>& body,
+                       const SimOptions& opts) {
+  VSPARSE_CHECK(cfg.grid >= 1);
+  VSPARSE_CHECK(cfg.cta_threads >= 32 && cfg.cta_threads <= 1024 &&
+                cfg.cta_threads % 32 == 0);
+  VSPARSE_CHECK(cfg.smem_bytes <= dev.config().max_smem_per_cta);
+  VSPARSE_CHECK(cfg.profile.regs_per_thread <=
+                dev.config().max_regs_per_thread);
+
+  Scheduler sched(cfg.grid, dev.config().num_sms);
+
+  int threads = opts.threads > 0 ? opts.threads : dev.sim_options().threads;
+  if (threads < 1) threads = 1;
+  if (threads > sched.num_active_sms()) threads = sched.num_active_sms();
+
+  // Fresh per-SM contexts: cold L1s (= the kernel-boundary invalidation
+  // the serial engine performed with flush_l1), empty counter blocks.
+  std::vector<SmContext> sms;
+  sms.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
+    sms.emplace_back(&dev, sm);
+  }
+
+  if (threads == 1) {
+    // Serial path: CTAs run to completion in *global* launch order, so
+    // the shared-L2 access sequence — and with it every L2/DRAM
+    // counter — is bit-identical to the historical single-threaded
+    // engine.
+    for (int cta = 0; cta < cfg.grid; ++cta) {
+      run_cta(sms[static_cast<std::size_t>(sched.sm_of(cta))], cfg, cta, body);
+    }
+  } else {
+    // Parallel path: workers claim whole SMs and run each SM's CTA
+    // list in launch order.  Per-SM state sees the same sequence as
+    // the serial path; only the interleaving of accesses to the
+    // slice-locked L2 differs.
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    ThreadPool::instance().run(threads, [&] {
+      for (int sm; (sm = sched.next_sm()) >= 0;) {
+        SmContext& ctx = sms[static_cast<std::size_t>(sm)];
+        try {
+          for (int cta = sched.first_cta(sm); cta < cfg.grid;
+               cta += sched.cta_stride()) {
+            run_cta(ctx, cfg, cta, body);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Merge: uint64 sums are commutative and associative, so the merged
+  // block is independent of which worker ran which SM.
+  KernelStats total;
+  for (const SmContext& sm : sms) total += sm.stats();
+  g_total_ctas.fetch_add(total.ctas_launched, std::memory_order_relaxed);
+
+  if (opts.per_sm_stats) {
+    opts.per_sm_stats->assign(
+        static_cast<std::size_t>(dev.config().num_sms), KernelStats{});
+    for (const SmContext& sm : sms) {
+      (*opts.per_sm_stats)[static_cast<std::size_t>(sm.sm_id())] = sm.stats();
+    }
+  }
+  return total;
+}
+
+}  // namespace vsparse::gpusim

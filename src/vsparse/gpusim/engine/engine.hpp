@@ -1,0 +1,32 @@
+// The type-erased launch core: validates a launch, shards the SM array
+// across the thread pool, and merges per-SM counters.  The templated
+// `launch()` adapter in launch.hpp is the public entry point; keeping
+// the engine body out-of-line means the scheduling/threading logic is
+// compiled once instead of into every kernel translation unit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/engine/cta.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
+#include "vsparse/gpusim/stats.hpp"
+
+namespace vsparse::gpusim {
+
+/// Execute `body` once per CTA of the launch, distributing SMs across
+/// host threads per `opts` (threads == 0 inherits the Device default),
+/// and return the merged hardware counters.  The first exception thrown
+/// by any CTA body is rethrown on the calling thread after the join.
+KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
+                       const std::function<void(Cta&)>& body,
+                       const SimOptions& opts);
+
+/// Process-wide count of CTAs simulated since program start, across
+/// all devices and launches.  Benches snapshot it to report simulator
+/// throughput (simulated CTAs per wall-clock second).
+std::uint64_t total_simulated_ctas();
+
+}  // namespace vsparse::gpusim

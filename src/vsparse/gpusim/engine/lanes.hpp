@@ -1,0 +1,17 @@
+// Per-lane register-file slices: the value type kernels compute on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vsparse::gpusim {
+
+/// Per-lane register file slice: one value per lane of a 32-lane warp.
+template <class T>
+using Lanes = std::array<T, 32>;
+
+using AddrLanes = Lanes<std::uint64_t>;
+
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,48 @@
+// Public launch entry point.
+//
+// Kernels are written as per-CTA C++ callables operating on `Cta` /
+// `Warp` contexts, mirroring the structure of the paper's CUDA kernels:
+//
+//   launch(dev, cfg, [&](Cta& cta) {
+//     Lanes<std::uint64_t> addr; Lanes<half4> frag;
+//     ...compute per-lane addresses like the CUDA kernel would...
+//     cta.warp(0).ldg(addr, frag);          // coalescing is *measured*
+//     mma_m8n8k4(cta.warp(0), a, b, acc);   // octet-level tensor core
+//   });
+//
+// CTAs are round-robin assigned to model SMs and each SM's CTA list
+// runs to completion in launch order; warps within a CTA run
+// phase-by-phase — `Cta::sync()` marks barrier boundaries, and kernels
+// are written in the phased style (loop over warps per phase) so
+// producer/consumer shared-memory patterns remain correct under serial
+// warp execution.
+//
+// With SimOptions{threads = N} the SM array is sharded across N host
+// worker threads (SmContexts are private per SM, the L2 is slice-
+// locked).  Functional results and per-SM counters are bit-exact for
+// any N; the serial default additionally reproduces the historical
+// global CTA order, making L2/DRAM counters bit-exact too.  Returns
+// the merged hardware counters for the launch.  L1s are born cold at
+// launch start (kernel-boundary semantics); L2 persists across
+// launches.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "vsparse/gpusim/engine/engine.hpp"
+#include "vsparse/gpusim/engine/warp_ops.hpp"
+
+namespace vsparse::gpusim {
+
+template <class Body>
+KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body,
+                   const SimOptions& opts = {}) {
+  // Type-erase the kernel body so the scheduling engine compiles once.
+  // The reference capture is safe: run_launch joins every worker before
+  // returning.
+  const std::function<void(Cta&)> erased = [&body](Cta& cta) { body(cta); };
+  return run_launch(dev, cfg, erased, opts);
+}
+
+}  // namespace vsparse::gpusim

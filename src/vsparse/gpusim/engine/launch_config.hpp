@@ -1,0 +1,40 @@
+// Static launch description: grid/CTA shape plus the compile-time
+// kernel profile feeding the cost model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vsparse::gpusim {
+
+/// Static (compile-time) properties of a kernel, the inputs to the
+/// occupancy and instruction-cache terms of the cost model.  Kernels
+/// compute these from their tiling parameters with documented formulas
+/// calibrated against the SASS statistics the paper reports (§7.2.2:
+/// FPU baseline 3776/6968 SASS lines vs 384/416 for the octet kernel).
+struct KernelProfile {
+  std::string name = "kernel";
+  int regs_per_thread = 32;
+  int static_instrs = 256;  ///< estimated SASS program size (instructions)
+  /// Multiplier on instruction-cache pressure: >1 for kernels with
+  /// irregular control flow that re-fetches the overflowed program body
+  /// every iteration (the Blocked-ELL library kernel of §3.2).
+  double icache_pressure = 1.0;
+  /// Multiplier on fixed-latency dependency stalls ("Wait"); the §5.4
+  /// batched-loads-then-batched-MMAs trick lowers it below 1.
+  double ilp_factor = 1.0;
+  /// Memory-level parallelism: fraction of peak cache/DRAM bandwidth a
+  /// warp's outstanding loads can sustain.  Serialized load-use chains
+  /// (the compiler register-reuse problem §5.4 fixes) push it below 1.
+  double mlp_factor = 1.0;
+};
+
+/// Grid/CTA shape of a launch.
+struct LaunchConfig {
+  int grid = 1;               ///< number of CTAs (1-D; kernels derive 2-D)
+  int cta_threads = 32;       ///< multiple of 32, <= 1024
+  std::size_t smem_bytes = 0; ///< static shared memory per CTA
+  KernelProfile profile;
+};
+
+}  // namespace vsparse::gpusim

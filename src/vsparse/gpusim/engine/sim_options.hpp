@@ -1,0 +1,35 @@
+// Host-side execution options for the simulator engine — how a launch
+// is run, as opposed to what device is modeled (DeviceConfig).  Leaf
+// header: included by Device (per-device defaults) and by every kernel
+// entry point (per-call override).
+#pragma once
+
+#include <vector>
+
+namespace vsparse::gpusim {
+
+struct KernelStats;
+
+struct SimOptions {
+  /// Host worker threads the SM array is sharded across.
+  ///   0  -> inherit the Device's configured default (which itself
+  ///         defaults to 1).
+  ///   1  -> serial: CTAs run to completion in launch order, exactly
+  ///         the historical engine behavior (all counters, including
+  ///         L2/DRAM, are bit-identical to it).
+  ///   N  -> N workers; each SM's CTA list still runs in launch order
+  ///         on a single worker, so functional results and all per-SM
+  ///         counters (instructions, smem, L1, sectors/req) stay
+  ///         bit-exact for any N.  Only the attribution/split of
+  ///         L2 hit/miss and DRAM byte counters may shift, because
+  ///         concurrent SMs interleave in the shared L2.
+  int threads = 0;
+
+  /// Optional out-parameter: when non-null, the launch fills it with
+  /// one KernelStats block per SM (index = sm_id, size = num_sms) for
+  /// the *most recent* launch — the per-SM view the merged return
+  /// value is summed from.
+  std::vector<KernelStats>* per_sm_stats = nullptr;
+};
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,19 @@
+#include "vsparse/gpusim/engine/sm_context.hpp"
+
+#include <cstring>
+
+namespace vsparse::gpusim {
+
+SmContext::SmContext(Device* dev, int sm_id)
+    : dev_(dev),
+      sm_id_(sm_id),
+      l1_(dev->config().l1_bytes, dev->config().line_bytes,
+          dev->config().sector_bytes, dev->config().l1_ways) {}
+
+std::byte* SmContext::prepare_smem(std::size_t bytes) {
+  if (smem_.size() < bytes) smem_.resize(bytes);
+  if (bytes != 0) std::memset(smem_.data(), 0, bytes);
+  return smem_.data();
+}
+
+}  // namespace vsparse::gpusim

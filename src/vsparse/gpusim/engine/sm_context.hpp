@@ -1,0 +1,49 @@
+// Per-SM execution state: everything one model SM mutates while its
+// CTAs run.  A fresh SmContext is created for each SM at every launch
+// — which is exactly the kernel-boundary L1 invalidation real GPUs
+// perform — and is only ever touched by the single host thread that
+// executes that SM's CTA list, so nothing here needs synchronization.
+// The only cross-SM shared state is the Device's DRAM arena (disjoint
+// addresses per CTA, like real hardware) and its L2 (internally
+// slice-locked).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vsparse/gpusim/cache.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/stats.hpp"
+
+namespace vsparse::gpusim {
+
+class SmContext {
+ public:
+  SmContext(Device* dev, int sm_id);
+
+  int sm_id() const { return sm_id_; }
+  Device& device() { return *dev_; }
+
+  /// This SM's private L1 (born cold at launch start).
+  SectorCache& l1() { return l1_; }
+
+  /// This SM's private counter block; merged across SMs after the
+  /// launch joins (uint64 sums are commutative, so the merge is
+  /// order-independent and bit-exact for any thread count).
+  KernelStats& stats() { return stats_; }
+  const KernelStats& stats() const { return stats_; }
+
+  /// Shared-memory arena for the currently-running CTA, zeroed and
+  /// sized to `bytes` (the CTA's static smem) before each CTA starts.
+  std::byte* prepare_smem(std::size_t bytes);
+  std::byte* smem() { return smem_.data(); }
+
+ private:
+  Device* dev_;
+  int sm_id_;
+  SectorCache l1_;
+  KernelStats stats_;
+  std::vector<std::byte> smem_;
+};
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,71 @@
+#include "vsparse/gpusim/engine/thread_pool.hpp"
+
+namespace vsparse::gpusim {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ensure_workers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::run(int workers, const std::function<void()>& job) {
+  if (workers <= 1) {
+    job();
+    return;
+  }
+  std::lock_guard<std::mutex> serial(run_mu_);
+  const int helpers = workers - 1;  // the caller is worker #0
+  ensure_workers(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    claims_left_ = helpers;
+    running_ = helpers;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  job();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && claims_left_ > 0);
+      });
+      if (stop_) return;
+      seen = generation_;
+      --claims_left_;
+      job = job_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace vsparse::gpusim

@@ -1,0 +1,52 @@
+// Lazily-grown persistent worker pool for the execution engine.
+//
+// A launch hands the pool one job closure and a worker count; the pool
+// runs the closure on that many threads (the caller participates as
+// one of them) and blocks until all return.  Workers persist across
+// launches so the per-launch cost is a wakeup, not thread creation —
+// benches issue thousands of launches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsparse::gpusim {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by `launch()`.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run `job` on `workers` threads concurrently (the calling thread
+  /// counts as one) and wait for all of them to finish.  The job must
+  /// partition its own work (e.g. via Scheduler::next_sm) — every
+  /// worker executes the same closure.  Serialized: one run at a time.
+  void run(int workers, const std::function<void()>& job);
+
+ private:
+  ThreadPool() = default;
+  void worker_loop();
+  void ensure_workers(int n);  // callers hold no locks
+
+  std::mutex run_mu_;  ///< serializes run() callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::function<void()> job_;
+  std::uint64_t generation_ = 0;  ///< bumped per run()
+  int claims_left_ = 0;           ///< workers still allowed to join this run
+  int running_ = 0;               ///< pool workers still executing this run
+  bool stop_ = false;
+};
+
+}  // namespace vsparse::gpusim

@@ -1,426 +1,25 @@
-// Warp-synchronous execution engine.
+// Umbrella header for the execution engine — kept so kernels, tests,
+// and downstream users keep a single include for the whole warp-
+// synchronous execution surface.  The engine itself is layered under
+// engine/:
 //
-// Kernels are written as per-CTA C++ callables operating on `Cta` /
-// `Warp` contexts, mirroring the structure of the paper's CUDA kernels:
+//   engine/lanes.hpp          per-lane register slices (Lanes<T>)
+//   engine/launch_config.hpp  KernelProfile + LaunchConfig
+//   engine/sim_options.hpp    SimOptions{threads} host execution options
+//   engine/sm_context.hpp     per-SM state: L1, smem arena, stats block
+//   engine/cta.hpp            Cta / Warp handles kernels program against
+//   engine/warp_ops.hpp       ldg/stg/lds/sts/shfl template bodies
+//   engine/scheduler.hpp      CTA->SM round-robin + SM->worker claiming
+//   engine/thread_pool.hpp    persistent worker pool
+//   engine/engine.hpp         run_launch(): validate, shard, merge
+//   engine/launch.hpp         the templated launch() entry point
 //
-//   launch(dev, cfg, [&](Cta& cta) {
-//     Lanes<std::uint64_t> addr; Lanes<half4> frag;
-//     ...compute per-lane addresses like the CUDA kernel would...
-//     cta.warp(0).ldg(addr, frag);          // coalescing is *measured*
-//     mma_m8n8k4(cta.warp(0), a, b, acc);   // octet-level tensor core
-//   });
-//
-// Execution is serial and deterministic: CTAs run to completion in
-// launch order, round-robin assigned to model SMs (whose L1s they
-// share), and warps within a CTA run phase-by-phase — `Cta::sync()`
-// marks barrier boundaries, and kernels are written in the phased style
-// (loop over warps per phase) so producer/consumer shared-memory
-// patterns remain correct under serial warp execution.
-//
-// Every memory operation performs the real data movement *and* records
-// the hardware events (requests, 32 B sectors, L1/L2 hits, bank
-// conflicts) that the paper's profiling sections analyze.
+// See engine/launch.hpp for the execution and determinism contract.
 #pragma once
 
-#include <algorithm>
-#include <array>
-#include <cstdint>
-#include <cstring>
-#include <string>
-
-#include "vsparse/common/macros.hpp"
-#include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/stats.hpp"
-
-namespace vsparse::gpusim {
-
-/// Per-lane register file slice: one value per lane of a 32-lane warp.
-template <class T>
-using Lanes = std::array<T, 32>;
-
-using AddrLanes = Lanes<std::uint64_t>;
-
-inline constexpr std::uint32_t kFullMask = 0xffffffffu;
-
-/// Static (compile-time) properties of a kernel, the inputs to the
-/// occupancy and instruction-cache terms of the cost model.  Kernels
-/// compute these from their tiling parameters with documented formulas
-/// calibrated against the SASS statistics the paper reports (§7.2.2:
-/// FPU baseline 3776/6968 SASS lines vs 384/416 for the octet kernel).
-struct KernelProfile {
-  std::string name = "kernel";
-  int regs_per_thread = 32;
-  int static_instrs = 256;  ///< estimated SASS program size (instructions)
-  /// Multiplier on instruction-cache pressure: >1 for kernels with
-  /// irregular control flow that re-fetches the overflowed program body
-  /// every iteration (the Blocked-ELL library kernel of §3.2).
-  double icache_pressure = 1.0;
-  /// Multiplier on fixed-latency dependency stalls ("Wait"); the §5.4
-  /// batched-loads-then-batched-MMAs trick lowers it below 1.
-  double ilp_factor = 1.0;
-  /// Memory-level parallelism: fraction of peak cache/DRAM bandwidth a
-  /// warp's outstanding loads can sustain.  Serialized load-use chains
-  /// (the compiler register-reuse problem §5.4 fixes) push it below 1.
-  double mlp_factor = 1.0;
-};
-
-/// Grid/CTA shape of a launch.
-struct LaunchConfig {
-  int grid = 1;               ///< number of CTAs (1-D; kernels derive 2-D)
-  int cta_threads = 32;       ///< multiple of 32, <= 1024
-  std::size_t smem_bytes = 0; ///< static shared memory per CTA
-  KernelProfile profile;
-};
-
-class Cta;
-
-/// Handle through which kernel code issues warp-level operations.
-class Warp {
- public:
-  Warp(Cta* cta, int warp_id) : cta_(cta), warp_id_(warp_id) {}
-
-  int warp_id() const { return warp_id_; }
-
-  /// Manual instruction accounting for work the C++ body does implicitly
-  /// (address arithmetic -> IMAD/IADD3, predicate logic -> MISC...).
-  /// Placed where the corresponding CUDA kernel would execute them.
-  void count(Op op, std::uint64_t n = 1);
-
-  /// Global load: each active lane reads a naturally-aligned value of
-  /// type V from its device address.  sizeof(V) in {2,4,8,16} selects
-  /// LDG.{16,32,64,128}.  Coalescing (unique 32 B sectors across the
-  /// warp) is measured, then the L1 (this SM) and L2 models are walked.
-  template <class V>
-  void ldg(const AddrLanes& addr, Lanes<V>& dst,
-           std::uint32_t mask = kFullMask);
-
-  /// Global store: write-through to DRAM via L2; L1 bypassed (Volta
-  /// global stores do not allocate in L1).
-  template <class V>
-  void stg(const AddrLanes& addr, const Lanes<V>& src,
-           std::uint32_t mask = kFullMask);
-
-  /// Shared-memory load/store; `off` are byte offsets into CTA smem.
-  /// Bank conflicts (32 banks x 4 B) expand into extra wavefronts.
-  template <class V>
-  void lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
-           std::uint32_t mask = kFullMask);
-  template <class V>
-  void sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
-           std::uint32_t mask = kFullMask);
-
-  /// Warp shuffle: dst[lane] = src[srclane[lane]] for active lanes.
-  template <class T>
-  void shfl(Lanes<T>& dst, const Lanes<T>& src, const Lanes<int>& srclane,
-            std::uint32_t mask = kFullMask);
-
-  /// dst[lane] = src[lane ^ xor_mask] (butterfly reduction step).
-  template <class T>
-  void shfl_xor(Lanes<T>& dst, const Lanes<T>& src, int xor_mask,
-                std::uint32_t mask = kFullMask);
-
-  /// __threadfence_block(): the §5.4 ILP trick uses this to separate the
-  /// load batch from the MMA batch.  Counted as a MEMBAR issue slot.
-  void fence();
-
-  Cta& cta() { return *cta_; }
-
- private:
-  KernelStats& stats();
-  Device& device();
-  int sm_id() const;
-
-  Cta* cta_;
-  int warp_id_;
-};
-
-/// Per-CTA execution context: identity, shared memory, warp handles.
-class Cta {
- public:
-  Cta(Device* dev, KernelStats* stats, const LaunchConfig* cfg, int cta_id,
-      int sm_id, std::byte* smem)
-      : dev_(dev),
-        stats_(stats),
-        cfg_(cfg),
-        cta_id_(cta_id),
-        sm_id_(sm_id),
-        smem_(smem) {}
-
-  int cta_id() const { return cta_id_; }
-  int num_ctas() const { return cfg_->grid; }
-  int sm_id() const { return sm_id_; }
-  int num_warps() const { return cfg_->cta_threads / 32; }
-
-  Warp warp(int w) {
-    VSPARSE_DCHECK(w >= 0 && w < num_warps());
-    return Warp(this, w);
-  }
-
-  /// Run `fn(Warp&)` for every warp of the CTA (one execution phase).
-  template <class F>
-  void for_each_warp(F&& fn) {
-    for (int w = 0; w < num_warps(); ++w) {
-      Warp wp(this, w);
-      fn(wp);
-    }
-  }
-
-  /// __syncthreads(): counted once per warp.
-  void sync() { stats_->op(Op::kBar) += static_cast<std::uint64_t>(num_warps()); }
-
-  /// Raw shared-memory storage (kernels address it via lds/sts offsets;
-  /// this pointer backs those accesses).
-  std::byte* smem() { return smem_; }
-  std::size_t smem_bytes() const { return cfg_->smem_bytes; }
-
-  Device& device() { return *dev_; }
-  KernelStats& stats() { return *stats_; }
-
- private:
-  Device* dev_;
-  KernelStats* stats_;
-  const LaunchConfig* cfg_;
-  int cta_id_;
-  int sm_id_;
-  std::byte* smem_;
-};
-
-inline KernelStats& Warp::stats() { return cta_->stats(); }
-inline Device& Warp::device() { return cta_->device(); }
-inline int Warp::sm_id() const { return cta_->sm_id(); }
-
-inline void Warp::count(Op op, std::uint64_t n) { stats().op(op) += n; }
-
-inline void Warp::fence() { count(Op::kBar); }
-
-namespace detail {
-
-/// Collects the unique 32 B sectors touched by one warp memory request.
-/// Naturally-aligned accesses of size <= 32 B touch exactly one sector
-/// per lane, so at most 32 entries.
-class SectorSet {
- public:
-  void insert(std::uint64_t sector) {
-    for (int i = 0; i < n_; ++i) {
-      if (sectors_[i] == sector) return;
-    }
-    sectors_[n_++] = sector;
-  }
-  int size() const { return n_; }
-  std::uint64_t operator[](int i) const { return sectors_[i]; }
-
- private:
-  std::uint64_t sectors_[32];
-  int n_ = 0;
-};
-
-}  // namespace detail
-
-template <class V>
-void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
-  static_assert(std::is_trivially_copyable_v<V>);
-  static_assert(sizeof(V) == 2 || sizeof(V) == 4 || sizeof(V) == 8 ||
-                sizeof(V) == 16);
-  KernelStats& s = stats();
-  s.op(Op::kLdg) += 1;
-  if constexpr (sizeof(V) == 2) {
-    ++s.ldg16;
-  } else if constexpr (sizeof(V) == 4) {
-    ++s.ldg32;
-  } else if constexpr (sizeof(V) == 8) {
-    ++s.ldg64;
-  } else {
-    ++s.ldg128;
-  }
-  if (mask == 0) return;
-
-  Device& dev = device();
-  detail::SectorSet sectors;
-  for (int lane = 0; lane < 32; ++lane) {
-    if (!(mask & (1u << lane))) continue;
-    const std::uint64_t a = addr[static_cast<std::size_t>(lane)];
-    VSPARSE_DCHECK(a % sizeof(V) == 0);  // natural alignment, as CUDA requires
-    std::memcpy(&dst[static_cast<std::size_t>(lane)],
-                dev.translate(a, sizeof(V)), sizeof(V));
-    sectors.insert(a & ~std::uint64_t{31});
-  }
-  s.global_load_requests += 1;
-  s.global_load_sectors += static_cast<std::uint64_t>(sectors.size());
-  SectorCache& l1 = dev.l1(sm_id());
-  SectorCache& l2 = dev.l2();
-  for (int i = 0; i < sectors.size(); ++i) {
-    if (l1.access(sectors[i])) {
-      ++s.l1_sector_hits;
-    } else {
-      ++s.l1_sector_misses;
-      if (l2.access(sectors[i])) {
-        ++s.l2_sector_hits;
-      } else {
-        ++s.l2_sector_misses;
-        s.dram_read_bytes += 32;
-      }
-    }
-  }
-}
-
-template <class V>
-void Warp::stg(const AddrLanes& addr, const Lanes<V>& src,
-               std::uint32_t mask) {
-  static_assert(std::is_trivially_copyable_v<V>);
-  static_assert(sizeof(V) == 2 || sizeof(V) == 4 || sizeof(V) == 8 ||
-                sizeof(V) == 16);
-  KernelStats& s = stats();
-  s.op(Op::kStg) += 1;
-  if (mask == 0) return;
-
-  Device& dev = device();
-  detail::SectorSet sectors;
-  for (int lane = 0; lane < 32; ++lane) {
-    if (!(mask & (1u << lane))) continue;
-    const std::uint64_t a = addr[static_cast<std::size_t>(lane)];
-    VSPARSE_DCHECK(a % sizeof(V) == 0);
-    std::memcpy(dev.translate(a, sizeof(V)),
-                &src[static_cast<std::size_t>(lane)], sizeof(V));
-    sectors.insert(a & ~std::uint64_t{31});
-  }
-  s.global_store_requests += 1;
-  s.global_store_sectors += static_cast<std::uint64_t>(sectors.size());
-  SectorCache& l1 = dev.l1(sm_id());
-  SectorCache& l2 = dev.l2();
-  for (int i = 0; i < sectors.size(); ++i) {
-    l1.invalidate_sector(sectors[i]);  // keep L1 coherent with the store
-    if (!l2.access(sectors[i])) {
-      ++s.l2_sector_misses;
-      s.dram_write_bytes += 32;
-    } else {
-      ++s.l2_sector_hits;
-    }
-  }
-}
-
-template <class V>
-void Warp::lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
-               std::uint32_t mask) {
-  static_assert(std::is_trivially_copyable_v<V>);
-  KernelStats& s = stats();
-  s.op(Op::kLds) += 1;
-  if (mask == 0) return;
-  s.smem_load_requests += 1;
-
-  // Bank-conflict model: lanes whose first 4 B word maps to the same
-  // bank but a *different* word serialize; same word broadcasts.
-  int bank_word[32];
-  int bank_count[32] = {};
-  int lanes_active = 0;
-  std::byte* smem = cta_->smem();
-  for (int lane = 0; lane < 32; ++lane) {
-    if (!(mask & (1u << lane))) continue;
-    const std::uint32_t o = off[static_cast<std::size_t>(lane)];
-    VSPARSE_CHECK_MSG(o + sizeof(V) <= cta_->smem_bytes(),
-                      "smem OOB load at offset " << o);
-    std::memcpy(&dst[static_cast<std::size_t>(lane)], smem + o, sizeof(V));
-    const int word = static_cast<int>(o / 4);
-    const int bank = word % 32;
-    // Count distinct words per bank (approximate: treat each lane's
-    // first word as its bank access).
-    bool dup = false;
-    for (int l2i = 0; l2i < lanes_active; ++l2i) {
-      if (bank_word[l2i] == word) {
-        dup = true;
-        break;
-      }
-    }
-    bank_word[lanes_active++] = word;
-    if (!dup) ++bank_count[bank];
-  }
-  int degree = 1;
-  for (int b = 0; b < 32; ++b) degree = std::max(degree, bank_count[b]);
-  const int width_factor =
-      static_cast<int>(std::max<std::size_t>(1, sizeof(V) / 8));
-  s.smem_wavefronts +=
-      static_cast<std::uint64_t>(degree) * static_cast<std::uint64_t>(width_factor);
-  s.smem_load_bytes += static_cast<std::uint64_t>(lanes_active) * sizeof(V);
-}
-
-template <class V>
-void Warp::sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
-               std::uint32_t mask) {
-  static_assert(std::is_trivially_copyable_v<V>);
-  KernelStats& s = stats();
-  s.op(Op::kSts) += 1;
-  if (mask == 0) return;
-  s.smem_store_requests += 1;
-
-  std::byte* smem = cta_->smem();
-  int lanes_active = 0;
-  for (int lane = 0; lane < 32; ++lane) {
-    if (!(mask & (1u << lane))) continue;
-    const std::uint32_t o = off[static_cast<std::size_t>(lane)];
-    VSPARSE_CHECK_MSG(o + sizeof(V) <= cta_->smem_bytes(),
-                      "smem OOB store at offset " << o);
-    std::memcpy(smem + o, &src[static_cast<std::size_t>(lane)], sizeof(V));
-    ++lanes_active;
-  }
-  const int width_factor =
-      static_cast<int>(std::max<std::size_t>(1, sizeof(V) / 8));
-  s.smem_wavefronts += static_cast<std::uint64_t>(width_factor);
-  s.smem_store_bytes += static_cast<std::uint64_t>(lanes_active) * sizeof(V);
-}
-
-template <class T>
-void Warp::shfl(Lanes<T>& dst, const Lanes<T>& src, const Lanes<int>& srclane,
-                std::uint32_t mask) {
-  count(Op::kShfl);
-  Lanes<T> tmp;
-  for (int lane = 0; lane < 32; ++lane) {
-    if (!(mask & (1u << lane))) {
-      tmp[static_cast<std::size_t>(lane)] = dst[static_cast<std::size_t>(lane)];
-      continue;
-    }
-    const int sl = srclane[static_cast<std::size_t>(lane)];
-    VSPARSE_DCHECK(sl >= 0 && sl < 32);
-    tmp[static_cast<std::size_t>(lane)] = src[static_cast<std::size_t>(sl)];
-  }
-  dst = tmp;
-}
-
-template <class T>
-void Warp::shfl_xor(Lanes<T>& dst, const Lanes<T>& src, int xor_mask,
-                    std::uint32_t mask) {
-  Lanes<int> srclane;
-  for (int lane = 0; lane < 32; ++lane) {
-    srclane[static_cast<std::size_t>(lane)] = lane ^ xor_mask;
-  }
-  shfl(dst, src, srclane, mask);
-}
-
-/// Execute a kernel: `body(Cta&)` runs once per CTA.  Returns the
-/// hardware counters for the launch.  L1s are invalidated at launch
-/// start (kernel-boundary semantics); L2 persists across launches.
-template <class Body>
-KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
-  VSPARSE_CHECK(cfg.grid >= 1);
-  VSPARSE_CHECK(cfg.cta_threads >= 32 && cfg.cta_threads <= 1024 &&
-                cfg.cta_threads % 32 == 0);
-  VSPARSE_CHECK(cfg.smem_bytes <= dev.config().max_smem_per_cta);
-  VSPARSE_CHECK(cfg.profile.regs_per_thread <=
-                dev.config().max_regs_per_thread);
-
-  dev.flush_l1();
-  KernelStats stats;
-  stats.ctas_launched = static_cast<std::uint64_t>(cfg.grid);
-  stats.warps_launched =
-      static_cast<std::uint64_t>(cfg.grid) *
-      static_cast<std::uint64_t>(cfg.cta_threads / 32);
-
-  std::vector<std::byte> smem(cfg.smem_bytes);
-  for (int cta_id = 0; cta_id < cfg.grid; ++cta_id) {
-    const int sm = cta_id % dev.config().num_sms;
-    if (!smem.empty()) std::memset(smem.data(), 0, smem.size());
-    Cta cta(&dev, &stats, &cfg, cta_id, sm, smem.data());
-    body(cta);
-  }
-  return stats;
-}
-
-}  // namespace vsparse::gpusim
+#include "vsparse/gpusim/engine/cta.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
+#include "vsparse/gpusim/engine/warp_ops.hpp"

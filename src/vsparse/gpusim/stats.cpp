@@ -86,6 +86,27 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   return *this;
 }
 
+bool KernelStats::sm_local_equal(const KernelStats& o) const {
+  for (int i = 0; i < kNumOps; ++i) {
+    if (ops[i] != o.ops[i]) return false;
+  }
+  return ldg16 == o.ldg16 && ldg32 == o.ldg32 && ldg64 == o.ldg64 &&
+         ldg128 == o.ldg128 &&
+         global_load_requests == o.global_load_requests &&
+         global_load_sectors == o.global_load_sectors &&
+         global_store_requests == o.global_store_requests &&
+         global_store_sectors == o.global_store_sectors &&
+         l1_sector_hits == o.l1_sector_hits &&
+         l1_sector_misses == o.l1_sector_misses &&
+         smem_load_requests == o.smem_load_requests &&
+         smem_store_requests == o.smem_store_requests &&
+         smem_load_bytes == o.smem_load_bytes &&
+         smem_store_bytes == o.smem_store_bytes &&
+         smem_wavefronts == o.smem_wavefronts &&
+         ctas_launched == o.ctas_launched &&
+         warps_launched == o.warps_launched;
+}
+
 std::string KernelStats::to_string() const {
   std::ostringstream os;
   os << *this;

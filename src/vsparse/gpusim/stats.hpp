@@ -92,8 +92,17 @@ struct KernelStats {
   /// "smem load requests / global load requests" diagnostic).
   double smem_to_global_load_ratio() const;
 
-  /// Element-wise accumulate (for multi-kernel pipelines).
+  /// Element-wise accumulate (for multi-kernel pipelines, and the
+  /// engine's per-SM -> per-launch merge; uint64 sums make the merge
+  /// order-independent).
   KernelStats& operator+=(const KernelStats& other);
+
+  /// Equality over the SM-local counters: everything except the L2
+  /// hit/miss split and DRAM bytes.  Those four depend on how
+  /// concurrent SMs interleave in the shared L2, so they are the only
+  /// fields the engine's determinism contract excludes for thread
+  /// counts > 1 (at threads == 1 they are bit-exact too).
+  bool sm_local_equal(const KernelStats& other) const;
 
   /// Multi-line human-readable dump.
   std::string to_string() const;

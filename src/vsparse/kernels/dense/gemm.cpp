@@ -138,7 +138,8 @@ void load_b_frag(Warp& w, int n0_in_tile, half_t (&b)[16][32]) {
 
 KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
                     const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-                    const HgemmParams& params) {
+                    const HgemmParams& params,
+                    const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
   VSPARSE_CHECK(a.layout == Layout::kRowMajor);
@@ -278,7 +279,7 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
         }
       });
     }
-  });
+  }, sim);
 
   if (split > 1) {
     // Reduction pass: convert the fp32 workspace to half C.
@@ -326,7 +327,7 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
         }
         w.stg(saddr, fout, mask);
       }
-    });
+    }, sim);
     stats += rstats;
     dev.free(workspace);
   }
@@ -334,7 +335,8 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
 }
 
 KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
-                    const DenseDevice<float>& b, DenseDevice<float>& c) {
+                    const DenseDevice<float>& b, DenseDevice<float>& c,
+                    const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
   VSPARSE_CHECK(a.layout == Layout::kRowMajor);
@@ -456,7 +458,7 @@ KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
         w.stg(addr, frag);
       }
     });
-  });
+  }, sim);
   return {stats, cfg};
 }
 

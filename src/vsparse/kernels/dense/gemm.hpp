@@ -31,11 +31,13 @@ struct HgemmParams {
 /// row- or column-major).  M, N must be multiples of 64; K of 16.
 KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
                     const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-                    const HgemmParams& params = {});
+                    const HgemmParams& params = {},
+                    const gpusim::SimOptions& sim = {});
 
 /// C[MxN] (row-major, float) = A * B in single precision on the FPU.
 /// Same shape constraints.
 KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
-                    const DenseDevice<float>& b, DenseDevice<float>& c);
+                    const DenseDevice<float>& b, DenseDevice<float>& c,
+                    const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -13,19 +13,19 @@ namespace vsparse::kernels {
 
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo) {
+               SpmmAlgorithm algo, const gpusim::SimOptions& sim) {
   if (algo == SpmmAlgorithm::kAuto) {
     algo = a.v >= 2 ? SpmmAlgorithm::kOctet : SpmmAlgorithm::kFpuSubwarp;
   }
   switch (algo) {
     case SpmmAlgorithm::kOctet:
-      return spmm_octet(dev, a, b, c);
+      return spmm_octet(dev, a, b, c, {}, sim);
     case SpmmAlgorithm::kWmmaWarp:
-      return spmm_wmma_warp(dev, a, b, c);
+      return spmm_wmma_warp(dev, a, b, c, sim);
     case SpmmAlgorithm::kFpuSubwarp:
-      return spmm_fpu_subwarp(dev, a, b, c);
+      return spmm_fpu_subwarp(dev, a, b, c, {}, sim);
     case SpmmAlgorithm::kCsrFine:
-      return spmm_csr_fine(dev, a, b, c);
+      return spmm_csr_fine(dev, a, b, c, sim);
     case SpmmAlgorithm::kAuto:
       break;
   }
@@ -35,19 +35,20 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
 
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                 const DenseDevice<half_t>& b, const CvsDevice& mask,
-                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo) {
+                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
+                const gpusim::SimOptions& sim) {
   if (algo == SddmmAlgorithm::kAuto) {
     algo = mask.v >= 2 ? SddmmAlgorithm::kOctet : SddmmAlgorithm::kFpuSubwarp;
   }
   switch (algo) {
     case SddmmAlgorithm::kOctet:
-      return sddmm_octet(dev, a, b, mask, out_values);
+      return sddmm_octet(dev, a, b, mask, out_values, {}, sim);
     case SddmmAlgorithm::kWmmaWarp:
-      return sddmm_wmma_warp(dev, a, b, mask, out_values);
+      return sddmm_wmma_warp(dev, a, b, mask, out_values, sim);
     case SddmmAlgorithm::kFpuSubwarp:
-      return sddmm_fpu_subwarp(dev, a, b, mask, out_values);
+      return sddmm_fpu_subwarp(dev, a, b, mask, out_values, {}, sim);
     case SddmmAlgorithm::kCsrFine:
-      return sddmm_csr_fine(dev, a, b, mask, out_values);
+      return sddmm_csr_fine(dev, a, b, mask, out_values, sim);
     case SddmmAlgorithm::kAuto:
       break;
   }
@@ -56,7 +57,8 @@ KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
 }
 
 DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo) {
+                              SpmmAlgorithm algo,
+                              const gpusim::SimOptions& sim) {
   gpusim::DeviceConfig cfg = gpusim::DeviceConfig::volta_v100();
   const std::size_t need =
       a.values.size() * 2 + a.col_idx.size() * 8 +
@@ -70,18 +72,19 @@ DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
   DenseDevice<half_t> db = to_device(dev, b);
   DenseMatrix<half_t> c(a.rows, b.cols());
   DenseDevice<half_t> dc = to_device(dev, c);
-  spmm(dev, da, db, dc, algo);
+  spmm(dev, da, db, dc, algo, sim);
   return from_device(dc);
 }
 
 Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
-               const Cvs& mask, SddmmAlgorithm algo) {
+               const Cvs& mask, SddmmAlgorithm algo,
+               const gpusim::SimOptions& sim) {
   gpusim::Device dev;
   DenseDevice<half_t> da = to_device(dev, a);
   DenseDevice<half_t> db = to_device(dev, b);
   CvsDevice dmask = to_device(dev, mask);
   auto out = dev.alloc<half_t>(mask.values.size());
-  sddmm(dev, da, db, dmask, out, algo);
+  sddmm(dev, da, db, dmask, out, algo, sim);
   Cvs result = mask;
   auto host = out.host();
   std::copy(host.begin(), host.end(), result.values.begin());

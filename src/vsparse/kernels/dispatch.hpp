@@ -40,25 +40,29 @@ enum class SddmmAlgorithm {
 /// C[MxN] = A_cvs[MxK] * B[KxN] (half, row-major B/C).
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo = SpmmAlgorithm::kAuto);
+               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
+               const gpusim::SimOptions& sim = {});
 
 /// out_values = (A[MxK] * B[KxN]) ⊙ mask in mask storage order
 /// (A row-major, B column-major).
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                 const DenseDevice<half_t>& b, const CvsDevice& mask,
                 gpusim::Buffer<half_t>& out_values,
-                SddmmAlgorithm algo = SddmmAlgorithm::kAuto);
+                SddmmAlgorithm algo = SddmmAlgorithm::kAuto,
+                const gpusim::SimOptions& sim = {});
 
 /// Convenience: full host-side round trip — encode, upload, run, and
 /// download.  `algo` as in spmm().  Intended for quickstarts and tests;
 /// steady-state users should keep operands resident.
 DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo = SpmmAlgorithm::kAuto);
+                              SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
+                              const gpusim::SimOptions& sim = {});
 
 /// Host-side SDDMM round trip; returns the masked products as a Cvs
 /// sharing `mask`'s pattern.
 Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
                const Cvs& mask,
-               SddmmAlgorithm algo = SddmmAlgorithm::kAuto);
+               SddmmAlgorithm algo = SddmmAlgorithm::kAuto,
+               const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -19,7 +19,8 @@ template <class T>
 KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
                               const DenseDevice<T>& b,
                               const CvsDeviceT<T>& mask,
-                              gpusim::Buffer<T>& out_values) {
+                              gpusim::Buffer<T>& out_values,
+                              const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   VSPARSE_CHECK(mask.v == 1);
   VSPARSE_CHECK(b.rows == k);
@@ -103,7 +104,7 @@ KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
       w.count(Op::kFfma, 1);
       w.stg(saddr, out, 0x1u);
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }
@@ -112,15 +113,17 @@ KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
 
 KernelRun sddmm_csr_fine(gpusim::Device& dev, const DenseDevice<half_t>& a,
                          const DenseDevice<half_t>& b, const CvsDevice& mask,
-                         gpusim::Buffer<half_t>& out_values) {
-  return sddmm_csr_fine_impl<half_t>(dev, a, b, mask, out_values);
+                         gpusim::Buffer<half_t>& out_values,
+                         const gpusim::SimOptions& sim) {
+  return sddmm_csr_fine_impl<half_t>(dev, a, b, mask, out_values, sim);
 }
 
 KernelRun sddmm_csr_fine_f32(gpusim::Device& dev, const DenseDevice<float>& a,
                              const DenseDevice<float>& b,
                              const CvsDeviceT<float>& mask,
-                             gpusim::Buffer<float>& out_values) {
-  return sddmm_csr_fine_impl<float>(dev, a, b, mask, out_values);
+                             gpusim::Buffer<float>& out_values,
+                             const gpusim::SimOptions& sim) {
+  return sddmm_csr_fine_impl<float>(dev, a, b, mask, out_values, sim);
 }
 
 }  // namespace vsparse::kernels

@@ -18,11 +18,13 @@ namespace vsparse::kernels {
 /// V must be 1.  A row-major, B column-major.
 KernelRun sddmm_csr_fine(gpusim::Device& dev, const DenseDevice<half_t>& a,
                          const DenseDevice<half_t>& b, const CvsDevice& mask,
-                         gpusim::Buffer<half_t>& out_values);
+                         gpusim::Buffer<half_t>& out_values,
+                         const gpusim::SimOptions& sim = {});
 
 KernelRun sddmm_csr_fine_f32(gpusim::Device& dev, const DenseDevice<float>& a,
                              const DenseDevice<float>& b,
                              const CvsDeviceT<float>& mask,
-                             gpusim::Buffer<float>& out_values);
+                             gpusim::Buffer<float>& out_values,
+                             const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -24,7 +24,8 @@ template <class T>
 KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
                          const DenseDevice<T>& b, const CvsDeviceT<T>& mask,
                          gpusim::Buffer<T>& out_values,
-                         const SddmmFpuParams& params) {
+                         const SddmmFpuParams& params,
+                         const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = mask.v;
   VSPARSE_CHECK(b.rows == k);
@@ -274,7 +275,7 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
         }
       }
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }
@@ -285,8 +286,9 @@ KernelRun sddmm_fpu_subwarp(gpusim::Device& dev, const DenseDevice<half_t>& a,
                             const DenseDevice<half_t>& b,
                             const CvsDevice& mask,
                             gpusim::Buffer<half_t>& out_values,
-                            const SddmmFpuParams& params) {
-  return sddmm_fpu_impl<half_t>(dev, a, b, mask, out_values, params);
+                            const SddmmFpuParams& params,
+                            const gpusim::SimOptions& sim) {
+  return sddmm_fpu_impl<half_t>(dev, a, b, mask, out_values, params, sim);
 }
 
 KernelRun sddmm_fpu_subwarp_f32(gpusim::Device& dev,
@@ -294,8 +296,9 @@ KernelRun sddmm_fpu_subwarp_f32(gpusim::Device& dev,
                                 const DenseDevice<float>& b,
                                 const CvsDeviceT<float>& mask,
                                 gpusim::Buffer<float>& out_values,
-                                const SddmmFpuParams& params) {
-  return sddmm_fpu_impl<float>(dev, a, b, mask, out_values, params);
+                                const SddmmFpuParams& params,
+                                const gpusim::SimOptions& sim) {
+  return sddmm_fpu_impl<float>(dev, a, b, mask, out_values, params, sim);
 }
 
 }  // namespace vsparse::kernels

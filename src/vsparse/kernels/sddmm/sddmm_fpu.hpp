@@ -29,7 +29,8 @@ KernelRun sddmm_fpu_subwarp(gpusim::Device& dev, const DenseDevice<half_t>& a,
                             const DenseDevice<half_t>& b,
                             const CvsDevice& mask,
                             gpusim::Buffer<half_t>& out_values,
-                            const SddmmFpuParams& params = {});
+                            const SddmmFpuParams& params = {},
+                            const gpusim::SimOptions& sim = {});
 
 /// Single-precision variant (Fig. 4's "sputnik" SDDMM panels).
 KernelRun sddmm_fpu_subwarp_f32(gpusim::Device& dev,
@@ -37,6 +38,7 @@ KernelRun sddmm_fpu_subwarp_f32(gpusim::Device& dev,
                                 const DenseDevice<float>& b,
                                 const CvsDeviceT<float>& mask,
                                 gpusim::Buffer<float>& out_values,
-                                const SddmmFpuParams& params = {});
+                                const SddmmFpuParams& params = {},
+                                const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

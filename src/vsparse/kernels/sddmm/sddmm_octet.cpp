@@ -36,7 +36,8 @@ const char* mode_suffix(InvertedPatternMode mode) {
 KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
                       const DenseDevice<half_t>& b, const CvsDevice& mask,
                       gpusim::Buffer<half_t>& out_values,
-                      const SddmmOctetParams& params) {
+                      const SddmmOctetParams& params,
+                      const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = mask.v;
   VSPARSE_CHECK(b.rows == k);
@@ -238,7 +239,7 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
         }
       }
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }

@@ -49,6 +49,7 @@ struct SddmmOctetParams {
 KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
                       const DenseDevice<half_t>& b, const CvsDevice& mask,
                       gpusim::Buffer<half_t>& out_values,
-                      const SddmmOctetParams& params = {});
+                      const SddmmOctetParams& params = {},
+                      const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

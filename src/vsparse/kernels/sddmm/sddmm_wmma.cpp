@@ -23,7 +23,8 @@ constexpr int kTileK = 64;
 
 KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
                           const DenseDevice<half_t>& b, const CvsDevice& mask,
-                          gpusim::Buffer<half_t>& out_values) {
+                          gpusim::Buffer<half_t>& out_values,
+                          const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = mask.v;
   VSPARSE_CHECK(b.rows == k);
@@ -208,7 +209,7 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
         }
       }
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }

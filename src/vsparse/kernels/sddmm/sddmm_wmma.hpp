@@ -19,6 +19,7 @@ namespace vsparse::kernels {
 /// V in {2,4,8}; half precision only (TCU).
 KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
                           const DenseDevice<half_t>& b, const CvsDevice& mask,
-                          gpusim::Buffer<half_t>& out_values);
+                          gpusim::Buffer<half_t>& out_values,
+                          const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

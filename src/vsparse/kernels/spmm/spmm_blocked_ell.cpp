@@ -24,7 +24,8 @@ constexpr int kPreferredTileN = 128;
 
 KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
                            const DenseDevice<half_t>& b,
-                           DenseDevice<half_t>& c) {
+                           DenseDevice<half_t>& c,
+                           const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int blk = a.block;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
@@ -238,7 +239,7 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
       }
       w.stg(addr, frag, mask);
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }

@@ -26,6 +26,7 @@ namespace vsparse::kernels {
 /// Requires N % 128 == 0 and block in {2, 4, 8, 16}.
 KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
                            const DenseDevice<half_t>& b,
-                           DenseDevice<half_t>& c);
+                           DenseDevice<half_t>& c,
+                           const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

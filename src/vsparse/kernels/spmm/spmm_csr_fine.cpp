@@ -19,7 +19,8 @@ constexpr int kTileN = 32;  // one output column per lane
 
 template <class T>
 KernelRun spmm_csr_fine_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
-                             const DenseDevice<T>& b, DenseDevice<T>& c) {
+                             const DenseDevice<T>& b, DenseDevice<T>& c,
+                             const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   VSPARSE_CHECK(a.v == 1);
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
@@ -118,7 +119,7 @@ KernelRun spmm_csr_fine_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
       out[static_cast<std::size_t>(lane)] = T(acc[lane]);
     }
     w.stg(addr, out);
-  });
+  }, sim);
 
   return {stats, cfg};
 }
@@ -126,14 +127,16 @@ KernelRun spmm_csr_fine_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
 }  // namespace
 
 KernelRun spmm_csr_fine(gpusim::Device& dev, const CvsDevice& a,
-                        const DenseDevice<half_t>& b, DenseDevice<half_t>& c) {
-  return spmm_csr_fine_impl<half_t>(dev, a, b, c);
+                        const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                        const gpusim::SimOptions& sim) {
+  return spmm_csr_fine_impl<half_t>(dev, a, b, c, sim);
 }
 
 KernelRun spmm_csr_fine_f32(gpusim::Device& dev, const CvsDeviceT<float>& a,
                             const DenseDevice<float>& b,
-                            DenseDevice<float>& c) {
-  return spmm_csr_fine_impl<float>(dev, a, b, c);
+                            DenseDevice<float>& c,
+                            const gpusim::SimOptions& sim) {
+  return spmm_csr_fine_impl<float>(dev, a, b, c, sim);
 }
 
 }  // namespace vsparse::kernels

@@ -16,11 +16,13 @@ namespace vsparse::kernels {
 
 /// Half-precision fine-grained SpMM (V must be 1).  N % 32 == 0.
 KernelRun spmm_csr_fine(gpusim::Device& dev, const CvsDevice& a,
-                        const DenseDevice<half_t>& b, DenseDevice<half_t>& c);
+                        const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                        const gpusim::SimOptions& sim = {});
 
 /// Single-precision variant.
 KernelRun spmm_csr_fine_f32(gpusim::Device& dev, const CvsDeviceT<float>& a,
                             const DenseDevice<float>& b,
-                            DenseDevice<float>& c);
+                            DenseDevice<float>& c,
+                            const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -49,7 +49,8 @@ void ldg_bytes(Warp& w, const AddrLanes& addr, std::uint32_t mask,
 template <class T>
 KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
                         const DenseDevice<T>& b, DenseDevice<T>& c,
-                        const SpmmFpuParams& params) {
+                        const SpmmFpuParams& params,
+                        const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = a.v;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
@@ -377,7 +378,7 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
           break;
       }
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }
@@ -387,16 +388,18 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
 KernelRun spmm_fpu_subwarp(gpusim::Device& dev, const CvsDevice& a,
                            const DenseDevice<half_t>& b,
                            DenseDevice<half_t>& c,
-                           const SpmmFpuParams& params) {
-  return spmm_fpu_impl<half_t>(dev, a, b, c, params);
+                           const SpmmFpuParams& params,
+                           const gpusim::SimOptions& sim) {
+  return spmm_fpu_impl<half_t>(dev, a, b, c, params, sim);
 }
 
 KernelRun spmm_fpu_subwarp_f32(gpusim::Device& dev,
                                const CvsDeviceT<float>& a,
                                const DenseDevice<float>& b,
                                DenseDevice<float>& c,
-                               const SpmmFpuParams& params) {
-  return spmm_fpu_impl<float>(dev, a, b, c, params);
+                               const SpmmFpuParams& params,
+                               const gpusim::SimOptions& sim) {
+  return spmm_fpu_impl<float>(dev, a, b, c, params, sim);
 }
 
 }  // namespace vsparse::kernels

@@ -39,7 +39,8 @@ struct SpmmFpuParams {
 KernelRun spmm_fpu_subwarp(gpusim::Device& dev, const CvsDevice& a,
                            const DenseDevice<half_t>& b,
                            DenseDevice<half_t>& c,
-                           const SpmmFpuParams& params = {});
+                           const SpmmFpuParams& params = {},
+                           const gpusim::SimOptions& sim = {});
 
 /// Single-precision variant (the Fig. 4 "sputnik (single)" baseline,
 /// V = 1; larger V works too).
@@ -47,6 +48,7 @@ KernelRun spmm_fpu_subwarp_f32(gpusim::Device& dev,
                                const CvsDeviceT<float>& a,
                                const DenseDevice<float>& b,
                                DenseDevice<float>& c,
-                               const SpmmFpuParams& params = {});
+                               const SpmmFpuParams& params = {},
+                               const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -30,7 +30,8 @@ struct BFrag {
 
 KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
                      const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-                     const SpmmOctetParams& params) {
+                     const SpmmOctetParams& params,
+                     const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = a.v;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
@@ -259,7 +260,7 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
       }
       w.stg(addr, frag, mask);
     }
-  });
+  }, sim);
 
   return {stats, cfg};
 }

@@ -45,6 +45,7 @@ struct SpmmOctetParams {
 /// a.v in {2,4,8} (use the FPU kernel for V=1).
 KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
                      const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-                     const SpmmOctetParams& params = {});
+                     const SpmmOctetParams& params = {},
+                     const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -23,7 +23,8 @@ constexpr int kTileK = 16;  // WMMA k — residue pads to 16 (§5.2)
 
 KernelRun spmm_wmma_warp(gpusim::Device& dev, const CvsDevice& a,
                          const DenseDevice<half_t>& b,
-                         DenseDevice<half_t>& c) {
+                         DenseDevice<half_t>& c,
+                         const gpusim::SimOptions& sim) {
   const int m = a.rows, k = a.cols, n = b.cols;
   const int v = a.v;
   VSPARSE_CHECK(b.rows == k && c.rows == m && c.cols == n);
@@ -186,7 +187,7 @@ KernelRun spmm_wmma_warp(gpusim::Device& dev, const CvsDevice& a,
       w.stg(addr, frag, mask);
     }
     (void)row_ptr;
-  });
+  }, sim);
 
   return {stats, cfg};
 }

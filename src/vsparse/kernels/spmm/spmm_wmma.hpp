@@ -20,6 +20,7 @@ namespace vsparse::kernels {
 /// Requires N % 64 == 0 and V in {2,4,8}.
 KernelRun spmm_wmma_warp(gpusim::Device& dev, const CvsDevice& a,
                          const DenseDevice<half_t>& b,
-                         DenseDevice<half_t>& c);
+                         DenseDevice<half_t>& c,
+                         const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels
