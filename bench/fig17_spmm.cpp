@@ -47,33 +47,40 @@ int run(int argc, char** argv) {
       for (double sparsity : sparsity_grid()) {
         std::map<std::string, std::vector<double>> cell;
         for (const Shape& shape : shapes) {
-          const double dense_cycles = dense.hgemm_cycles(shape.m, shape.k, n);
-          Cvs a_host = make_suite_cvs(shape, sparsity, v);
+          char case_name[96];
+          std::snprintf(case_name, sizeof(case_name),
+                        "fig17 v=%d n=%d sparsity=%.2f shape=%dx%d", v, n,
+                        sparsity, shape.m, shape.k);
+          run_case(case_name, [&] {
+            const double dense_cycles =
+                dense.hgemm_cycles(shape.m, shape.k, n);
+            Cvs a_host = make_suite_cvs(shape, sparsity, v);
 
-          gpusim::Device dev = fresh_device(sim);
-          auto a = to_device(dev, a_host);
-          auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
-          auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
-          DenseDevice<half_t> db{b, shape.k, n, n, Layout::kRowMajor};
-          DenseDevice<half_t> dc{c, shape.m, n, n, Layout::kRowMajor};
+            gpusim::Device dev = fresh_device(sim);
+            auto a = to_device(dev, a_host);
+            auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
+            auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
+            DenseDevice<half_t> db{b, shape.k, n, n, Layout::kRowMajor};
+            DenseDevice<half_t> dc{c, shape.m, n, n, Layout::kRowMajor};
 
-          // fpu baseline (V=1 == Sputnik fine-grained).
-          cell["fpu"].push_back(
-              dense_cycles /
-              kernels::spmm_fpu_subwarp(dev, a, db, dc).cycles(hw, params));
-
-          if (v > 1) {
-            BlockedEll ell_host =
-                make_suite_blocked_ell(shape, sparsity, v);
-            auto ell = to_device(dev, ell_host);
-            cell["blocked-ELL"].push_back(
+            // fpu baseline (V=1 == Sputnik fine-grained).
+            cell["fpu"].push_back(
                 dense_cycles /
-                kernels::spmm_blocked_ell(dev, ell, db, dc)
-                    .cycles(hw, params));
-            cell["mma"].push_back(
-                dense_cycles /
-                kernels::spmm_octet(dev, a, db, dc).cycles(hw, params));
-          }
+                kernels::spmm_fpu_subwarp(dev, a, db, dc).cycles(hw, params));
+
+            if (v > 1) {
+              BlockedEll ell_host =
+                  make_suite_blocked_ell(shape, sparsity, v);
+              auto ell = to_device(dev, ell_host);
+              cell["blocked-ELL"].push_back(
+                  dense_cycles /
+                  kernels::spmm_blocked_ell(dev, ell, db, dc)
+                      .cycles(hw, params));
+              cell["mma"].push_back(
+                  dense_cycles /
+                  kernels::spmm_octet(dev, a, db, dc).cycles(hw, params));
+            }
+          });
         }
         for (const auto& [name, samples] : cell) {
           const BoxStats stats = summarize(samples);
@@ -124,7 +131,7 @@ int run(int argc, char** argv) {
                       : "never crosses 1.0");
   }
   throughput.print_summary();
-  return 0;
+  return bench_exit_code();
 }
 
 }  // namespace

@@ -41,46 +41,53 @@ int run(int argc, char** argv) {
       for (double sparsity : sparsity_grid()) {
         std::map<std::string, std::vector<double>> cell;
         for (const Shape& shape : shapes) {
-          // C[m x k_shape] sparse, inner dimension kdim.
-          const int m = shape.m, n = shape.k;
-          const double dense_cycles = dense.hgemm_cycles(m, kdim, n);
-          Rng rng(bench_seed(shape, sparsity, v) + 13);
-          Cvs mask_host = make_cvs_mask(m, n, v, sparsity, rng, 0.25);
+          char case_name[96];
+          std::snprintf(case_name, sizeof(case_name),
+                        "fig19 v=%d k=%d sparsity=%.2f shape=%dx%d", v, kdim,
+                        sparsity, shape.m, shape.k);
+          run_case(case_name, [&] {
+            // C[m x k_shape] sparse, inner dimension kdim.
+            const int m = shape.m, n = shape.k;
+            const double dense_cycles = dense.hgemm_cycles(m, kdim, n);
+            Rng rng(bench_seed(shape, sparsity, v) + 13);
+            Cvs mask_host = make_cvs_mask(m, n, v, sparsity, rng, 0.25);
 
-          gpusim::Device dev = fresh_device(sim);
-          auto mask = to_device(dev, mask_host);
-          auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
-          auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);
-          auto out = dev.alloc<half_t>(mask_host.col_idx.size() *
-                                       static_cast<std::size_t>(v));
-          DenseDevice<half_t> da{a, m, kdim, kdim, Layout::kRowMajor};
-          DenseDevice<half_t> db{b, kdim, n, kdim, Layout::kColMajor};
+            gpusim::Device dev = fresh_device(sim);
+            auto mask = to_device(dev, mask_host);
+            auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
+            auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);
+            auto out = dev.alloc<half_t>(mask_host.col_idx.size() *
+                                         static_cast<std::size_t>(v));
+            DenseDevice<half_t> da{a, m, kdim, kdim, Layout::kRowMajor};
+            DenseDevice<half_t> db{b, kdim, n, kdim, Layout::kColMajor};
 
-          cell["fpu"].push_back(
-              dense_cycles /
-              kernels::sddmm_fpu_subwarp(dev, da, db, mask, out)
-                  .cycles(hw, params));
-          if (v > 1) {
-            cell["wmma"].push_back(
-                dense_cycles / kernels::sddmm_wmma_warp(dev, da, db, mask, out)
-                                   .cycles(hw, params));
-            using kernels::InvertedPatternMode;
-            cell["mma (reg)"].push_back(
+            cell["fpu"].push_back(
                 dense_cycles /
-                kernels::sddmm_octet(dev, da, db, mask, out,
-                                     {InvertedPatternMode::kExtraRegisters})
+                kernels::sddmm_fpu_subwarp(dev, da, db, mask, out)
                     .cycles(hw, params));
-            cell["mma (shfl)"].push_back(
-                dense_cycles /
-                kernels::sddmm_octet(dev, da, db, mask, out,
-                                     {InvertedPatternMode::kShuffle})
-                    .cycles(hw, params));
-            cell["mma (arch)"].push_back(
-                dense_cycles /
-                kernels::sddmm_octet(dev, da, db, mask, out,
-                                     {InvertedPatternMode::kArchSwitch})
-                    .cycles(hw, params));
-          }
+            if (v > 1) {
+              cell["wmma"].push_back(
+                  dense_cycles /
+                  kernels::sddmm_wmma_warp(dev, da, db, mask, out)
+                      .cycles(hw, params));
+              using kernels::InvertedPatternMode;
+              cell["mma (reg)"].push_back(
+                  dense_cycles /
+                  kernels::sddmm_octet(dev, da, db, mask, out,
+                                       {InvertedPatternMode::kExtraRegisters})
+                      .cycles(hw, params));
+              cell["mma (shfl)"].push_back(
+                  dense_cycles /
+                  kernels::sddmm_octet(dev, da, db, mask, out,
+                                       {InvertedPatternMode::kShuffle})
+                      .cycles(hw, params));
+              cell["mma (arch)"].push_back(
+                  dense_cycles /
+                  kernels::sddmm_octet(dev, da, db, mask, out,
+                                       {InvertedPatternMode::kArchSwitch})
+                      .cycles(hw, params));
+            }
+          });
         }
         for (const auto& [name, samples] : cell) {
           std::printf("%-4d %-4d %-8.2f %-12s %s\n", v, kdim, sparsity,
@@ -123,7 +130,7 @@ int run(int argc, char** argv) {
               "(paper: consistently)\n",
               arch_wins, total_cells);
   throughput.print_summary();
-  return 0;
+  return bench_exit_code();
 }
 
 }  // namespace

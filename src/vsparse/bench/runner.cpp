@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <thread>
 
+#include "vsparse/common/macros.hpp"
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/gpusim/engine/engine.hpp"
+#include "vsparse/gpusim/faults.hpp"
 #include "vsparse/kernels/dense/gemm.hpp"
 
 namespace vsparse::bench {
@@ -26,6 +29,47 @@ gpusim::Device fresh_device(const gpusim::SimOptions& sim,
 
 namespace {
 
+bool g_any_case_failed = false;
+
+/// Minimal JSON string escaping for the case-error records.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void report_case_error(const std::string& name, const std::string& what) {
+  std::printf("# case-error: {\"case\":\"%s\",\"error\":\"%s\"}\n",
+              json_escape(name).c_str(), json_escape(what).c_str());
+  std::fflush(stdout);
+  g_any_case_failed = true;
+}
+
 int clamp_threads(long n) {
   if (n <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -35,6 +79,24 @@ int clamp_threads(long n) {
 }
 
 }  // namespace
+
+bool run_case(const std::string& name, const std::function<void()>& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const gpusim::EccError& e) {
+    report_case_error(name, e.what());
+  } catch (const gpusim::LaunchTimeoutError& e) {
+    report_case_error(name, e.what());
+  } catch (const CheckError& e) {
+    report_case_error(name, e.what());
+  } catch (const std::exception& e) {
+    report_case_error(name, e.what());
+  }
+  return false;
+}
+
+int bench_exit_code() { return g_any_case_failed ? 1 : 0; }
 
 int parse_threads(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

@@ -7,7 +7,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <string>
 #include <tuple>
 
 #include "vsparse/gpusim/costmodel.hpp"
@@ -30,6 +32,24 @@ gpusim::Device fresh_device(const gpusim::SimOptions& sim,
 /// historically bit-exact engine).  N <= 0 requests one worker per
 /// hardware thread.  The returned value is always >= 1.
 int parse_threads(int argc, char** argv);
+
+/// Run one bench case body under an error boundary.  A throwing case
+/// (CheckError from a shape/format validation, EccError or
+/// LaunchTimeoutError from the fault model, or any other std::exception)
+/// does not abort the suite: the failure is reported as one
+/// machine-readable line on stdout,
+///
+///   # case-error: {"case":"fig17 v=2 n=64 ...","error":"..."}
+///
+/// and the driver keeps going with the remaining cases.  Returns true
+/// iff the body completed.  Successful cases print nothing, so a fully
+/// clean run's output is byte-identical to the pre-boundary drivers.
+bool run_case(const std::string& name, const std::function<void()>& fn);
+
+/// Process exit code for a bench driver: 0 if every run_case body
+/// completed, 1 if any case failed.  Resets nothing; call once at the
+/// end of main().
+int bench_exit_code();
 
 /// Wall-clock throughput of the simulator itself (how fast the host
 /// simulates, not how fast the modeled GPU would run).  Snapshot at

@@ -116,6 +116,29 @@ DenseDevice<T> to_device(gpusim::Device& dev, const DenseMatrix<T>& m) {
                         m.ld(), m.layout()};
 }
 
+/// A rows x cols window of a device matrix starting at (r0, c0), backed
+/// by the same device memory (no copy).  The view keeps the parent's
+/// leading dimension, so kernels address it exactly as they would a
+/// standalone matrix — this is how the ABFT recovery path re-runs a
+/// kernel on just one corrupted output tile.
+template <class T>
+DenseDevice<T> sub_view(gpusim::Device& dev, const DenseDevice<T>& m, int r0,
+                        int c0, int rows, int cols) {
+  VSPARSE_CHECK(rows > 0 && cols > 0);
+  VSPARSE_CHECK(r0 >= 0 && c0 >= 0 && r0 + rows <= m.rows &&
+                c0 + cols <= m.cols);
+  // Elements spanned by the window in the parent's storage order: full
+  // leading dimensions for all but the last row/column.
+  const std::size_t count =
+      m.layout == Layout::kRowMajor
+          ? static_cast<std::size_t>(rows - 1) * static_cast<std::size_t>(m.ld) +
+                static_cast<std::size_t>(cols)
+          : static_cast<std::size_t>(cols - 1) * static_cast<std::size_t>(m.ld) +
+                static_cast<std::size_t>(rows);
+  return DenseDevice<T>{gpusim::Buffer<T>(&dev, m.addr(r0, c0), count), rows,
+                        cols, m.ld, m.layout};
+}
+
 /// Download a device matrix into a host DenseMatrix.
 template <class T>
 DenseMatrix<T> from_device(const DenseDevice<T>& d) {

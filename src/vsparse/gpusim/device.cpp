@@ -1,5 +1,7 @@
 #include "vsparse/gpusim/device.hpp"
 
+#include "vsparse/gpusim/faults.hpp"
+
 namespace vsparse::gpusim {
 
 Device::Device(DeviceConfig cfg)
@@ -14,7 +16,9 @@ Device::Device(DeviceConfig cfg)
 
 std::uint64_t Device::alloc_bytes(std::size_t bytes) {
   const std::size_t aligned = round_up<std::size_t>(used_, 256);
-  VSPARSE_CHECK_MSG(aligned + bytes <= capacity_,
+  // Checked as two comparisons so `aligned + bytes` cannot wrap for
+  // huge requests (mirrors the Device::translate guard).
+  VSPARSE_CHECK_MSG(bytes <= capacity_ && aligned <= capacity_ - bytes,
                     "simulated DRAM exhausted: want "
                         << bytes << "B, used " << used_ << "B of "
                         << capacity_ << "B — call Device::reset() between "
@@ -47,6 +51,11 @@ void Device::flush_all_caches() {
   // L1s live in per-launch SmContexts and are born cold; the only
   // persistent cache a Device owns is the L2.
   l2_.flush();
+}
+
+void Device::set_fault_plan(FaultPlan* plan) {
+  if (plan != nullptr) plan->prepare(cfg_.num_sms);
+  fault_plan_ = plan;
 }
 
 }  // namespace vsparse::gpusim

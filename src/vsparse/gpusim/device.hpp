@@ -26,6 +26,7 @@
 namespace vsparse::gpusim {
 
 class Device;
+class FaultPlan;
 
 /// Handle to a typed allocation in simulated device memory.  Copyable
 /// view (does not own); lifetime is managed by the Device (free/reset).
@@ -72,6 +73,9 @@ class Device {
   /// transaction alignment analysis is meaningful).  Contents zeroed.
   template <class T>
   Buffer<T> alloc(std::size_t count) {
+    VSPARSE_CHECK_MSG(count <= SIZE_MAX / sizeof(T),
+                      "device alloc overflows size_t: count=" << count
+                          << " elem_size=" << sizeof(T));
     const std::uint64_t addr = alloc_bytes(count * sizeof(T));
     return Buffer<T>(this, addr, count);
   }
@@ -128,6 +132,14 @@ class Device {
   const SimOptions& sim_options() const { return sim_options_; }
   void set_sim_options(const SimOptions& opts) { sim_options_ = opts; }
 
+  /// Attach (or detach, with nullptr) a fault-injection plan.  The plan
+  /// must outlive the attachment; it is prepared for this device's SM
+  /// count so targeted faults carry per-SM armed state across launches.
+  /// With no plan attached every launch takes the null fast path and is
+  /// bit- and counter-identical to a fault-free build.
+  void set_fault_plan(FaultPlan* plan);
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   std::uint64_t alloc_bytes(std::size_t bytes);
   void free_bytes(std::uint64_t addr);
@@ -141,6 +153,7 @@ class Device {
   std::unordered_map<std::uint64_t, std::size_t> allocations_;
   ShardedCache l2_;
   SimOptions sim_options_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 template <class T>

@@ -105,6 +105,7 @@ class Cta {
   /// __syncthreads(): counted once per warp.
   void sync() {
     sm_->stats().op(Op::kBar) += static_cast<std::uint64_t>(num_warps());
+    sm_->watchdog_tick(static_cast<std::uint64_t>(num_warps()));
   }
 
   /// Raw shared-memory storage (kernels address it via lds/sts offsets;
@@ -127,7 +128,10 @@ inline Device& Warp::device() { return cta_->device(); }
 inline SmContext& Warp::sm() { return cta_->sm(); }
 inline int Warp::sm_id() const { return cta_->sm_id(); }
 
-inline void Warp::count(Op op, std::uint64_t n) { stats().op(op) += n; }
+inline void Warp::count(Op op, std::uint64_t n) {
+  stats().op(op) += n;
+  sm().watchdog_tick(n);
+}
 
 inline void Warp::fence() { count(Op::kBar); }
 

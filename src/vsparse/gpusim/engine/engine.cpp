@@ -3,11 +3,13 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <vector>
 
 #include "vsparse/gpusim/engine/scheduler.hpp"
 #include "vsparse/gpusim/engine/sm_context.hpp"
 #include "vsparse/gpusim/engine/thread_pool.hpp"
+#include "vsparse/gpusim/faults.hpp"
 
 namespace vsparse::gpusim {
 
@@ -15,14 +17,35 @@ namespace {
 
 std::atomic<std::uint64_t> g_total_ctas{0};
 
-/// Run one CTA on its home SM: fresh zeroed smem, then the body.
+/// Run one CTA on its home SM: fresh zeroed smem, fresh watchdog
+/// budget, then the body.
 void run_cta(SmContext& sm, const LaunchConfig& cfg, int cta_id,
              const std::function<void(Cta&)>& body) {
   sm.prepare_smem(cfg.smem_bytes);
+  sm.watchdog_reset();
   Cta cta(&sm, &cfg, cta_id);
   body(cta);
   sm.stats().ctas_launched += 1;
   sm.stats().warps_launched += static_cast<std::uint64_t>(cfg.cta_threads / 32);
+}
+
+/// Rethrow a launch error.  A LaunchTimeoutError is augmented with a
+/// per-SM progress dump (CTAs completed + ops issued by the in-flight
+/// CTA on each SM) so a hang report shows *where* the launch stalled;
+/// every other exception propagates unchanged.
+[[noreturn]] void rethrow_launch_error(std::exception_ptr err,
+                                       const std::vector<SmContext>& sms) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const LaunchTimeoutError& e) {
+    std::ostringstream os;
+    os << e.what() << "\nper-SM progress:";
+    for (const SmContext& sm : sms) {
+      os << " sm" << sm.sm_id() << "{ctas_done=" << sm.stats().ctas_launched
+         << ",ops_in_cta=" << sm.watchdog_ops() << "}";
+    }
+    throw LaunchTimeoutError(os.str());
+  }
 }
 
 }  // namespace
@@ -47,12 +70,17 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
   if (threads < 1) threads = 1;
   if (threads > sched.num_active_sms()) threads = sched.num_active_sms();
 
+  const std::uint64_t watchdog = opts.watchdog_cta_ops > 0
+                                     ? opts.watchdog_cta_ops
+                                     : dev.sim_options().watchdog_cta_ops;
+
   // Fresh per-SM contexts: cold L1s (= the kernel-boundary invalidation
   // the serial engine performed with flush_l1), empty counter blocks.
   std::vector<SmContext> sms;
   sms.reserve(static_cast<std::size_t>(sched.num_active_sms()));
   for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
     sms.emplace_back(&dev, sm);
+    sms.back().set_watchdog_limit(watchdog);
   }
 
   if (threads == 1) {
@@ -60,8 +88,13 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
     // the shared-L2 access sequence — and with it every L2/DRAM
     // counter — is bit-identical to the historical single-threaded
     // engine.
-    for (int cta = 0; cta < cfg.grid; ++cta) {
-      run_cta(sms[static_cast<std::size_t>(sched.sm_of(cta))], cfg, cta, body);
+    try {
+      for (int cta = 0; cta < cfg.grid; ++cta) {
+        run_cta(sms[static_cast<std::size_t>(sched.sm_of(cta))], cfg, cta,
+                body);
+      }
+    } catch (...) {
+      rethrow_launch_error(std::current_exception(), sms);
     }
   } else {
     // Parallel path: workers claim whole SMs and run each SM's CTA
@@ -84,7 +117,7 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
         }
       }
     });
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) rethrow_launch_error(first_error, sms);
   }
 
   // Merge: uint64 sums are commutative and associative, so the merged

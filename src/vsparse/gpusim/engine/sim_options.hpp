@@ -4,6 +4,7 @@
 // entry point (per-call override).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace vsparse::gpusim {
@@ -30,6 +31,14 @@ struct SimOptions {
   /// the *most recent* launch — the per-SM view the merged return
   /// value is summed from.
   std::vector<KernelStats>* per_sm_stats = nullptr;
+
+  /// Watchdog: maximum warp ops a single CTA body may issue before the
+  /// launch is aborted with LaunchTimeoutError (gpusim/faults.hpp)
+  /// carrying a per-SM progress dump.  0 -> inherit the Device default
+  /// (which itself defaults to "disabled"); the same inherit chain as
+  /// `threads`.  Guards against malformed inputs (e.g. a cyclic
+  /// row_ptr) spinning a kernel loop forever.
+  std::uint64_t watchdog_cta_ops = 0;
 };
 
 }  // namespace vsparse::gpusim

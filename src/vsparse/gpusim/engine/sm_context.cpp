@@ -1,6 +1,7 @@
 #include "vsparse/gpusim/engine/sm_context.hpp"
 
 #include <cstring>
+#include <sstream>
 
 namespace vsparse::gpusim {
 
@@ -8,7 +9,18 @@ SmContext::SmContext(Device* dev, int sm_id)
     : dev_(dev),
       sm_id_(sm_id),
       l1_(dev->config().l1_bytes, dev->config().line_bytes,
-          dev->config().sector_bytes, dev->config().l1_ways) {}
+          dev->config().sector_bytes, dev->config().l1_ways) {
+  faults_.plan = dev->fault_plan();
+  faults_.sm_id = sm_id;
+}
+
+void SmContext::throw_watchdog() const {
+  std::ostringstream os;
+  os << "LaunchTimeoutError: CTA on sm " << sm_id_ << " exceeded the op budget"
+     << " (" << watchdog_ops_ << " ops issued, limit " << watchdog_limit_
+     << ") — malformed input driving an unbounded kernel loop?";
+  throw LaunchTimeoutError(os.str());
+}
 
 std::byte* SmContext::prepare_smem(std::size_t bytes) {
   if (smem_.size() < bytes) smem_.resize(bytes);

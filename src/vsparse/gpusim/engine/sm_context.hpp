@@ -13,6 +13,7 @@
 
 #include "vsparse/gpusim/cache.hpp"
 #include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/faults.hpp"
 #include "vsparse/gpusim/stats.hpp"
 
 namespace vsparse::gpusim {
@@ -38,12 +39,37 @@ class SmContext {
   std::byte* prepare_smem(std::size_t bytes);
   std::byte* smem() { return smem_.data(); }
 
+  /// Fault-injection state for this SM, or nullptr when the device has
+  /// no FaultPlan attached — the single-branch fast path the warp ops
+  /// test before doing any fault work.
+  FaultState* faults() { return faults_.plan != nullptr ? &faults_ : nullptr; }
+
+  // -- watchdog ---------------------------------------------------------
+  /// Arm the per-CTA op budget for this launch (0 = disabled) and reset
+  /// the running count at each CTA start.
+  void set_watchdog_limit(std::uint64_t ops) { watchdog_limit_ = ops; }
+  void watchdog_reset() { watchdog_ops_ = 0; }
+  std::uint64_t watchdog_ops() const { return watchdog_ops_; }
+
+  /// Charge `n` warp ops against the current CTA's budget.  Inline and
+  /// branch-free in the common (disabled / under-budget) case.
+  VSPARSE_ALWAYS_INLINE void watchdog_tick(std::uint64_t n) {
+    watchdog_ops_ += n;
+    if (watchdog_limit_ != 0 && watchdog_ops_ > watchdog_limit_) [[unlikely]]
+      throw_watchdog();
+  }
+
  private:
+  [[noreturn]] void throw_watchdog() const;
+
   Device* dev_;
   int sm_id_;
   SectorCache l1_;
   KernelStats stats_;
   std::vector<std::byte> smem_;
+  FaultState faults_;
+  std::uint64_t watchdog_limit_ = 0;
+  std::uint64_t watchdog_ops_ = 0;
 };
 
 }  // namespace vsparse::gpusim

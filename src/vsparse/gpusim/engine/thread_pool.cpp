@@ -34,15 +34,30 @@ void ThreadPool::run(int workers, const std::function<void()>& job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;
+    error_ = nullptr;
     claims_left_ = helpers;
     running_ = helpers;
     ++generation_;
   }
   work_cv_.notify_all();
-  job();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return running_ == 0; });
-  job_ = nullptr;
+  // The caller's copy of the job must not skip the barrier below on a
+  // throw — workers may still be running and `running_` must drain
+  // before the next run() — so capture and rethrow after the wait.
+  std::exception_ptr caller_error;
+  try {
+    job();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+    error = caller_error ? caller_error : error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -59,9 +74,18 @@ void ThreadPool::worker_loop() {
       --claims_left_;
       job = job_;
     }
-    job();
+    // A throw on a pool worker would otherwise reach the thread root
+    // and std::terminate the process; stash the first one for run()
+    // to rethrow on the caller thread.
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) error_ = err;
       --running_;
     }
     done_cv_.notify_one();

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,6 +30,12 @@ class ThreadPool {
   /// counts as one) and wait for all of them to finish.  The job must
   /// partition its own work (e.g. via Scheduler::next_sm) — every
   /// worker executes the same closure.  Serialized: one run at a time.
+  ///
+  /// Exception safety: a throw from any copy of the job (worker or
+  /// caller thread) is captured, the barrier still completes, and the
+  /// first exception is rethrown here — the pool's counters stay
+  /// consistent and the pool is immediately reusable.  The caller
+  /// thread's exception wins ties (it is observed first).
   void run(int workers, const std::function<void()>& job);
 
  private:
@@ -43,6 +50,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
   std::function<void()> job_;
+  std::exception_ptr error_;      ///< first exception thrown by this run's jobs
   std::uint64_t generation_ = 0;  ///< bumped per run()
   int claims_left_ = 0;           ///< workers still allowed to join this run
   int running_ = 0;               ///< pool workers still executing this run

@@ -44,6 +44,7 @@ void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
                 sizeof(V) == 16);
   KernelStats& s = stats();
   s.op(Op::kLdg) += 1;
+  sm().watchdog_tick(1);
   if constexpr (sizeof(V) == 2) {
     ++s.ldg16;
   } else if constexpr (sizeof(V) == 4) {
@@ -56,6 +57,7 @@ void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
   if (mask == 0) return;
 
   Device& dev = device();
+  FaultState* faults = sm().faults();  // null ⇒ fault-free fast path
   detail::SectorSet sectors;
   for (int lane = 0; lane < 32; ++lane) {
     if (!(mask & (1u << lane))) continue;
@@ -63,6 +65,10 @@ void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
     VSPARSE_DCHECK(a % sizeof(V) == 0);  // natural alignment, as CUDA requires
     std::memcpy(&dst[static_cast<std::size_t>(lane)],
                 dev.translate(a, sizeof(V)), sizeof(V));
+    if (faults != nullptr) [[unlikely]] {
+      faults->on_global_read(a, &dst[static_cast<std::size_t>(lane)],
+                             sizeof(V), s);
+    }
     sectors.insert(a & ~std::uint64_t{31});
   }
   s.global_load_requests += 1;
@@ -92,6 +98,7 @@ void Warp::stg(const AddrLanes& addr, const Lanes<V>& src,
                 sizeof(V) == 16);
   KernelStats& s = stats();
   s.op(Op::kStg) += 1;
+  sm().watchdog_tick(1);
   if (mask == 0) return;
 
   Device& dev = device();
@@ -125,8 +132,10 @@ void Warp::lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
   static_assert(std::is_trivially_copyable_v<V>);
   KernelStats& s = stats();
   s.op(Op::kLds) += 1;
+  sm().watchdog_tick(1);
   if (mask == 0) return;
   s.smem_load_requests += 1;
+  FaultState* faults = sm().faults();  // null ⇒ fault-free fast path
 
   // Bank-conflict model: lanes whose first 4 B word maps to the same
   // bank but a *different* word serialize; same word broadcasts.
@@ -140,6 +149,10 @@ void Warp::lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
     VSPARSE_CHECK_MSG(o + sizeof(V) <= cta_->smem_bytes(),
                       "smem OOB load at offset " << o);
     std::memcpy(&dst[static_cast<std::size_t>(lane)], smem + o, sizeof(V));
+    if (faults != nullptr) [[unlikely]] {
+      faults->on_smem_read(o, &dst[static_cast<std::size_t>(lane)], sizeof(V),
+                           s);
+    }
     const int word = static_cast<int>(o / 4);
     const int bank = word % 32;
     // Count distinct words per bank (approximate: treat each lane's
@@ -169,6 +182,7 @@ void Warp::sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
   static_assert(std::is_trivially_copyable_v<V>);
   KernelStats& s = stats();
   s.op(Op::kSts) += 1;
+  sm().watchdog_tick(1);
   if (mask == 0) return;
   s.smem_store_requests += 1;
 

@@ -83,6 +83,9 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   smem_wavefronts += o.smem_wavefronts;
   ctas_launched += o.ctas_launched;
   warps_launched += o.warps_launched;
+  faults_injected += o.faults_injected;
+  faults_masked += o.faults_masked;
+  faults_detected += o.faults_detected;
   return *this;
 }
 
@@ -104,7 +107,10 @@ bool KernelStats::sm_local_equal(const KernelStats& o) const {
          smem_store_bytes == o.smem_store_bytes &&
          smem_wavefronts == o.smem_wavefronts &&
          ctas_launched == o.ctas_launched &&
-         warps_launched == o.warps_launched;
+         warps_launched == o.warps_launched &&
+         faults_injected == o.faults_injected &&
+         faults_masked == o.faults_masked &&
+         faults_detected == o.faults_detected;
 }
 
 std::string KernelStats::to_string() const {
@@ -135,6 +141,12 @@ std::ostream& operator<<(std::ostream& os, const KernelStats& s) {
      << " st_req=" << s.smem_store_requests
      << " wavefronts=" << s.smem_wavefronts;
   os << "\nlaunch: ctas=" << s.ctas_launched << " warps=" << s.warps_launched;
+  // Only printed when a FaultPlan actually fired, so fault-free dumps
+  // stay byte-identical to the pre-fault-subsystem output.
+  if (s.faults_injected != 0 || s.faults_masked != 0 || s.faults_detected != 0) {
+    os << "\nfaults: injected=" << s.faults_injected
+       << " masked=" << s.faults_masked << " detected=" << s.faults_detected;
+  }
   return os;
 }
 

@@ -73,6 +73,11 @@ struct KernelStats {
   std::uint64_t ctas_launched = 0;
   std::uint64_t warps_launched = 0;
 
+  // --- fault injection (gpusim/faults.hpp; all zero with no FaultPlan) --
+  std::uint64_t faults_injected = 0;  ///< upsets applied to read data
+  std::uint64_t faults_masked = 0;    ///< ECC-corrected single-bit upsets
+  std::uint64_t faults_detected = 0;  ///< ECC double-bit detections (EccError)
+
   std::uint64_t& op(Op o) { return ops[static_cast<int>(o)]; }
   std::uint64_t op(Op o) const { return ops[static_cast<int>(o)]; }
 

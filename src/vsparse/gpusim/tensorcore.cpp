@@ -1,6 +1,7 @@
 #include "vsparse/gpusim/tensorcore.hpp"
 
 #include <bit>
+#include <cstring>
 
 namespace vsparse::gpusim {
 
@@ -24,7 +25,26 @@ void mma_m8n8k4(Warp& w, const MmaFragAB& a, const MmaFragAB& b, MmaFragC& c,
   const MmaFragAB* ea = &a;
   const MmaFragAB* eb = &b;
   MmaFragAB swapped_a, swapped_b;
-  if (flags.switch_groups) {
+  if (FaultState* faults = w.cta().sm().faults(); faults != nullptr)
+      [[unlikely]] {
+    // Register-fragment upset: corrupt local copies of the operands so
+    // the fault is confined to this MMA, like a real register flip.
+    swapped_a = a;
+    swapped_b = b;
+    faults->on_mma_frags(swapped_a.data(), sizeof(MmaFragAB),
+                         swapped_b.data(), sizeof(MmaFragAB),
+                         w.cta().stats());
+    ea = &swapped_a;
+    eb = &swapped_b;
+    if (flags.switch_groups) {
+      for (int lane = 0; lane < 16; ++lane) {
+        std::swap(swapped_a[static_cast<std::size_t>(lane)],
+                  swapped_a[static_cast<std::size_t>(lane + 16)]);
+        std::swap(swapped_b[static_cast<std::size_t>(lane)],
+                  swapped_b[static_cast<std::size_t>(lane + 16)]);
+      }
+    }
+  } else if (flags.switch_groups) {
     swapped_a = a;
     swapped_b = b;
     for (int lane = 0; lane < 16; ++lane) {
@@ -69,11 +89,23 @@ void wmma_m8n32k16(Warp& w, const half_t (&a)[8][16],
   // (8*32*16) MACs / (8*4*4 per HMMA.884 step * 4 octets / 4 steps):
   // the hardware instruction decomposes into 16 HMMA steps.
   w.count(Op::kHmma, 16);
+  const half_t(*ea)[16] = a;
+  const half_t(*eb)[32] = b;
+  half_t fa[8][16], fb[16][32];
+  if (FaultState* faults = w.cta().sm().faults(); faults != nullptr)
+      [[unlikely]] {
+    // Register-fragment upset on local operand copies (see mma_m8n8k4).
+    std::memcpy(fa, a, sizeof(fa));
+    std::memcpy(fb, b, sizeof(fb));
+    faults->on_mma_frags(fa, sizeof(fa), fb, sizeof(fb), w.cta().stats());
+    ea = fa;
+    eb = fb;
+  }
   for (int i = 0; i < 8; ++i) {
     for (int j = 0; j < 32; ++j) {
       float sum = 0.0f;
       for (int k = 0; k < 16; ++k) {
-        sum += static_cast<float>(a[i][k]) * static_cast<float>(b[k][j]);
+        sum += static_cast<float>(ea[i][k]) * static_cast<float>(eb[k][j]);
       }
       c[i][j] += sum;
     }

@@ -3,9 +3,12 @@
 // counters plus the launch shape, which together feed the cost model.
 #pragma once
 
+#include <utility>
+
 #include "vsparse/gpusim/costmodel.hpp"
 #include "vsparse/gpusim/exec.hpp"
 #include "vsparse/gpusim/stats.hpp"
+#include "vsparse/kernels/abft.hpp"
 
 namespace vsparse::kernels {
 
@@ -13,6 +16,15 @@ namespace vsparse::kernels {
 struct KernelRun {
   gpusim::KernelStats stats;
   gpusim::LaunchConfig config;
+
+  /// Fault-tolerance outcome; default-inert unless an ABFT kernel
+  /// variant (kernels/dense/gemm_abft.hpp, kernels/spmm/
+  /// spmm_octet_abft.hpp) produced this run.
+  AbftReport abft;
+
+  KernelRun() = default;
+  KernelRun(gpusim::KernelStats s, gpusim::LaunchConfig cfg)
+      : stats(s), config(std::move(cfg)) {}
 
   /// Evaluate the performance model for this run.
   gpusim::CostEstimate cost(const gpusim::DeviceConfig& dev,

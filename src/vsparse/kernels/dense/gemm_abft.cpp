@@ -1,0 +1,126 @@
+#include "vsparse/kernels/dense/gemm_abft.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace vsparse::kernels {
+
+namespace {
+
+constexpr int kTileN = 64;
+
+/// Host-side fp64 checksum state for one launch: per row-tile checksum
+/// vectors s[k] = sum_r A[m0+r][k] plus accessors into the (clean,
+/// host-visible) operand and output storage.  The simulator injects
+/// faults on the *read path* only, so host reads see uncorrupted data
+/// — the trusted checksum ALU of the ABFT scheme.
+class GemmChecksum {
+ public:
+  GemmChecksum(const DenseDevice<half_t>& a, const DenseDevice<half_t>& b,
+               const DenseDevice<half_t>& c, int tile_m)
+      : a_(a), b_(b), c_(c), tile_m_(tile_m), k_(a.cols) {
+    const int tiles_m = a.rows / tile_m;
+    s_.assign(static_cast<std::size_t>(tiles_m) * static_cast<std::size_t>(k_),
+              0.0);
+    auto ah = a.buf.host();
+    for (int tm = 0; tm < tiles_m; ++tm) {
+      double* srow = s_.data() + static_cast<std::size_t>(tm) * k_;
+      for (int r = 0; r < tile_m; ++r) {
+        const half_t* arow =
+            ah.data() + static_cast<std::size_t>(tm * tile_m + r) * a.ld;
+        for (int kk = 0; kk < k_; ++kk) {
+          srow[kk] += static_cast<double>(static_cast<float>(arow[kk]));
+        }
+      }
+    }
+  }
+
+  /// Verify tile (tm, tn): actual column sums of C against s·B, with
+  /// a magnitude-scaled tolerance.
+  bool tile_ok(int tm, int tn, const AbftOptions& opt) const {
+    auto bh = b_.buf.host();
+    auto ch = c_.buf.host();
+    const double* srow = s_.data() + static_cast<std::size_t>(tm) * k_;
+    const int n0 = tn * kTileN;
+    for (int j = 0; j < kTileN; ++j) {
+      double expected = 0.0, refmag = 0.0;
+      for (int kk = 0; kk < k_; ++kk) {
+        const std::size_t bidx =
+            b_.layout == Layout::kRowMajor
+                ? static_cast<std::size_t>(kk) * b_.ld + (n0 + j)
+                : static_cast<std::size_t>(n0 + j) * b_.ld + kk;
+        const double bv = static_cast<double>(static_cast<float>(bh[bidx]));
+        expected += srow[kk] * bv;
+        refmag += std::abs(srow[kk]) * std::abs(bv);
+      }
+      double actual = 0.0;
+      for (int r = 0; r < tile_m_; ++r) {
+        actual += static_cast<double>(static_cast<float>(
+            ch[static_cast<std::size_t>(tm * tile_m_ + r) * c_.ld + n0 + j]));
+      }
+      const double tol = opt.abs_tol * tile_m_ + opt.rel_tol * refmag;
+      if (std::abs(actual - expected) > tol) return false;
+    }
+    return true;
+  }
+
+ private:
+  const DenseDevice<half_t>& a_;
+  const DenseDevice<half_t>& b_;
+  const DenseDevice<half_t>& c_;
+  int tile_m_;
+  int k_;
+  std::vector<double> s_;
+};
+
+}  // namespace
+
+KernelRun hgemm_tcu_abft(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                         const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                         const HgemmParams& params, const AbftOptions& abft,
+                         const gpusim::SimOptions& sim) {
+  // split_k > 1 interleaves several CTAs into one output tile through
+  // an fp32 workspace; tile-localized recompute then no longer matches
+  // the per-tile accumulation order, so ABFT pins split_k = 1.
+  HgemmParams p = params;
+  p.split_k = 1;
+
+  KernelRun run = hgemm_tcu(dev, a, b, c, p, sim);
+  run.abft.enabled = true;
+
+  const int m = a.rows, k = a.cols, n = b.cols;
+  const int tile_m = (m % 128 == 0) ? 128 : 64;  // must mirror hgemm_tcu
+  const int tiles_m = m / tile_m, tiles_n = n / kTileN;
+
+  GemmChecksum checksum(a, b, c, tile_m);
+
+  std::vector<std::pair<int, int>> bad;
+  for (int tm = 0; tm < tiles_m; ++tm) {
+    for (int tn = 0; tn < tiles_n; ++tn) {
+      if (!checksum.tile_ok(tm, tn, abft)) bad.emplace_back(tm, tn);
+    }
+  }
+  run.abft.corrupted_tiles = static_cast<int>(bad.size());
+
+  for (int round = 0; !bad.empty() && round < abft.max_retries; ++round) {
+    if (round > 0) run.abft.retries_used = round;
+    std::vector<std::pair<int, int>> still;
+    for (const auto& [tm, tn] : bad) {
+      DenseDevice<half_t> a_sub = sub_view(dev, a, tm * tile_m, 0, tile_m, k);
+      DenseDevice<half_t> b_sub = sub_view(dev, b, 0, tn * kTileN, k, kTileN);
+      DenseDevice<half_t> c_sub =
+          sub_view(dev, c, tm * tile_m, tn * kTileN, tile_m, kTileN);
+      KernelRun rec = hgemm_tcu(dev, a_sub, b_sub, c_sub, p, sim);
+      run.stats += rec.stats;
+      ++run.abft.recompute_launches;
+      if (!checksum.tile_ok(tm, tn, abft)) still.emplace_back(tm, tn);
+    }
+    bad = std::move(still);
+  }
+
+  run.abft.clean = bad.empty();
+  return run;
+}
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,23 @@
+// Checksum-augmented dense GEMM: hgemm_tcu with ABFT detect + recover.
+// See kernels/abft.hpp for the checksum math and recovery contract.
+#pragma once
+
+#include "vsparse/kernels/abft.hpp"
+#include "vsparse/kernels/dense/gemm.hpp"
+
+namespace vsparse::kernels {
+
+/// hgemm_tcu followed by per-CTA-tile checksum verification; corrupted
+/// tiles are recomputed in place (bounded by `abft.max_retries`
+/// rounds).  Forces split_k = 1 so each output tile is produced by
+/// exactly one CTA in K order and a single-tile recompute is
+/// bit-identical to a clean full run.  The outcome lands in
+/// KernelRun::abft; `abft.clean == false` after the retries are
+/// exhausted means the corruption persisted (a sticky fault).
+KernelRun hgemm_tcu_abft(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                         const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                         const HgemmParams& params = {},
+                         const AbftOptions& abft = {},
+                         const gpusim::SimOptions& sim = {});
+
+}  // namespace vsparse::kernels

@@ -7,6 +7,7 @@
 #include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
 #include "vsparse/kernels/spmm/spmm_fpu.hpp"
 #include "vsparse/kernels/spmm/spmm_octet.hpp"
+#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
 #include "vsparse/kernels/spmm/spmm_wmma.hpp"
 
 namespace vsparse::kernels {
@@ -31,6 +32,21 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
   }
   VSPARSE_CHECK_MSG(false, "unreachable spmm algorithm");
   return {};
+}
+
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               const AbftOptions& abft, SpmmAlgorithm algo,
+               const gpusim::SimOptions& sim) {
+  if (algo == SpmmAlgorithm::kAuto) {
+    VSPARSE_CHECK_MSG(a.v >= 2,
+                      "ABFT spmm requires the octet kernel (V >= 2); got V = "
+                          << a.v);
+    algo = SpmmAlgorithm::kOctet;
+  }
+  VSPARSE_CHECK_MSG(algo == SpmmAlgorithm::kOctet,
+                    "ABFT is only implemented for the octet SpMM kernel");
+  return spmm_octet_abft(dev, a, b, c, {}, abft, sim);
 }
 
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,

@@ -43,6 +43,17 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
                const gpusim::SimOptions& sim = {});
 
+/// Fault-tolerant SpMM: the octet kernel wrapped in ABFT checksum
+/// verification and tile recompute (kernels/spmm/spmm_octet_abft.hpp).
+/// Only the octet algorithm has an ABFT variant, so `algo` must be
+/// kAuto (with V >= 2) or kOctet.  The recovery outcome is reported in
+/// the returned KernelRun::abft.
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               const AbftOptions& abft,
+               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
+               const gpusim::SimOptions& sim = {});
+
 /// out_values = (A[MxK] * B[KxN]) ⊙ mask in mask storage order
 /// (A row-major, B column-major).
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,

@@ -1,0 +1,109 @@
+#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace vsparse::kernels {
+
+namespace {
+
+constexpr int kTileN = 64;
+
+/// Verify the V x 64 tile of vector-row `vr` at column tile `tn`
+/// against the fp64 checksum expectation.  Host reads see clean data —
+/// the simulator injects faults on the device read path only.
+bool tile_ok(const CvsDevice& a, const DenseDevice<half_t>& b,
+             const DenseDevice<half_t>& c, const std::vector<double>& w,
+             int vr, int tn, const AbftOptions& opt) {
+  auto row_ptr = a.row_ptr.host();
+  auto col_idx = a.col_idx.host();
+  auto bh = b.buf.host();
+  auto ch = c.buf.host();
+  const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
+  const std::int32_t end = row_ptr[static_cast<std::size_t>(vr) + 1];
+  const int n0 = tn * kTileN;
+  for (int j = 0; j < kTileN; ++j) {
+    double expected = 0.0, refmag = 0.0;
+    for (std::int32_t i = begin; i < end; ++i) {
+      const std::int32_t col = col_idx[static_cast<std::size_t>(i)];
+      const double bv = static_cast<double>(static_cast<float>(
+          bh[static_cast<std::size_t>(col) * b.ld + (n0 + j)]));
+      expected += w[static_cast<std::size_t>(i)] * bv;
+      refmag += std::abs(w[static_cast<std::size_t>(i)]) * std::abs(bv);
+    }
+    double actual = 0.0;
+    for (int t = 0; t < a.v; ++t) {
+      actual += static_cast<double>(static_cast<float>(
+          ch[static_cast<std::size_t>(vr * a.v + t) * c.ld + n0 + j]));
+    }
+    const double tol = opt.abs_tol * a.v + opt.rel_tol * refmag;
+    if (std::abs(actual - expected) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+KernelRun spmm_octet_abft(gpusim::Device& dev, const CvsDevice& a,
+                          const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+                          const SpmmOctetParams& params,
+                          const AbftOptions& abft,
+                          const gpusim::SimOptions& sim) {
+  KernelRun run = spmm_octet(dev, a, b, c, params, sim);
+  run.abft.enabled = true;
+
+  const int vec_rows = a.vec_rows();
+  const int tiles_n = b.cols / kTileN;
+
+  // Checksum weights, one per stored nonzero vector: w_i = sum_t
+  // values[i*v + t], formed on the host in fp64 (trusted ALU).
+  std::vector<double> w(a.col_idx.size(), 0.0);
+  {
+    auto values = a.values.host();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      for (int t = 0; t < a.v; ++t) {
+        w[i] += static_cast<double>(static_cast<float>(
+            values[i * static_cast<std::size_t>(a.v) +
+                   static_cast<std::size_t>(t)]));
+      }
+    }
+  }
+
+  std::vector<std::pair<int, int>> bad;
+  for (int vr = 0; vr < vec_rows; ++vr) {
+    for (int tn = 0; tn < tiles_n; ++tn) {
+      if (!tile_ok(a, b, c, w, vr, tn, abft)) bad.emplace_back(vr, tn);
+    }
+  }
+  run.abft.corrupted_tiles = static_cast<int>(bad.size());
+
+  for (int round = 0; !bad.empty() && round < abft.max_retries; ++round) {
+    if (round > 0) run.abft.retries_used = round;
+    std::vector<std::pair<int, int>> still;
+    for (const auto& [vr, tn] : bad) {
+      // Single-CTA sub-problem: one vector row, one 64-wide column
+      // tile.  The kernel reads row_ptr entries as absolute offsets
+      // into col_idx/values, so a two-entry row_ptr window at `vr`
+      // addresses the full index/value buffers unchanged.
+      CvsDevice a_sub = a;
+      a_sub.rows = a.v;
+      a_sub.row_ptr = gpusim::Buffer<std::int32_t>(
+          &dev, a.row_ptr.addr(static_cast<std::size_t>(vr)), 2);
+      DenseDevice<half_t> b_sub =
+          sub_view(dev, b, 0, tn * kTileN, b.rows, kTileN);
+      DenseDevice<half_t> c_sub =
+          sub_view(dev, c, vr * a.v, tn * kTileN, a.v, kTileN);
+      KernelRun rec = spmm_octet(dev, a_sub, b_sub, c_sub, params, sim);
+      run.stats += rec.stats;
+      ++run.abft.recompute_launches;
+      if (!tile_ok(a, b, c, w, vr, tn, abft)) still.emplace_back(vr, tn);
+    }
+    bad = std::move(still);
+  }
+
+  run.abft.clean = bad.empty();
+  return run;
+}
+
+}  // namespace vsparse::kernels

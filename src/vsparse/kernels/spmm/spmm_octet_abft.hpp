@@ -1,0 +1,25 @@
+// Checksum-augmented octet SpMM: spmm_octet with ABFT detect + recover.
+// See kernels/abft.hpp for the checksum math and recovery contract.
+#pragma once
+
+#include "vsparse/kernels/abft.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse::kernels {
+
+/// spmm_octet followed by per-CTA-tile checksum verification.  The
+/// launch's CTA tile is the V x 64 output block of one (vector row,
+/// column tile) pair; its checksum weight per stored nonzero vector is
+/// w_i = sum_t values[i*v + t], giving the expectation
+/// sum_i w_i * B[col_i][j] for each output column j.  Corrupted tiles
+/// are recomputed in place by re-running spmm_octet on a single
+/// vector-row / column-tile sub-problem (a two-entry row_ptr view plus
+/// dense column windows), bounded by `abft.max_retries` rounds.
+KernelRun spmm_octet_abft(gpusim::Device& dev, const CvsDevice& a,
+                          const DenseDevice<half_t>& b,
+                          DenseDevice<half_t>& c,
+                          const SpmmOctetParams& params = {},
+                          const AbftOptions& abft = {},
+                          const gpusim::SimOptions& sim = {});
+
+}  // namespace vsparse::kernels

@@ -1,0 +1,183 @@
+// Negative-path robustness: malformed .smtx inputs are rejected with
+// CheckError (not crashes or silent misparses), the dispatch layer
+// rejects shape mismatches and unsupported ABFT algorithms, worker and
+// caller exceptions unwind the threaded engine cleanly with the pool
+// reusable afterwards, and the allocator's overflow guards hold.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/smtx_io.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/kernels/dispatch.hpp"
+
+namespace vsparse {
+namespace {
+
+gpusim::DeviceConfig test_config() {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 256 << 20;
+  cfg.num_sms = 8;
+  return cfg;
+}
+
+// ---- malformed .smtx corpus ------------------------------------------
+
+SmtxPattern parse(const std::string& text) {
+  std::istringstream is(text);
+  return read_smtx(is);
+}
+
+TEST(SmtxMalformed, EmptyStream) {
+  EXPECT_THROW(parse(""), CheckError);
+}
+
+TEST(SmtxMalformed, TruncatedHeader) {
+  EXPECT_THROW(parse("4, 4\n"), CheckError);
+}
+
+TEST(SmtxMalformed, MissingRowPtrLine) {
+  EXPECT_THROW(parse("4, 4, 2\n"), CheckError);
+}
+
+TEST(SmtxMalformed, RowPtrWrongLength) {
+  EXPECT_THROW(parse("4, 4, 2\n0 1 2\n0 1\n"), CheckError);
+}
+
+TEST(SmtxMalformed, RowPtrEndpointsInconsistentWithNnz) {
+  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 3\n0 1\n"), CheckError);
+}
+
+TEST(SmtxMalformed, RowPtrNotMonotone) {
+  EXPECT_THROW(parse("4, 4, 2\n0 2 1 2 2\n0 1\n"), CheckError);
+}
+
+TEST(SmtxMalformed, ColumnOutOfRange) {
+  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0 4\n"), CheckError);
+}
+
+TEST(SmtxMalformed, ColIdxWrongCount) {
+  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0\n"), CheckError);
+}
+
+TEST(SmtxMalformed, NegativeIndexRejected) {
+  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0 -1\n"), CheckError);
+}
+
+TEST(Smtx, WellFormedRoundTrips) {
+  const SmtxPattern p = parse("4, 4, 3\n0 1 1 2 3\n2 0 3\n");
+  EXPECT_EQ(p.rows, 4);
+  EXPECT_EQ(p.cols, 4);
+  std::ostringstream os;
+  write_smtx(os, p);
+  const SmtxPattern q = parse(os.str());
+  EXPECT_EQ(q.row_ptr, p.row_ptr);
+  EXPECT_EQ(q.col_idx, p.col_idx);
+}
+
+// ---- dispatch-layer rejection ----------------------------------------
+
+TEST(DispatchGuards, SpmmShapeMismatchRejected) {
+  Rng rng(3);
+  Cvs a = make_cvs(32, 96, 4, 0.5, rng);
+  gpusim::Device dev(test_config());
+  auto da = to_device(dev, a);
+  // B has 64 rows where A has 96 columns.
+  auto bad_b = dev.alloc<half_t>(std::size_t{64} * 64);
+  DenseDevice<half_t> db{bad_b, 64, 64, 64, Layout::kRowMajor};
+  auto cbuf = dev.alloc<half_t>(std::size_t{32} * 64);
+  DenseDevice<half_t> dc{cbuf, 32, 64, 64, Layout::kRowMajor};
+  EXPECT_THROW(
+      kernels::spmm(dev, da, db, dc, kernels::SpmmAlgorithm::kOctet),
+      CheckError);
+}
+
+TEST(DispatchGuards, AbftSpmmRequiresOctetKernel) {
+  Rng rng(4);
+  Cvs fine = make_cvs(32, 96, 1, 0.5, rng);  // V = 1: no octet mapping
+  gpusim::Device dev(test_config());
+  auto da = to_device(dev, fine);
+  auto b = dev.alloc<half_t>(std::size_t{96} * 64);
+  DenseDevice<half_t> db{b, 96, 64, 64, Layout::kRowMajor};
+  auto c = dev.alloc<half_t>(std::size_t{32} * 64);
+  DenseDevice<half_t> dc{c, 32, 64, 64, Layout::kRowMajor};
+  EXPECT_THROW(kernels::spmm(dev, da, db, dc, kernels::AbftOptions{}),
+               CheckError);
+
+  Cvs octet = make_cvs(32, 96, 4, 0.5, rng);
+  auto da4 = to_device(dev, octet);
+  EXPECT_THROW(kernels::spmm(dev, da4, db, dc, kernels::AbftOptions{},
+                             kernels::SpmmAlgorithm::kFpuSubwarp),
+               CheckError);
+}
+
+// ---- engine unwind + pool reuse --------------------------------------
+
+TEST(EngineUnwind, WorkerAndCallerThrowsLeavePoolReusable) {
+  gpusim::Device dev(test_config());
+  gpusim::LaunchConfig cfg;
+  cfg.grid = 16;
+  cfg.cta_threads = 32;
+  const gpusim::SimOptions sim{.threads = 8};
+
+  auto expect_clean_launch = [&] {
+    gpusim::KernelStats stats =
+        gpusim::launch(dev, cfg, [](gpusim::Cta&) {}, sim);
+    EXPECT_EQ(stats.ctas_launched, 16u);
+  };
+
+  for (int round = 0; round < 2; ++round) {
+    // CTA 0 runs on SM 0 — the shard the calling thread executes.
+    EXPECT_THROW(gpusim::launch(
+                     dev, cfg,
+                     [](gpusim::Cta& cta) {
+                       if (cta.cta_id() == 0) {
+                         throw std::out_of_range("caller-shard cta failed");
+                       }
+                     },
+                     sim),
+                 std::out_of_range);
+    expect_clean_launch();
+
+    // CTA 13 lands on a worker-thread shard; the exception type must
+    // survive the cross-thread hop.
+    EXPECT_THROW(gpusim::launch(
+                     dev, cfg,
+                     [](gpusim::Cta& cta) {
+                       if (cta.cta_id() == 13) {
+                         throw std::out_of_range("worker-shard cta failed");
+                       }
+                     },
+                     sim),
+                 std::out_of_range);
+    expect_clean_launch();
+  }
+}
+
+// ---- allocator guards ------------------------------------------------
+
+TEST(AllocGuards, ElementCountTimesSizeOverflowRejected) {
+  gpusim::Device dev(test_config());
+  EXPECT_THROW(dev.alloc<double>(SIZE_MAX / 4), CheckError);
+}
+
+TEST(AllocGuards, BeyondCapacityRejected) {
+  gpusim::Device dev(test_config());
+  const std::size_t cap = dev.config().dram_capacity;
+  EXPECT_THROW(dev.alloc<std::uint8_t>(cap + 1), CheckError);
+  // Near-SIZE_MAX requests must be rejected, not wrap in the
+  // alignment arithmetic.
+  EXPECT_THROW(dev.alloc<std::uint8_t>(SIZE_MAX - 16), CheckError);
+  // The device stays usable after rejected requests.
+  auto ok = dev.alloc<std::uint8_t>(1024);
+  EXPECT_EQ(ok.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace vsparse

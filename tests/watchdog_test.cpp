@@ -1,0 +1,106 @@
+// Launch watchdog: a CTA body that issues warp ops forever must abort
+// the launch with LaunchTimeoutError carrying a per-SM progress dump,
+// at any host thread count, and the engine must stay usable after the
+// unwind.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/faults.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+
+namespace vsparse::gpusim {
+namespace {
+
+DeviceConfig test_config() {
+  DeviceConfig cfg;
+  cfg.dram_capacity = 256 << 20;
+  cfg.num_sms = 8;
+  return cfg;
+}
+
+/// The malformed-input signature the watchdog guards against: a kernel
+/// loop that never terminates, here spinning on __syncthreads().
+void runaway_body(Cta& cta) {
+  for (;;) cta.sync();
+}
+
+LaunchConfig runaway_config() {
+  LaunchConfig cfg;
+  cfg.grid = 16;
+  cfg.cta_threads = 64;
+  return cfg;
+}
+
+class WatchdogThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(WatchdogThreads, RunawayCtaRaisesTimeoutWithProgressDump) {
+  const int threads = GetParam();
+  Device dev(test_config());
+  const SimOptions sim{.threads = threads, .watchdog_cta_ops = 1000};
+  try {
+    launch(dev, runaway_config(), runaway_body, sim);
+    FAIL() << "runaway CTA must trip the watchdog at threads=" << threads;
+  } catch (const LaunchTimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("op budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("per-SM progress"), std::string::npos) << what;
+    EXPECT_NE(what.find("ops_in_cta"), std::string::npos) << what;
+    EXPECT_NE(what.find("sm0{"), std::string::npos) << what;
+  }
+
+  // The engine (and its persistent pool) survives the unwind: the same
+  // device runs a finite launch under the same watchdog budget.
+  LaunchConfig finite = runaway_config();
+  KernelStats stats = launch(
+      dev, finite, [](Cta& cta) { cta.sync(); }, sim);
+  EXPECT_EQ(stats.ctas_launched, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WatchdogThreads, ::testing::Values(1, 8));
+
+TEST(Watchdog, DeviceDefaultBudgetInherited) {
+  Device dev(test_config());
+  dev.set_sim_options(SimOptions{.threads = 1, .watchdog_cta_ops = 500});
+  // No per-launch options: the device-wide budget applies.
+  EXPECT_THROW(launch(dev, runaway_config(), runaway_body),
+               LaunchTimeoutError);
+}
+
+TEST(Watchdog, GenerousBudgetDoesNotTripOnRealKernel) {
+  Rng rng(5);
+  Cvs a = vsparse::make_cvs(64, 96, 4, 0.5, rng);
+  DenseMatrix<half_t> b(96, 64);
+  b.fill_random_int(rng);
+
+  Device dev(test_config());
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  DenseMatrix<half_t> ch(a.rows, b.cols());
+  auto dc = to_device(dev, ch);
+  const SimOptions sim{.threads = 1,
+                       .watchdog_cta_ops = std::uint64_t{1} << 40};
+  KernelStats stats = kernels::spmm_octet(dev, da, db, dc, {}, sim).stats;
+  EXPECT_GT(stats.ctas_launched, 0u);
+}
+
+TEST(Watchdog, DisabledByDefault) {
+  Device dev(test_config());
+  EXPECT_EQ(dev.sim_options().watchdog_cta_ops, 0u);
+  // A modestly long loop completes when no budget is set anywhere.
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.cta_threads = 32;
+  KernelStats stats = launch(dev, cfg, [](Cta& cta) {
+    for (int i = 0; i < 100000; ++i) cta.sync();
+  });
+  EXPECT_EQ(stats.ctas_launched, 1u);
+}
+
+}  // namespace
+}  // namespace vsparse::gpusim
