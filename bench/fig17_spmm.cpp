@@ -27,7 +27,9 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  TraceSession trace(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
+                               .trace = trace.options()};
   SimThroughput throughput(sim.threads);
   const auto shapes = suite_shapes(scale);
   DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);

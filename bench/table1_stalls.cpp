@@ -13,7 +13,9 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
+  TraceSession trace(argc, argv);
+  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
+                               .trace = trace.options()};
   SimThroughput throughput(sim.threads);
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;

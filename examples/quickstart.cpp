@@ -4,7 +4,8 @@
 //   1. build a dense matrix, prune it at 4x1 vector granularity,
 //   2. encode it (Cvs), upload operands to the simulated GPU,
 //   3. run spmm_octet, verify against the host reference,
-//   4. read out the hardware counters and the performance model.
+//   4. read out the hardware counters and the performance model,
+//   5. do the same round trip in one call with the dispatch host API.
 //
 // Build: cmake --build build --target quickstart && ./build/examples/quickstart
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "vsparse/common/rng.hpp"
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/formats/reference.hpp"
+#include "vsparse/kernels/dispatch.hpp"
 #include "vsparse/kernels/spmm/spmm_octet.hpp"
 
 int main() {
@@ -54,5 +56,17 @@ int main() {
   std::printf("\nmodel: %.0f cycles, bound by %s, sectors/request %.2f\n",
               est.cycles, est.bound_by.c_str(),
               run.stats.sectors_per_request());
+
+  // ---- 5. or let the dispatch layer do the whole round trip ------------
+  // spmm_host picks the kernel (octet for V >= 2), sizes a device, and
+  // returns the result *with* the KernelRun, so cost and counters are
+  // available without managing device buffers.
+  auto host = kernels::spmm_host(a, b);
+  std::printf("\nhost API: %s, %.0f model cycles, %llu HMMA instructions\n",
+              host.run.config.profile.name.c_str(),
+              host.run.cycles(dev.config()),
+              static_cast<unsigned long long>(
+                  host.run.stats.op(gpusim::Op::kHmma)));
+
   return max_err < 1.0 ? 0 : 1;
 }

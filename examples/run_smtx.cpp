@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
                                  SpmmAlgorithm::kFpuSubwarp};
   for (SpmmAlgorithm algo : algos) {
     if (v == 1 && algo != SpmmAlgorithm::kFpuSubwarp) continue;
-    auto run = kernels::spmm(dev, da, db, dcv, algo);
+    auto run = kernels::spmm(dev, da, db, dcv, {.algorithm = algo});
     std::printf("%-14s %12.0f %9.2fx\n", run.config.profile.name.c_str(),
                 run.cycles(hw), dense_cycles / run.cycles(hw));
     records.push_back(report::make_record(

@@ -10,6 +10,7 @@
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/gpusim/engine/engine.hpp"
 #include "vsparse/gpusim/faults.hpp"
+#include "vsparse/gpusim/trace/export.hpp"
 #include "vsparse/kernels/dense/gemm.hpp"
 
 namespace vsparse::bench {
@@ -108,6 +109,45 @@ int parse_threads(int argc, char** argv) {
     if (*env != '\0') return clamp_threads(std::strtol(env, nullptr, 10));
   }
   return 1;
+}
+
+TraceSession::TraceSession(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      prefix_ = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      const long long n = std::strtoll(argv[i] + 15, nullptr, 10);
+      sample_ops_ = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+    }
+  }
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+gpusim::TraceOptions TraceSession::options() {
+  gpusim::TraceOptions opts;
+  if (enabled()) {
+    opts.sink = &trace_;
+    opts.sample_ops = sample_ops_;
+  }
+  return opts;
+}
+
+bool TraceSession::finish() {
+  if (!enabled() || written_) return true;
+  written_ = true;
+  const bool ok = gpusim::write_trace_files(trace_, prefix_);
+  if (ok) {
+    std::printf("# trace: wrote %s.perfetto.json and %s.metrics.json "
+                "(%zu launches, %zu events)\n",
+                prefix_.c_str(), prefix_.c_str(), trace_.launches().size(),
+                trace_.num_events());
+  } else {
+    std::printf("# trace: FAILED to write exports under prefix %s\n",
+                prefix_.c_str());
+  }
+  std::fflush(stdout);
+  return ok;
 }
 
 SimThroughput::SimThroughput(int threads)

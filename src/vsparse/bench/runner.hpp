@@ -14,6 +14,7 @@
 
 #include "vsparse/gpusim/costmodel.hpp"
 #include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/trace/trace.hpp"
 #include "vsparse/kernels/api.hpp"
 
 namespace vsparse::bench {
@@ -50,6 +51,44 @@ bool run_case(const std::string& name, const std::function<void()>& fn);
 /// completed, 1 if any case failed.  Resets nothing; call once at the
 /// end of main().
 int bench_exit_code();
+
+/// Launch tracing for a bench driver, driven by command-line flags:
+///
+///   --trace=PREFIX     enable tracing; at exit write
+///                      PREFIX.perfetto.json and PREFIX.metrics.json
+///   --trace-sample=N   additionally record every Nth warp-level
+///                      instruction as a warp_op event (default 0: off)
+///
+/// Without --trace the session is inert: options() returns a disabled
+/// TraceOptions (null sink) and nothing is written or printed, so a
+/// driver's stdout is byte-identical to the pre-trace build.  With
+/// --trace, finish() (also called from the destructor) writes both
+/// export files once and prints a one-line `# trace: ...` note.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool enabled() const { return !prefix_.empty(); }
+
+  /// TraceOptions to install in a SimOptions (and, through
+  /// fresh_device, in the device defaults every launch inherits).
+  gpusim::TraceOptions options();
+
+  /// Write the exports now (idempotent).  Returns true if the files
+  /// were written successfully or tracing is disabled.
+  bool finish();
+
+  gpusim::Trace& trace() { return trace_; }
+
+ private:
+  std::string prefix_;
+  std::uint64_t sample_ops_ = 0;
+  bool written_ = false;
+  gpusim::Trace trace_;
+};
 
 /// Wall-clock throughput of the simulator itself (how fast the host
 /// simulates, not how fast the modeled GPU would run).  Snapshot at

@@ -10,6 +10,7 @@
 #include "vsparse/gpusim/engine/launch_config.hpp"
 #include "vsparse/gpusim/engine/sm_context.hpp"
 #include "vsparse/gpusim/stats.hpp"
+#include "vsparse/gpusim/trace/trace.hpp"
 
 namespace vsparse::gpusim {
 
@@ -106,6 +107,9 @@ class Cta {
   void sync() {
     sm_->stats().op(Op::kBar) += static_cast<std::uint64_t>(num_warps());
     sm_->watchdog_tick(static_cast<std::uint64_t>(num_warps()));
+    if (SmTrace* t = sm_->trace()) [[unlikely]] {
+      t->on_sync(cta_id_, num_warps());
+    }
   }
 
   /// Raw shared-memory storage (kernels address it via lds/sts offsets;
@@ -131,6 +135,9 @@ inline int Warp::sm_id() const { return cta_->sm_id(); }
 inline void Warp::count(Op op, std::uint64_t n) {
   stats().op(op) += n;
   sm().watchdog_tick(n);
+  if (SmTrace* t = sm().trace()) [[unlikely]] {
+    t->on_ops(op, n, cta_->cta_id(), warp_id_);
+  }
 }
 
 inline void Warp::fence() { count(Op::kBar); }

@@ -1,5 +1,6 @@
 #include "vsparse/gpusim/engine/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "vsparse/gpusim/engine/sm_context.hpp"
 #include "vsparse/gpusim/engine/thread_pool.hpp"
 #include "vsparse/gpusim/faults.hpp"
+#include "vsparse/gpusim/trace/trace.hpp"
 
 namespace vsparse::gpusim {
 
@@ -23,10 +25,64 @@ void run_cta(SmContext& sm, const LaunchConfig& cfg, int cta_id,
              const std::function<void(Cta&)>& body) {
   sm.prepare_smem(cfg.smem_bytes);
   sm.watchdog_reset();
+  const std::uint64_t warps = static_cast<std::uint64_t>(cfg.cta_threads / 32);
+  if (SmTrace* t = sm.trace()) {
+    t->emit(TraceEventKind::kCtaBegin, cta_id, /*warp=*/-1, warps);
+  }
   Cta cta(&sm, &cfg, cta_id);
   body(cta);
   sm.stats().ctas_launched += 1;
-  sm.stats().warps_launched += static_cast<std::uint64_t>(cfg.cta_threads / 32);
+  sm.stats().warps_launched += warps;
+  if (SmTrace* t = sm.trace()) {
+    t->emit(TraceEventKind::kCtaEnd, cta_id, /*warp=*/-1);
+  }
+}
+
+/// Merge the per-SM trace buffers into one LaunchTrace and hand it to
+/// the sink.  Event order — launch begin, SM 0's stream, SM 1's, ...,
+/// launch end — depends only on per-SM state, so the merged trace is
+/// bit-identical for any host thread count.  On an aborted launch the
+/// partial trace (everything emitted before the unwind, plus a
+/// kLaunchAbort marker) is still delivered.
+void finish_trace(Trace& sink, const LaunchConfig& cfg, int num_sms,
+                  std::vector<SmTrace>& traces,
+                  const std::vector<SmContext>& sms, bool aborted) {
+  LaunchTrace lt;
+  lt.kernel = cfg.profile.name;
+  lt.grid = cfg.grid;
+  lt.cta_threads = cfg.cta_threads;
+  lt.smem_bytes = cfg.smem_bytes;
+  lt.num_sms = num_sms;
+  lt.aborted = aborted;
+  for (const SmContext& sm : sms) lt.stats += sm.stats();
+
+  std::size_t total_events = 2;
+  for (const SmTrace& t : traces) {
+    total_events += t.events().size();
+    lt.duration = std::max(lt.duration, t.cycles());
+  }
+  lt.events.reserve(total_events + (aborted ? 1 : 0));
+
+  TraceEvent begin;
+  begin.kind = TraceEventKind::kKernelBegin;
+  begin.a = static_cast<std::uint64_t>(cfg.grid);
+  begin.b = static_cast<std::uint64_t>(cfg.cta_threads);
+  lt.events.push_back(begin);
+  for (const SmTrace& t : traces) {
+    lt.events.insert(lt.events.end(), t.events().begin(), t.events().end());
+  }
+  if (aborted) {
+    TraceEvent abort;
+    abort.kind = TraceEventKind::kLaunchAbort;
+    abort.cycles = lt.duration;
+    lt.events.push_back(abort);
+  }
+  TraceEvent end;
+  end.kind = TraceEventKind::kKernelEnd;
+  end.cycles = lt.duration;
+  lt.events.push_back(end);
+
+  sink.add_launch(std::move(lt));
 }
 
 /// Rethrow a launch error.  A LaunchTimeoutError is augmented with a
@@ -74,13 +130,35 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
                                      ? opts.watchdog_cta_ops
                                      : dev.sim_options().watchdog_cta_ops;
 
+  // Tracing: the per-call TraceOptions win when they carry a sink,
+  // otherwise the Device default applies (the `threads` inherit chain).
+  const TraceOptions& tropts = opts.trace.sink != nullptr
+                                   ? opts.trace
+                                   : dev.sim_options().trace;
+
+  // per_sm_stats documents "the most recent launch": zero it up front
+  // so a launch that unwinds (or one with a smaller active-SM set than
+  // its predecessor) can never leave stale SM blocks behind.
+  if (opts.per_sm_stats != nullptr) {
+    opts.per_sm_stats->assign(static_cast<std::size_t>(dev.config().num_sms),
+                              KernelStats{});
+  }
+
   // Fresh per-SM contexts: cold L1s (= the kernel-boundary invalidation
   // the serial engine performed with flush_l1), empty counter blocks.
   std::vector<SmContext> sms;
   sms.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  std::vector<SmTrace> traces;
+  if (tropts.enabled()) {
+    traces.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  }
   for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
     sms.emplace_back(&dev, sm);
     sms.back().set_watchdog_limit(watchdog);
+    if (tropts.enabled()) {
+      traces.emplace_back(sm, tropts);
+      sms.back().set_trace(&traces.back());
+    }
   }
 
   if (threads == 1) {
@@ -94,6 +172,10 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
                 body);
       }
     } catch (...) {
+      if (tropts.enabled()) {
+        finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
+                     /*aborted=*/true);
+      }
       rethrow_launch_error(std::current_exception(), sms);
     }
   } else {
@@ -117,7 +199,13 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
         }
       }
     });
-    if (first_error) rethrow_launch_error(first_error, sms);
+    if (first_error) {
+      if (tropts.enabled()) {
+        finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
+                     /*aborted=*/true);
+      }
+      rethrow_launch_error(first_error, sms);
+    }
   }
 
   // Merge: uint64 sums are commutative and associative, so the merged
@@ -126,9 +214,12 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
   for (const SmContext& sm : sms) total += sm.stats();
   g_total_ctas.fetch_add(total.ctas_launched, std::memory_order_relaxed);
 
+  if (tropts.enabled()) {
+    finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
+                 /*aborted=*/false);
+  }
+
   if (opts.per_sm_stats) {
-    opts.per_sm_stats->assign(
-        static_cast<std::size_t>(dev.config().num_sms), KernelStats{});
     for (const SmContext& sm : sms) {
       (*opts.per_sm_stats)[static_cast<std::size_t>(sm.sm_id())] = sm.stats();
     }

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "vsparse/gpusim/trace/options.hpp"
+
 namespace vsparse::gpusim {
 
 struct KernelStats;
@@ -39,6 +41,14 @@ struct SimOptions {
   /// `threads`.  Guards against malformed inputs (e.g. a cyclic
   /// row_ptr) spinning a kernel loop forever.
   std::uint64_t watchdog_cta_ops = 0;
+
+  /// Per-launch tracing (gpusim/trace/).  A launch whose TraceOptions
+  /// has no sink inherits the Device's configured default — the same
+  /// inherit chain as `threads`.  With no sink anywhere the engine
+  /// takes a null-pointer fast path and the run is bit- and
+  /// counter-identical to an untraced one.  Declared last so existing
+  /// designated initializers (`{.threads = N}`) keep compiling.
+  TraceOptions trace;
 };
 
 }  // namespace vsparse::gpusim

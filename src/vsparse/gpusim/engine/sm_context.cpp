@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "vsparse/gpusim/trace/trace.hpp"
+
 namespace vsparse::gpusim {
 
 SmContext::SmContext(Device* dev, int sm_id)
@@ -15,6 +17,10 @@ SmContext::SmContext(Device* dev, int sm_id)
 }
 
 void SmContext::throw_watchdog() const {
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventKind::kWatchdog, /*cta=*/-1, /*warp=*/-1,
+                 watchdog_limit_, watchdog_ops_);
+  }
   std::ostringstream os;
   os << "LaunchTimeoutError: CTA on sm " << sm_id_ << " exceeded the op budget"
      << " (" << watchdog_ops_ << " ops issued, limit " << watchdog_limit_

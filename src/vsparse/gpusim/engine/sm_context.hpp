@@ -18,6 +18,8 @@
 
 namespace vsparse::gpusim {
 
+class SmTrace;
+
 class SmContext {
  public:
   SmContext(Device* dev, int sm_id);
@@ -44,6 +46,17 @@ class SmContext {
   /// test before doing any fault work.
   FaultState* faults() { return faults_.plan != nullptr ? &faults_ : nullptr; }
 
+  /// This SM's trace buffer for the current launch, or nullptr when
+  /// tracing is disabled — the same null-pointer fast path as faults().
+  SmTrace* trace() { return trace_; }
+
+  /// Attach the per-launch trace buffer (engine only).  Also threads it
+  /// into the fault state so ECC events are trace-attributed.
+  void set_trace(SmTrace* trace) {
+    trace_ = trace;
+    faults_.trace = trace;
+  }
+
   // -- watchdog ---------------------------------------------------------
   /// Arm the per-CTA op budget for this launch (0 = disabled) and reset
   /// the running count at each CTA start.
@@ -68,6 +81,7 @@ class SmContext {
   KernelStats stats_;
   std::vector<std::byte> smem_;
   FaultState faults_;
+  SmTrace* trace_ = nullptr;
   std::uint64_t watchdog_limit_ = 0;
   std::uint64_t watchdog_ops_ = 0;
 };

@@ -43,8 +43,7 @@ void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
   static_assert(sizeof(V) == 2 || sizeof(V) == 4 || sizeof(V) == 8 ||
                 sizeof(V) == 16);
   KernelStats& s = stats();
-  s.op(Op::kLdg) += 1;
-  sm().watchdog_tick(1);
+  count(Op::kLdg);
   if constexpr (sizeof(V) == 2) {
     ++s.ldg16;
   } else if constexpr (sizeof(V) == 4) {
@@ -97,8 +96,7 @@ void Warp::stg(const AddrLanes& addr, const Lanes<V>& src,
   static_assert(sizeof(V) == 2 || sizeof(V) == 4 || sizeof(V) == 8 ||
                 sizeof(V) == 16);
   KernelStats& s = stats();
-  s.op(Op::kStg) += 1;
-  sm().watchdog_tick(1);
+  count(Op::kStg);
   if (mask == 0) return;
 
   Device& dev = device();
@@ -131,8 +129,7 @@ void Warp::lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
                std::uint32_t mask) {
   static_assert(std::is_trivially_copyable_v<V>);
   KernelStats& s = stats();
-  s.op(Op::kLds) += 1;
-  sm().watchdog_tick(1);
+  count(Op::kLds);
   if (mask == 0) return;
   s.smem_load_requests += 1;
   FaultState* faults = sm().faults();  // null ⇒ fault-free fast path
@@ -181,8 +178,7 @@ void Warp::sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
                std::uint32_t mask) {
   static_assert(std::is_trivially_copyable_v<V>);
   KernelStats& s = stats();
-  s.op(Op::kSts) += 1;
-  sm().watchdog_tick(1);
+  count(Op::kSts);
   if (mask == 0) return;
   s.smem_store_requests += 1;
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "vsparse/gpusim/stats.hpp"
+#include "vsparse/gpusim/trace/trace.hpp"
 
 namespace vsparse::gpusim {
 namespace {
@@ -112,20 +113,34 @@ namespace {
 
 // Shared post-flip ECC bookkeeping.  Returns true when the flip was
 // corrected (data must be restored by the caller); throws on a
-// detected-uncorrectable upset.
-bool ecc_scrub(FaultPlan& plan, FaultSite site, std::uint64_t addr, int sm_id,
+// detected-uncorrectable upset.  The single place every fault outcome
+// passes through, so it is also where fault trace events are emitted.
+bool ecc_scrub(FaultState& st, FaultSite site, std::uint64_t addr,
                int flipped, KernelStats& stats) {
+  FaultPlan& plan = *st.plan;
   plan.note_injected();
   ++stats.faults_injected;
+  if (st.trace != nullptr) {
+    st.trace->emit(TraceEventKind::kFaultInjected, /*cta=*/-1, /*warp=*/-1,
+                   static_cast<std::uint64_t>(site), addr);
+  }
   if (!(plan.ecc() && ecc_protected(site))) return false;
   if (flipped == 1) {
     plan.note_masked();
     ++stats.faults_masked;
+    if (st.trace != nullptr) {
+      st.trace->emit(TraceEventKind::kFaultMasked, /*cta=*/-1, /*warp=*/-1,
+                     static_cast<std::uint64_t>(site), addr);
+    }
     return true;
   }
   plan.note_detected();
   ++stats.faults_detected;
-  throw EccError(site, addr, sm_id);
+  if (st.trace != nullptr) {
+    st.trace->emit(TraceEventKind::kFaultDetected, /*cta=*/-1, /*warp=*/-1,
+                   static_cast<std::uint64_t>(site), addr);
+  }
+  throw EccError(site, addr, st.sm_id);
 }
 
 }  // namespace
@@ -151,7 +166,7 @@ void FaultState::on_global_read(std::uint64_t addr, void* data,
     std::uint8_t saved = bytes[off];
     const int flipped =
         flip_bits(bytes + off, len - off, tgt.bit & 7, tgt.n_bits);
-    if (ecc_scrub(*plan, tgt.site, tgt.addr, sm_id, flipped, stats))
+    if (ecc_scrub(*this, tgt.site, tgt.addr, flipped, stats))
       bytes[off] = saved;  // single-bit: SEC-DED corrected in flight
   }
 
@@ -173,7 +188,7 @@ void FaultState::on_global_read(std::uint64_t addr, void* data,
     const int bit = static_cast<int>((h >> 3) & 7);
     std::uint8_t saved = bytes[off];
     flip_bits(bytes + off, len - off, bit, 1);
-    if (ecc_scrub(*plan, rs.site, addr + off, sm_id, 1, stats))
+    if (ecc_scrub(*this, rs.site, addr + off, 1, stats))
       bytes[off] = saved;
   }
 }
@@ -194,7 +209,7 @@ void FaultState::on_smem_read(std::uint32_t offset, void* data,
     const std::size_t off = static_cast<std::size_t>(tgt.addr - offset);
     const int flipped =
         flip_bits(bytes + off, len - off, tgt.bit & 7, tgt.n_bits);
-    ecc_scrub(*plan, tgt.site, tgt.addr, sm_id, flipped, stats);
+    ecc_scrub(*this, tgt.site, tgt.addr, flipped, stats);
   }
 
   const double rate = plan->rates().smem_read;
@@ -204,7 +219,7 @@ void FaultState::on_smem_read(std::uint32_t offset, void* data,
     if (fires(h, rate)) {
       const std::size_t off = static_cast<std::size_t>((h >> 8) % len);
       flip_bits(bytes + off, len - off, static_cast<int>((h >> 3) & 7), 1);
-      ecc_scrub(*plan, FaultSite::kSmemRead, offset + off, sm_id, 1, stats);
+      ecc_scrub(*this, FaultSite::kSmemRead, offset + off, 1, stats);
     }
   }
 }
@@ -239,7 +254,7 @@ void FaultState::on_mma_frags(void* a, std::size_t a_len, void* b,
     if (armed && !tgt.sticky) continue;
     armed = 1;
     const int flipped = flip_flat(tgt.bit, tgt.n_bits);
-    ecc_scrub(*plan, tgt.site, count, sm_id, flipped, stats);
+    ecc_scrub(*this, tgt.site, count, flipped, stats);
   }
 
   const double rate = plan->rates().mma_frag;
@@ -248,7 +263,7 @@ void FaultState::on_mma_frags(void* a, std::size_t a_len, void* b,
         decision(plan->seed(), FaultSite::kMmaFrag, sm_id, count);
     if (fires(h, rate)) {
       flip_flat(static_cast<int>((h >> 8) % total_bits), 1);
-      ecc_scrub(*plan, FaultSite::kMmaFrag, count, sm_id, 1, stats);
+      ecc_scrub(*this, FaultSite::kMmaFrag, count, 1, stats);
     }
   }
 }

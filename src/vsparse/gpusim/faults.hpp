@@ -51,6 +51,7 @@
 namespace vsparse::gpusim {
 
 struct KernelStats;
+class SmTrace;
 
 /// Where in the modeled machine a fault strikes.
 enum class FaultSite : int {
@@ -182,6 +183,7 @@ class FaultPlan {
 struct FaultState {
   FaultPlan* plan = nullptr;
   int sm_id = 0;
+  SmTrace* trace = nullptr;  ///< per-launch trace buffer (null = untraced)
   std::uint64_t site_count[kNumFaultSites] = {};
 
   /// Global-load return data: applies kDramRead then kL2Line faults to

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "vsparse/gpusim/trace/counters.hpp"
+
 namespace vsparse::gpusim {
 
 const char* op_name(Op op) {
@@ -60,57 +62,18 @@ double KernelStats::smem_to_global_load_ratio() const {
          static_cast<double>(global_load_requests);
 }
 
+// Merge, equality, and formatting all derive from the counter registry
+// (trace/counters.cpp) — the single definition site for the counter
+// set.  Adding a field to KernelStats without a registry row fails the
+// static_assert in trace/counters.hpp.
+
 KernelStats& KernelStats::operator+=(const KernelStats& o) {
-  for (int i = 0; i < kNumOps; ++i) ops[i] += o.ops[i];
-  ldg16 += o.ldg16;
-  ldg32 += o.ldg32;
-  ldg64 += o.ldg64;
-  ldg128 += o.ldg128;
-  global_load_requests += o.global_load_requests;
-  global_load_sectors += o.global_load_sectors;
-  global_store_requests += o.global_store_requests;
-  global_store_sectors += o.global_store_sectors;
-  l1_sector_hits += o.l1_sector_hits;
-  l1_sector_misses += o.l1_sector_misses;
-  l2_sector_hits += o.l2_sector_hits;
-  l2_sector_misses += o.l2_sector_misses;
-  dram_read_bytes += o.dram_read_bytes;
-  dram_write_bytes += o.dram_write_bytes;
-  smem_load_requests += o.smem_load_requests;
-  smem_store_requests += o.smem_store_requests;
-  smem_load_bytes += o.smem_load_bytes;
-  smem_store_bytes += o.smem_store_bytes;
-  smem_wavefronts += o.smem_wavefronts;
-  ctas_launched += o.ctas_launched;
-  warps_launched += o.warps_launched;
-  faults_injected += o.faults_injected;
-  faults_masked += o.faults_masked;
-  faults_detected += o.faults_detected;
+  counters_accumulate(*this, o);
   return *this;
 }
 
 bool KernelStats::sm_local_equal(const KernelStats& o) const {
-  for (int i = 0; i < kNumOps; ++i) {
-    if (ops[i] != o.ops[i]) return false;
-  }
-  return ldg16 == o.ldg16 && ldg32 == o.ldg32 && ldg64 == o.ldg64 &&
-         ldg128 == o.ldg128 &&
-         global_load_requests == o.global_load_requests &&
-         global_load_sectors == o.global_load_sectors &&
-         global_store_requests == o.global_store_requests &&
-         global_store_sectors == o.global_store_sectors &&
-         l1_sector_hits == o.l1_sector_hits &&
-         l1_sector_misses == o.l1_sector_misses &&
-         smem_load_requests == o.smem_load_requests &&
-         smem_store_requests == o.smem_store_requests &&
-         smem_load_bytes == o.smem_load_bytes &&
-         smem_store_bytes == o.smem_store_bytes &&
-         smem_wavefronts == o.smem_wavefronts &&
-         ctas_launched == o.ctas_launched &&
-         warps_launched == o.warps_launched &&
-         faults_injected == o.faults_injected &&
-         faults_masked == o.faults_masked &&
-         faults_detected == o.faults_detected;
+  return counters_sm_local_equal(*this, o);
 }
 
 std::string KernelStats::to_string() const {
@@ -120,33 +83,7 @@ std::string KernelStats::to_string() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const KernelStats& s) {
-  os << "instructions:";
-  for (int i = 0; i < kNumOps; ++i) {
-    if (s.ops[i] != 0) {
-      os << ' ' << op_name(static_cast<Op>(i)) << '=' << s.ops[i];
-    }
-  }
-  os << "\nldg widths: 16b=" << s.ldg16 << " 32b=" << s.ldg32
-     << " 64b=" << s.ldg64 << " 128b=" << s.ldg128;
-  os << "\nglobal: load_req=" << s.global_load_requests
-     << " load_sectors=" << s.global_load_sectors
-     << " store_req=" << s.global_store_requests
-     << " store_sectors=" << s.global_store_sectors
-     << " sectors/req=" << s.sectors_per_request();
-  os << "\nL1: hits=" << s.l1_sector_hits << " misses=" << s.l1_sector_misses
-     << "  L2: hits=" << s.l2_sector_hits << " misses=" << s.l2_sector_misses
-     << "  DRAM rd=" << s.dram_read_bytes << "B wr=" << s.dram_write_bytes
-     << 'B';
-  os << "\nsmem: ld_req=" << s.smem_load_requests
-     << " st_req=" << s.smem_store_requests
-     << " wavefronts=" << s.smem_wavefronts;
-  os << "\nlaunch: ctas=" << s.ctas_launched << " warps=" << s.warps_launched;
-  // Only printed when a FaultPlan actually fired, so fault-free dumps
-  // stay byte-identical to the pre-fault-subsystem output.
-  if (s.faults_injected != 0 || s.faults_masked != 0 || s.faults_detected != 0) {
-    os << "\nfaults: injected=" << s.faults_injected
-       << " masked=" << s.faults_masked << " detected=" << s.faults_detected;
-  }
+  counters_print(os, s);
   return os;
 }
 

@@ -14,19 +14,31 @@ namespace vsparse::kernels {
 
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo, const gpusim::SimOptions& sim) {
+               const SpmmOptions& options) {
+  SpmmAlgorithm algo = options.algorithm;
+  if (options.abft.has_value()) {
+    if (algo == SpmmAlgorithm::kAuto) {
+      VSPARSE_CHECK_MSG(a.v >= 2,
+                        "ABFT spmm requires the octet kernel (V >= 2); got V = "
+                            << a.v);
+      algo = SpmmAlgorithm::kOctet;
+    }
+    VSPARSE_CHECK_MSG(algo == SpmmAlgorithm::kOctet,
+                      "ABFT is only implemented for the octet SpMM kernel");
+    return spmm_octet_abft(dev, a, b, c, {}, *options.abft, options.sim);
+  }
   if (algo == SpmmAlgorithm::kAuto) {
     algo = a.v >= 2 ? SpmmAlgorithm::kOctet : SpmmAlgorithm::kFpuSubwarp;
   }
   switch (algo) {
     case SpmmAlgorithm::kOctet:
-      return spmm_octet(dev, a, b, c, {}, sim);
+      return spmm_octet(dev, a, b, c, {}, options.sim);
     case SpmmAlgorithm::kWmmaWarp:
-      return spmm_wmma_warp(dev, a, b, c, sim);
+      return spmm_wmma_warp(dev, a, b, c, options.sim);
     case SpmmAlgorithm::kFpuSubwarp:
-      return spmm_fpu_subwarp(dev, a, b, c, {}, sim);
+      return spmm_fpu_subwarp(dev, a, b, c, {}, options.sim);
     case SpmmAlgorithm::kCsrFine:
-      return spmm_csr_fine(dev, a, b, c, sim);
+      return spmm_csr_fine(dev, a, b, c, options.sim);
     case SpmmAlgorithm::kAuto:
       break;
   }
@@ -34,37 +46,26 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
   return {};
 }
 
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               const AbftOptions& abft, SpmmAlgorithm algo,
-               const gpusim::SimOptions& sim) {
-  if (algo == SpmmAlgorithm::kAuto) {
-    VSPARSE_CHECK_MSG(a.v >= 2,
-                      "ABFT spmm requires the octet kernel (V >= 2); got V = "
-                          << a.v);
-    algo = SpmmAlgorithm::kOctet;
-  }
-  VSPARSE_CHECK_MSG(algo == SpmmAlgorithm::kOctet,
-                    "ABFT is only implemented for the octet SpMM kernel");
-  return spmm_octet_abft(dev, a, b, c, {}, abft, sim);
-}
-
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                 const DenseDevice<half_t>& b, const CvsDevice& mask,
-                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
-                const gpusim::SimOptions& sim) {
+                gpusim::Buffer<half_t>& out_values,
+                const SddmmOptions& options) {
+  VSPARSE_CHECK_MSG(!options.abft.has_value(),
+                    "no SDDMM kernel has an ABFT variant yet; "
+                    "SddmmOptions::abft must stay unset");
+  SddmmAlgorithm algo = options.algorithm;
   if (algo == SddmmAlgorithm::kAuto) {
     algo = mask.v >= 2 ? SddmmAlgorithm::kOctet : SddmmAlgorithm::kFpuSubwarp;
   }
   switch (algo) {
     case SddmmAlgorithm::kOctet:
-      return sddmm_octet(dev, a, b, mask, out_values, {}, sim);
+      return sddmm_octet(dev, a, b, mask, out_values, {}, options.sim);
     case SddmmAlgorithm::kWmmaWarp:
-      return sddmm_wmma_warp(dev, a, b, mask, out_values, sim);
+      return sddmm_wmma_warp(dev, a, b, mask, out_values, options.sim);
     case SddmmAlgorithm::kFpuSubwarp:
-      return sddmm_fpu_subwarp(dev, a, b, mask, out_values, {}, sim);
+      return sddmm_fpu_subwarp(dev, a, b, mask, out_values, {}, options.sim);
     case SddmmAlgorithm::kCsrFine:
-      return sddmm_csr_fine(dev, a, b, mask, out_values, sim);
+      return sddmm_csr_fine(dev, a, b, mask, out_values, options.sim);
     case SddmmAlgorithm::kAuto:
       break;
   }
@@ -72,9 +73,9 @@ KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
   return {};
 }
 
-DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo,
-                              const gpusim::SimOptions& sim) {
+HostRun<DenseMatrix<half_t>> spmm_host(const Cvs& a,
+                                       const DenseMatrix<half_t>& b,
+                                       const SpmmOptions& options) {
   gpusim::DeviceConfig cfg = gpusim::DeviceConfig::volta_v100();
   const std::size_t need =
       a.values.size() * 2 + a.col_idx.size() * 8 +
@@ -88,23 +89,60 @@ DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
   DenseDevice<half_t> db = to_device(dev, b);
   DenseMatrix<half_t> c(a.rows, b.cols());
   DenseDevice<half_t> dc = to_device(dev, c);
-  spmm(dev, da, db, dc, algo, sim);
-  return from_device(dc);
+  KernelRun run = spmm(dev, da, db, dc, options);
+  return {from_device(dc), std::move(run)};
 }
 
-Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
-               const Cvs& mask, SddmmAlgorithm algo,
-               const gpusim::SimOptions& sim) {
+HostRun<Cvs> sddmm_host(const DenseMatrix<half_t>& a,
+                        const DenseMatrix<half_t>& b, const Cvs& mask,
+                        const SddmmOptions& options) {
   gpusim::Device dev;
   DenseDevice<half_t> da = to_device(dev, a);
   DenseDevice<half_t> db = to_device(dev, b);
   CvsDevice dmask = to_device(dev, mask);
   auto out = dev.alloc<half_t>(mask.values.size());
-  sddmm(dev, da, db, dmask, out, algo, sim);
+  KernelRun run = sddmm(dev, da, db, dmask, out, options);
   Cvs result = mask;
   auto host = out.host();
   std::copy(host.begin(), host.end(), result.values.begin());
-  return result;
+  return {std::move(result), std::move(run)};
+}
+
+// ---- deprecated wrappers (forward to the descriptor entry points) ----
+
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               SpmmAlgorithm algo, const gpusim::SimOptions& sim) {
+  return spmm(dev, a, b, c, SpmmOptions{.algorithm = algo, .sim = sim});
+}
+
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               const AbftOptions& abft, SpmmAlgorithm algo,
+               const gpusim::SimOptions& sim) {
+  return spmm(dev, a, b, c,
+              SpmmOptions{.algorithm = algo, .abft = abft, .sim = sim});
+}
+
+KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                const DenseDevice<half_t>& b, const CvsDevice& mask,
+                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
+                const gpusim::SimOptions& sim) {
+  return sddmm(dev, a, b, mask, out_values,
+               SddmmOptions{.algorithm = algo, .sim = sim});
+}
+
+DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
+                              SpmmAlgorithm algo,
+                              const gpusim::SimOptions& sim) {
+  return spmm_host(a, b, SpmmOptions{.algorithm = algo, .sim = sim}).result;
+}
+
+Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
+               const Cvs& mask, SddmmAlgorithm algo,
+               const gpusim::SimOptions& sim) {
+  return sddmm_host(a, b, mask, SddmmOptions{.algorithm = algo, .sim = sim})
+      .result;
 }
 
 }  // namespace vsparse::kernels

@@ -1,8 +1,16 @@
 // High-level dispatch API — the cuSPARSE-style entry points a
 // downstream user calls without choosing a kernel by hand.
 //
-//   spmm(dev, a, b, c)    // picks octet / fpu by V, validates shapes
-//   sddmm(dev, a, b, mask, out)
+//   spmm(dev, a, b, c);                                  // auto-select
+//   spmm(dev, a, b, c, {.algorithm = SpmmAlgorithm::kOctet,
+//                       .abft = AbftOptions{},
+//                       .sim = {.threads = 8}});
+//   sddmm(dev, a, b, mask, out, {.sim = {.threads = 4}});
+//
+// One descriptor struct per operation bundles everything a call can
+// vary — algorithm, optional ABFT fault tolerance, and the engine's
+// SimOptions (threads, watchdog, per-SM stats, tracing) — so adding a
+// knob never multiplies the overload set again.
 //
 // Selection policy (documented, overridable):
 //   * V in {2,4,8}  -> TCU-based 1-D Octet Tiling (the paper's kernel)
@@ -11,8 +19,14 @@
 //   * Algorithm::k* -> force a specific implementation (for studies)
 //
 // All entry points return the KernelRun (counters + launch shape) so
-// callers keep full observability.
+// callers keep full observability; the host round trips return a
+// HostRun carrying the downloaded result *and* the KernelRun.
+//
+// The pre-descriptor signatures (positional algo / AbftOptions
+// arguments) remain as thin deprecated wrappers for one release.
 #pragma once
+
+#include <optional>
 
 #include "vsparse/formats/blocked_ell.hpp"
 #include "vsparse/formats/cvs.hpp"
@@ -37,43 +51,98 @@ enum class SddmmAlgorithm {
   kCsrFine,     ///< fine-grained (V=1)
 };
 
+/// Everything one spmm() call can vary.
+struct SpmmOptions {
+  SpmmAlgorithm algorithm = SpmmAlgorithm::kAuto;
+
+  /// When set, the launch runs fault-tolerant: the octet kernel wrapped
+  /// in ABFT checksum verification and per-tile recompute (kernels/
+  /// spmm/spmm_octet_abft.hpp).  Only the octet algorithm has an ABFT
+  /// variant, so `algorithm` must be kAuto (with V >= 2) or kOctet.
+  /// The recovery outcome lands in the returned KernelRun::abft.
+  std::optional<AbftOptions> abft;
+
+  /// Engine options: threads, watchdog, per-SM stats, tracing.
+  gpusim::SimOptions sim;
+};
+
+/// Everything one sddmm() call can vary.  `abft` is reserved: no SDDMM
+/// kernel has an ABFT variant yet, so setting it raises CheckError
+/// rather than silently running unprotected.
+struct SddmmOptions {
+  SddmmAlgorithm algorithm = SddmmAlgorithm::kAuto;
+  std::optional<AbftOptions> abft;
+  gpusim::SimOptions sim;
+};
+
 /// C[MxN] = A_cvs[MxK] * B[KxN] (half, row-major B/C).
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
-               const gpusim::SimOptions& sim = {});
-
-/// Fault-tolerant SpMM: the octet kernel wrapped in ABFT checksum
-/// verification and tile recompute (kernels/spmm/spmm_octet_abft.hpp).
-/// Only the octet algorithm has an ABFT variant, so `algo` must be
-/// kAuto (with V >= 2) or kOctet.  The recovery outcome is reported in
-/// the returned KernelRun::abft.
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               const AbftOptions& abft,
-               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
-               const gpusim::SimOptions& sim = {});
+               const SpmmOptions& options = {});
 
 /// out_values = (A[MxK] * B[KxN]) ⊙ mask in mask storage order
 /// (A row-major, B column-major).
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                 const DenseDevice<half_t>& b, const CvsDevice& mask,
                 gpusim::Buffer<half_t>& out_values,
-                SddmmAlgorithm algo = SddmmAlgorithm::kAuto,
-                const gpusim::SimOptions& sim = {});
+                const SddmmOptions& options = {});
+
+/// What a host-side round trip produced: the downloaded result plus
+/// the full KernelRun (counters, launch shape, ABFT outcome) — so
+/// quickstart-style callers can report cost/speedup without dropping
+/// to the device API.
+template <class R>
+struct HostRun {
+  R result;
+  KernelRun run;
+};
 
 /// Convenience: full host-side round trip — encode, upload, run, and
-/// download.  `algo` as in spmm().  Intended for quickstarts and tests;
-/// steady-state users should keep operands resident.
+/// download.  Intended for quickstarts and tests; steady-state users
+/// should keep operands resident.
+HostRun<DenseMatrix<half_t>> spmm_host(const Cvs& a,
+                                       const DenseMatrix<half_t>& b,
+                                       const SpmmOptions& options = {});
+
+/// Host-side SDDMM round trip; `result` is the masked products as a
+/// Cvs sharing `mask`'s pattern.
+HostRun<Cvs> sddmm_host(const DenseMatrix<half_t>& a,
+                        const DenseMatrix<half_t>& b, const Cvs& mask,
+                        const SddmmOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Deprecated pre-descriptor signatures — thin wrappers over the
+// SpmmOptions/SddmmOptions entry points, kept for one release.  They
+// deliberately have no default for `algo`, so an argument-free call
+// resolves to the new API unambiguously.
+// ---------------------------------------------------------------------
+
+[[deprecated("use spmm(dev, a, b, c, SpmmOptions{.algorithm = ...})")]]
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               SpmmAlgorithm algo, const gpusim::SimOptions& sim = {});
+
+[[deprecated("use spmm(dev, a, b, c, SpmmOptions{.abft = ...})")]]
+KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
+               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
+               const AbftOptions& abft,
+               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
+               const gpusim::SimOptions& sim = {});
+
+[[deprecated("use sddmm(dev, a, b, mask, out, SddmmOptions{...})")]]
+KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                const DenseDevice<half_t>& b, const CvsDevice& mask,
+                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
+                const gpusim::SimOptions& sim = {});
+
+[[deprecated("use spmm_host(a, b, SpmmOptions{...}).result")]]
 DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
+                              SpmmAlgorithm algo,
                               const gpusim::SimOptions& sim = {});
 
-/// Host-side SDDMM round trip; returns the masked products as a Cvs
-/// sharing `mask`'s pattern.
+[[deprecated("use sddmm_host(a, b, mask, SddmmOptions{...}).result")]]
 Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
-               const Cvs& mask,
-               SddmmAlgorithm algo = SddmmAlgorithm::kAuto,
+               const Cvs& mask, SddmmAlgorithm algo,
                const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

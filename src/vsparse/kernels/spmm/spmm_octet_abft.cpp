@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "vsparse/gpusim/trace/trace.hpp"
+
 namespace vsparse::kernels {
 
 namespace {
@@ -53,6 +55,14 @@ KernelRun spmm_octet_abft(gpusim::Device& dev, const CvsDevice& a,
   KernelRun run = spmm_octet(dev, a, b, c, params, sim);
   run.abft.enabled = true;
 
+  // Host-side ABFT work is launch-scope: annotate the trace sink (same
+  // per-call-then-device inherit chain the engine resolves) so verify
+  // passes and recompute launches show up next to the kernels they
+  // protect.
+  gpusim::Trace* trace_sink = sim.trace.sink != nullptr
+                                  ? sim.trace.sink
+                                  : dev.sim_options().trace.sink;
+
   const int vec_rows = a.vec_rows();
   const int tiles_n = b.cols / kTileN;
 
@@ -77,6 +87,9 @@ KernelRun spmm_octet_abft(gpusim::Device& dev, const CvsDevice& a,
     }
   }
   run.abft.corrupted_tiles = static_cast<int>(bad.size());
+  if (trace_sink != nullptr) {
+    trace_sink->annotate(gpusim::TraceEventKind::kAbftVerify, bad.size());
+  }
 
   for (int round = 0; !bad.empty() && round < abft.max_retries; ++round) {
     if (round > 0) run.abft.retries_used = round;
@@ -97,6 +110,11 @@ KernelRun spmm_octet_abft(gpusim::Device& dev, const CvsDevice& a,
       KernelRun rec = spmm_octet(dev, a_sub, b_sub, c_sub, params, sim);
       run.stats += rec.stats;
       ++run.abft.recompute_launches;
+      if (trace_sink != nullptr) {
+        trace_sink->annotate(gpusim::TraceEventKind::kAbftRecompute,
+                             static_cast<std::uint64_t>(vr),
+                             static_cast<std::uint64_t>(tn));
+      }
       if (!tile_ok(a, b, c, w, vr, tn, abft)) still.emplace_back(vr, tn);
     }
     bad = std::move(still);

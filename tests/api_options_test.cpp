@@ -1,0 +1,230 @@
+// Options-struct dispatch API: the descriptor entry points produce the
+// same results and counters as the deprecated positional overloads
+// they replace (one test per deprecated wrapper), the host round
+// trips return the KernelRun alongside the result, and the reserved
+// SddmmOptions::abft field is rejected loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/common/macros.hpp"
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/formats/reference.hpp"
+#include "vsparse/gpusim/trace/counters.hpp"
+#include "vsparse/kernels/dispatch.hpp"
+
+namespace vsparse::kernels {
+namespace {
+
+gpusim::DeviceConfig test_config() {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 128 << 20;
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+template <class Range>
+std::vector<std::uint16_t> bits_of(const Range& v) {
+  std::vector<std::uint16_t> out;
+  for (half_t h : v) out.push_back(h.bits());
+  return out;
+}
+
+struct SpmmFixture {
+  Cvs a;
+  DenseMatrix<half_t> b{96, 64};
+
+  explicit SpmmFixture(int v = 4) {
+    Rng rng(21);
+    a = make_cvs(64, 96, v, 0.5, rng);
+    b.fill_random_int(rng);
+  }
+};
+
+struct SpmmDeviceRun {
+  gpusim::Device dev{test_config()};
+  CvsDevice da;
+  DenseDevice<half_t> db;
+  DenseDevice<half_t> dc;
+
+  explicit SpmmDeviceRun(const SpmmFixture& f)
+      : da(to_device(dev, f.a)), db(to_device(dev, f.b)) {
+    DenseMatrix<half_t> ch(f.a.rows, f.b.cols());
+    dc = to_device(dev, ch);
+  }
+};
+
+// The deprecated overloads are exercised on purpose; silence the
+// warning locally so -Werror builds stay clean.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ApiOptions, SpmmAlgorithmWrapperMatchesOptionsCall) {
+  const SpmmFixture f;
+  SpmmDeviceRun via_options(f);
+  const auto new_run =
+      spmm(via_options.dev, via_options.da, via_options.db, via_options.dc,
+           {.algorithm = SpmmAlgorithm::kWmmaWarp});
+
+  SpmmDeviceRun via_wrapper(f);
+  const auto old_run = spmm(via_wrapper.dev, via_wrapper.da, via_wrapper.db,
+                            via_wrapper.dc, SpmmAlgorithm::kWmmaWarp);
+
+  EXPECT_EQ(new_run.config.profile.name, old_run.config.profile.name);
+  EXPECT_TRUE(gpusim::counters_equal(new_run.stats, old_run.stats));
+  EXPECT_EQ(bits_of(via_options.dc.buf.host()),
+            bits_of(via_wrapper.dc.buf.host()));
+}
+
+TEST(ApiOptions, SpmmAbftWrapperMatchesOptionsCall) {
+  const SpmmFixture f;
+  SpmmDeviceRun via_options(f);
+  const auto new_run =
+      spmm(via_options.dev, via_options.da, via_options.db, via_options.dc,
+           {.abft = AbftOptions{}});
+  EXPECT_TRUE(new_run.abft.enabled);
+  EXPECT_TRUE(new_run.abft.clean);
+
+  SpmmDeviceRun via_wrapper(f);
+  const auto old_run = spmm(via_wrapper.dev, via_wrapper.da, via_wrapper.db,
+                            via_wrapper.dc, AbftOptions{});
+  EXPECT_TRUE(old_run.abft.enabled);
+  EXPECT_EQ(bits_of(via_options.dc.buf.host()),
+            bits_of(via_wrapper.dc.buf.host()));
+}
+
+TEST(ApiOptions, SddmmAlgorithmWrapperMatchesOptionsCall) {
+  Rng rng(22);
+  DenseMatrix<half_t> a(32, 64);
+  a.fill_random_int(rng);
+  DenseMatrix<half_t> b(64, 64, Layout::kColMajor);
+  b.fill_random_int(rng);
+  Cvs mask = make_cvs_mask(32, 64, 4, 0.6, rng);
+
+  const auto run_both = [&](bool use_wrapper) {
+    gpusim::Device dev(test_config());
+    auto da = to_device(dev, a);
+    auto db = to_device(dev, b);
+    auto dmask = to_device(dev, mask);
+    auto out = dev.alloc<half_t>(mask.col_idx.size() *
+                                 static_cast<std::size_t>(mask.v));
+    const KernelRun run =
+        use_wrapper
+            ? sddmm(dev, da, db, dmask, out, SddmmAlgorithm::kOctet)
+            : sddmm(dev, da, db, dmask, out,
+                    {.algorithm = SddmmAlgorithm::kOctet});
+    return std::make_pair(run.stats, bits_of(out.host()));
+  };
+
+  const auto new_api = run_both(false);
+  const auto old_api = run_both(true);
+  EXPECT_TRUE(gpusim::counters_equal(new_api.first, old_api.first));
+  EXPECT_EQ(new_api.second, old_api.second);
+}
+
+TEST(ApiOptions, SpmmHostWrapperMatchesHostRunResult) {
+  const SpmmFixture f;
+  const HostRun<DenseMatrix<half_t>> host =
+      spmm_host(f.a, f.b, {.algorithm = SpmmAlgorithm::kOctet});
+  const DenseMatrix<half_t> old_result =
+      spmm_host(f.a, f.b, SpmmAlgorithm::kOctet);
+
+  ASSERT_EQ(host.result.rows(), old_result.rows());
+  ASSERT_EQ(host.result.cols(), old_result.cols());
+  for (int r = 0; r < host.result.rows(); ++r) {
+    for (int c = 0; c < host.result.cols(); ++c) {
+      ASSERT_EQ(host.result.at(r, c).bits(), old_result.at(r, c).bits())
+          << r << "," << c;
+    }
+  }
+  // The point of HostRun: the KernelRun rides along.
+  EXPECT_EQ(host.run.config.profile.name, "spmm_octet_v4");
+  EXPECT_GT(host.run.stats.total_instructions(), 0u);
+  EXPECT_GT(host.run.stats.ctas_launched, 0u);
+}
+
+TEST(ApiOptions, SddmmHostWrapperMatchesHostRunResult) {
+  Rng rng(23);
+  DenseMatrix<half_t> a(16, 32);
+  a.fill_random_int(rng);
+  DenseMatrix<half_t> b(32, 64, Layout::kColMajor);
+  b.fill_random_int(rng);
+  Cvs mask = make_cvs_mask(16, 64, 4, 0.7, rng);
+
+  const HostRun<Cvs> host =
+      sddmm_host(a, b, mask, {.algorithm = SddmmAlgorithm::kFpuSubwarp});
+  const Cvs old_result =
+      sddmm_host(a, b, mask, SddmmAlgorithm::kFpuSubwarp);
+
+  ASSERT_EQ(host.result.values.size(), old_result.values.size());
+  for (std::size_t i = 0; i < old_result.values.size(); ++i) {
+    ASSERT_EQ(host.result.values[i].bits(), old_result.values[i].bits()) << i;
+  }
+  EXPECT_GT(host.run.stats.total_instructions(), 0u);
+}
+
+#pragma GCC diagnostic pop
+
+TEST(ApiOptions, DefaultOptionsAutoSelect) {
+  const SpmmFixture octets(4);
+  SpmmDeviceRun r4(octets);
+  const auto run4 = spmm(r4.dev, r4.da, r4.db, r4.dc);  // no options at all
+  EXPECT_EQ(run4.config.profile.name, "spmm_octet_v4");
+
+  const SpmmFixture scalars(1);
+  SpmmDeviceRun r1(scalars);
+  const auto run1 = spmm(r1.dev, r1.da, r1.db, r1.dc);
+  EXPECT_NE(run1.config.profile.name.find("fpu"), std::string::npos);
+}
+
+TEST(ApiOptions, HostResultMatchesReference) {
+  const SpmmFixture f;
+  for (half_t& h : const_cast<Cvs&>(f.a).values) {
+    h = half_t(static_cast<float>(h) > 0 ? 1.0f : -1.0f);
+  }
+  const auto host = spmm_host(f.a, f.b);
+  const DenseMatrix<half_t> ref = spmm_reference(f.a, f.b);
+  for (int r = 0; r < ref.rows(); ++r) {
+    for (int c = 0; c < ref.cols(); ++c) {
+      ASSERT_EQ(host.result.at(r, c).bits(), ref.at(r, c).bits())
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(ApiOptions, SimOptionsThreadThroughTheDescriptor) {
+  const SpmmFixture f;
+  std::vector<gpusim::KernelStats> per_sm;
+  SpmmDeviceRun r(f);
+  SpmmOptions options;
+  options.sim.threads = 2;
+  options.sim.per_sm_stats = &per_sm;
+  const auto run = spmm(r.dev, r.da, r.db, r.dc, options);
+  ASSERT_EQ(per_sm.size(), 4u);  // one block per SM of the test device
+  gpusim::KernelStats merged{};
+  for (const auto& s : per_sm) merged += s;
+  EXPECT_TRUE(merged.sm_local_equal(run.stats));
+}
+
+TEST(ApiOptions, SddmmAbftIsReservedAndRejected) {
+  Rng rng(24);
+  DenseMatrix<half_t> a(16, 32);
+  a.fill_random_int(rng);
+  DenseMatrix<half_t> b(32, 64, Layout::kColMajor);
+  b.fill_random_int(rng);
+  Cvs mask = make_cvs_mask(16, 64, 4, 0.7, rng);
+  gpusim::Device dev(test_config());
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  auto dmask = to_device(dev, mask);
+  auto out =
+      dev.alloc<half_t>(mask.col_idx.size() * static_cast<std::size_t>(mask.v));
+  EXPECT_THROW(
+      sddmm(dev, da, db, dmask, out, {.abft = AbftOptions{}}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace vsparse::kernels

@@ -55,7 +55,8 @@ TEST(Dispatch, ForcedAlgorithmsAllProduceTheSameResult) {
   using kernels::SpmmAlgorithm;
   for (auto algo : {SpmmAlgorithm::kOctet, SpmmAlgorithm::kWmmaWarp,
                     SpmmAlgorithm::kFpuSubwarp}) {
-    DenseMatrix<half_t> got = kernels::spmm_host(a, b, algo);
+    DenseMatrix<half_t> got =
+        kernels::spmm_host(a, b, {.algorithm = algo}).result;
     for (int r = 0; r < 32; ++r) {
       for (int c = 0; c < 64; ++c) {
         ASSERT_EQ(got.at(r, c).bits(), ref.at(r, c).bits())
@@ -72,7 +73,9 @@ TEST(Dispatch, SddmmHostRoundTrip) {
   DenseMatrix<half_t> b(32, 64, Layout::kColMajor);
   b.fill_random_int(rng);
   Cvs mask = make_cvs_mask(16, 64, 4, 0.7, rng);
-  Cvs got = kernels::sddmm_host(a, b, mask);
+  auto host_run = kernels::sddmm_host(a, b, mask);
+  const Cvs& got = host_run.result;
+  EXPECT_GT(host_run.run.stats.total_instructions(), 0u);
   Cvs ref = sddmm_reference(a, b, mask);
   ASSERT_EQ(got.values.size(), ref.values.size());
   for (std::size_t i = 0; i < ref.values.size(); ++i) {

@@ -94,7 +94,8 @@ TEST(DispatchGuards, SpmmShapeMismatchRejected) {
   auto cbuf = dev.alloc<half_t>(std::size_t{32} * 64);
   DenseDevice<half_t> dc{cbuf, 32, 64, 64, Layout::kRowMajor};
   EXPECT_THROW(
-      kernels::spmm(dev, da, db, dc, kernels::SpmmAlgorithm::kOctet),
+      kernels::spmm(dev, da, db, dc,
+                    {.algorithm = kernels::SpmmAlgorithm::kOctet}),
       CheckError);
 }
 
@@ -107,14 +108,17 @@ TEST(DispatchGuards, AbftSpmmRequiresOctetKernel) {
   DenseDevice<half_t> db{b, 96, 64, 64, Layout::kRowMajor};
   auto c = dev.alloc<half_t>(std::size_t{32} * 64);
   DenseDevice<half_t> dc{c, 32, 64, 64, Layout::kRowMajor};
-  EXPECT_THROW(kernels::spmm(dev, da, db, dc, kernels::AbftOptions{}),
-               CheckError);
+  EXPECT_THROW(
+      kernels::spmm(dev, da, db, dc, {.abft = kernels::AbftOptions{}}),
+      CheckError);
 
   Cvs octet = make_cvs(32, 96, 4, 0.5, rng);
   auto da4 = to_device(dev, octet);
-  EXPECT_THROW(kernels::spmm(dev, da4, db, dc, kernels::AbftOptions{},
-                             kernels::SpmmAlgorithm::kFpuSubwarp),
-               CheckError);
+  EXPECT_THROW(
+      kernels::spmm(dev, da4, db, dc,
+                    {.algorithm = kernels::SpmmAlgorithm::kFpuSubwarp,
+                     .abft = kernels::AbftOptions{}}),
+      CheckError);
 }
 
 // ---- engine unwind + pool reuse --------------------------------------

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate the bench drivers' --trace=PREFIX exports.
+
+Usage: validate_trace.py PREFIX
+
+Checks PREFIX.perfetto.json against the chrome-trace event format and
+PREFIX.metrics.json against the vsparse-metrics-v1 schema, and
+cross-checks the two (same launch count, kernel names, durations).
+Stdlib only — runs anywhere CI has a python3.
+"""
+import json
+import sys
+
+REQUIRED_COUNTERS = [
+    # one per KernelStats field; keep in sync with trace/counters.cpp
+    "inst_hmma", "inst_hfma", "inst_ffma", "inst_imad", "inst_iadd3",
+    "inst_ldg", "inst_stg", "inst_lds", "inst_sts", "inst_shfl",
+    "inst_bar", "inst_cvt", "inst_misc",
+    "ldg16", "ldg32", "ldg64", "ldg128",
+    "global_load_requests", "global_load_sectors",
+    "global_store_requests", "global_store_sectors",
+    "l1_sector_hits", "l1_sector_misses",
+    "l2_sector_hits", "l2_sector_misses",
+    "dram_read_bytes", "dram_write_bytes",
+    "smem_load_requests", "smem_store_requests",
+    "smem_load_bytes", "smem_store_bytes", "smem_wavefronts",
+    "ctas_launched", "warps_launched",
+    "faults_injected", "faults_masked", "faults_detected",
+]
+REQUIRED_DERIVED = [
+    "total_instructions", "math_instructions", "bytes_l2_to_l1",
+    "sectors_per_request", "smem_to_global_load_ratio",
+]
+
+_errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        _errors.append(msg)
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(doc.get("schema") == "vsparse-metrics-v1",
+          f"schema is {doc.get('schema')!r}, want vsparse-metrics-v1")
+    launches = doc.get("launches", [])
+    check(doc.get("num_launches") == len(launches),
+          "num_launches disagrees with the launches array")
+    check(len(launches) > 0, "metrics export contains no launches")
+    for i, launch in enumerate(launches):
+        where = f"launch {i}"
+        check(launch.get("index") == i, f"{where}: bad index")
+        check(isinstance(launch.get("kernel"), str), f"{where}: no kernel")
+        for key in ("grid", "cta_threads", "num_sms", "duration_cycles"):
+            check(isinstance(launch.get(key), int) and launch[key] >= 0,
+                  f"{where}: bad {key}")
+        check(launch.get("grid", 0) > 0, f"{where}: grid must be positive")
+        check(isinstance(launch.get("aborted"), bool), f"{where}: no aborted")
+        events = launch.get("events", {})
+        by_kind = events.get("by_kind", {})
+        check(isinstance(events.get("total"), int), f"{where}: no event total")
+        check(sum(by_kind.values()) == events.get("total"),
+              f"{where}: by_kind does not sum to total")
+        check(by_kind.get("kernel_begin") == 1, f"{where}: kernel_begin != 1")
+        check(by_kind.get("kernel_end") == 1, f"{where}: kernel_end != 1")
+        counters = launch.get("counters", {})
+        for name in REQUIRED_COUNTERS:
+            check(isinstance(counters.get(name), int),
+                  f"{where}: counter {name} missing")
+        derived = counters.get("derived", {})
+        for name in REQUIRED_DERIVED:
+            check(isinstance(derived.get(name), (int, float)),
+                  f"{where}: derived {name} missing")
+        if not launch.get("aborted"):
+            check(by_kind.get("cta_begin") == launch.get("grid"),
+                  f"{where}: cta_begin count != grid")
+            check(by_kind.get("cta_begin") == by_kind.get("cta_end"),
+                  f"{where}: unbalanced cta_begin/cta_end")
+            check(counters.get("ctas_launched") == launch.get("grid"),
+                  f"{where}: ctas_launched != grid")
+    return launches
+
+
+def validate_perfetto(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    check(isinstance(events, list) and len(events) > 0,
+          "perfetto export has no traceEvents")
+    launches = {}  # pid -> {"name": ..., "spans": [...]}
+    open_ctas = {}  # (pid, tid) -> B-stack depth
+    for ev in events:
+        for key in ("ph", "pid"):
+            check(key in ev, f"event lacks {key}: {ev}")
+        ph, pid = ev.get("ph"), ev.get("pid")
+        entry = launches.setdefault(pid, {"name": None, "spans": []})
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                entry["name"] = ev["args"]["name"]
+        elif ph == "X":
+            check(ev.get("ts") == 0, "kernel span must start at ts=0")
+            check(isinstance(ev.get("dur"), int), "kernel span has no dur")
+            check("grid" in ev.get("args", {}), "kernel span lacks args.grid")
+            entry["spans"].append(ev)
+        elif ph == "B":
+            open_ctas[(pid, ev.get("tid"))] = \
+                open_ctas.get((pid, ev.get("tid")), 0) + 1
+        elif ph == "E":
+            key = (pid, ev.get("tid"))
+            check(open_ctas.get(key, 0) > 0,
+                  f"E without matching B on pid={pid} tid={ev.get('tid')}")
+            open_ctas[key] = open_ctas.get(key, 0) - 1
+        elif ph == "i":
+            check(ev.get("s") == "t", "instant events must be thread-scoped")
+            check(isinstance(ev.get("name"), str), "instant without a name")
+        else:
+            check(False, f"unexpected phase {ph!r}")
+    for pid, entry in launches.items():
+        check(entry["name"] is not None, f"pid {pid}: no process_name")
+        check(len(entry["spans"]) == 1, f"pid {pid}: want exactly 1 kernel span")
+    return launches
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    prefix = sys.argv[1]
+    metrics = validate_metrics(prefix + ".metrics.json")
+    perfetto = validate_perfetto(prefix + ".perfetto.json")
+
+    check(len(perfetto) == len(metrics),
+          f"launch count disagrees: perfetto {len(perfetto)}, "
+          f"metrics {len(metrics)}")
+    for i, launch in enumerate(metrics):
+        if i not in perfetto:
+            check(False, f"launch {i} missing from perfetto export")
+            continue
+        span = perfetto[i]["spans"][0] if perfetto[i]["spans"] else {}
+        check(span.get("name") == launch.get("kernel"),
+              f"launch {i}: kernel name disagrees across exports")
+        check(span.get("dur") == launch.get("duration_cycles"),
+              f"launch {i}: duration disagrees across exports")
+
+    if _errors:
+        for e in _errors:
+            print(f"validate_trace: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
+    total = sum(launch["events"]["total"] for launch in metrics)
+    print(f"validate_trace: OK: {len(metrics)} launches, "
+          f"{total} events under prefix {prefix}")
+
+
+if __name__ == "__main__":
+    main()
