@@ -36,8 +36,8 @@ double octet_speedup(const gpusim::DeviceConfig& hw, Shape shape, int n,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const Shape shape = scale == Scale::kPaper ? Shape{2048, 1024}
                                              : Shape{1024, 512};
   const int n = 256, v = 4;
@@ -49,15 +49,19 @@ int run(int argc, char** argv) {
               v, shape.m, shape.k, n);
   std::printf("%-8s %-12s %-12s\n", "sparsity", "V100", "A100");
   for (double sparsity : sparsity_grid()) {
-    std::printf("%-8.2f %10.2fx %10.2fx\n", sparsity,
-                octet_speedup(volta, shape, n, v, sparsity, sim),
-                octet_speedup(ampere, shape, n, v, sparsity, sim));
+    char case_name[64];
+    std::snprintf(case_name, sizeof(case_name),
+                  "ablation_ampere sparsity=%.2f", sparsity);
+    run_case(case_name, [&] {
+      std::printf("%-8.2f %10.2fx %10.2fx\n", sparsity,
+                  octet_speedup(volta, shape, n, v, sparsity, sim),
+                  octet_speedup(ampere, shape, n, v, sparsity, sim));
+    });
   }
   std::printf("\n# prediction: the bigger L2 + bandwidth help the sparse "
               "kernel's low-reuse traffic, but the doubled TCU rate helps "
               "dense more — watch where the crossover moves\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -14,8 +14,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -28,6 +28,10 @@ int run(int argc, char** argv) {
   std::printf("%-8s %-14s %-14s %s\n", "sparsity", "batched", "interleaved",
               "batched speedup");
   for (double sparsity : sparsity_grid()) {
+    char case_name[64];
+    std::snprintf(case_name, sizeof(case_name), "ablation_ilp sparsity=%.2f",
+                  sparsity);
+    run_case(case_name, [&] {
     gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
     auto a = to_device(dev, a_host);
@@ -42,9 +46,9 @@ int run(int argc, char** argv) {
         kernels::spmm_octet(dev, a, db, dc, {.batch_loads = false}).cycles(hw);
     std::printf("%-8.2f %12.0f c %12.0f c %10.2fx\n", sparsity, on, off,
                 off / on);
+    });
   }
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

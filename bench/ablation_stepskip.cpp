@@ -15,8 +15,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -30,6 +30,10 @@ int run(int argc, char** argv) {
               "as evaluated", "steps removed", "speedup", "HMMA saved");
   for (int v : {2, 4}) {
     for (double sparsity : {0.7, 0.9, 0.98}) {
+      char case_name[64];
+      std::snprintf(case_name, sizeof(case_name),
+                    "ablation_stepskip v=%d sparsity=%.2f", v, sparsity);
+      run_case(case_name, [&] {
       gpusim::Device dev = fresh_device(sim);
       Cvs a_host = make_suite_cvs({m, k}, sparsity, v);
       auto a = to_device(dev, a_host);
@@ -48,13 +52,13 @@ int run(int argc, char** argv) {
                                      skip.stats.op(gpusim::Op::kHmma)) /
                                      static_cast<double>(
                                          paper.stats.op(gpusim::Op::kHmma))));
+      });
     }
   }
   std::printf("\n# the win is modest because the evaluated kernel is "
               "memory-bound at these sizes — consistent with the paper "
               "deferring it\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -15,8 +15,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -30,6 +30,11 @@ int run(int argc, char** argv) {
               "cycles", "grid", "sect/req", "widest LDG");
   for (int tile_n : {16, 32, 64}) {
     for (double sparsity : {0.7, 0.9}) {
+      char case_name[64];
+      std::snprintf(case_name, sizeof(case_name),
+                    "ablation_tilen tile_n=%d sparsity=%.2f", tile_n,
+                    sparsity);
+      run_case(case_name, [&] {
       gpusim::Device dev = fresh_device(sim);
       Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
       auto a = to_device(dev, a_host);
@@ -45,10 +50,10 @@ int run(int argc, char** argv) {
       std::printf("%-7d %-8.2f %12.0f %10d %10.2f %12s\n", tile_n, sparsity,
                   r.cycles(hw), r.config.grid,
                   r.stats.sectors_per_request(), widest);
+      });
     }
   }
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -23,8 +23,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   const int n = 256;  // dense output width (SpMM) / inner dim (SDDMM)
   DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
@@ -43,8 +43,12 @@ int run(int argc, char** argv) {
       const double dh = dense.hgemm_cycles(shape.m, shape.k, n);
       const double ds = dense.sgemm_cycles(shape.m, shape.k, n);
 
+      char case_name[96];
+      std::snprintf(case_name, sizeof(case_name),
+                    "fig04 spmm sparsity=%.2f shape=%dx%d", sparsity, shape.m,
+                    shape.k);
       // ---- SpMM --------------------------------------------------------
-      {
+      run_case(case_name, [&] {
         gpusim::Device dev = fresh_device(sim);
         auto a = to_device(dev, a_host);
         auto af = to_device_f32(dev, a_host);
@@ -67,10 +71,13 @@ int run(int argc, char** argv) {
         spmm_cusp_s.push_back(
             ds /
             kernels::spmm_csr_fine_f32(dev, af, dbf, dcf).cycles(hw, params));
-      }
+      });
 
+      std::snprintf(case_name, sizeof(case_name),
+                    "fig04 sddmm sparsity=%.2f shape=%dx%d", sparsity, shape.m,
+                    shape.k);
       // ---- SDDMM -------------------------------------------------------
-      {
+      run_case(case_name, [&] {
         // C[m x k] sparse = A[m x n] * B[n x k]; dense equivalent is the
         // full (m x n x k) GEMM.
         gpusim::Device dev = fresh_device(sim);
@@ -100,7 +107,7 @@ int run(int argc, char** argv) {
         sddmm_cusp_s.push_back(
             ds2 / kernels::sddmm_csr_fine_f32(dev, daf, dbf, maskf, outf)
                       .cycles(hw, params));
-      }
+      });
     }
     const auto row = [&](const char* op, const char* prec, const char* kern,
                          const std::vector<double>& s) {
@@ -118,8 +125,7 @@ int run(int argc, char** argv) {
   std::printf("\n# paper shape: single-precision kernels beat cublasSgemm "
               "from ~80%% sparsity; half-precision ones only at extreme "
               "sparsity (the paper's motivation)\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -17,10 +17,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  TraceSession trace(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
-                               .trace = trace.options()};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -50,7 +48,7 @@ int run(int argc, char** argv) {
 
   // ---- dense GEMM ------------------------------------------------------
   kernels::KernelRun gemm_s, gemm_h, spmm_s, spmm_h;
-  {
+  run_case("fig05 gemm single", [&] {
     gpusim::Device dev = fresh_device(sim);
     auto a = dev.alloc<float>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
@@ -59,8 +57,8 @@ int run(int argc, char** argv) {
     DenseDevice<float> db{b, k, n, n, Layout::kRowMajor};
     DenseDevice<float> dc{c, m, n, n, Layout::kRowMajor};
     gemm_s = report("GEMM", "single", kernels::sgemm_fpu(dev, da, db, dc));
-  }
-  {
+  });
+  run_case("fig05 gemm half", [&] {
     gpusim::Device dev = fresh_device(sim);
     auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
@@ -69,9 +67,9 @@ int run(int argc, char** argv) {
     DenseDevice<half_t> db{b, k, n, n, Layout::kRowMajor};
     DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
     gemm_h = report("GEMM", "half", kernels::hgemm_tcu(dev, da, db, dc));
-  }
+  });
   // ---- fine-grained SpMM ------------------------------------------------
-  {
+  run_case("fig05 spmm single", [&] {
     gpusim::Device dev = fresh_device(sim);
     auto a = to_device_f32(dev, a_host);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
@@ -80,8 +78,8 @@ int run(int argc, char** argv) {
     DenseDevice<float> dc{c, m, n, n, Layout::kRowMajor};
     spmm_s = report("SpMM(sputnik)", "single",
                     kernels::spmm_fpu_subwarp_f32(dev, a, db, dc));
-  }
-  {
+  });
+  run_case("fig05 spmm half", [&] {
     gpusim::Device dev = fresh_device(sim);
     auto a = to_device(dev, a_host);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
@@ -90,7 +88,7 @@ int run(int argc, char** argv) {
     DenseDevice<half_t> dc{c, m, n, n, Layout::kRowMajor};
     spmm_h = report("SpMM(sputnik)", "half",
                     kernels::spmm_fpu_subwarp(dev, a, db, dc));
-  }
+  });
 
   const double gemm_miss_drop =
       1.0 - static_cast<double>(gemm_h.stats.l1_sector_misses) /
@@ -107,8 +105,7 @@ int run(int argc, char** argv) {
   std::printf("# HMMA fusion removes %.1f%% of the GEMM's math "
               "instructions (paper: 92.3%%)\n",
               instr_drop * 100);
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

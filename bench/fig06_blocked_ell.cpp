@@ -15,8 +15,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   const int n = 256;
   DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
@@ -31,16 +31,22 @@ int run(int argc, char** argv) {
     for (double sparsity : sparsity_grid()) {
       std::vector<double> samples;
       for (const Shape& shape : shapes) {
-        gpusim::Device dev = fresh_device(sim);
-        BlockedEll ell_host = make_suite_blocked_ell(shape, sparsity, block);
-        auto ell = to_device(dev, ell_host);
-        auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
-        auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
-        DenseDevice<half_t> db{b, shape.k, n, n, Layout::kRowMajor};
-        DenseDevice<half_t> dc{c, shape.m, n, n, Layout::kRowMajor};
-        samples.push_back(
-            dense.hgemm_cycles(shape.m, shape.k, n) /
-            kernels::spmm_blocked_ell(dev, ell, db, dc).cycles(hw, params));
+        char case_name[96];
+        std::snprintf(case_name, sizeof(case_name),
+                      "fig06 block=%d sparsity=%.2f shape=%dx%d", block,
+                      sparsity, shape.m, shape.k);
+        run_case(case_name, [&] {
+          gpusim::Device dev = fresh_device(sim);
+          BlockedEll ell_host = make_suite_blocked_ell(shape, sparsity, block);
+          auto ell = to_device(dev, ell_host);
+          auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
+          auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);
+          DenseDevice<half_t> db{b, shape.k, n, n, Layout::kRowMajor};
+          DenseDevice<half_t> dc{c, shape.m, n, n, Layout::kRowMajor};
+          samples.push_back(
+              dense.hgemm_cycles(shape.m, shape.k, n) /
+              kernels::spmm_blocked_ell(dev, ell, db, dc).cycles(hw, params));
+        });
       }
       std::printf("%-6d %-8.2f %s\n", block, sparsity,
                   to_string(summarize(samples)).c_str());
@@ -48,8 +54,7 @@ int run(int argc, char** argv) {
   }
   std::printf("\n# paper shape: block=4 stays below 1x until extreme "
               "sparsity; block=16 crosses around 70-80%%\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -27,10 +27,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  TraceSession trace(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
-                               .trace = trace.options()};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense.hw();
@@ -132,8 +130,7 @@ int run(int argc, char** argv) {
                             .c_str()
                       : "never crosses 1.0");
   }
-  throughput.print_summary();
-  return bench_exit_code();
+  return session.finish();
 }
 
 }  // namespace

@@ -16,10 +16,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  TraceSession trace(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
-                               .trace = trace.options()};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -32,6 +30,10 @@ int run(int argc, char** argv) {
               "blocked-ELL", "ratio");
 
   for (double sparsity : sparsity_grid()) {
+    char case_name[64];
+    std::snprintf(case_name, sizeof(case_name), "fig18 sparsity=%.2f",
+                  sparsity);
+    run_case(case_name, [&] {
     gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, sparsity, v);
     auto a = to_device(dev, a_host);
@@ -49,11 +51,11 @@ int run(int argc, char** argv) {
     const double eb = static_cast<double>(bel.stats.bytes_l2_to_l1());
     std::printf("%-8.2f %16.3e B %16.3e B %6.2f\n", sparsity, vb, eb,
                 eb > 0 ? vb / eb : 0.0);
+    });
   }
   std::printf("\n# paper shape: the vector encoding loads fewer (or equal) "
               "bytes from L2 at every sparsity level\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

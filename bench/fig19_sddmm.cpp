@@ -22,8 +22,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
   const auto& hw = dense.hw();
@@ -129,8 +129,7 @@ int run(int argc, char** argv) {
   std::printf("# mma (arch) >= both software strategies in %d/%d cells "
               "(paper: consistently)\n",
               arch_wins, total_cells);
-  throughput.print_summary();
-  return bench_exit_code();
+  return session.finish();
 }
 
 }  // namespace

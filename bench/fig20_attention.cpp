@@ -23,8 +23,8 @@ struct Parts {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const std::vector<int> seqs = scale == Scale::kPaper
                                     ? std::vector<int>{2048, 4096, 8192}
                                     : std::vector<int>{1024, 2048};
@@ -46,9 +46,12 @@ int run(int argc, char** argv) {
       const double others =
           4.0 * dense_base.hgemm_cycles(seq, d_model, d_model) / 1000.0;
 
+      char case_name[96];
+      std::snprintf(case_name, sizeof(case_name),
+                    "fig20 dense l=%d k=%d", seq, kdim);
       // ---- dense attention head -------------------------------------
       Parts dense{};
-      {
+      run_case(case_name, [&] {
         gpusim::Device dev =
             fresh_device(sim, std::size_t{2} << 30);
         auto q = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
@@ -65,13 +68,17 @@ int run(int argc, char** argv) {
         dense = {br.qk.cycles(hw, params) / 1000.0,
                  br.softmax.cycles(hw, params) / 1000.0,
                  br.av.cycles(hw, params) / 1000.0, others};
-      }
+      });
       std::printf("%-6d %-4d %-9s %-7s %9.1f %9.1f %9.1f %9.1f %9.1f %8s\n",
                   seq, kdim, "dense", "-", dense.qk, dense.softmax, dense.av,
                   dense.others, dense.total(), "1.00");
 
       // ---- sparse attention head per sparsity -------------------------
       for (double sparsity : {0.90, 0.95, 0.98}) {
+        std::snprintf(case_name, sizeof(case_name),
+                      "fig20 sparse l=%d k=%d sparsity=%.2f", seq, kdim,
+                      sparsity);
+        run_case(case_name, [&] {
         gpusim::Device dev =
             fresh_device(sim, std::size_t{2} << 30);
         Rng rng(7000 + seq + kdim);
@@ -99,14 +106,14 @@ int run(int argc, char** argv) {
             "%-6d %-4d %-9s %-7s %9.1f %9.1f %9.1f %9.1f %9.1f %8s\n", seq,
             kdim, "sparse", sbuf, sp.qk, sp.softmax, sp.av, sp.others,
             sp.total(), spd);
+        });
       }
     }
   }
   std::printf("\n# paper shape: whole-layer speedup 1.35-1.78x @90%%, "
               "1.48-2.09x @95%%, 1.57-2.30x @98%%; sparse QK^T loses to "
               "dense at k=64 but wins at k=256\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// The serving soak driver — the long-lived many-launch scenario the
+// supervisor exists for, run as a bench: N supervised requests through
+// one Supervisor under a seeded fault storm (serve/soak.hpp), with
+// bounded-queue admission and per-request bit-exactness verification.
+//
+//   --soak=N            requests to submit (default 200)
+//   --seed=S            storm + data seed (default 2021)
+//   --queue=CAP         admission queue capacity (default 64)
+//   --quota=BYTES       per-request memory quota; enables the
+//                       oversized-request mechanism (default 512 KiB,
+//                       0 disables)
+//   --retries=K         max retries per ladder rung (default 2)
+//   --serve             print every per-request ServeReport JSON line
+//   --serve-report=FILE write the vsparse-serve-v1 JSON artifact
+//   --threads=N / --trace=PREFIX / --trace-sample=N   as everywhere
+//
+// The summary and report are deterministic: same --seed and policy
+// give byte-identical output at any --threads=N (the soak test holds
+// this to 1/2/8).  Only the `# throughput:` line carries wall clock.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/serve/soak.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                       std::uint64_t fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+const char* flag_str(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+int run(int argc, char** argv) {
+  DriverSession session(argc, argv);
+
+  serve::SoakConfig config;
+  config.requests =
+      static_cast<int>(flag_u64(argc, argv, "--soak", 200));
+  config.seed = flag_u64(argc, argv, "--seed", 2021);
+  config.threads = session.threads();
+  config.queue_capacity =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--queue", 64));
+  config.memory_quota_bytes = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--quota", std::size_t{1} << 19));
+  config.retry.max_retries =
+      static_cast<int>(flag_u64(argc, argv, "--retries", 2));
+  config.retry.seed = config.seed;
+  config.trace = session.sim().trace;
+
+  std::printf("# Serve soak: %d supervised requests, seed %llu, queue %zu, "
+              "quota %zu B, retries %d\n",
+              config.requests, static_cast<unsigned long long>(config.seed),
+              config.queue_capacity, config.memory_quota_bytes,
+              config.retry.max_retries);
+
+  serve::SoakResult result;
+  run_case("serve_soak", [&] { result = serve::run_soak(config); });
+
+  std::printf(
+      "# soak-summary: {\"requests\":%llu,\"completed\":%llu,"
+      "\"retries\":%llu,\"fallbacks\":%llu,\"give_ups\":%llu,"
+      "\"rejected\":%llu,\"queue_accepted\":%llu,\"queue_rejected\":%llu,"
+      "\"mismatches\":%llu}\n",
+      static_cast<unsigned long long>(result.totals.requests),
+      static_cast<unsigned long long>(result.totals.completed),
+      static_cast<unsigned long long>(result.totals.retries),
+      static_cast<unsigned long long>(result.totals.fallbacks),
+      static_cast<unsigned long long>(result.totals.give_ups),
+      static_cast<unsigned long long>(result.totals.rejected),
+      static_cast<unsigned long long>(result.queue_accepted),
+      static_cast<unsigned long long>(result.queue_rejected),
+      static_cast<unsigned long long>(result.mismatches));
+  if (result.mismatches > 0) {
+    std::printf("# soak-summary: FAIL — %llu recovered launches were not "
+                "bit-identical to the fault-free reference\n",
+                static_cast<unsigned long long>(result.mismatches));
+  }
+
+  if (flag_present(argc, argv, "--serve")) {
+    std::printf("%s\n", result.report_json.c_str());
+  }
+  if (const char* path = flag_str(argc, argv, "--serve-report")) {
+    std::ofstream out(path);
+    out << result.report_json << "\n";
+    std::printf("# serve-report: %s %s\n", path,
+                out.good() ? "written" : "WRITE FAILED");
+  }
+  return session.finish() | (result.mismatches > 0 ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

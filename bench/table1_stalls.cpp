@@ -13,10 +13,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  TraceSession trace(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv),
-                               .trace = trace.options()};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -25,6 +23,7 @@ int run(int argc, char** argv) {
   std::printf("# Table 1: stall reasons, Blocked-ELL SpMM, block=4, "
               "%dx%dx%d @ 90%%\n",
               m, k, n);
+  run_case("table1 blocked_ell block=4", [&] {
   gpusim::Device dev = fresh_device(sim);
   BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, 4);
   auto ell = to_device(dev, ell_host);
@@ -45,8 +44,8 @@ int run(int argc, char** argv) {
   std::printf("\n# SASS-size estimate: %d instructions (paper: ~4600 lines "
               "vs a 768-instruction L0)\n",
               run_result.config.profile.static_instrs);
-  throughput.print_summary();
-  return 0;
+  });
+  return session.finish();
 }
 
 }  // namespace

@@ -26,8 +26,8 @@ void print_row(const char* name, const kernels::KernelRun& r,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
@@ -39,6 +39,9 @@ int run(int argc, char** argv) {
   for (int v : {4, 8}) {
     std::printf("\nSpMM, V=%d      %-8s %10s %8s %9s %10s\n", v, "NoInstr",
                 "#TB", "Wait", "ShortSb", "Sect/Req");
+    char case_name[48];
+    std::snprintf(case_name, sizeof(case_name), "table2 v=%d", v);
+    run_case(case_name, [&] {
     gpusim::Device dev = fresh_device(sim);
     Cvs a_host = make_suite_cvs({m, k}, 0.9, v);
     auto a = to_device(dev, a_host);
@@ -55,6 +58,7 @@ int run(int argc, char** argv) {
     dev.flush_all_caches();
     print_row("Blocked-ELL", kernels::spmm_blocked_ell(dev, ell, db, dc),
               base.hw());
+    });
   }
   std::printf(
       "\n# paper (V=4): MMA 1.1%% / 2048 / 4.7%% / 4.5%% / 12.56;"
@@ -63,8 +67,7 @@ int run(int argc, char** argv) {
       "# paper (V=8): MMA 1.1%% / 1024 / 6.2%% / 2.6%% / 13.22;"
       "\n#              CUDA 52.2%% / 1024 / 8.3%% / 2.0%% / 4.27;"
       "\n#              Blocked-ELL 35.1%% / 512 / 16.2%% / 12.1%% / 13.85\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

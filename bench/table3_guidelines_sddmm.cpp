@@ -26,8 +26,8 @@ void print_row(const char* name, const kernels::KernelRun& r,
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int kdim = 256;
   const int n = scale == Scale::kPaper ? 1024 : 512;
@@ -39,6 +39,9 @@ int run(int argc, char** argv) {
   for (int v : {4, 8}) {
     std::printf("\nSDDMM, V=%d %-8s %10s %8s %9s %10s\n", v, "NoInstr",
                 "#TB", "Wait", "ShortSb", "Sect/Req");
+    char case_name[48];
+    std::snprintf(case_name, sizeof(case_name), "table3 v=%d", v);
+    run_case(case_name, [&] {
     gpusim::Device dev = fresh_device(sim);
     Rng rng(991 + v);
     Cvs mask_host = make_cvs_mask(m, n, v, 0.9, rng, 0.25);
@@ -61,6 +64,7 @@ int run(int argc, char** argv) {
     dev.flush_all_caches();
     print_row("WMMA", kernels::sddmm_wmma_warp(dev, da, db, mask, out),
               base.hw());
+    });
   }
   std::printf(
       "\n# paper (V=4): MMA 0.8%% / 16384 / 10.7%% / 2.1%% / 3.83;"
@@ -69,8 +73,7 @@ int run(int argc, char** argv) {
       "# paper (V=8): MMA 1.0%% / 8192 / 11.0%% / 1.9%% / 9.25;"
       "\n#              CUDA 7.3%% / 16384 / 24.6%% / 3.1%% / 3.33;"
       "\n#              WMMA 0.4%% / 8192 / 9.5%% / 17.9%% / 9.26\n");
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

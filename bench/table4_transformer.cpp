@@ -18,8 +18,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
-  const gpusim::SimOptions sim{.threads = parse_threads(argc, argv)};
-  SimThroughput throughput(sim.threads);
+  DriverSession session(argc, argv);
+  const gpusim::SimOptions& sim = session.sim();
   using transformer::Mode;
   transformer::ModelConfig cfg;
   cfg.seq = scale == Scale::kPaper ? 4096 : 1024;
@@ -36,12 +36,18 @@ int run(int argc, char** argv) {
   double thr[3], mem[3];
   const Mode modes[3] = {Mode::kDenseFloat, Mode::kDenseHalf,
                          Mode::kSparseHalf};
+  const char* mode_names[3] = {"dense_float", "dense_half", "sparse_half"};
   for (int i = 0; i < 3; ++i) {
-    gpusim::Device dev = fresh_device(sim, std::size_t{6} << 30);
-    cfg.mode = modes[i];
-    auto r = transformer::run_transformer_forward(dev, cfg, 17);
-    thr[i] = r.throughput(clock_hz, cfg.batch);
-    mem[i] = static_cast<double>(r.peak_memory_bytes);
+    char case_name[48];
+    std::snprintf(case_name, sizeof(case_name), "table4 mode=%s",
+                  mode_names[i]);
+    run_case(case_name, [&] {
+      gpusim::Device dev = fresh_device(sim, std::size_t{6} << 30);
+      cfg.mode = modes[i];
+      auto r = transformer::run_transformer_forward(dev, cfg, 17);
+      thr[i] = r.throughput(clock_hz, cfg.batch);
+      mem[i] = static_cast<double>(r.peak_memory_bytes);
+    });
   }
 
   std::printf("%-22s %-14.1f %-14.1f %-14.1f\n", "Throughput (seq/s)", thr[0],
@@ -72,7 +78,10 @@ int run(int argc, char** argv) {
   transformer::FidelityConfig fcfg;
   fcfg.seq = scale == Scale::kPaper ? 512 : 256;
   fcfg.trials = 20;
-  auto rep = transformer::measure_fidelity(fcfg, 99);
+  transformer::FidelityReport rep{};
+  run_case("table4 fidelity", [&] {
+    rep = transformer::measure_fidelity(fcfg, 99);
+  });
   std::printf("\n# accuracy substitute (paper: 65.12%% / 65.09%% / 65.01%% "
               "on trained LRA — we measure numerical fidelity instead):\n");
   std::printf("# dense(half)  vs fp32: cosine %.6f, decision agreement "
@@ -82,8 +91,7 @@ int run(int argc, char** argv) {
               "agreement %.0f%%, max rel err %.3g\n",
               rep.sparse_half_cosine, rep.sparse_half_agreement * 100,
               rep.sparse_half_max_rel_err);
-  throughput.print_summary();
-  return 0;
+  return session.finish();
 }
 
 }  // namespace

@@ -71,6 +71,19 @@ void report_case_error(const std::string& name, const std::string& what) {
   g_any_case_failed = true;
 }
 
+/// Classified failures carry their taxonomy fields so a harness can
+/// triage a suite run without parsing free-text messages.
+void report_case_error(const std::string& name, const Error& e) {
+  std::printf(
+      "# case-error: {\"case\":\"%s\",\"error\":\"%s\",\"code\":\"%s\","
+      "\"site\":\"%s\",\"retryable\":%s}\n",
+      json_escape(name).c_str(), json_escape(e.what()).c_str(),
+      error_code_name(e.code()), json_escape(e.site()).c_str(),
+      e.retryable() ? "true" : "false");
+  std::fflush(stdout);
+  g_any_case_failed = true;
+}
+
 int clamp_threads(long n) {
   if (n <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -85,14 +98,12 @@ bool run_case(const std::string& name, const std::function<void()>& fn) {
   try {
     fn();
     return true;
-  } catch (const gpusim::EccError& e) {
-    report_case_error(name, e.what());
-  } catch (const gpusim::LaunchTimeoutError& e) {
-    report_case_error(name, e.what());
-  } catch (const CheckError& e) {
-    report_case_error(name, e.what());
+  } catch (const Error& e) {
+    // The whole classified taxonomy — EccError, LaunchTimeoutError,
+    // malformed formats, alloc overflow/exhaustion, bad dispatches.
+    report_case_error(name, e);
   } catch (const std::exception& e) {
-    report_case_error(name, e.what());
+    report_case_error(name, std::string(e.what()));
   }
   return false;
 }

@@ -35,16 +35,20 @@ gpusim::Device fresh_device(const gpusim::SimOptions& sim,
 int parse_threads(int argc, char** argv);
 
 /// Run one bench case body under an error boundary.  A throwing case
-/// (CheckError from a shape/format validation, EccError or
-/// LaunchTimeoutError from the fault model, or any other std::exception)
 /// does not abort the suite: the failure is reported as one
-/// machine-readable line on stdout,
+/// machine-readable line on stdout and the driver keeps going with the
+/// remaining cases.  A classified vsparse::Error (the serve taxonomy —
+/// EccError, LaunchTimeoutError, malformed formats, alloc failures,
+/// bad dispatches) carries its machine-readable fields:
 ///
-///   # case-error: {"case":"fig17 v=2 n=64 ...","error":"..."}
+///   # case-error: {"case":"fig17 v=2 n=64 ...","error":"...",
+///                  "code":"ecc_uncorrectable","site":"gpusim.ecc",
+///                  "retryable":true}
 ///
-/// and the driver keeps going with the remaining cases.  Returns true
-/// iff the body completed.  Successful cases print nothing, so a fully
-/// clean run's output is byte-identical to the pre-boundary drivers.
+/// while an unclassified exception reports the legacy two-field form.
+/// Returns true iff the body completed.  Successful cases print
+/// nothing, so a fully clean run's output is byte-identical to the
+/// pre-boundary drivers.
 bool run_case(const std::string& name, const std::function<void()>& fn);
 
 /// Process exit code for a bench driver: 0 if every run_case body
@@ -107,6 +111,52 @@ class SimThroughput {
   int threads_;
   std::uint64_t start_ctas_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// The shared per-driver session every figure/table bench opens first:
+/// one declaration wires up the common command-line surface
+///
+///   --threads=N        host simulation threads (parse_threads)
+///   --trace=PREFIX     Perfetto/metrics launch tracing (TraceSession)
+///   --trace-sample=N   sampled warp-op events
+///
+/// and the standard epilogue.  Usage:
+///
+///   DriverSession session(argc, argv);
+///   const gpusim::SimOptions& sim = session.sim();
+///   ...
+///   return session.finish();   // throughput line, trace exports,
+///                              // bench_exit_code()
+///
+/// finish() emits in the exact order the hand-rolled drivers did
+/// (throughput summary, then the `# trace:` note from the trace
+/// session), so converting a driver leaves its clean-run stdout
+/// byte-identical.
+class DriverSession {
+ public:
+  DriverSession(int argc, char** argv)
+      : trace_(argc, argv),
+        sim_{.threads = parse_threads(argc, argv),
+             .trace = trace_.options()},
+        throughput_(sim_.threads) {}
+
+  /// SimOptions with threads and tracing installed; pass to kernels or
+  /// fresh_device so every launch inherits them.
+  const gpusim::SimOptions& sim() const { return sim_; }
+  int threads() const { return sim_.threads; }
+  TraceSession& trace() { return trace_; }
+
+  /// Standard driver epilogue; returns the process exit code.
+  int finish() {
+    throughput_.print_summary();
+    trace_.finish();
+    return bench_exit_code();
+  }
+
+ private:
+  TraceSession trace_;
+  gpusim::SimOptions sim_;
+  SimThroughput throughput_;
 };
 
 /// Memoized dense baselines evaluated under one hardware model.

@@ -1,6 +1,16 @@
 #include "vsparse/formats/blocked_ell.hpp"
 
+#include <algorithm>
+
+#include "vsparse/serve/error.hpp"
+
 namespace vsparse {
+
+// Same classification as Cvs::validate — see cvs.cpp.
+#define ELL_CHECK(cond) \
+  VSPARSE_CHECK_RAISE(cond, ErrorCode::kMalformedFormat, \
+                      "formats.blocked_ell", \
+                      "blocked_ell: encoding invariant violated: " #cond)
 
 double BlockedEll::sparsity() const {
   const double total = static_cast<double>(rows) * cols;
@@ -14,16 +24,16 @@ double BlockedEll::sparsity() const {
 }
 
 void BlockedEll::validate() const {
-  VSPARSE_CHECK(block >= 1);
-  VSPARSE_CHECK(rows % block == 0);
-  VSPARSE_CHECK(cols % block == 0);
-  VSPARSE_CHECK(blocks_per_row >= 0);
-  VSPARSE_CHECK(blocks_per_row <= cols / block);
-  VSPARSE_CHECK(static_cast<std::int64_t>(col_idx.size()) == stored_blocks());
-  VSPARSE_CHECK(static_cast<std::int64_t>(values.size()) ==
-                stored_blocks() * block * block);
+  ELL_CHECK(block >= 1);
+  ELL_CHECK(rows % block == 0);
+  ELL_CHECK(cols % block == 0);
+  ELL_CHECK(blocks_per_row >= 0);
+  ELL_CHECK(blocks_per_row <= cols / block);
+  ELL_CHECK(static_cast<std::int64_t>(col_idx.size()) == stored_blocks());
+  ELL_CHECK(static_cast<std::int64_t>(values.size()) ==
+            stored_blocks() * block * block);
   for (std::int32_t c : col_idx) {
-    VSPARSE_CHECK(c == -1 || (c >= 0 && c < cols / block));
+    ELL_CHECK(c == -1 || (c >= 0 && c < cols / block));
   }
 }
 
@@ -45,6 +55,64 @@ DenseMatrix<half_t> BlockedEll::to_dense() const {
     }
   }
   return m;
+}
+
+BlockedEll BlockedEll::from_dense(const DenseMatrix<half_t>& m, int block) {
+  ELL_CHECK(block >= 1);
+  ELL_CHECK(m.rows() % block == 0);
+  ELL_CHECK(m.cols() % block == 0);
+  BlockedEll out;
+  out.rows = m.rows();
+  out.cols = m.cols();
+  out.block = block;
+
+  // Pass 1: which blocks are nonzero, and the widest block-row.
+  const int brows = m.rows() / block;
+  const int bcols = m.cols() / block;
+  std::vector<std::vector<std::int32_t>> row_blocks(
+      static_cast<std::size_t>(brows));
+  for (int brow = 0; brow < brows; ++brow) {
+    for (int bcol = 0; bcol < bcols; ++bcol) {
+      bool any = false;
+      for (int r = 0; r < block && !any; ++r) {
+        for (int c = 0; c < block; ++c) {
+          if (static_cast<float>(
+                  m.at(brow * block + r, bcol * block + c)) != 0.0f) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (any) row_blocks[static_cast<std::size_t>(brow)].push_back(bcol);
+    }
+    out.blocks_per_row = std::max(
+        out.blocks_per_row,
+        static_cast<int>(row_blocks[static_cast<std::size_t>(brow)].size()));
+  }
+
+  // Pass 2: fill slots (padding slots keep col -1 and zero values).
+  out.col_idx.assign(static_cast<std::size_t>(out.stored_blocks()), -1);
+  out.values.assign(
+      static_cast<std::size_t>(out.stored_blocks()) *
+          static_cast<std::size_t>(block) * static_cast<std::size_t>(block),
+      half_t(0.0f));
+  for (int brow = 0; brow < brows; ++brow) {
+    const auto& blocks = row_blocks[static_cast<std::size_t>(brow)];
+    for (int slot = 0; slot < static_cast<int>(blocks.size()); ++slot) {
+      const std::int32_t bcol = blocks[static_cast<std::size_t>(slot)];
+      out.col_idx[static_cast<std::size_t>(brow) *
+                      static_cast<std::size_t>(out.blocks_per_row) +
+                  static_cast<std::size_t>(slot)] = bcol;
+      for (int r = 0; r < block; ++r) {
+        for (int c = 0; c < block; ++c) {
+          out.values[out.value_index(brow, slot, r, c)] =
+              m.at(brow * block + r, bcol * block + c);
+        }
+      }
+    }
+  }
+  out.validate();
+  return out;
 }
 
 BlockedEllDevice to_device(gpusim::Device& dev, const BlockedEll& m) {

@@ -51,6 +51,11 @@ struct BlockedEll {
   }
 
   DenseMatrix<half_t> to_dense() const;
+
+  /// Encode a dense matrix: every b x b block with at least one nonzero
+  /// becomes a stored block; blocks_per_row is the max over block-rows
+  /// (shorter rows are -1-padded, ELL-style).  Inverse of to_dense().
+  static BlockedEll from_dense(const DenseMatrix<half_t>& m, int block);
 };
 
 /// Device mirror.

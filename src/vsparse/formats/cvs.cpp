@@ -1,24 +1,33 @@
 #include "vsparse/formats/cvs.hpp"
 
+#include "vsparse/serve/error.hpp"
+
 namespace vsparse {
 
+// Encoding invariants are classified malformed-format errors: a bad
+// CVS fails every kernel the same way, so the serving layer rejects it
+// outright instead of walking the degradation ladder.
+#define CVS_CHECK(cond) \
+  VSPARSE_CHECK_RAISE(cond, ErrorCode::kMalformedFormat, "formats.cvs", \
+                      "cvs: encoding invariant violated: " #cond)
+
 void Cvs::validate() const {
-  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
-  VSPARSE_CHECK(rows % v == 0);
-  VSPARSE_CHECK(static_cast<int>(row_ptr.size()) == vec_rows() + 1);
-  VSPARSE_CHECK(row_ptr.front() == 0);
-  VSPARSE_CHECK(row_ptr.back() == nnz_vectors());
-  VSPARSE_CHECK(values.size() ==
-                col_idx.size() * static_cast<std::size_t>(v));
+  CVS_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  CVS_CHECK(rows % v == 0);
+  CVS_CHECK(static_cast<int>(row_ptr.size()) == vec_rows() + 1);
+  CVS_CHECK(row_ptr.front() == 0);
+  CVS_CHECK(row_ptr.back() == nnz_vectors());
+  CVS_CHECK(values.size() ==
+            col_idx.size() * static_cast<std::size_t>(v));
   for (int r = 0; r < vec_rows(); ++r) {
-    VSPARSE_CHECK(row_ptr[static_cast<std::size_t>(r)] <=
-                  row_ptr[static_cast<std::size_t>(r) + 1]);
+    CVS_CHECK(row_ptr[static_cast<std::size_t>(r)] <=
+              row_ptr[static_cast<std::size_t>(r) + 1]);
     for (std::int32_t i = row_ptr[static_cast<std::size_t>(r)];
          i < row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
       const std::int32_t c = col_idx[static_cast<std::size_t>(i)];
-      VSPARSE_CHECK(c >= 0 && c < cols);
+      CVS_CHECK(c >= 0 && c < cols);
       if (i > row_ptr[static_cast<std::size_t>(r)]) {
-        VSPARSE_CHECK(col_idx[static_cast<std::size_t>(i) - 1] < c);
+        CVS_CHECK(col_idx[static_cast<std::size_t>(i) - 1] < c);
       }
     }
   }

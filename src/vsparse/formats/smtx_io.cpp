@@ -3,7 +3,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "vsparse/serve/error.hpp"
+
 namespace vsparse {
+
+// Every reader-side invariant violation is a classified
+// malformed-format error so the serving layer can reject the input
+// without retrying or degrading.
+#define SMTX_CHECK(cond, msg) \
+  VSPARSE_CHECK_RAISE(cond, ErrorCode::kMalformedFormat, "formats.smtx", msg)
 
 namespace {
 
@@ -11,7 +19,7 @@ namespace {
 std::vector<std::int32_t> read_int_line(std::istream& is,
                                         std::size_t expected) {
   std::string line;
-  VSPARSE_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+  SMTX_CHECK(static_cast<bool>(std::getline(is, line)),
                     "smtx: unexpected end of stream");
   for (char& c : line) {
     if (c == ',') c = ' ';
@@ -21,7 +29,7 @@ std::vector<std::int32_t> read_int_line(std::istream& is,
   out.reserve(expected);
   std::int64_t x;
   while (ls >> x) {
-    VSPARSE_CHECK_MSG(x >= 0 && x <= 0x7fffffff, "smtx: index out of range");
+    SMTX_CHECK(x >= 0 && x <= 0x7fffffff, "smtx: index out of range");
     out.push_back(static_cast<std::int32_t>(x));
   }
   return out;
@@ -31,7 +39,7 @@ std::vector<std::int32_t> read_int_line(std::istream& is,
 
 SmtxPattern read_smtx(std::istream& is) {
   const auto header = read_int_line(is, 3);
-  VSPARSE_CHECK_MSG(header.size() == 3,
+  SMTX_CHECK(header.size() == 3,
                     "smtx: header must be 'rows, cols, nnz'");
   SmtxPattern p;
   p.rows = header[0];
@@ -39,29 +47,29 @@ SmtxPattern read_smtx(std::istream& is) {
   const auto nnz = static_cast<std::size_t>(header[2]);
 
   p.row_ptr = read_int_line(is, static_cast<std::size_t>(p.rows) + 1);
-  VSPARSE_CHECK_MSG(p.row_ptr.size() == static_cast<std::size_t>(p.rows) + 1,
+  SMTX_CHECK(p.row_ptr.size() == static_cast<std::size_t>(p.rows) + 1,
                     "smtx: row_ptr length " << p.row_ptr.size() << " != rows+1");
-  VSPARSE_CHECK_MSG(p.row_ptr.front() == 0 &&
+  SMTX_CHECK(p.row_ptr.front() == 0 &&
                         p.row_ptr.back() == static_cast<std::int32_t>(nnz),
                     "smtx: row_ptr endpoints inconsistent with nnz");
   for (std::size_t i = 1; i < p.row_ptr.size(); ++i) {
-    VSPARSE_CHECK_MSG(p.row_ptr[i] >= p.row_ptr[i - 1],
+    SMTX_CHECK(p.row_ptr[i] >= p.row_ptr[i - 1],
                       "smtx: row_ptr not monotone at row " << i);
   }
 
   p.col_idx = read_int_line(is, nnz);
-  VSPARSE_CHECK_MSG(p.col_idx.size() == nnz,
+  SMTX_CHECK(p.col_idx.size() == nnz,
                     "smtx: col_idx length " << p.col_idx.size()
                                             << " != nnz " << nnz);
   for (std::int32_t c : p.col_idx) {
-    VSPARSE_CHECK_MSG(c < p.cols, "smtx: column " << c << " out of range");
+    SMTX_CHECK(c < p.cols, "smtx: column " << c << " out of range");
   }
   return p;
 }
 
 SmtxPattern read_smtx_file(const std::string& path) {
   std::ifstream is(path);
-  VSPARSE_CHECK_MSG(is.good(), "smtx: cannot open " << path);
+  SMTX_CHECK(is.good(), "smtx: cannot open " << path);
   return read_smtx(is);
 }
 
@@ -79,12 +87,13 @@ void write_smtx(std::ostream& os, const SmtxPattern& p) {
 
 void write_smtx_file(const std::string& path, const SmtxPattern& p) {
   std::ofstream os(path);
-  VSPARSE_CHECK_MSG(os.good(), "smtx: cannot open " << path << " for write");
+  SMTX_CHECK(os.good(), "smtx: cannot open " << path << " for write");
   write_smtx(os, p);
 }
 
 Cvs smtx_to_cvs(const SmtxPattern& p, int v, Rng& rng) {
-  VSPARSE_CHECK(v == 1 || v == 2 || v == 4 || v == 8);
+  SMTX_CHECK(v == 1 || v == 2 || v == 4 || v == 8,
+             "smtx: V must be 1, 2, 4 or 8, got " << v);
   Cvs out;
   out.rows = p.rows * v;  // each pattern row becomes one vector-row
   out.cols = p.cols;

@@ -15,35 +15,50 @@ Device::Device(DeviceConfig cfg)
 }
 
 std::uint64_t Device::alloc_bytes(std::size_t bytes) {
-  const std::size_t aligned = round_up<std::size_t>(used_, 256);
-  // Checked as two comparisons so `aligned + bytes` cannot wrap for
-  // huge requests (mirrors the Device::translate guard).
-  VSPARSE_CHECK_MSG(bytes <= capacity_ && aligned <= capacity_ - bytes,
-                    "simulated DRAM exhausted: want "
-                        << bytes << "B, used " << used_ << "B of "
-                        << capacity_ << "B — call Device::reset() between "
-                        << "independent experiments");
-  used_ = aligned + bytes;
+  std::size_t aligned;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    const std::size_t used = used_.load(std::memory_order_relaxed);
+    aligned = round_up<std::size_t>(used, 256);
+    // Checked as two comparisons so `aligned + bytes` cannot wrap for
+    // huge requests (mirrors the Device::translate guard).
+    VSPARSE_CHECK_RAISE(bytes <= capacity_ && aligned <= capacity_ - bytes,
+                        ErrorCode::kOutOfMemory, "gpusim.alloc",
+                        "simulated DRAM exhausted: want "
+                            << bytes << "B, used " << used << "B of "
+                            << capacity_ << "B — call Device::reset() between "
+                            << "independent experiments");
+    used_.store(aligned + bytes, std::memory_order_relaxed);
+    allocations_.emplace(aligned, bytes);
+    const std::size_t live = live_.load(std::memory_order_relaxed) + bytes;
+    live_.store(live, std::memory_order_relaxed);
+    if (live > peak_.load(std::memory_order_relaxed)) {
+      peak_.store(live, std::memory_order_relaxed);
+    }
+  }
+  // Zero outside the lock: the region is already reserved, so it is
+  // private to this allocation and the memset can be arbitrarily large.
   std::memset(arena_.get() + aligned, 0, bytes);
-  allocations_.emplace(aligned, bytes);
-  live_ += bytes;
-  if (live_ > peak_) peak_ = live_;
   return aligned;
 }
 
 void Device::free_bytes(std::uint64_t addr) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
   auto it = allocations_.find(addr);
   VSPARSE_CHECK_MSG(it != allocations_.end(),
                     "free of unknown device address " << addr);
-  live_ -= it->second;
+  live_.fetch_sub(it->second, std::memory_order_relaxed);
   allocations_.erase(it);
 }
 
 void Device::reset() {
-  used_ = 0;
-  live_ = 0;
-  peak_ = 0;
-  allocations_.clear();
+  {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    used_.store(0, std::memory_order_relaxed);
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    allocations_.clear();
+  }
   flush_all_caches();
 }
 

@@ -9,10 +9,12 @@
 // state that is shared across SMs and persists across launches.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "vsparse/gpusim/cache.hpp"
 #include "vsparse/gpusim/config.hpp"
 #include "vsparse/gpusim/engine/sim_options.hpp"
+#include "vsparse/serve/error.hpp"
 
 namespace vsparse::gpusim {
 
@@ -67,15 +70,37 @@ class Device {
  public:
   explicit Device(DeviceConfig cfg = DeviceConfig::volta_v100());
 
+  /// Movable so factory helpers can return by value.  The mutex and
+  /// atomic accounting members require a hand-written move; moving a
+  /// Device that other threads are concurrently using is (as always)
+  /// undefined, so the source's mutex is not taken.
+  Device(Device&& other) noexcept
+      : cfg_(std::move(other.cfg_)),
+        arena_(std::move(other.arena_)),
+        capacity_(other.capacity_),
+        used_(other.used_.load(std::memory_order_relaxed)),
+        live_(other.live_.load(std::memory_order_relaxed)),
+        peak_(other.peak_.load(std::memory_order_relaxed)),
+        allocations_(std::move(other.allocations_)),
+        l2_(std::move(other.l2_)),
+        sim_options_(other.sim_options_),
+        fault_plan_(other.fault_plan_) {}
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  Device& operator=(Device&&) = delete;
+
   const DeviceConfig& config() const { return cfg_; }
 
   /// Allocate `count` elements of T, 256-byte aligned (so 128 B
   /// transaction alignment analysis is meaningful).  Contents zeroed.
+  /// Raises vsparse::Error{kAllocOverflow} on size-arithmetic wrap and
+  /// vsparse::Error{kOutOfMemory} when the arena is exhausted.
   template <class T>
   Buffer<T> alloc(std::size_t count) {
-    VSPARSE_CHECK_MSG(count <= SIZE_MAX / sizeof(T),
-                      "device alloc overflows size_t: count=" << count
-                          << " elem_size=" << sizeof(T));
+    VSPARSE_CHECK_RAISE(count <= SIZE_MAX / sizeof(T),
+                        ErrorCode::kAllocOverflow, "gpusim.alloc",
+                        "device alloc overflows size_t: count="
+                            << count << " elem_size=" << sizeof(T));
     const std::uint64_t addr = alloc_bytes(count * sizeof(T));
     return Buffer<T>(this, addr, count);
   }
@@ -99,19 +124,39 @@ class Device {
   void reset();
 
   /// Currently-live allocated bytes.
-  std::size_t live_bytes() const { return live_; }
+  std::size_t live_bytes() const {
+    return live_.load(std::memory_order_relaxed);
+  }
   /// High-water mark of live bytes since construction / reset_peak().
-  std::size_t peak_bytes() const { return peak_; }
-  void reset_peak() { peak_ = live_; }
+  std::size_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset_peak() {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    peak_.store(live_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  /// Total arena size and bump-pointer position — what a serving-layer
+  /// reservation check compares a request's footprint against before
+  /// launching anything.
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
 
   /// Bounds-checked translation of a device address range to host memory.
   /// Guarded against `addr + len` wrapping around std::uint64_t: the
   /// length is checked against the arena first, then the address
   /// against the remaining room, so no sum can overflow.
   std::byte* translate(std::uint64_t addr, std::size_t len) {
-    VSPARSE_CHECK_MSG(len <= used_ && addr <= used_ - len,
+    // Relaxed: concurrent allocators can only grow `used_`, and a
+    // translation of an address another thread is still allocating
+    // requires external synchronization anyway.
+    const std::size_t used = used_.load(std::memory_order_relaxed);
+    VSPARSE_CHECK_MSG(len <= used && addr <= used - len,
                       "device OOB access: addr=" << addr << " len=" << len
-                                                 << " used=" << used_);
+                                                 << " used=" << used);
     return arena_.get() + addr;
   }
   const std::byte* translate(std::uint64_t addr, std::size_t len) const {
@@ -147,9 +192,14 @@ class Device {
   DeviceConfig cfg_;
   std::unique_ptr<std::byte[]> arena_;
   std::size_t capacity_ = 0;
-  std::size_t used_ = 0;
-  std::size_t live_ = 0;
-  std::size_t peak_ = 0;
+  // Accounting is mutated under alloc_mutex_ (host-side alloc/free can
+  // race from serving threads); the counters are atomics so the
+  // read-only accessors — and the translate() bounds check on the hot
+  // simulation path — stay lock-free.
+  mutable std::mutex alloc_mutex_;
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> peak_{0};
   std::unordered_map<std::uint64_t, std::size_t> allocations_;
   ShardedCache l2_;
   SimOptions sim_options_;

@@ -69,7 +69,7 @@ const char* fault_site_name(FaultSite site) {
 }
 
 EccError::EccError(FaultSite site, std::uint64_t addr, int sm_id)
-    : std::runtime_error([&] {
+    : vsparse::Error(ErrorCode::kEccUncorrectable, "gpusim.ecc", [&] {
         std::ostringstream os;
         os << "EccError: uncorrectable (double-bit) upset on "
            << fault_site_name(site) << " read at device addr 0x" << std::hex

@@ -42,11 +42,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "vsparse/common/macros.hpp"
+#include "vsparse/serve/error.hpp"
 
 namespace vsparse::gpusim {
 
@@ -70,7 +70,9 @@ const char* fault_site_name(FaultSite site);
 /// A detected-uncorrectable ECC event: a double-bit upset on a DRAM or
 /// L2 read with ECC enabled.  Carries the site and the device address
 /// of the poisoned word so callers can map it back to an operand.
-class EccError : public std::runtime_error {
+/// Classified ErrorCode::kEccUncorrectable (retryable — the upset may
+/// be transient) in the serving taxonomy.
+class EccError : public vsparse::Error {
  public:
   EccError(FaultSite site, std::uint64_t addr, int sm_id);
 
@@ -88,11 +90,13 @@ class EccError : public std::runtime_error {
 /// some CTA body issued more warp ops than the watchdog allows, which in
 /// this simulator is the signature of a malformed pattern (e.g. a cyclic
 /// row_ptr) driving a kernel loop forever.  The engine augments the
-/// message with a per-SM progress dump before rethrowing.
-class LaunchTimeoutError : public std::runtime_error {
+/// message with a per-SM progress dump before rethrowing.  Classified
+/// ErrorCode::kLaunchTimeout (not retryable — the same launch would
+/// time out again — but fallback-eligible) in the serving taxonomy.
+class LaunchTimeoutError : public vsparse::Error {
  public:
   explicit LaunchTimeoutError(const std::string& what)
-      : std::runtime_error(what) {}
+      : vsparse::Error(ErrorCode::kLaunchTimeout, "gpusim.watchdog", what) {}
 };
 
 /// One targeted upset.  `addr` is a device byte address for kDramRead /

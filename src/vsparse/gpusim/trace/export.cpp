@@ -79,6 +79,15 @@ void write_instant_args(std::ostream& os, const TraceEvent& ev) {
     case TraceEventKind::kAbftRecompute:
       os << "{\"vec_row\":" << ev.a << ",\"tile\":" << ev.b << '}';
       return;
+    case TraceEventKind::kServeRetry:
+      os << "{\"rung\":" << ev.a << ",\"attempt\":" << ev.b << '}';
+      return;
+    case TraceEventKind::kServeFallback:
+      os << "{\"from_rung\":" << ev.a << ",\"to_rung\":" << ev.b << '}';
+      return;
+    case TraceEventKind::kServeGiveUp:
+      os << "{\"error_code\":" << ev.a << ",\"attempts\":" << ev.b << '}';
+      return;
     default:
       os << "{\"a\":" << ev.a << ",\"b\":" << ev.b << '}';
       return;

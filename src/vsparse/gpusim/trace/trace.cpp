@@ -30,6 +30,12 @@ const char* trace_event_name(TraceEventKind kind) {
       return "abft_verify";
     case TraceEventKind::kAbftRecompute:
       return "abft_recompute";
+    case TraceEventKind::kServeRetry:
+      return "serve_retry";
+    case TraceEventKind::kServeFallback:
+      return "serve_fallback";
+    case TraceEventKind::kServeGiveUp:
+      return "serve_give_up";
     case TraceEventKind::kNumEventKinds:
       break;
   }

@@ -43,6 +43,9 @@ enum class TraceEventKind : std::uint8_t {
   kLaunchAbort,      ///< launch unwound with an error other than the above
   kAbftVerify,       ///< host-side checksum pass; a = corrupted tiles
   kAbftRecompute,    ///< single-tile recovery launch; a = vec row, b = tile
+  kServeRetry,       ///< supervisor re-runs a rung; a = rung, b = attempt
+  kServeFallback,    ///< degradation-ladder hop; a = from rung, b = to rung
+  kServeGiveUp,      ///< ladder exhausted; a = error code, b = attempts
   kNumEventKinds
 };
 

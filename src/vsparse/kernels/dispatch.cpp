@@ -1,5 +1,6 @@
 #include "vsparse/kernels/dispatch.hpp"
 
+#include "vsparse/serve/supervisor.hpp"
 #include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
 #include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
 #include "vsparse/kernels/sddmm/sddmm_octet.hpp"
@@ -15,16 +16,21 @@ namespace vsparse::kernels {
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
                const SpmmOptions& options) {
+  if (options.serve != nullptr) {
+    return serve::supervised_spmm(dev, a, b, c, options);
+  }
   SpmmAlgorithm algo = options.algorithm;
   if (options.abft.has_value()) {
     if (algo == SpmmAlgorithm::kAuto) {
-      VSPARSE_CHECK_MSG(a.v >= 2,
-                        "ABFT spmm requires the octet kernel (V >= 2); got V = "
-                            << a.v);
+      VSPARSE_CHECK_RAISE(a.v >= 2, ErrorCode::kBadDispatch,
+                          "kernels.dispatch",
+                          "ABFT spmm requires the octet kernel (V >= 2); "
+                          "got V = " << a.v);
       algo = SpmmAlgorithm::kOctet;
     }
-    VSPARSE_CHECK_MSG(algo == SpmmAlgorithm::kOctet,
-                      "ABFT is only implemented for the octet SpMM kernel");
+    VSPARSE_CHECK_RAISE(algo == SpmmAlgorithm::kOctet, ErrorCode::kBadDispatch,
+                        "kernels.dispatch",
+                        "ABFT is only implemented for the octet SpMM kernel");
     return spmm_octet_abft(dev, a, b, c, {}, *options.abft, options.sim);
   }
   if (algo == SpmmAlgorithm::kAuto) {
@@ -42,17 +48,21 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
     case SpmmAlgorithm::kAuto:
       break;
   }
-  VSPARSE_CHECK_MSG(false, "unreachable spmm algorithm");
-  return {};
+  VSPARSE_RAISE(ErrorCode::kBadDispatch, "kernels.dispatch",
+                "unreachable spmm algorithm");
 }
 
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                 const DenseDevice<half_t>& b, const CvsDevice& mask,
                 gpusim::Buffer<half_t>& out_values,
                 const SddmmOptions& options) {
-  VSPARSE_CHECK_MSG(!options.abft.has_value(),
-                    "no SDDMM kernel has an ABFT variant yet; "
-                    "SddmmOptions::abft must stay unset");
+  VSPARSE_CHECK_RAISE(!options.abft.has_value(), ErrorCode::kBadDispatch,
+                      "kernels.dispatch",
+                      "no SDDMM kernel has an ABFT variant yet; "
+                      "SddmmOptions::abft must stay unset");
+  if (options.serve != nullptr) {
+    return serve::supervised_sddmm(dev, a, b, mask, out_values, options);
+  }
   SddmmAlgorithm algo = options.algorithm;
   if (algo == SddmmAlgorithm::kAuto) {
     algo = mask.v >= 2 ? SddmmAlgorithm::kOctet : SddmmAlgorithm::kFpuSubwarp;
@@ -69,8 +79,8 @@ KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
     case SddmmAlgorithm::kAuto:
       break;
   }
-  VSPARSE_CHECK_MSG(false, "unreachable sddmm algorithm");
-  return {};
+  VSPARSE_RAISE(ErrorCode::kBadDispatch, "kernels.dispatch",
+                "unreachable sddmm algorithm");
 }
 
 HostRun<DenseMatrix<half_t>> spmm_host(const Cvs& a,

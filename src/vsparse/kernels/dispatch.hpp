@@ -33,6 +33,11 @@
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/kernels/api.hpp"
 
+namespace vsparse::serve {
+struct ServePolicy;
+struct ServeReport;
+}  // namespace vsparse::serve
+
 namespace vsparse::kernels {
 
 enum class SpmmAlgorithm {
@@ -64,15 +69,30 @@ struct SpmmOptions {
 
   /// Engine options: threads, watchdog, per-SM stats, tracing.
   gpusim::SimOptions sim;
+
+  /// Opt-in serving supervision (serve/supervisor.hpp): with a policy
+  /// attached, the launch runs inside the fault boundary — bounded
+  /// retries with deterministic backoff for retryable faults, then the
+  /// degradation ladder.  Null (the default) is the zero-overhead fast
+  /// path: dispatch is bit- and counter-identical to a build without
+  /// the serving layer.  The policy must outlive the call.
+  const serve::ServePolicy* serve = nullptr;
+  /// Out-param (like SimOptions::per_sm_stats): when set together with
+  /// `serve`, receives the attempt-by-attempt ServeReport.
+  serve::ServeReport* serve_report = nullptr;
 };
 
 /// Everything one sddmm() call can vary.  `abft` is reserved: no SDDMM
-/// kernel has an ABFT variant yet, so setting it raises CheckError
-/// rather than silently running unprotected.
+/// kernel has an ABFT variant yet, so setting it raises a structured
+/// kBadDispatch error rather than silently running unprotected.
 struct SddmmOptions {
   SddmmAlgorithm algorithm = SddmmAlgorithm::kAuto;
   std::optional<AbftOptions> abft;
   gpusim::SimOptions sim;
+
+  /// Serving supervision, as in SpmmOptions.
+  const serve::ServePolicy* serve = nullptr;
+  serve::ServeReport* serve_report = nullptr;
 };
 
 /// C[MxN] = A_cvs[MxK] * B[KxN] (half, row-major B/C).

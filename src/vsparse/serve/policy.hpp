@@ -1,0 +1,53 @@
+// Serving policy knobs — what a long-lived process decides *once* and
+// applies to every launch it supervises.
+//
+// Dependency leaf (cstddef/cstdint only): kernels/dispatch.hpp keeps
+// the policy behind a forward-declared pointer, and this header is
+// what callers include to construct one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vsparse::serve {
+
+/// Bounded retries with deterministic exponential backoff.  Backoff is
+/// *simulated* time: the supervisor records the cycles a real serving
+/// loop would have waited (seeded jitter decorrelates concurrent
+/// requests) instead of sleeping, so soak runs are fast and reports
+/// are bit-identical at any --threads=N.
+struct RetryPolicy {
+  /// Extra attempts per ladder rung after the first, spent only on
+  /// retryable errors (ErrorCode taxonomy: ECC detections, ABFT
+  /// exhaustion).  0 disables retry; the ladder still applies.
+  int max_retries = 2;
+  /// Backoff before retry k (1-based): base * multiplier^(k-1) + jitter,
+  /// jitter in [0, base) hashed from (seed, request, rung, attempt).
+  std::uint64_t backoff_base_cycles = 1024;
+  int backoff_multiplier = 2;
+  std::uint64_t seed = 0;
+};
+
+/// The full fault-boundary policy a Supervisor (or a dispatch call
+/// with SpmmOptions::serve set) executes a request under.
+struct ServePolicy {
+  RetryPolicy retry;
+
+  /// Walk the degradation ladder after retries are exhausted (octet ->
+  /// octet+ABFT -> blocked-ELL -> dense GEMM -> FPU reference for
+  /// SpMM; octet -> WMMA -> FPU for SDDMM).  Off = retry-only: any
+  /// rung failure is final.
+  bool ladder = true;
+
+  /// Per-request memory quota: operand bytes plus the worst-case
+  /// ladder re-encode workspace must fit, or the request is rejected
+  /// with kQuotaExceeded before anything launches.  0 = unlimited.
+  std::size_t memory_quota_bytes = 0;
+
+  /// Identifies the request in reports and decorrelates backoff jitter
+  /// across requests.  Supervisor::submit_* stamps this automatically;
+  /// direct dispatch callers may set it by hand.
+  std::uint64_t request_id = 0;
+};
+
+}  // namespace vsparse::serve

@@ -1,0 +1,120 @@
+// Bounded MPMC request queue with backpressure — the admission stage
+// in front of a Supervisor when requests arrive faster than the
+// simulator drains them (batch soaks, the --soak bench driver).
+//
+// try_push() never blocks: a full queue rejects the request (counted),
+// which is the backpressure signal a producer turns into its own
+// kQueueFull taxonomy error.  push_wait()/pop_wait() are the blocking
+// endpoints for multi-threaded producer/consumer use; close() wakes
+// every waiter so shutdown can't hang.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace vsparse::serve {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission; false = queue full or closed (rejected).
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+      }
+      items_.push_back(std::move(v));
+      ++accepted_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking admission; false only when the queue is closed.
+  bool push_wait(T v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        ++rejected_;
+        return false;
+      }
+      items_.push_back(std::move(v));
+      ++accepted_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Blocks until an item arrives; nullopt once closed *and* drained.
+  std::optional<T> pop_wait() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// No further admissions; waiters wake and drain what remains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::uint64_t accepted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accepted_;
+  }
+  /// Backpressure events: try_push() calls turned away.
+  std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace vsparse::serve

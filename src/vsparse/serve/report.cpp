@@ -1,0 +1,83 @@
+#include "vsparse/serve/report.hpp"
+
+#include <sstream>
+
+namespace vsparse::serve {
+
+const char* serve_rung_name(ServeRung rung) {
+  switch (rung) {
+    case ServeRung::kOctet:
+      return "octet";
+    case ServeRung::kOctetAbft:
+      return "octet_abft";
+    case ServeRung::kBlockedEll:
+      return "blocked_ell";
+    case ServeRung::kDenseGemm:
+      return "dense_gemm";
+    case ServeRung::kFpuSubwarp:
+      return "fpu_subwarp";
+    case ServeRung::kCsrFine:
+      return "csr_fine";
+    case ServeRung::kWmmaWarp:
+      return "wmma_warp";
+    case ServeRung::kNumRungs:
+      break;
+  }
+  return "none";
+}
+
+std::string ServeReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"request\":" << request_id << ",\"op\":\"" << op
+     << "\",\"completed\":" << (completed ? "true" : "false")
+     << ",\"rejected\":" << (rejected ? "true" : "false")
+     << ",\"final_rung\":\"" << serve_rung_name(final_rung)
+     << "\",\"retries\":" << retries << ",\"fallbacks\":" << fallbacks
+     << ",\"backoff_cycles\":" << backoff_cycles;
+  if (has_error) {
+    os << ",\"error\":{\"code\":\"" << error_code_name(final_code)
+       << "\",\"site\":\"" << final_site << "\"}";
+  }
+  os << ",\"attempts\":[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const ServeAttempt& at = attempts[i];
+    if (i > 0) os << ',';
+    os << "{\"rung\":\"" << serve_rung_name(at.rung)
+       << "\",\"attempt\":" << at.attempt
+       << ",\"backoff_cycles\":" << at.backoff_cycles << ",\"outcome\":\"";
+    if (at.ok) {
+      os << "ok\"";
+    } else {
+      os << error_code_name(at.code) << "\",\"site\":\"" << at.site
+         << "\",\"retryable\":"
+         << (error_code_retryable(at.code) ? "true" : "false");
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string reports_json(const std::vector<ServeReport>& reports) {
+  std::uint64_t completed = 0, rejected = 0, retries = 0, fallbacks = 0,
+                give_ups = 0;
+  for (const ServeReport& r : reports) {
+    completed += r.completed ? 1 : 0;
+    rejected += r.rejected ? 1 : 0;
+    retries += static_cast<std::uint64_t>(r.retries);
+    fallbacks += static_cast<std::uint64_t>(r.fallbacks);
+    give_ups += (!r.completed && !r.rejected) ? 1 : 0;
+  }
+  std::ostringstream os;
+  os << "{\"schema\":\"vsparse-serve-v1\",\"requests\":" << reports.size()
+     << ",\"completed\":" << completed << ",\"rejected\":" << rejected
+     << ",\"give_ups\":" << give_ups << ",\"retries\":" << retries
+     << ",\"fallbacks\":" << fallbacks << ",\"reports\":[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    os << reports[i].to_json() << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace vsparse::serve

@@ -1,0 +1,267 @@
+#include "vsparse/serve/soak.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/faults.hpp"
+#include "vsparse/kernels/dispatch.hpp"
+#include "vsparse/serve/queue.hpp"
+
+namespace vsparse::serve {
+namespace {
+
+// splitmix64 — the same mixer the supervisor's backoff jitter uses, so
+// the storm is reproducible from the seed alone.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+enum class Mechanism {
+  kClean,
+  kTransientEcc,
+  kStickyEcc,
+  kRateMasked,
+  kWatchdog,
+  kOversized,
+};
+
+struct RequestSpec {
+  Mechanism mech = Mechanism::kClean;
+  bool sddmm = false;
+  int m = 64, k = 64, n = 64, v = 4;
+  double sparsity = 0.7;
+  std::uint64_t data_seed = 0;
+  std::uint64_t storm_seed = 0;
+};
+
+// Everything about request i follows from (config.seed, i).  Shapes
+// keep N = 64: the octet SpMM then runs one CTA per vector row, so a
+// targeted fault address is read by exactly one CTA and the retry
+// sequence is identical at any --threads=N (see soak.hpp).
+RequestSpec make_spec(const SoakConfig& config, int i) {
+  RequestSpec spec;
+  const std::uint64_t h =
+      mix64(config.seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+  spec.data_seed = mix64(h ^ 0xda7a);
+  spec.storm_seed = mix64(h ^ 0x570) | 1;
+  spec.v = ((h >> 8) & 1) ? 2 : 4;
+  spec.sparsity = ((h >> 12) & 1) ? 0.9 : 0.7;
+  const int r = static_cast<int>(h % 100);
+  if (r < 50) {
+    spec.mech = Mechanism::kClean;
+  } else if (r < 64) {
+    spec.mech = Mechanism::kTransientEcc;
+  } else if (r < 76) {
+    spec.mech = Mechanism::kStickyEcc;
+  } else if (r < 86) {
+    spec.mech = Mechanism::kRateMasked;
+  } else if (r < 93) {
+    spec.mech = Mechanism::kWatchdog;
+  } else if (config.memory_quota_bytes > 0) {
+    spec.mech = Mechanism::kOversized;
+    spec.m = spec.k = 512;  // footprint + re-encode workspace blow the quota
+  } else {
+    spec.mech = Mechanism::kClean;
+  }
+  // A slice of the benign requests exercises the SDDMM path (its ladder
+  // has no re-encode rung, so targeted-fault mechanisms stay SpMM-only).
+  if ((spec.mech == Mechanism::kClean || spec.mech == Mechanism::kRateMasked) &&
+      ((h >> 16) & 3) == 0) {
+    spec.sddmm = true;
+  }
+  return spec;
+}
+
+const char* op_name(const RequestSpec& spec) {
+  return spec.sddmm ? "sddmm" : "spmm";
+}
+
+// Force integer values so every ladder rung — including the dense-GEMM
+// decode, whose fp16 accumulation order differs — is bit-identical to
+// the fault-free run.  |value| <= 3, |B| <= 3, K <= 512 keeps every
+// partial sum an exact fp16 integer.
+void make_integer_values(std::vector<half_t>& values, std::uint64_t seed) {
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const std::uint64_t hv = mix64(seed ^ (0x7a1ee5 + j));
+    const float mag = static_cast<float>(1 + (hv % 3));
+    values[j] = half_t((hv & 8) ? mag : -mag);
+  }
+}
+
+struct RunResult {
+  bool completed = false;
+  bool bit_exact = true;
+};
+
+RunResult run_spmm_request(const SoakConfig& config, Supervisor& sup,
+                           gpusim::Device& ref_dev, const RequestSpec& spec) {
+  gpusim::Device& dev = sup.device();
+  Rng rng(spec.data_seed);
+  Cvs a_host = make_cvs(spec.m, spec.k, spec.v, spec.sparsity, rng);
+  make_integer_values(a_host.values, spec.data_seed);
+  DenseMatrix<half_t> b_host(spec.k, spec.n);
+  b_host.fill_random_int(rng);
+  DenseMatrix<half_t> c_host(spec.m, spec.n);
+
+  CvsDevice a = to_device(dev, a_host);
+  DenseDevice<half_t> b = to_device(dev, b_host);
+  DenseDevice<half_t> c = to_device(dev, c_host);
+
+  gpusim::FaultPlan plan(spec.storm_seed, /*ecc_enabled=*/true);
+  bool armed = false;
+  switch (spec.mech) {
+    case Mechanism::kTransientEcc:
+    case Mechanism::kStickyEcc:
+      // A double-bit upset parked on the sparse operand's first value —
+      // read by exactly one CTA (N = 64), detected-uncorrectable under
+      // SEC-DED.  Transient fires once (retry sees clean data); sticky
+      // fires every attempt until the ladder re-encodes A elsewhere.
+      plan.add_target({gpusim::FaultSite::kDramRead, a.values.addr(0),
+                       /*bit=*/1, /*n_bits=*/2,
+                       /*sticky=*/spec.mech == Mechanism::kStickyEcc});
+      armed = true;
+      break;
+    case Mechanism::kRateMasked:
+      // Random single-bit upsets under SEC-DED: every one is corrected
+      // in flight, the request completes clean with zero retries.
+      plan.set_rates({.dram_read = 1e-4});
+      armed = true;
+      break;
+    default:
+      break;
+  }
+  if (armed) dev.set_fault_plan(&plan);
+
+  kernels::SpmmOptions options;
+  options.sim.threads = config.threads;
+  options.sim.trace = config.trace;
+  if (spec.mech == Mechanism::kWatchdog) options.sim.watchdog_cta_ops = 16;
+
+  const ServeReport& report = sup.submit_spmm(a, b, c, options);
+  if (armed) dev.set_fault_plan(nullptr);
+
+  RunResult out;
+  out.completed = report.completed;
+  if (report.completed) {
+    // Recovery contract: bit-identical to a fault-free, unsupervised
+    // run of the same problem.
+    ref_dev.reset();
+    CvsDevice ra = to_device(ref_dev, a_host);
+    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
+    DenseDevice<half_t> rc = to_device(ref_dev, c_host);
+    kernels::spmm(ref_dev, ra, rb, rc, {.sim = {.threads = config.threads}});
+    const auto got = c.buf.host();
+    const auto want = rc.buf.host();
+    out.bit_exact =
+        got.size() == want.size() &&
+        std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
+  }
+  return out;
+}
+
+RunResult run_sddmm_request(const SoakConfig& config, Supervisor& sup,
+                            gpusim::Device& ref_dev, const RequestSpec& spec) {
+  gpusim::Device& dev = sup.device();
+  Rng rng(spec.data_seed);
+  DenseMatrix<half_t> a_host(spec.m, spec.k);
+  a_host.fill_random_int(rng);
+  DenseMatrix<half_t> b_host(spec.k, spec.n, Layout::kColMajor);
+  b_host.fill_random_int(rng);
+  Cvs mask_host = make_cvs_mask(spec.m, spec.n, spec.v, spec.sparsity, rng);
+
+  DenseDevice<half_t> a = to_device(dev, a_host);
+  DenseDevice<half_t> b = to_device(dev, b_host);
+  CvsDevice mask = to_device(dev, mask_host);
+  auto out_values = dev.alloc<half_t>(mask_host.values.size());
+
+  gpusim::FaultPlan plan(spec.storm_seed, /*ecc_enabled=*/true);
+  const bool armed = spec.mech == Mechanism::kRateMasked;
+  if (armed) {
+    plan.set_rates({.dram_read = 1e-4});
+    dev.set_fault_plan(&plan);
+  }
+
+  kernels::SddmmOptions options;
+  options.sim.threads = config.threads;
+  options.sim.trace = config.trace;
+
+  const ServeReport& report = sup.submit_sddmm(a, b, mask, out_values, options);
+  if (armed) dev.set_fault_plan(nullptr);
+
+  RunResult out;
+  out.completed = report.completed;
+  if (report.completed) {
+    ref_dev.reset();
+    DenseDevice<half_t> ra = to_device(ref_dev, a_host);
+    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
+    CvsDevice rmask = to_device(ref_dev, mask_host);
+    auto rout = ref_dev.alloc<half_t>(mask_host.values.size());
+    kernels::sddmm(ref_dev, ra, rb, rmask, rout,
+                   {.sim = {.threads = config.threads}});
+    const auto got = out_values.host();
+    const auto want = rout.host();
+    out.bit_exact =
+        got.size() == want.size() &&
+        std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakConfig& config) {
+  gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100();
+  hw.dram_capacity = std::size_t{1} << 26;  // 64 MiB — reset per request
+  gpusim::Device dev(hw);
+  gpusim::Device ref_dev(hw);
+
+  ServePolicy policy;
+  policy.retry = config.retry;
+  policy.ladder = true;
+  policy.memory_quota_bytes = config.memory_quota_bytes;
+  Supervisor sup(dev, policy);
+
+  SoakResult result;
+  BoundedQueue<int> queue(config.queue_capacity);
+  // Bursty arrivals: each burst overshoots capacity by ~1/8, so a
+  // deterministic slice of requests is turned away at admission — the
+  // backpressure path, classified kQueueFull like any other failure.
+  const int burst = static_cast<int>(
+      config.queue_capacity + std::max<std::size_t>(1, config.queue_capacity / 8));
+
+  int next = 0;
+  while (next < config.requests || queue.size() > 0) {
+    for (int j = 0; j < burst && next < config.requests; ++j, ++next) {
+      if (!queue.try_push(next)) {
+        sup.record_rejection(op_name(make_spec(config, next)),
+                             ErrorCode::kQueueFull, "serve.queue");
+      }
+    }
+    while (auto item = queue.try_pop()) {
+      const RequestSpec spec = make_spec(config, *item);
+      dev.reset();
+      const RunResult run =
+          spec.sddmm ? run_sddmm_request(config, sup, ref_dev, spec)
+                     : run_spmm_request(config, sup, ref_dev, spec);
+      if (run.completed && !run.bit_exact) ++result.mismatches;
+    }
+  }
+  queue.close();
+
+  result.totals = sup.totals();
+  result.queue_accepted = queue.accepted();
+  result.queue_rejected = queue.rejected();
+  result.report_json = sup.reports_json();
+  return result;
+}
+
+}  // namespace vsparse::serve

@@ -1,0 +1,69 @@
+// The serving soak harness: N supervised requests through a
+// Supervisor under a seeded fault storm, with bounded-queue admission
+// and per-request result verification — the long-lived many-launch
+// scenario the serving layer exists for.  Shared by the serve_soak
+// bench driver and the soak acceptance tests.
+//
+// Per request, a deterministic hash of (seed, request index) picks ONE
+// fault mechanism:
+//
+//   clean               no plan attached (the null fast path)
+//   transient ECC       one targeted double-bit upset on the sparse
+//                       operand's values — fires once, so the first
+//                       attempt fails and the retry completes
+//   sticky ECC          a hard fault parked on the original encoding —
+//                       every octet attempt fails; the ladder's
+//                       re-encode rung rebuilds A at fresh addresses
+//                       and completes
+//   rate + ECC          random single-bit upsets under SEC-DED — all
+//                       corrected in flight, no error, bit-clean result
+//   watchdog            a tiny per-CTA op budget — every rung times
+//                       out; the request gives up with kLaunchTimeout
+//   oversized           (only when memory_quota_bytes > 0) a request
+//                       whose footprint exceeds the quota — rejected at
+//                       admission with kQuotaExceeded
+//
+// At most one targeted fault per request, and the problem shape keeps
+// N = 64 (one CTA per vector row in the octet kernel), so each
+// targeted address is read by exactly one CTA and the attempt sequence
+// is bit-identical at any --threads=N.
+//
+// Every completed SpMM request's output is compared byte-for-byte
+// against a fault-free run of the same problem; `mismatches` counts
+// requests where recovery was not bit-exact (expected: 0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vsparse/gpusim/trace/trace.hpp"
+#include "vsparse/serve/policy.hpp"
+#include "vsparse/serve/supervisor.hpp"
+
+namespace vsparse::serve {
+
+struct SoakConfig {
+  int requests = 100;          ///< supervised launches to attempt
+  std::uint64_t seed = 2021;   ///< storm + data seed
+  int threads = 1;             ///< host simulation threads per launch
+  std::size_t queue_capacity = 64;  ///< admission queue bound
+  /// Per-request quota passed to the ServePolicy; 0 disables both the
+  /// quota check and the oversized-request mechanism.
+  std::size_t memory_quota_bytes = 0;
+  RetryPolicy retry;                ///< retry/backoff policy
+  gpusim::TraceOptions trace;       ///< optional trace sink for events
+};
+
+struct SoakResult {
+  Supervisor::Totals totals;        ///< outcome counters
+  std::uint64_t queue_accepted = 0;
+  std::uint64_t queue_rejected = 0;  ///< backpressure turn-aways
+  std::uint64_t mismatches = 0;  ///< completed requests not bit-exact
+  std::string report_json;       ///< the vsparse-serve-v1 artifact
+};
+
+/// Run the storm.  Never throws for classified failures — a nonzero
+/// give_up count is data, not an error.
+SoakResult run_soak(const SoakConfig& config);
+
+}  // namespace vsparse::serve

@@ -1,0 +1,598 @@
+#include "vsparse/serve/supervisor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "vsparse/formats/blocked_ell.hpp"
+#include "vsparse/gpusim/trace/trace.hpp"
+#include "vsparse/kernels/dense/gemm.hpp"
+#include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
+#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
+#include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
+#include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
+#include "vsparse/kernels/spmm/spmm_fpu.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
+#include "vsparse/kernels/spmm/spmm_wmma.hpp"
+
+namespace vsparse::serve {
+namespace {
+
+using kernels::KernelRun;
+using kernels::SpmmAlgorithm;
+using kernels::SddmmAlgorithm;
+
+// splitmix64 — the jitter hash.  Everything the backoff depends on is
+// policy state, so the schedule is bit-identical at any thread count.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t backoff_for(const RetryPolicy& retry, std::uint64_t request_id,
+                          int rung_index, int attempt) {
+  if (retry.backoff_base_cycles == 0) return 0;
+  std::uint64_t wait = retry.backoff_base_cycles;
+  for (int i = 1; i < attempt; ++i) {
+    wait *= static_cast<std::uint64_t>(
+        retry.backoff_multiplier > 1 ? retry.backoff_multiplier : 1);
+  }
+  const std::uint64_t jitter =
+      mix64(retry.seed ^ (request_id * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<std::uint64_t>(rung_index) << 32) ^
+            static_cast<std::uint64_t>(attempt)) %
+      retry.backoff_base_cycles;
+  return wait + jitter;
+}
+
+/// The trace sink this request's events land in — same inherit chain
+/// as the engine (explicit per-launch options beat the Device default).
+gpusim::Trace* resolve_sink(gpusim::Device& dev,
+                            const gpusim::SimOptions& sim) {
+  return sim.trace.sink != nullptr ? sim.trace.sink
+                                   : dev.sim_options().trace.sink;
+}
+
+/// Zero the output view between attempts: an aborted launch may have
+/// partially written it, and a later rung must not inherit stale
+/// elements it would legitimately skip (e.g. all-zero rows).  Host-side
+/// write into the arena — deterministic, no simulated traffic.
+void zero_output(gpusim::Device& dev, DenseDevice<half_t>& c) {
+  if (c.rows == 0 || c.cols == 0) return;
+  if (c.layout == Layout::kRowMajor) {
+    for (int r = 0; r < c.rows; ++r) {
+      std::memset(dev.translate(c.addr(r, 0),
+                                static_cast<std::size_t>(c.cols) *
+                                    sizeof(half_t)),
+                  0, static_cast<std::size_t>(c.cols) * sizeof(half_t));
+    }
+  } else {
+    for (int col = 0; col < c.cols; ++col) {
+      std::memset(dev.translate(c.addr(0, col),
+                                static_cast<std::size_t>(c.rows) *
+                                    sizeof(half_t)),
+                  0, static_cast<std::size_t>(c.rows) * sizeof(half_t));
+    }
+  }
+}
+
+void zero_buffer(gpusim::Buffer<half_t>& buf) {
+  auto host = buf.host();
+  std::memset(host.data(), 0, host.size_bytes());
+}
+
+/// Rebuild the host-side Cvs from its device mirror.  The simulated
+/// DRAM is host memory faults never touch (faults strike only the
+/// simulated load/MMA paths), so this is the *clean* encoding — the
+/// re-encode rungs rebuild from it at fresh device addresses, which is
+/// what gets the ladder past sticky faults parked on the original
+/// buffers.
+Cvs download_cvs(const CvsDevice& a) {
+  Cvs host;
+  host.rows = a.rows;
+  host.cols = a.cols;
+  host.v = a.v;
+  const auto rp = a.row_ptr.host();
+  const auto ci = a.col_idx.host();
+  const auto va = a.values.host();
+  host.row_ptr.assign(rp.begin(), rp.end());
+  host.col_idx.assign(ci.begin(), ci.end());
+  host.values.assign(va.begin(), va.end());
+  return host;
+}
+
+struct SpmmShape {
+  int m = 0, k = 0, n = 0, v = 1;
+};
+
+bool spmm_rung_eligible(ServeRung rung, const SpmmShape& s) {
+  switch (rung) {
+    case ServeRung::kOctet:
+    case ServeRung::kOctetAbft:
+    case ServeRung::kWmmaWarp:
+      return s.v >= 2 && s.n % 64 == 0;
+    case ServeRung::kBlockedEll:
+      // block = V; the kernel accepts blocks {2,4,8,16} and N % 64.
+      return s.v >= 2 && s.n % 64 == 0;
+    case ServeRung::kDenseGemm:
+      return s.m % 64 == 0 && s.n % 64 == 0 && s.k % 16 == 0;
+    case ServeRung::kFpuSubwarp:
+      return s.n % 16 == 0;
+    case ServeRung::kCsrFine:
+      return s.v == 1 && s.n % 32 == 0;
+    case ServeRung::kNumRungs:
+      break;
+  }
+  return false;
+}
+
+bool sddmm_rung_eligible(ServeRung rung, int v) {
+  switch (rung) {
+    case ServeRung::kOctet:
+    case ServeRung::kWmmaWarp:
+      return v >= 2;
+    case ServeRung::kFpuSubwarp:
+      return true;
+    case ServeRung::kCsrFine:
+      return v == 1;
+    default:
+      return false;
+  }
+}
+
+/// The generic retry + degradation-ladder loop shared by both ops.
+/// `run_rung` performs one attempt; `reset_output` clears partially
+/// written output after an aborted attempt.  Returns the successful
+/// run or rethrows the last failure after recording the give-up.
+KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
+                     ServeReport& report,
+                     const std::vector<ServeRung>& rungs,
+                     const std::function<void()>& reset_output,
+                     const std::function<KernelRun(ServeRung)>& run_rung) {
+  std::exception_ptr last_eptr;
+  ErrorCode last_code = ErrorCode::kInternal;
+  std::string last_site = "serve.supervisor";
+  int total_attempts = 0;
+  bool output_dirty = false;
+
+  for (std::size_t ri = 0; ri < rungs.size(); ++ri) {
+    const ServeRung rung = rungs[ri];
+    for (int attempt = 0; attempt <= policy.retry.max_retries; ++attempt) {
+      std::uint64_t backoff = 0;
+      if (attempt > 0) {
+        backoff = backoff_for(policy.retry, policy.request_id,
+                              static_cast<int>(ri), attempt);
+        ++report.retries;
+        report.backoff_cycles += backoff;
+        if (sink != nullptr) {
+          sink->annotate(gpusim::TraceEventKind::kServeRetry,
+                         static_cast<std::uint64_t>(rung),
+                         static_cast<std::uint64_t>(attempt));
+        }
+      }
+      if (output_dirty) {
+        reset_output();
+        output_dirty = false;
+      }
+      ++total_attempts;
+      ServeAttempt at;
+      at.rung = rung;
+      at.attempt = attempt;
+      at.backoff_cycles = backoff;
+      try {
+        KernelRun run = run_rung(rung);
+        at.ok = true;
+        report.attempts.push_back(std::move(at));
+        report.completed = true;
+        report.final_rung = rung;
+        report.run = run;
+        return run;
+      } catch (const vsparse::Error& e) {
+        last_code = e.code();
+        last_site = e.site();
+        last_eptr = std::current_exception();
+      } catch (const std::exception&) {
+        last_code = ErrorCode::kInternal;
+        last_site = "serve.unclassified";
+        last_eptr = std::current_exception();
+      }
+      output_dirty = true;
+      at.ok = false;
+      at.code = last_code;
+      at.site = last_site;
+      report.attempts.push_back(std::move(at));
+      if (!error_code_retryable(last_code)) break;
+    }
+    if (policy.ladder && ri + 1 < rungs.size() &&
+        error_code_fallback_eligible(last_code)) {
+      ++report.fallbacks;
+      if (sink != nullptr) {
+        sink->annotate(gpusim::TraceEventKind::kServeFallback,
+                       static_cast<std::uint64_t>(rungs[ri]),
+                       static_cast<std::uint64_t>(rungs[ri + 1]));
+      }
+      continue;
+    }
+    break;
+  }
+
+  report.has_error = true;
+  report.final_code = last_code;
+  report.final_site = last_site;
+  if (sink != nullptr) {
+    sink->annotate(gpusim::TraceEventKind::kServeGiveUp,
+                   static_cast<std::uint64_t>(last_code),
+                   static_cast<std::uint64_t>(total_attempts));
+  }
+  std::rethrow_exception(last_eptr);
+}
+
+/// Admission rejection: record, emit give_up, throw the structured
+/// error — nothing has launched.
+[[noreturn]] void reject(ServeReport& report, gpusim::Trace* sink,
+                         ErrorCode code, const std::string& site,
+                         const std::string& what) {
+  report.rejected = true;
+  report.has_error = true;
+  report.final_code = code;
+  report.final_site = site;
+  if (sink != nullptr) {
+    sink->annotate(gpusim::TraceEventKind::kServeGiveUp,
+                   static_cast<std::uint64_t>(code), 0);
+  }
+  throw Error(code, site, what);
+}
+
+/// Worst-case device bytes the SpMM ladder may still allocate: the
+/// dense decode (M*K halves) and the Blocked-ELL re-encode (at worst
+/// every block stored, plus its index array).  The reservation check
+/// demands this much headroom up front so a fallback can never abort
+/// mid-ladder on an allocation failure.
+std::size_t spmm_ladder_workspace(const ServePolicy& policy,
+                                  const SpmmShape& s,
+                                  const std::vector<ServeRung>& rungs) {
+  if (!policy.ladder) return 0;
+  const std::size_t dense_bytes =
+      static_cast<std::size_t>(s.m) * static_cast<std::size_t>(s.k) *
+      sizeof(half_t);
+  std::size_t worst = 0;
+  for (ServeRung rung : rungs) {
+    std::size_t need = 0;
+    if (rung == ServeRung::kDenseGemm) {
+      need = dense_bytes;
+    } else if (rung == ServeRung::kBlockedEll) {
+      need = dense_bytes + (static_cast<std::size_t>(s.m) / s.v) *
+                               (static_cast<std::size_t>(s.k) / s.v) *
+                               sizeof(std::int32_t);
+    }
+    worst = std::max(worst, need);
+  }
+  return worst;
+}
+
+}  // namespace
+
+KernelRun supervised_spmm(gpusim::Device& dev, const CvsDevice& a,
+                          const DenseDevice<half_t>& b,
+                          DenseDevice<half_t>& c,
+                          const kernels::SpmmOptions& options) {
+  VSPARSE_CHECK(options.serve != nullptr);
+  const ServePolicy& policy = *options.serve;
+  ServeReport local;
+  ServeReport& report = options.serve_report != nullptr
+                            ? *options.serve_report
+                            : local;
+  report.clear();
+  report.request_id = policy.request_id;
+  report.op = "spmm";
+
+  gpusim::Trace* sink = resolve_sink(dev, options.sim);
+  const SpmmShape shape{c.rows, b.rows, c.cols, a.v};
+
+  // Inner attempts must not re-enter the supervisor.
+  kernels::SpmmOptions inner = options;
+  inner.serve = nullptr;
+  inner.serve_report = nullptr;
+
+  // ---- rung list: requested entry first, then the canonical ladder --
+  ServeRung entry;
+  if (options.abft.has_value()) {
+    VSPARSE_CHECK_RAISE(options.algorithm == SpmmAlgorithm::kAuto ||
+                            options.algorithm == SpmmAlgorithm::kOctet,
+                        ErrorCode::kBadDispatch, "serve.supervisor",
+                        "ABFT is only implemented for the octet SpMM kernel");
+    entry = ServeRung::kOctetAbft;
+  } else {
+    switch (options.algorithm) {
+      case SpmmAlgorithm::kAuto:
+        entry = a.v >= 2 ? ServeRung::kOctet : ServeRung::kFpuSubwarp;
+        break;
+      case SpmmAlgorithm::kOctet:
+        entry = ServeRung::kOctet;
+        break;
+      case SpmmAlgorithm::kWmmaWarp:
+        entry = ServeRung::kWmmaWarp;
+        break;
+      case SpmmAlgorithm::kFpuSubwarp:
+        entry = ServeRung::kFpuSubwarp;
+        break;
+      case SpmmAlgorithm::kCsrFine:
+        entry = ServeRung::kCsrFine;
+        break;
+      default:
+        entry = ServeRung::kFpuSubwarp;
+        break;
+    }
+  }
+  if (!spmm_rung_eligible(entry, shape)) {
+    reject(report, sink, ErrorCode::kBadDispatch, "serve.supervisor",
+           "requested spmm algorithm is not eligible for this shape");
+  }
+  std::vector<ServeRung> rungs{entry};
+  if (policy.ladder) {
+    for (ServeRung rung :
+         {ServeRung::kOctetAbft, ServeRung::kBlockedEll, ServeRung::kDenseGemm,
+          ServeRung::kFpuSubwarp, ServeRung::kCsrFine}) {
+      if (rung != entry && spmm_rung_eligible(rung, shape)) {
+        rungs.push_back(rung);
+      }
+    }
+  }
+
+  // ---- admission: quota, then device-memory reservation -------------
+  const std::size_t operand_bytes = a.row_ptr.bytes() + a.col_idx.bytes() +
+                                    a.values.bytes() + b.buf.bytes() +
+                                    c.buf.bytes();
+  const std::size_t workspace = spmm_ladder_workspace(policy, shape, rungs);
+  if (policy.memory_quota_bytes != 0 &&
+      operand_bytes + workspace > policy.memory_quota_bytes) {
+    reject(report, sink, ErrorCode::kQuotaExceeded, "serve.quota",
+           "request footprint " + std::to_string(operand_bytes + workspace) +
+               "B exceeds the per-request quota of " +
+               std::to_string(policy.memory_quota_bytes) + "B");
+  }
+  if (workspace > dev.capacity_bytes() - dev.used_bytes()) {
+    reject(report, sink, ErrorCode::kOutOfMemory, "serve.reserve",
+           "device headroom " +
+               std::to_string(dev.capacity_bytes() - dev.used_bytes()) +
+               "B cannot hold the " + std::to_string(workspace) +
+               "B ladder workspace; rejecting before launch");
+  }
+
+  // Re-encoded operands, built lazily on first use of their rung and
+  // logically freed on exit so long-lived peak accounting stays honest.
+  std::optional<BlockedEllDevice> ell_dev;
+  std::optional<DenseDevice<half_t>> dense_a;
+  const kernels::AbftOptions abft_opts =
+      options.abft.has_value() ? *options.abft : kernels::AbftOptions{};
+
+  auto cleanup = [&] {
+    if (ell_dev.has_value()) {
+      dev.free(ell_dev->col_idx);
+      dev.free(ell_dev->values);
+      ell_dev.reset();
+    }
+    if (dense_a.has_value()) {
+      dev.free(dense_a->buf);
+      dense_a.reset();
+    }
+  };
+
+  auto run_rung = [&](ServeRung rung) -> KernelRun {
+    switch (rung) {
+      case ServeRung::kOctet:
+        return kernels::spmm_octet(dev, a, b, c, {}, inner.sim);
+      case ServeRung::kOctetAbft: {
+        KernelRun run =
+            kernels::spmm_octet_abft(dev, a, b, c, {}, abft_opts, inner.sim);
+        // ABFT reports exhaustion instead of throwing; classify it so
+        // the retry/ladder policy can act on it.
+        if (!run.abft.clean) {
+          VSPARSE_RAISE(ErrorCode::kAbftExhausted, "serve.abft",
+                        "ABFT retries exhausted with "
+                            << run.abft.corrupted_tiles
+                            << " corrupted tiles remaining");
+        }
+        return run;
+      }
+      case ServeRung::kBlockedEll: {
+        if (!ell_dev.has_value()) {
+          const Cvs host = download_cvs(a);
+          ell_dev = to_device(
+              dev, BlockedEll::from_dense(host.to_dense(), a.v));
+        }
+        return kernels::spmm_blocked_ell(dev, *ell_dev, b, c, inner.sim);
+      }
+      case ServeRung::kDenseGemm: {
+        if (!dense_a.has_value()) {
+          const Cvs host = download_cvs(a);
+          dense_a = to_device(dev, host.to_dense());
+        }
+        return kernels::hgemm_tcu(dev, *dense_a, b, c, {}, inner.sim);
+      }
+      case ServeRung::kFpuSubwarp:
+        return kernels::spmm_fpu_subwarp(dev, a, b, c, {}, inner.sim);
+      case ServeRung::kCsrFine:
+        return kernels::spmm_csr_fine(dev, a, b, c, inner.sim);
+      case ServeRung::kWmmaWarp:
+        return kernels::spmm_wmma_warp(dev, a, b, c, inner.sim);
+      case ServeRung::kNumRungs:
+        break;
+    }
+    VSPARSE_RAISE(ErrorCode::kInternal, "serve.supervisor",
+                  "unreachable spmm rung");
+  };
+
+  try {
+    KernelRun run = run_ladder(policy, sink, report, rungs,
+                               [&] { zero_output(dev, c); }, run_rung);
+    cleanup();
+    return run;
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+}
+
+KernelRun supervised_sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
+                           const DenseDevice<half_t>& b, const CvsDevice& mask,
+                           gpusim::Buffer<half_t>& out_values,
+                           const kernels::SddmmOptions& options) {
+  VSPARSE_CHECK(options.serve != nullptr);
+  const ServePolicy& policy = *options.serve;
+  ServeReport local;
+  ServeReport& report = options.serve_report != nullptr
+                            ? *options.serve_report
+                            : local;
+  report.clear();
+  report.request_id = policy.request_id;
+  report.op = "sddmm";
+
+  gpusim::Trace* sink = resolve_sink(dev, options.sim);
+
+  kernels::SddmmOptions inner = options;
+  inner.serve = nullptr;
+  inner.serve_report = nullptr;
+
+  ServeRung entry;
+  switch (options.algorithm) {
+    case SddmmAlgorithm::kAuto:
+      entry = mask.v >= 2 ? ServeRung::kOctet : ServeRung::kFpuSubwarp;
+      break;
+    case SddmmAlgorithm::kOctet:
+      entry = ServeRung::kOctet;
+      break;
+    case SddmmAlgorithm::kWmmaWarp:
+      entry = ServeRung::kWmmaWarp;
+      break;
+    case SddmmAlgorithm::kFpuSubwarp:
+      entry = ServeRung::kFpuSubwarp;
+      break;
+    case SddmmAlgorithm::kCsrFine:
+      entry = ServeRung::kCsrFine;
+      break;
+    default:
+      entry = ServeRung::kFpuSubwarp;
+      break;
+  }
+  if (!sddmm_rung_eligible(entry, mask.v)) {
+    reject(report, sink, ErrorCode::kBadDispatch, "serve.supervisor",
+           "requested sddmm algorithm is not eligible for this mask");
+  }
+  std::vector<ServeRung> rungs{entry};
+  if (policy.ladder) {
+    for (ServeRung rung :
+         {ServeRung::kWmmaWarp, ServeRung::kFpuSubwarp, ServeRung::kCsrFine}) {
+      if (rung != entry && sddmm_rung_eligible(rung, mask.v)) {
+        rungs.push_back(rung);
+      }
+    }
+  }
+
+  // SDDMM has no re-encode rungs, so the footprint is operands only.
+  const std::size_t operand_bytes =
+      a.buf.bytes() + b.buf.bytes() + mask.row_ptr.bytes() +
+      mask.col_idx.bytes() + mask.values.bytes() + out_values.bytes();
+  if (policy.memory_quota_bytes != 0 &&
+      operand_bytes > policy.memory_quota_bytes) {
+    reject(report, sink, ErrorCode::kQuotaExceeded, "serve.quota",
+           "request footprint " + std::to_string(operand_bytes) +
+               "B exceeds the per-request quota of " +
+               std::to_string(policy.memory_quota_bytes) + "B");
+  }
+
+  auto run_rung = [&](ServeRung rung) -> KernelRun {
+    switch (rung) {
+      case ServeRung::kOctet:
+        return kernels::sddmm_octet(dev, a, b, mask, out_values, {},
+                                    inner.sim);
+      case ServeRung::kWmmaWarp:
+        return kernels::sddmm_wmma_warp(dev, a, b, mask, out_values,
+                                        inner.sim);
+      case ServeRung::kFpuSubwarp:
+        return kernels::sddmm_fpu_subwarp(dev, a, b, mask, out_values, {},
+                                          inner.sim);
+      case ServeRung::kCsrFine:
+        return kernels::sddmm_csr_fine(dev, a, b, mask, out_values,
+                                       inner.sim);
+      default:
+        break;
+    }
+    VSPARSE_RAISE(ErrorCode::kInternal, "serve.supervisor",
+                  "unreachable sddmm rung");
+  };
+
+  return run_ladder(policy, sink, report, rungs,
+                    [&] { zero_buffer(out_values); }, run_rung);
+}
+
+const ServeReport& Supervisor::finish(ServeReport&& report) {
+  ++totals_.requests;
+  totals_.completed += report.completed ? 1 : 0;
+  totals_.retries += static_cast<std::uint64_t>(report.retries);
+  totals_.fallbacks += static_cast<std::uint64_t>(report.fallbacks);
+  totals_.rejected += report.rejected ? 1 : 0;
+  totals_.give_ups += (!report.completed && !report.rejected) ? 1 : 0;
+  reports_.push_back(std::move(report));
+  return reports_.back();
+}
+
+const ServeReport& Supervisor::record_rejection(const char* op, ErrorCode code,
+                                                std::string site) {
+  ServeReport report;
+  report.request_id = next_request_++;
+  report.op = op;
+  report.rejected = true;
+  report.has_error = true;
+  report.final_code = code;
+  report.final_site = std::move(site);
+  return finish(std::move(report));
+}
+
+const ServeReport& Supervisor::submit_spmm(const CvsDevice& a,
+                                           const DenseDevice<half_t>& b,
+                                           DenseDevice<half_t>& c,
+                                           kernels::SpmmOptions options) {
+  ServePolicy policy = policy_;
+  policy.request_id = next_request_++;
+  ServeReport report;
+  options.serve = &policy;
+  options.serve_report = &report;
+  try {
+    supervised_spmm(dev_, a, b, c, options);
+  } catch (const vsparse::Error&) {
+    // Classified and recorded in the report — contained by design.
+  } catch (const std::exception&) {
+    // run_ladder classified it kInternal; still contained.
+  }
+  return finish(std::move(report));
+}
+
+const ServeReport& Supervisor::submit_sddmm(const DenseDevice<half_t>& a,
+                                            const DenseDevice<half_t>& b,
+                                            const CvsDevice& mask,
+                                            gpusim::Buffer<half_t>& out_values,
+                                            kernels::SddmmOptions options) {
+  ServePolicy policy = policy_;
+  policy.request_id = next_request_++;
+  ServeReport report;
+  options.serve = &policy;
+  options.serve_report = &report;
+  try {
+    supervised_sddmm(dev_, a, b, mask, out_values, options);
+  } catch (const vsparse::Error&) {
+  } catch (const std::exception&) {
+  }
+  return finish(std::move(report));
+}
+
+}  // namespace vsparse::serve

@@ -223,7 +223,7 @@ TEST(ApiOptions, SddmmAbftIsReservedAndRejected) {
       dev.alloc<half_t>(mask.col_idx.size() * static_cast<std::size_t>(mask.v));
   EXPECT_THROW(
       sddmm(dev, da, db, dmask, out, {.abft = AbftOptions{}}),
-      CheckError);
+      vsparse::Error);  // kBadDispatch
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ TEST(Device, ExhaustionThrows) {
   DeviceConfig cfg = small_config();
   cfg.dram_capacity = 1 << 10;
   Device dev(cfg);
-  EXPECT_THROW(dev.alloc<std::uint8_t>(2048), CheckError);
+  EXPECT_THROW(dev.alloc<std::uint8_t>(2048), Error);  // kOutOfMemory
 }
 
 TEST(Launch, ValidatesConfig) {

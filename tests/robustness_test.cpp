@@ -1,8 +1,10 @@
 // Negative-path robustness: malformed .smtx inputs are rejected with
-// CheckError (not crashes or silent misparses), the dispatch layer
-// rejects shape mismatches and unsupported ABFT algorithms, worker and
-// caller exceptions unwind the threaded engine cleanly with the pool
-// reusable afterwards, and the allocator's overflow guards hold.
+// classified vsparse::Error{kMalformedFormat} (not crashes or silent
+// misparses), the dispatch layer rejects shape mismatches and
+// unsupported ABFT algorithms with kBadDispatch, worker and caller
+// exceptions unwind the threaded engine cleanly with the pool reusable
+// afterwards, and the allocator's overflow guards hold with their
+// taxonomy codes (kAllocOverflow / kOutOfMemory).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -10,6 +12,7 @@
 #include <string>
 
 #include "vsparse/common/macros.hpp"
+#include "vsparse/serve/error.hpp"
 #include "vsparse/common/rng.hpp"
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/formats/smtx_io.hpp"
@@ -19,6 +22,22 @@
 
 namespace vsparse {
 namespace {
+
+/// Runs `fn`, asserting it throws a classified vsparse::Error, and
+/// returns the taxonomy code for the caller to match on.
+template <class F>
+ErrorCode code_of(F&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected vsparse::Error, got: " << e.what();
+    return ErrorCode::kNumCodes;
+  }
+  ADD_FAILURE() << "expected vsparse::Error, got no exception";
+  return ErrorCode::kNumCodes;
+}
 
 gpusim::DeviceConfig test_config() {
   gpusim::DeviceConfig cfg;
@@ -35,39 +54,39 @@ SmtxPattern parse(const std::string& text) {
 }
 
 TEST(SmtxMalformed, EmptyStream) {
-  EXPECT_THROW(parse(""), CheckError);
+  EXPECT_EQ(code_of([&] { parse(""); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, TruncatedHeader) {
-  EXPECT_THROW(parse("4, 4\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, MissingRowPtrLine) {
-  EXPECT_THROW(parse("4, 4, 2\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, RowPtrWrongLength) {
-  EXPECT_THROW(parse("4, 4, 2\n0 1 2\n0 1\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 1 2\n0 1\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, RowPtrEndpointsInconsistentWithNnz) {
-  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 3\n0 1\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 1 1 2 3\n0 1\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, RowPtrNotMonotone) {
-  EXPECT_THROW(parse("4, 4, 2\n0 2 1 2 2\n0 1\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 2 1 2 2\n0 1\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, ColumnOutOfRange) {
-  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0 4\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 1 1 2 2\n0 4\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, ColIdxWrongCount) {
-  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 1 1 2 2\n0\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(SmtxMalformed, NegativeIndexRejected) {
-  EXPECT_THROW(parse("4, 4, 2\n0 1 1 2 2\n0 -1\n"), CheckError);
+  EXPECT_EQ(code_of([&] { parse("4, 4, 2\n0 1 1 2 2\n0 -1\n"); }), ErrorCode::kMalformedFormat);
 }
 
 TEST(Smtx, WellFormedRoundTrips) {
@@ -96,7 +115,7 @@ TEST(DispatchGuards, SpmmShapeMismatchRejected) {
   EXPECT_THROW(
       kernels::spmm(dev, da, db, dc,
                     {.algorithm = kernels::SpmmAlgorithm::kOctet}),
-      CheckError);
+      CheckError);  // kernel-level shape guard, deliberately un-reclassified
 }
 
 TEST(DispatchGuards, AbftSpmmRequiresOctetKernel) {
@@ -108,17 +127,19 @@ TEST(DispatchGuards, AbftSpmmRequiresOctetKernel) {
   DenseDevice<half_t> db{b, 96, 64, 64, Layout::kRowMajor};
   auto c = dev.alloc<half_t>(std::size_t{32} * 64);
   DenseDevice<half_t> dc{c, 32, 64, 64, Layout::kRowMajor};
-  EXPECT_THROW(
-      kernels::spmm(dev, da, db, dc, {.abft = kernels::AbftOptions{}}),
-      CheckError);
+  EXPECT_EQ(code_of([&] {
+              kernels::spmm(dev, da, db, dc, {.abft = kernels::AbftOptions{}});
+            }),
+            ErrorCode::kBadDispatch);
 
   Cvs octet = make_cvs(32, 96, 4, 0.5, rng);
   auto da4 = to_device(dev, octet);
-  EXPECT_THROW(
-      kernels::spmm(dev, da4, db, dc,
-                    {.algorithm = kernels::SpmmAlgorithm::kFpuSubwarp,
-                     .abft = kernels::AbftOptions{}}),
-      CheckError);
+  EXPECT_EQ(code_of([&] {
+              kernels::spmm(dev, da4, db, dc,
+                            {.algorithm = kernels::SpmmAlgorithm::kFpuSubwarp,
+                             .abft = kernels::AbftOptions{}});
+            }),
+            ErrorCode::kBadDispatch);
 }
 
 // ---- engine unwind + pool reuse --------------------------------------
@@ -168,16 +189,19 @@ TEST(EngineUnwind, WorkerAndCallerThrowsLeavePoolReusable) {
 
 TEST(AllocGuards, ElementCountTimesSizeOverflowRejected) {
   gpusim::Device dev(test_config());
-  EXPECT_THROW(dev.alloc<double>(SIZE_MAX / 4), CheckError);
+  EXPECT_EQ(code_of([&] { dev.alloc<double>(SIZE_MAX / 4); }),
+            ErrorCode::kAllocOverflow);
 }
 
 TEST(AllocGuards, BeyondCapacityRejected) {
   gpusim::Device dev(test_config());
   const std::size_t cap = dev.config().dram_capacity;
-  EXPECT_THROW(dev.alloc<std::uint8_t>(cap + 1), CheckError);
+  EXPECT_EQ(code_of([&] { dev.alloc<std::uint8_t>(cap + 1); }),
+            ErrorCode::kOutOfMemory);
   // Near-SIZE_MAX requests must be rejected, not wrap in the
   // alignment arithmetic.
-  EXPECT_THROW(dev.alloc<std::uint8_t>(SIZE_MAX - 16), CheckError);
+  EXPECT_EQ(code_of([&] { dev.alloc<std::uint8_t>(SIZE_MAX - 16); }),
+            ErrorCode::kOutOfMemory);
   // The device stays usable after rejected requests.
   auto ok = dev.alloc<std::uint8_t>(1024);
   EXPECT_EQ(ok.size(), 1024u);

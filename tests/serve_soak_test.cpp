@@ -1,0 +1,64 @@
+// The ISSUE-4 acceptance soak: 1000 supervised launches through one
+// Supervisor under a seeded fault storm (serve/soak.hpp) — zero
+// process aborts, every outcome classified by taxonomy code, every
+// recovered launch bit-identical to the fault-free reference, and the
+// full vsparse-serve-v1 report byte-identical at --threads=1/2/8.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vsparse/serve/soak.hpp"
+
+namespace vsparse {
+namespace {
+
+serve::SoakConfig storm_config(int threads) {
+  serve::SoakConfig config;
+  config.requests = 1000;
+  config.seed = 2021;
+  config.threads = threads;
+  config.queue_capacity = 64;
+  config.memory_quota_bytes = std::size_t{1} << 19;  // oversized mech on
+  return config;
+}
+
+TEST(ServeSoak, ThousandLaunchStormZeroAbortsAllClassifiedBitExact) {
+  // run_soak never throws for classified failures; reaching the
+  // assertions below IS the zero-aborts contract.
+  const serve::SoakResult result = serve::run_soak(storm_config(1));
+
+  EXPECT_EQ(result.totals.requests, 1000u);
+  EXPECT_GT(result.totals.completed, 0u);
+  EXPECT_GT(result.totals.retries, 0u);     // transient mechanism hit
+  EXPECT_GT(result.totals.fallbacks, 0u);   // sticky mechanism hit
+  EXPECT_GT(result.totals.give_ups, 0u);    // watchdog mechanism hit
+  EXPECT_GT(result.totals.rejected, 0u);    // quota + queue rejections
+  EXPECT_GT(result.queue_rejected, 0u);     // backpressure exercised
+  EXPECT_EQ(result.totals.completed + result.totals.give_ups +
+                result.totals.rejected,
+            result.totals.requests);
+
+  // Every recovered launch bit-identical to its fault-free reference.
+  EXPECT_EQ(result.mismatches, 0u);
+
+  // Every report line carries a machine-readable outcome: completed
+  // reports a rung, failed reports a taxonomy code.
+  EXPECT_NE(result.report_json.find("\"schema\":\"vsparse-serve-v1\""),
+            std::string::npos);
+  EXPECT_EQ(result.report_json.find("\"code\":\"internal\""),
+            std::string::npos);
+}
+
+TEST(ServeSoak, ReportByteIdenticalAcrossThreadCounts) {
+  const serve::SoakResult t1 = serve::run_soak(storm_config(1));
+  const serve::SoakResult t2 = serve::run_soak(storm_config(2));
+  const serve::SoakResult t8 = serve::run_soak(storm_config(8));
+  EXPECT_EQ(t1.report_json, t2.report_json);
+  EXPECT_EQ(t1.report_json, t8.report_json);
+  EXPECT_EQ(t1.mismatches, 0u);
+  EXPECT_EQ(t2.mismatches, 0u);
+  EXPECT_EQ(t8.mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace vsparse

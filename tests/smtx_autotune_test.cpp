@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "vsparse/formats/generate.hpp"
+#include "vsparse/serve/error.hpp"
 #include "vsparse/formats/smtx_io.hpp"
 #include "vsparse/kernels/autotune.hpp"
 
@@ -38,28 +39,28 @@ TEST(Smtx, AcceptsCommaSeparators) {
 TEST(Smtx, RejectsMalformedInput) {
   {
     std::istringstream is("3, 8\n");  // short header
-    EXPECT_THROW(read_smtx(is), CheckError);
+    EXPECT_THROW(read_smtx(is), Error);  // kMalformedFormat
   }
   {
     std::istringstream is(
         "2, 4, 2\n"
         "0 1 2\n"
         "5 0\n");  // column 5 out of range
-    EXPECT_THROW(read_smtx(is), CheckError);
+    EXPECT_THROW(read_smtx(is), Error);  // kMalformedFormat
   }
   {
     std::istringstream is(
         "2, 4, 2\n"
         "0 2 1\n"  // non-monotone row_ptr (and back != nnz)
         "1 0\n");
-    EXPECT_THROW(read_smtx(is), CheckError);
+    EXPECT_THROW(read_smtx(is), Error);  // kMalformedFormat
   }
   {
     std::istringstream is(
         "2, 4, 3\n"
         "0 1 3\n"
         "1 0\n");  // col_idx shorter than nnz
-    EXPECT_THROW(read_smtx(is), CheckError);
+    EXPECT_THROW(read_smtx(is), Error);  // kMalformedFormat
   }
 }
 
@@ -90,7 +91,7 @@ TEST(Smtx, FileRoundTrip) {
   SmtxPattern p = read_smtx_file(path);
   EXPECT_EQ(p.rows, m.vec_rows());
   EXPECT_EQ(p.col_idx, m.col_idx);
-  EXPECT_THROW(read_smtx_file("/nonexistent/x.smtx"), CheckError);
+  EXPECT_THROW(read_smtx_file("/nonexistent/x.smtx"), Error);
 }
 
 TEST(Autotune, OctetPrefersBatchingAndRanksAllCandidates) {
