@@ -161,6 +161,65 @@ bool TraceSession::finish() {
   return ok;
 }
 
+SanitizerSession::SanitizerSession(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sanitize") == 0) {
+      enabled_ = true;  // bare flag: all tools
+    } else if (std::strncmp(argv[i], "--sanitize=", 11) == 0) {
+      enabled_ = true;
+      if (!gpusim::parse_sanitizer_tools(argv[i] + 11, &opts_)) {
+        std::fprintf(stderr,
+                     "unknown tool in %s (expected a comma list of "
+                     "race,sync,init,bounds or \"all\")\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strncmp(argv[i], "--sanitize-report=", 18) == 0) {
+      report_path_ = argv[i] + 18;
+    }
+  }
+}
+
+SanitizerSession::~SanitizerSession() { finish(); }
+
+gpusim::SanitizerOptions SanitizerSession::options() {
+  gpusim::SanitizerOptions opts = opts_;
+  opts.sink = enabled_ ? &sink_ : nullptr;
+  return opts;
+}
+
+bool SanitizerSession::finish() {
+  if (!enabled_ || finished_) return true;
+  finished_ = true;
+  std::uint64_t suppressed = 0;
+  for (const gpusim::LaunchSanitizerRecord& launch : sink_.launches()) {
+    suppressed += launch.suppressed;
+  }
+  std::printf(
+      "# sanitizer: {\"launches\":%llu,\"reports\":%llu,\"suppressed\":%llu,"
+      "\"race\":%llu,\"sync\":%llu,\"init\":%llu,\"bounds\":%llu}\n",
+      static_cast<unsigned long long>(sink_.num_launches()),
+      static_cast<unsigned long long>(sink_.num_reports()),
+      static_cast<unsigned long long>(suppressed),
+      static_cast<unsigned long long>(
+          sink_.num_reports(gpusim::SanitizerTool::kRace)),
+      static_cast<unsigned long long>(
+          sink_.num_reports(gpusim::SanitizerTool::kSync)),
+      static_cast<unsigned long long>(
+          sink_.num_reports(gpusim::SanitizerTool::kInit)),
+      static_cast<unsigned long long>(
+          sink_.num_reports(gpusim::SanitizerTool::kBounds)));
+  bool ok = true;
+  if (!report_path_.empty()) {
+    ok = gpusim::write_sanitizer_report(sink_, report_path_);
+    std::printf(ok ? "# sanitizer: wrote %s\n"
+                   : "# sanitizer: FAILED to write %s\n",
+                report_path_.c_str());
+  }
+  std::fflush(stdout);
+  return ok;
+}
+
 SimThroughput::SimThroughput(int threads)
     : threads_(threads),
       start_ctas_(gpusim::total_simulated_ctas()),

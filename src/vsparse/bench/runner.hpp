@@ -14,6 +14,7 @@
 
 #include "vsparse/gpusim/costmodel.hpp"
 #include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/sanitizer/report.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
 #include "vsparse/kernels/api.hpp"
 
@@ -94,6 +95,48 @@ class TraceSession {
   gpusim::Trace trace_;
 };
 
+/// Kernel hazard analysis for a bench driver, driven by command-line
+/// flags:
+///
+///   --sanitize[=LIST]       enable the sanitizer; LIST is a comma
+///                           list of tools (race,sync,init,bounds;
+///                           "all" or a bare --sanitize = everything)
+///   --sanitize-report=FILE  at exit write the vsparse-sanitizer-v1
+///                           JSON report to FILE
+///
+/// Without --sanitize the session is inert: options() returns a
+/// disabled SanitizerOptions (null sink) and nothing is printed, so a
+/// driver's stdout is byte-identical to the pre-sanitizer build.  With
+/// it, finish() (also called from the destructor) prints a one-line
+/// `# sanitizer: ...` summary and writes the report file if requested.
+class SanitizerSession {
+ public:
+  SanitizerSession(int argc, char** argv);
+  ~SanitizerSession();
+  SanitizerSession(const SanitizerSession&) = delete;
+  SanitizerSession& operator=(const SanitizerSession&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// SanitizerOptions to install in a SimOptions (and, through
+  /// fresh_device, in the device defaults every launch inherits).
+  gpusim::SanitizerOptions options();
+
+  /// Print the summary / write the report now (idempotent).  Returns
+  /// true if the report file (when requested) was written successfully
+  /// or sanitizing is disabled.
+  bool finish();
+
+  gpusim::Sanitizer& sanitizer() { return sink_; }
+
+ private:
+  bool enabled_ = false;
+  gpusim::SanitizerOptions opts_;
+  std::string report_path_;
+  bool finished_ = false;
+  gpusim::Sanitizer sink_;
+};
+
 /// Wall-clock throughput of the simulator itself (how fast the host
 /// simulates, not how fast the modeled GPU would run).  Snapshot at
 /// construction, then print_summary() emits one JSON line:
@@ -116,9 +159,11 @@ class SimThroughput {
 /// The shared per-driver session every figure/table bench opens first:
 /// one declaration wires up the common command-line surface
 ///
-///   --threads=N        host simulation threads (parse_threads)
-///   --trace=PREFIX     Perfetto/metrics launch tracing (TraceSession)
-///   --trace-sample=N   sampled warp-op events
+///   --threads=N             host simulation threads (parse_threads)
+///   --trace=PREFIX          Perfetto/metrics launch tracing
+///   --trace-sample=N        sampled warp-op events
+///   --sanitize[=LIST]       kernel hazard analysis (SanitizerSession)
+///   --sanitize-report=FILE  vsparse-sanitizer-v1 JSON export
 ///
 /// and the standard epilogue.  Usage:
 ///
@@ -126,35 +171,40 @@ class SimThroughput {
 ///   const gpusim::SimOptions& sim = session.sim();
 ///   ...
 ///   return session.finish();   // throughput line, trace exports,
-///                              // bench_exit_code()
+///                              // sanitizer summary, bench_exit_code()
 ///
 /// finish() emits in the exact order the hand-rolled drivers did
-/// (throughput summary, then the `# trace:` note from the trace
-/// session), so converting a driver leaves its clean-run stdout
-/// byte-identical.
+/// (throughput summary, then the `# trace:` note, then the
+/// `# sanitizer:` summary), so converting a driver leaves its clean-run
+/// stdout byte-identical.
 class DriverSession {
  public:
   DriverSession(int argc, char** argv)
       : trace_(argc, argv),
+        sanitize_(argc, argv),
         sim_{.threads = parse_threads(argc, argv),
-             .trace = trace_.options()},
+             .trace = trace_.options(),
+             .sanitize = sanitize_.options()},
         throughput_(sim_.threads) {}
 
-  /// SimOptions with threads and tracing installed; pass to kernels or
-  /// fresh_device so every launch inherits them.
+  /// SimOptions with threads, tracing, and sanitizing installed; pass
+  /// to kernels or fresh_device so every launch inherits them.
   const gpusim::SimOptions& sim() const { return sim_; }
   int threads() const { return sim_.threads; }
   TraceSession& trace() { return trace_; }
+  SanitizerSession& sanitize() { return sanitize_; }
 
   /// Standard driver epilogue; returns the process exit code.
   int finish() {
     throughput_.print_summary();
     trace_.finish();
+    sanitize_.finish();
     return bench_exit_code();
   }
 
  private:
   TraceSession trace_;
+  SanitizerSession sanitize_;
   gpusim::SimOptions sim_;
   SimThroughput throughput_;
 };

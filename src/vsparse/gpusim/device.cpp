@@ -1,5 +1,8 @@
 #include "vsparse/gpusim/device.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "vsparse/gpusim/faults.hpp"
 
 namespace vsparse::gpusim {
@@ -14,7 +17,8 @@ Device::Device(DeviceConfig cfg)
   arena_ = std::make_unique_for_overwrite<std::byte[]>(capacity_);
 }
 
-std::uint64_t Device::alloc_bytes(std::size_t bytes) {
+std::uint64_t Device::alloc_bytes(std::size_t bytes, const char* name,
+                                  std::size_t slack_bytes) {
   std::size_t aligned;
   {
     std::lock_guard<std::mutex> lock(alloc_mutex_);
@@ -28,8 +32,12 @@ std::uint64_t Device::alloc_bytes(std::size_t bytes) {
                             << bytes << "B, used " << used << "B of "
                             << capacity_ << "B — call Device::reset() between "
                             << "independent experiments");
+    // The vector-load slack (see Device::alloc) deliberately does NOT
+    // advance the bump pointer or the accounting: it only widens what
+    // the sanitizer's boundscheck accepts, so declaring slack can never
+    // perturb the memory layout a calibrated run depends on.
     used_.store(aligned + bytes, std::memory_order_relaxed);
-    allocations_.emplace(aligned, bytes);
+    allocations_.emplace(aligned, AllocInfo{bytes, slack_bytes, true, name});
     const std::size_t live = live_.load(std::memory_order_relaxed) + bytes;
     live_.store(live, std::memory_order_relaxed);
     if (live > peak_.load(std::memory_order_relaxed)) {
@@ -38,17 +46,89 @@ std::uint64_t Device::alloc_bytes(std::size_t bytes) {
   }
   // Zero outside the lock: the region is already reserved, so it is
   // private to this allocation and the memset can be arbitrarily large.
-  std::memset(arena_.get() + aligned, 0, bytes);
+  // The slack tail up to the next 256 B boundary is zeroed too (that
+  // span can never belong to another allocation); slack beyond it
+  // overlaps the neighbouring allocation and keeps its bytes.
+  std::size_t zero_bytes = bytes;
+  if (slack_bytes > 0) {
+    const std::size_t block_end =
+        std::min<std::size_t>(round_up<std::size_t>(aligned + bytes, 256),
+                              capacity_);
+    zero_bytes = std::min(aligned + bytes + slack_bytes, block_end) - aligned;
+  }
+  std::memset(arena_.get() + aligned, 0, zero_bytes);
   return aligned;
 }
 
 void Device::free_bytes(std::uint64_t addr) {
   std::lock_guard<std::mutex> lock(alloc_mutex_);
   auto it = allocations_.find(addr);
-  VSPARSE_CHECK_MSG(it != allocations_.end(),
+  VSPARSE_CHECK_MSG(it != allocations_.end() && it->second.live,
                     "free of unknown device address " << addr);
-  live_.fetch_sub(it->second, std::memory_order_relaxed);
-  allocations_.erase(it);
+  live_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  // Keep the dead record: the bump arena never reuses addresses, so the
+  // sanitizer (and translate errors) can distinguish "use after free"
+  // from "never allocated".  Device::reset drops everything.
+  it->second.live = false;
+}
+
+std::vector<AllocRecord> Device::allocation_snapshot() const {
+  std::vector<AllocRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    snapshot.reserve(allocations_.size());
+    for (const auto& [addr, info] : allocations_) {
+      snapshot.push_back(
+          AllocRecord{addr, info.bytes, info.slack, info.live, info.name});
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const AllocRecord& a, const AllocRecord& b) {
+              return a.addr < b.addr;
+            });
+  return snapshot;
+}
+
+std::string Device::describe_addr(std::uint64_t addr) const {
+  // Nearest allocation at or below `addr` (the bump allocator hands out
+  // strictly increasing, non-overlapping ranges).
+  std::uint64_t best_addr = 0;
+  AllocInfo best;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    for (const auto& [base, info] : allocations_) {
+      if (base <= addr && (!found || base > best_addr)) {
+        best_addr = base;
+        best = info;
+        found = true;
+      }
+    }
+  }
+  std::ostringstream os;
+  if (!found) {
+    os << "no allocation at or below address " << addr;
+    return os.str();
+  }
+  os << (best.live ? "allocation" : "freed allocation") << " '"
+     << (best.name.empty() ? "(unnamed)" : best.name.c_str()) << "' ["
+     << best_addr << ", " << best_addr + best.bytes << ')';
+  if (addr >= best_addr + best.bytes) {
+    os << " ends " << addr - (best_addr + best.bytes - 1)
+       << "B before this address";
+  } else {
+    os << " (+ offset " << addr - best_addr << ')';
+  }
+  return os.str();
+}
+
+void Device::translate_fail(std::uint64_t addr, std::size_t len,
+                            std::size_t used) const {
+  std::ostringstream os;
+  os << "device OOB access: addr=" << addr << " len=" << len
+     << " used=" << used << "; nearest: " << describe_addr(addr);
+  ::vsparse::detail::check_failed("len <= used && addr <= used - len",
+                                  __FILE__, __LINE__, os.str());
 }
 
 void Device::reset() {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,22 @@ namespace vsparse::gpusim {
 
 class Device;
 class FaultPlan;
+
+/// One allocation as seen by diagnostics: the sanitizer's boundscheck
+/// snapshots the allocation table at launch start (sorted by address)
+/// and `Device::translate` names the nearest allocation in its OOB
+/// error.  `live == false` means logically freed — the bump arena never
+/// reuses addresses, so dead records persist until Device::reset and a
+/// touch inside one is a use-after-free, not a wild pointer.
+struct AllocRecord {
+  std::uint64_t addr = 0;
+  std::size_t bytes = 0;
+  /// Sputnik-style vector-load tail: bytes past `bytes` the boundscheck
+  /// accepts as in-bounds (see Device::alloc_copy).  Zero by default.
+  std::size_t slack = 0;
+  bool live = true;
+  std::string name;  ///< caller-provided label; empty = unnamed
+};
 
 /// Handle to a typed allocation in simulated device memory.  Copyable
 /// view (does not own); lifetime is managed by the Device (free/reset).
@@ -93,23 +110,45 @@ class Device {
 
   /// Allocate `count` elements of T, 256-byte aligned (so 128 B
   /// transaction alignment analysis is meaningful).  Contents zeroed.
+  /// `name` labels the allocation in diagnostics (translate OOB errors,
+  /// sanitizer boundscheck reports); empty = unnamed.
   /// Raises vsparse::Error{kAllocOverflow} on size-arithmetic wrap and
   /// vsparse::Error{kOutOfMemory} when the arena is exhausted.
+  /// `tail_slack_bytes` declares a Sputnik-style vector-load tail: a
+  /// kernel whose widest aligned vector load may overhang the final
+  /// element (LDG.64 index pairs, 16 B-aligned LDG.128 value streams)
+  /// needs those bytes readable, and real Sputnik requires its input
+  /// arrays padded accordingly.  The slack is *not* arena padding — the
+  /// bump pointer advances exactly as for a slack-free allocation, so
+  /// the memory layout (and with it every address-sensitive cache
+  /// statistic) is unchanged; the tail lives in the 256 B alignment gap
+  /// the allocator leaves anyway, and the sanitizer's boundscheck
+  /// accepts it instead of reporting a red-zone hit.  Overhang loads
+  /// return zeros or the neighbouring allocation's bytes; kernels must
+  /// never consume them (they exist to keep the *access* legal).
   template <class T>
-  Buffer<T> alloc(std::size_t count) {
+  Buffer<T> alloc(std::size_t count, const char* name = "",
+                  std::size_t tail_slack_bytes = 0) {
     VSPARSE_CHECK_RAISE(count <= SIZE_MAX / sizeof(T),
                         ErrorCode::kAllocOverflow, "gpusim.alloc",
                         "device alloc overflows size_t: count="
                             << count << " elem_size=" << sizeof(T));
-    const std::uint64_t addr = alloc_bytes(count * sizeof(T));
+    const std::uint64_t addr =
+        alloc_bytes(count * sizeof(T), name, tail_slack_bytes);
     return Buffer<T>(this, addr, count);
   }
 
-  /// Allocate and fill from host data.
+  /// Allocate and fill from host data.  `tail_slack_elems` elements of
+  /// vector-load slack are declared past the logical end (see alloc).
   template <class T>
-  Buffer<T> alloc_copy(std::span<const T> src) {
-    Buffer<T> buf = alloc<T>(src.size());
-    std::memcpy(translate(buf.addr(), buf.bytes()), src.data(), buf.bytes());
+  Buffer<T> alloc_copy(std::span<const T> src, const char* name = "",
+                       std::size_t tail_slack_elems = 0) {
+    Buffer<T> buf =
+        alloc<T>(src.size(), name, tail_slack_elems * sizeof(T));
+    if (!src.empty()) {
+      std::memcpy(translate(buf.addr(), src.size() * sizeof(T)), src.data(),
+                  src.size() * sizeof(T));
+    }
     return buf;
   }
 
@@ -154,9 +193,9 @@ class Device {
     // translation of an address another thread is still allocating
     // requires external synchronization anyway.
     const std::size_t used = used_.load(std::memory_order_relaxed);
-    VSPARSE_CHECK_MSG(len <= used && addr <= used - len,
-                      "device OOB access: addr=" << addr << " len=" << len
-                                                 << " used=" << used);
+    if (len > used || addr > used - len) [[unlikely]] {
+      translate_fail(addr, len, used);
+    }
     return arena_.get() + addr;
   }
   const std::byte* translate(std::uint64_t addr, std::size_t len) const {
@@ -177,6 +216,18 @@ class Device {
   const SimOptions& sim_options() const { return sim_options_; }
   void set_sim_options(const SimOptions& opts) { sim_options_ = opts; }
 
+  /// Snapshot of the allocation table, sorted by address, dead records
+  /// included.  Taken once per sanitized launch (engine `run_launch`)
+  /// so the per-lane boundscheck walks an immutable local array instead
+  /// of taking `alloc_mutex_` on the hot path.
+  std::vector<AllocRecord> allocation_snapshot() const;
+
+  /// "allocation 'a_values' [256, 4352) (+ offset 12)" for the nearest
+  /// allocation at or below `addr`, or a note that none exists.  Cold
+  /// path (takes alloc_mutex_); used by translate errors and sanitizer
+  /// report details.
+  std::string describe_addr(std::uint64_t addr) const;
+
   /// Attach (or detach, with nullptr) a fault-injection plan.  The plan
   /// must outlive the attachment; it is prepared for this device's SM
   /// count so targeted faults carry per-SM armed state across launches.
@@ -186,8 +237,18 @@ class Device {
   FaultPlan* fault_plan() const { return fault_plan_; }
 
  private:
-  std::uint64_t alloc_bytes(std::size_t bytes);
+  struct AllocInfo {
+    std::size_t bytes = 0;
+    std::size_t slack = 0;
+    bool live = true;
+    std::string name;
+  };
+
+  std::uint64_t alloc_bytes(std::size_t bytes, const char* name,
+                            std::size_t slack_bytes = 0);
   void free_bytes(std::uint64_t addr);
+  [[noreturn]] void translate_fail(std::uint64_t addr, std::size_t len,
+                                   std::size_t used) const;
 
   DeviceConfig cfg_;
   std::unique_ptr<std::byte[]> arena_;
@@ -200,7 +261,7 @@ class Device {
   std::atomic<std::size_t> used_{0};
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
-  std::unordered_map<std::uint64_t, std::size_t> allocations_;
+  std::unordered_map<std::uint64_t, AllocInfo> allocations_;
   ShardedCache l2_;
   SimOptions sim_options_;
   FaultPlan* fault_plan_ = nullptr;

@@ -9,6 +9,7 @@
 #include "vsparse/gpusim/engine/lanes.hpp"
 #include "vsparse/gpusim/engine/launch_config.hpp"
 #include "vsparse/gpusim/engine/sm_context.hpp"
+#include "vsparse/gpusim/sanitizer/shadow.hpp"
 #include "vsparse/gpusim/stats.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
 
@@ -65,6 +66,16 @@ class Warp {
   /// load batch from the MMA batch.  Counted as a MEMBAR issue slot.
   void fence();
 
+  /// Per-warp barrier arrival (bar.sync as one warp executes it) —
+  /// advances this warp's barrier epoch for the sanitizer's racecheck.
+  /// Warps run phase-by-phase, so a CTA-wide barrier is each warp
+  /// executing bar_sync once per phase; `Cta::sync()` is the uniform
+  /// shorthand that arrives every warp.  A partial `mask` models a
+  /// barrier executed under divergence — always a bug, and what
+  /// synccheck exists to report.  Costs one kBar issue slot, exactly
+  /// like one warp's share of Cta::sync().
+  void bar_sync(std::uint32_t mask = kFullMask);
+
   Cta& cta() { return *cta_; }
 
  private:
@@ -110,6 +121,9 @@ class Cta {
     if (SmTrace* t = sm_->trace()) [[unlikely]] {
       t->on_sync(cta_id_, num_warps());
     }
+    if (SmSanitizer* san = sm_->sanitizer()) [[unlikely]] {
+      san->on_cta_sync();
+    }
   }
 
   /// Raw shared-memory storage (kernels address it via lds/sts offsets;
@@ -141,5 +155,12 @@ inline void Warp::count(Op op, std::uint64_t n) {
 }
 
 inline void Warp::fence() { count(Op::kBar); }
+
+inline void Warp::bar_sync(std::uint32_t mask) {
+  count(Op::kBar);
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    san->on_bar_arrive(warp_id_, mask);
+  }
+}
 
 }  // namespace vsparse::gpusim

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "vsparse/gpusim/engine/sm_context.hpp"
 #include "vsparse/gpusim/engine/thread_pool.hpp"
 #include "vsparse/gpusim/faults.hpp"
+#include "vsparse/gpusim/sanitizer/shadow.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
 
 namespace vsparse::gpusim {
@@ -29,8 +31,16 @@ void run_cta(SmContext& sm, const LaunchConfig& cfg, int cta_id,
   if (SmTrace* t = sm.trace()) {
     t->emit(TraceEventKind::kCtaBegin, cta_id, /*warp=*/-1, warps);
   }
+  if (SmSanitizer* san = sm.sanitizer()) {
+    san->on_cta_begin(cta_id, static_cast<int>(warps));
+  }
   Cta cta(&sm, &cfg, cta_id);
   body(cta);
+  // Only a CTA that ran to completion is checked for barrier-count
+  // mismatches — an aborted body is not a synccheck finding.
+  if (SmSanitizer* san = sm.sanitizer()) {
+    san->on_cta_end();
+  }
   sm.stats().ctas_launched += 1;
   sm.stats().warps_launched += warps;
   if (SmTrace* t = sm.trace()) {
@@ -85,6 +95,36 @@ void finish_trace(Trace& sink, const LaunchConfig& cfg, int num_sms,
   sink.add_launch(std::move(lt));
 }
 
+/// Merge the per-SM sanitizer collectors into one LaunchSanitizerRecord
+/// and hand it to the sink.  SM-id merge order plus a cross-SM dedup
+/// pass (first SM wins) keeps the record byte-identical for any host
+/// thread count, mirroring finish_trace.  An aborted launch still
+/// delivers everything detected before the unwind — an OOB lds is
+/// reported *and* the launch throws.
+void finish_sanitizer(Sanitizer& sink, const LaunchConfig& cfg,
+                      const SanitizerOptions& opts,
+                      const std::vector<SmSanitizer>& sans, bool aborted) {
+  LaunchSanitizerRecord rec;
+  rec.kernel = cfg.profile.name;
+  rec.grid = cfg.grid;
+  rec.cta_threads = cfg.cta_threads;
+  rec.smem_bytes = cfg.smem_bytes;
+  rec.aborted = aborted;
+  std::set<SmSanitizer::Key> seen;
+  for (const SmSanitizer& s : sans) {
+    rec.suppressed += s.suppressed();
+    for (const SanitizerReport& r : s.reports()) {
+      if (!seen.insert(SmSanitizer::key(r)).second) continue;
+      if (rec.reports.size() >= opts.max_reports) {
+        ++rec.suppressed;
+        continue;
+      }
+      rec.reports.push_back(r);
+    }
+  }
+  sink.add_launch(std::move(rec));
+}
+
 /// Rethrow a launch error.  A LaunchTimeoutError is augmented with a
 /// per-SM progress dump (CTAs completed + ops issued by the in-flight
 /// CTA on each SM) so a hang report shows *where* the launch stalled;
@@ -136,6 +176,11 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
                                    ? opts.trace
                                    : dev.sim_options().trace;
 
+  // Sanitizing: same per-call-wins-else-device-default chain.
+  const SanitizerOptions& sanopts = opts.sanitize.sink != nullptr
+                                        ? opts.sanitize
+                                        : dev.sim_options().sanitize;
+
   // per_sm_stats documents "the most recent launch": zero it up front
   // so a launch that unwinds (or one with a smaller active-SM set than
   // its predecessor) can never leave stale SM blocks behind.
@@ -152,12 +197,26 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
   if (tropts.enabled()) {
     traces.reserve(static_cast<std::size_t>(sched.num_active_sms()));
   }
+  // Sanitizer state: one collector per active SM plus one launch-wide
+  // allocation snapshot (sorted, immutable — the boundscheck hot path
+  // never takes the Device's alloc mutex).
+  std::vector<SmSanitizer> sanitizers;
+  std::vector<AllocRecord> alloc_snapshot;
+  if (sanopts.enabled()) {
+    alloc_snapshot = dev.allocation_snapshot();
+    sanitizers.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  }
   for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
     sms.emplace_back(&dev, sm);
     sms.back().set_watchdog_limit(watchdog);
     if (tropts.enabled()) {
       traces.emplace_back(sm, tropts);
       sms.back().set_trace(&traces.back());
+    }
+    if (sanopts.enabled()) {
+      sanitizers.emplace_back(sm, sanopts, &alloc_snapshot, cfg.smem_bytes);
+      if (tropts.enabled()) sanitizers.back().set_trace(&traces.back());
+      sms.back().set_sanitizer(&sanitizers.back());
     }
   }
 
@@ -175,6 +234,10 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
       if (tropts.enabled()) {
         finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
                      /*aborted=*/true);
+      }
+      if (sanopts.enabled()) {
+        finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
+                         /*aborted=*/true);
       }
       rethrow_launch_error(std::current_exception(), sms);
     }
@@ -204,6 +267,10 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
         finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
                      /*aborted=*/true);
       }
+      if (sanopts.enabled()) {
+        finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
+                         /*aborted=*/true);
+      }
       rethrow_launch_error(first_error, sms);
     }
   }
@@ -217,6 +284,10 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
   if (tropts.enabled()) {
     finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
                  /*aborted=*/false);
+  }
+  if (sanopts.enabled()) {
+    finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
+                     /*aborted=*/false);
   }
 
   if (opts.per_sm_stats) {

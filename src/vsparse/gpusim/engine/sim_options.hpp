@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "vsparse/gpusim/sanitizer/options.hpp"
 #include "vsparse/gpusim/trace/options.hpp"
 
 namespace vsparse::gpusim {
@@ -46,9 +47,15 @@ struct SimOptions {
   /// has no sink inherits the Device's configured default — the same
   /// inherit chain as `threads`.  With no sink anywhere the engine
   /// takes a null-pointer fast path and the run is bit- and
-  /// counter-identical to an untraced one.  Declared last so existing
-  /// designated initializers (`{.threads = N}`) keep compiling.
+  /// counter-identical to an untraced one.  Declared after the scalar
+  /// options so existing designated initializers keep compiling.
   TraceOptions trace;
+
+  /// Per-launch hazard analysis (gpusim/sanitizer/): racecheck /
+  /// synccheck / initcheck / boundscheck against shadow state.  Same
+  /// inherit chain and null-sink fast path as `trace`.  Declared last
+  /// so existing designated initializers keep compiling.
+  SanitizerOptions sanitize;
 };
 
 }  // namespace vsparse::gpusim

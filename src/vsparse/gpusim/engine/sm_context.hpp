@@ -18,6 +18,7 @@
 
 namespace vsparse::gpusim {
 
+class SmSanitizer;
 class SmTrace;
 
 class SmContext {
@@ -57,6 +58,12 @@ class SmContext {
     faults_.trace = trace;
   }
 
+  /// This SM's sanitizer collector for the current launch, or nullptr
+  /// when sanitizing is disabled — the same null-pointer fast path as
+  /// faults() and trace().
+  SmSanitizer* sanitizer() { return sanitizer_; }
+  void set_sanitizer(SmSanitizer* sanitizer) { sanitizer_ = sanitizer; }
+
   // -- watchdog ---------------------------------------------------------
   /// Arm the per-CTA op budget for this launch (0 = disabled) and reset
   /// the running count at each CTA start.
@@ -82,6 +89,7 @@ class SmContext {
   std::vector<std::byte> smem_;
   FaultState faults_;
   SmTrace* trace_ = nullptr;
+  SmSanitizer* sanitizer_ = nullptr;
   std::uint64_t watchdog_limit_ = 0;
   std::uint64_t watchdog_ops_ = 0;
 };

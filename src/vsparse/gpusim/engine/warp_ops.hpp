@@ -54,6 +54,9 @@ void Warp::ldg(const AddrLanes& addr, Lanes<V>& dst, std::uint32_t mask) {
     ++s.ldg128;
   }
   if (mask == 0) return;
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    san->on_global_load(warp_id_, addr, mask, sizeof(V));
+  }
 
   Device& dev = device();
   FaultState* faults = sm().faults();  // null ⇒ fault-free fast path
@@ -98,6 +101,9 @@ void Warp::stg(const AddrLanes& addr, const Lanes<V>& src,
   KernelStats& s = stats();
   count(Op::kStg);
   if (mask == 0) return;
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    san->on_global_store(warp_id_, addr, mask, sizeof(V));
+  }
 
   Device& dev = device();
   detail::SectorSet sectors;
@@ -131,6 +137,11 @@ void Warp::lds(const Lanes<std::uint32_t>& off, Lanes<V>& dst,
   KernelStats& s = stats();
   count(Op::kLds);
   if (mask == 0) return;
+  // Sanitize before executing: an OOB lds must be *reported* before the
+  // always-on bounds check below unwinds the launch.
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    san->on_smem_load(warp_id_, off, mask, sizeof(V));
+  }
   s.smem_load_requests += 1;
   FaultState* faults = sm().faults();  // null ⇒ fault-free fast path
 
@@ -180,6 +191,9 @@ void Warp::sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
   KernelStats& s = stats();
   count(Op::kSts);
   if (mask == 0) return;
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    san->on_smem_store(warp_id_, off, mask, sizeof(V));
+  }
   s.smem_store_requests += 1;
 
   std::byte* smem = cta_->smem();

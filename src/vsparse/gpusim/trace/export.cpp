@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "vsparse/gpusim/sanitizer/report.hpp"
 #include "vsparse/gpusim/stats.hpp"
 #include "vsparse/gpusim/trace/counters.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
@@ -87,6 +88,13 @@ void write_instant_args(std::ostream& os, const TraceEvent& ev) {
       return;
     case TraceEventKind::kServeGiveUp:
       os << "{\"error_code\":" << ev.a << ",\"attempts\":" << ev.b << '}';
+      return;
+    case TraceEventKind::kSanitizer:
+      os << "{\"cta\":" << ev.cta << ",\"warp\":" << ev.warp
+         << ",\"tool\":\""
+         << sanitizer_tool_name(static_cast<SanitizerTool>(ev.a))
+         << "\",\"kind\":\""
+         << hazard_kind_name(static_cast<HazardKind>(ev.b)) << "\"}";
       return;
     default:
       os << "{\"a\":" << ev.a << ",\"b\":" << ev.b << '}';

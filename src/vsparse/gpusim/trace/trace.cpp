@@ -36,6 +36,8 @@ const char* trace_event_name(TraceEventKind kind) {
       return "serve_fallback";
     case TraceEventKind::kServeGiveUp:
       return "serve_give_up";
+    case TraceEventKind::kSanitizer:
+      return "sanitizer";
     case TraceEventKind::kNumEventKinds:
       break;
   }

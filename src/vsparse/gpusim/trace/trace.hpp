@@ -46,6 +46,7 @@ enum class TraceEventKind : std::uint8_t {
   kServeRetry,       ///< supervisor re-runs a rung; a = rung, b = attempt
   kServeFallback,    ///< degradation-ladder hop; a = from rung, b = to rung
   kServeGiveUp,      ///< ladder exhausted; a = error code, b = attempts
+  kSanitizer,        ///< sanitizer hazard; a = SanitizerTool, b = HazardKind
   kNumEventKinds
 };
 

@@ -76,7 +76,8 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
   cfg.cta_threads = 32;
   cfg.smem_bytes = static_cast<std::size_t>(kSubwarps) * tile_k *
                        (4 + static_cast<std::size_t>(v) * sizeof(T)) +
-                   16;  // tail slack for the vectorized broadcast reads
+                   16;  // historical tail slack; kept so occupancy
+                        // (smem per CTA) matches the calibrated model
   // Calibration (§7.2.2): the fully-unrolled V x TileK x (TileN/8)
   // loops produce 3776 / 6968 SASS lines at V = 4 / 8 (TileK=16, wt=2).
   cfg.profile = {
@@ -241,15 +242,23 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
         if (active == 0) continue;
 
         // Broadcast LDS of the staged values for this k (indices stay
-        // in registers after staging, as Sputnik does).
+        // in registers after staging, as Sputnik does).  The read is no
+        // wider than the staged vector (LDS.U16 when a value slot is a
+        // single half): a fixed 4B read would over-read the last staged
+        // entry into bytes no sts ever wrote.
         {
           Lanes<std::uint32_t> off{};
-          Lanes<std::array<std::byte, 4>> d{};
           for (int lane = 0; lane < 32; ++lane) {
             off[static_cast<std::size_t>(lane)] =
                 val_off(lane / kSubwarpSize, kk, 0);
           }
-          w.lds(off, d, active);
+          if (static_cast<int>(v * sizeof(T)) == 2) {
+            Lanes<std::array<std::byte, 2>> d{};
+            w.lds(off, d, active);
+          } else {
+            Lanes<std::array<std::byte, 4>> d{};
+            w.lds(off, d, active);
+          }
         }
         w.count(Op::kImad, 2);
         w.count(Op::kIadd3, 1);

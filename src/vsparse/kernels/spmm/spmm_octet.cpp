@@ -191,14 +191,18 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
         // halves, held once per octet).
         {
           // The step's values span 8*v bytes of smem; lanes broadcast
-          // over it in half2 units.
+          // over it in half2 units, predicated to the vectors actually
+          // staged (a residue step stages fewer than 4, and the slots
+          // beyond f.valid were never written).
           Lanes<std::uint32_t> off{};
           Lanes<half2> d;
+          std::uint32_t lmask = 0;
           for (int lane = 0; lane < 32; ++lane) {
             off[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
                 tile_k * 4 + 4 * s * v * 2 + (lane % (2 * v)) * 4);
+            if ((lane % (2 * v)) * 2 / v < f.valid) lmask |= 1u << lane;
           }
-          w.lds(off, d);
+          w.lds(off, d, lmask);
         }
         // Two mma.m8n8k4 (8 HMMA) cover the 64 output rows; with the
         // future-work SASS edit, STEP 2&3 vanish for V <= 4.

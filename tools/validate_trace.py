@@ -31,6 +31,20 @@ REQUIRED_DERIVED = [
     "total_instructions", "math_instructions", "bytes_l2_to_l1",
     "sectors_per_request", "smem_to_global_load_ratio",
 ]
+# Sanitizer hazard mirror events (trace/export.cpp, kSanitizer): the
+# instant's args carry the owning tool and hazard kind by name; keep in
+# sync with gpusim/sanitizer/report.cpp.
+SANITIZER_KIND_TO_TOOL = {
+    "raw_race": "race",
+    "war_race": "race",
+    "waw_race": "race",
+    "divergent_barrier": "sync",
+    "barrier_mismatch": "sync",
+    "uninit_smem_read": "init",
+    "global_use_after_free": "init",
+    "smem_oob": "bounds",
+    "global_oob": "bounds",
+}
 
 _errors = []
 
@@ -95,7 +109,8 @@ def validate_perfetto(path):
         for key in ("ph", "pid"):
             check(key in ev, f"event lacks {key}: {ev}")
         ph, pid = ev.get("ph"), ev.get("pid")
-        entry = launches.setdefault(pid, {"name": None, "spans": []})
+        entry = launches.setdefault(
+            pid, {"name": None, "spans": [], "sanitizer_events": 0})
         if ph == "M":
             if ev.get("name") == "process_name":
                 entry["name"] = ev["args"]["name"]
@@ -115,6 +130,18 @@ def validate_perfetto(path):
         elif ph == "i":
             check(ev.get("s") == "t", "instant events must be thread-scoped")
             check(isinstance(ev.get("name"), str), "instant without a name")
+            if ev.get("name") == "sanitizer":
+                args = ev.get("args", {})
+                where = f"sanitizer instant on pid={pid}"
+                check(isinstance(args.get("cta"), int), f"{where}: bad cta")
+                check(isinstance(args.get("warp"), int), f"{where}: bad warp")
+                kind = args.get("kind")
+                check(kind in SANITIZER_KIND_TO_TOOL,
+                      f"{where}: unknown hazard kind {kind!r}")
+                check(args.get("tool") == SANITIZER_KIND_TO_TOOL.get(kind),
+                      f"{where}: tool {args.get('tool')!r} does not own "
+                      f"kind {kind!r}")
+                entry["sanitizer_events"] += 1
         else:
             check(False, f"unexpected phase {ph!r}")
     for pid, entry in launches.items():
@@ -142,6 +169,11 @@ def main():
               f"launch {i}: kernel name disagrees across exports")
         check(span.get("dur") == launch.get("duration_cycles"),
               f"launch {i}: duration disagrees across exports")
+        want_san = launch["events"]["by_kind"].get("sanitizer", 0)
+        check(perfetto[i]["sanitizer_events"] == want_san,
+              f"launch {i}: sanitizer events disagree across exports "
+              f"(perfetto {perfetto[i]['sanitizer_events']}, "
+              f"metrics {want_san})")
 
     if _errors:
         for e in _errors:
