@@ -1,9 +1,14 @@
 // Extension beyond the paper: what the model predicts for the octet
-// SpMM on an Ampere A100 vs the paper's Volta V100.  The interesting
-// question is whether the practical-speedup crossover moves: A100's
-// 40 MB L2 and higher bandwidth favor the sparse kernel's low-reuse
-// traffic, while its doubled TCU rate favors the dense baseline.
+// SpMM across architecture presets — by default the paper's Volta V100
+// against an Ampere A100 (override with --arch=A,B,...).  The
+// interesting question is whether the practical-speedup crossover
+// moves: A100's 40 MB L2 and higher bandwidth favor the sparse
+// kernel's low-reuse traffic, while its doubled TCU rate favors the
+// dense baseline.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "vsparse/bench/runner.hpp"
 #include "vsparse/bench/scale.hpp"
@@ -13,6 +18,29 @@
 
 namespace vsparse::bench {
 namespace {
+
+/// Human labels per preset: a long form for the banner line and a
+/// short form for the table column.  Unlisted presets fall back to
+/// their preset name for both.
+struct ArchLabel {
+  const char* arch;
+  const char* full;
+  const char* column;
+};
+
+constexpr ArchLabel kArchLabels[] = {
+    {"volta-v100", "Volta V100", "V100"},
+    {"turing-t4", "Turing T4", "T4"},
+    {"ampere-a100", "Ampere A100", "A100"},
+    {"volta-hmma-switch", "Volta V100 (HMMA-SWITCH)", "V100+SW"},
+};
+
+ArchLabel label_of(const char* arch) {
+  for (const ArchLabel& label : kArchLabels) {
+    if (std::strcmp(label.arch, arch) == 0) return label;
+  }
+  return ArchLabel{arch, arch, arch};
+}
 
 double octet_speedup(const gpusim::DeviceConfig& hw, Shape shape, int n,
                      int v, double sparsity,
@@ -38,24 +66,35 @@ int run(int argc, char** argv) {
   const Scale scale = parse_scale(argc, argv);
   DriverSession session(argc, argv);
   const gpusim::SimOptions& sim = session.sim();
+  const std::vector<gpusim::DeviceConfig> arches =
+      parse_arch_list(argc, argv, "volta-v100,ampere-a100");
   const Shape shape = scale == Scale::kPaper ? Shape{2048, 1024}
                                              : Shape{1024, 512};
   const int n = 256, v = 4;
-  const auto volta = gpusim::DeviceConfig::volta_v100();
-  const auto ampere = gpusim::DeviceConfig::ampere_a100();
 
+  std::string versus;
+  for (const gpusim::DeviceConfig& hw : arches) {
+    if (!versus.empty()) versus += " vs ";
+    versus += label_of(hw.arch).full;
+  }
   std::printf("# Extension: octet SpMM (V=%d) speedup over dense hgemm, "
-              "Volta V100 vs Ampere A100, %dx%dx%d\n",
-              v, shape.m, shape.k, n);
-  std::printf("%-8s %-12s %-12s\n", "sparsity", "V100", "A100");
+              "%s, %dx%dx%d\n",
+              v, versus.c_str(), shape.m, shape.k, n);
+  std::printf("%-8s", "sparsity");
+  for (const gpusim::DeviceConfig& hw : arches) {
+    std::printf(" %-12s", label_of(hw.arch).column);
+  }
+  std::printf("\n");
   for (double sparsity : sparsity_grid()) {
     char case_name[64];
     std::snprintf(case_name, sizeof(case_name),
                   "ablation_ampere sparsity=%.2f", sparsity);
     run_case(case_name, [&] {
-      std::printf("%-8.2f %10.2fx %10.2fx\n", sparsity,
-                  octet_speedup(volta, shape, n, v, sparsity, sim),
-                  octet_speedup(ampere, shape, n, v, sparsity, sim));
+      std::printf("%-8.2f", sparsity);
+      for (const gpusim::DeviceConfig& hw : arches) {
+        std::printf(" %10.2fx", octet_speedup(hw, shape, n, v, sparsity, sim));
+      }
+      std::printf("\n");
     });
   }
   std::printf("\n# prediction: the bigger L2 + bandwidth help the sparse "

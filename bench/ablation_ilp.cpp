@@ -19,7 +19,7 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Ablation: §5.4 load batching (ILP) in spmm_octet, "
@@ -32,7 +32,7 @@ int run(int argc, char** argv) {
     std::snprintf(case_name, sizeof(case_name), "ablation_ilp sparsity=%.2f",
                   sparsity);
     run_case(case_name, [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
     auto a = to_device(dev, a_host);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);

@@ -20,7 +20,7 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Ablation: §7.1.3 HMMA STEP 2&3 removal for V <= 4, "
@@ -34,7 +34,7 @@ int run(int argc, char** argv) {
       std::snprintf(case_name, sizeof(case_name),
                     "ablation_stepskip v=%d sparsity=%.2f", v, sparsity);
       run_case(case_name, [&] {
-      gpusim::Device dev = fresh_device(sim);
+      gpusim::Device dev = session.device();
       Cvs a_host = make_suite_cvs({m, k}, sparsity, v);
       auto a = to_device(dev, a_host);
       auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);

@@ -20,7 +20,7 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Ablation: FPU subwarp SpMM TileN (guideline V vs II), "
@@ -35,7 +35,7 @@ int run(int argc, char** argv) {
                     "ablation_tilen tile_n=%d sparsity=%.2f", tile_n,
                     sparsity);
       run_case(case_name, [&] {
-      gpusim::Device dev = fresh_device(sim);
+      gpusim::Device dev = session.device();
       Cvs a_host = make_suite_cvs({m, k}, sparsity, 4);
       auto a = to_device(dev, a_host);
       auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);

@@ -1,0 +1,127 @@
+// Offline dispatch-policy autotuner driver.
+//
+// Sweeps every dispatchable registry kernel over a grid of shape
+// classes per architecture preset (kernels/autotune.hpp) and emits the
+// winners as a versioned vsparse-policy-v1 JSON cache for kAuto to
+// consult (kernels/policy.hpp).
+//
+//   autotune_policy                      JSON cache on stdout
+//   autotune_policy --out=FILE           write FILE, summary on stdout
+//   autotune_policy --arch=A,B           sweep presets A and B
+//   autotune_policy --op=spmm|sddmm      tune one op only
+//   autotune_policy --ms= --ks= --ns=    override the extent grids
+//                   --vs= --sparsities=  (comma lists)
+//   autotune_policy --seed=N             problem-generator seed
+//
+// The sweep is deterministic for a given spec: each shape class hashes
+// its own coordinates into the generator seed, so results do not
+// depend on axis iteration order.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/kernels/autotune.hpp"
+#include "vsparse/kernels/policy.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+std::vector<int> parse_int_list(const char* s) {
+  std::vector<int> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    out.push_back(static_cast<int>(std::strtol(p, &end, 10)));
+    if (end == p) {
+      std::fprintf(stderr, "bad integer list: %s\n", s);
+      std::exit(2);
+    }
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const char* s) {
+  std::vector<double> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    out.push_back(std::strtod(p, &end));
+    if (end == p) {
+      std::fprintf(stderr, "bad number list: %s\n", s);
+      std::exit(2);
+    }
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  kernels::PolicyTuneSpec spec = kernels::default_policy_tune_spec();
+  std::string out_path;
+
+  // Resolve --arch through the preset table (validates names; --arch=help
+  // lists the table).  Without the flag the spec default stands.
+  if (arch_flag_present(argc, argv)) {
+    spec.arches.clear();
+    for (const gpusim::DeviceConfig& hw :
+         parse_arch_list(argc, argv, "volta-v100")) {
+      spec.arches.emplace_back(hw.arch);
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--op=", 5) == 0) {
+      const char* op = arg + 5;
+      spec.tune_spmm = std::strcmp(op, "spmm") == 0;
+      spec.tune_sddmm = std::strcmp(op, "sddmm") == 0;
+      if (!spec.tune_spmm && !spec.tune_sddmm) {
+        std::fprintf(stderr, "unknown --op=%s (expected spmm or sddmm)\n", op);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--ms=", 5) == 0) {
+      spec.ms = parse_int_list(arg + 5);
+    } else if (std::strncmp(arg, "--ks=", 5) == 0) {
+      spec.ks = parse_int_list(arg + 5);
+    } else if (std::strncmp(arg, "--ns=", 5) == 0) {
+      spec.ns = parse_int_list(arg + 5);
+    } else if (std::strncmp(arg, "--vs=", 5) == 0) {
+      spec.vs = parse_int_list(arg + 5);
+    } else if (std::strncmp(arg, "--sparsities=", 13) == 0) {
+      spec.sparsities = parse_double_list(arg + 13);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      spec.seed = std::strtoull(arg + 7, nullptr, 10);
+    }
+  }
+
+  const kernels::PolicyCache cache = kernels::autotune_policy(spec);
+
+  if (out_path.empty()) {
+    std::fputs(cache.to_json().c_str(), stdout);
+    return 0;
+  }
+  cache.save(out_path);
+
+  std::vector<std::string> keys;
+  keys.reserve(cache.entries().size());
+  for (const auto& [key, entry] : cache.entries()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::printf("# policy autotune: %zu entries, %zu arch(es), %s\n",
+              cache.size(), spec.arches.size(), kernels::kPolicyCacheVersion);
+  for (const std::string& key : keys) {
+    const kernels::PolicyEntry& entry = cache.entries().at(key);
+    std::printf("%-40s %-20s %12.1f\n", key.c_str(), entry.kernel.c_str(),
+                entry.cycles);
+  }
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

@@ -27,7 +27,7 @@ int run(int argc, char** argv) {
   const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   const int n = 256;  // dense output width (SpMM) / inner dim (SDDMM)
-  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline dense(session.hw(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -49,7 +49,7 @@ int run(int argc, char** argv) {
                     shape.k);
       // ---- SpMM --------------------------------------------------------
       run_case(case_name, [&] {
-        gpusim::Device dev = fresh_device(sim);
+        gpusim::Device dev = session.device();
         auto a = to_device(dev, a_host);
         auto af = to_device_f32(dev, a_host);
         auto bh = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
@@ -80,7 +80,7 @@ int run(int argc, char** argv) {
       run_case(case_name, [&] {
         // C[m x k] sparse = A[m x n] * B[n x k]; dense equivalent is the
         // full (m x n x k) GEMM.
-        gpusim::Device dev = fresh_device(sim);
+        gpusim::Device dev = session.device();
         Rng rng(bench_seed(shape, sparsity, 1) + 7);
         Cvs mask_host = make_cvs_mask(shape.m, shape.k, 1, sparsity, rng, 0.25);
         auto mask = to_device(dev, mask_host);

@@ -23,7 +23,7 @@ int run(int argc, char** argv) {
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
   const double sparsity = 0.9;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
   const auto& hw = base.hw();
 
   std::printf("# Figure 5: GEMM vs SpMM profile, %dx%dx%d, %.0f%% sparse\n",
@@ -49,7 +49,7 @@ int run(int argc, char** argv) {
   // ---- dense GEMM ------------------------------------------------------
   kernels::KernelRun gemm_s, gemm_h, spmm_s, spmm_h;
   run_case("fig05 gemm single", [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     auto a = dev.alloc<float>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);
@@ -59,7 +59,7 @@ int run(int argc, char** argv) {
     gemm_s = report("GEMM", "single", kernels::sgemm_fpu(dev, da, db, dc));
   });
   run_case("fig05 gemm half", [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * k);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);
@@ -70,7 +70,7 @@ int run(int argc, char** argv) {
   });
   // ---- fine-grained SpMM ------------------------------------------------
   run_case("fig05 spmm single", [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     auto a = to_device_f32(dev, a_host);
     auto b = dev.alloc<float>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<float>(static_cast<std::size_t>(m) * n);
@@ -80,7 +80,7 @@ int run(int argc, char** argv) {
                     kernels::spmm_fpu_subwarp_f32(dev, a, db, dc));
   });
   run_case("fig05 spmm half", [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     auto a = to_device(dev, a_host);
     auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);
     auto c = dev.alloc<half_t>(static_cast<std::size_t>(m) * n);

@@ -19,7 +19,7 @@ int run(int argc, char** argv) {
   const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
   const int n = 256;
-  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline dense(session.hw(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -36,7 +36,7 @@ int run(int argc, char** argv) {
                       "fig06 block=%d sparsity=%.2f shape=%dx%d", block,
                       sparsity, shape.m, shape.k);
         run_case(case_name, [&] {
-          gpusim::Device dev = fresh_device(sim);
+          gpusim::Device dev = session.device();
           BlockedEll ell_host = make_suite_blocked_ell(shape, sparsity, block);
           auto ell = to_device(dev, ell_host);
           auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);

@@ -30,7 +30,7 @@ int run(int argc, char** argv) {
   DriverSession session(argc, argv);
   const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
-  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline dense(session.hw(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -56,7 +56,7 @@ int run(int argc, char** argv) {
                 dense.hgemm_cycles(shape.m, shape.k, n);
             Cvs a_host = make_suite_cvs(shape, sparsity, v);
 
-            gpusim::Device dev = fresh_device(sim);
+            gpusim::Device dev = session.device();
             auto a = to_device(dev, a_host);
             auto b = dev.alloc<half_t>(static_cast<std::size_t>(shape.k) * n);
             auto c = dev.alloc<half_t>(static_cast<std::size_t>(shape.m) * n);

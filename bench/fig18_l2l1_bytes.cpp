@@ -34,7 +34,7 @@ int run(int argc, char** argv) {
     std::snprintf(case_name, sizeof(case_name), "fig18 sparsity=%.2f",
                   sparsity);
     run_case(case_name, [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     Cvs a_host = make_suite_cvs({m, k}, sparsity, v);
     auto a = to_device(dev, a_host);
     BlockedEll ell_host = make_suite_blocked_ell({m, k}, sparsity, v);

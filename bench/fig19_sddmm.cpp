@@ -25,7 +25,7 @@ int run(int argc, char** argv) {
   DriverSession session(argc, argv);
   const gpusim::SimOptions& sim = session.sim();
   const auto shapes = suite_shapes(scale);
-  DenseBaseline dense(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline dense(session.hw(), {}, sim);
   const auto& hw = dense.hw();
   const auto& params = dense.params();
 
@@ -52,7 +52,7 @@ int run(int argc, char** argv) {
             Rng rng(bench_seed(shape, sparsity, v) + 13);
             Cvs mask_host = make_cvs_mask(m, n, v, sparsity, rng, 0.25);
 
-            gpusim::Device dev = fresh_device(sim);
+            gpusim::Device dev = session.device();
             auto mask = to_device(dev, mask_host);
             auto a = dev.alloc<half_t>(static_cast<std::size_t>(m) * kdim);
             auto b = dev.alloc<half_t>(static_cast<std::size_t>(kdim) * n);

@@ -28,7 +28,7 @@ int run(int argc, char** argv) {
   const std::vector<int> seqs = scale == Scale::kPaper
                                     ? std::vector<int>{2048, 4096, 8192}
                                     : std::vector<int>{1024, 2048};
-  DenseBaseline dense_base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline dense_base(session.hw(), {}, sim);
   const auto& hw = dense_base.hw();
   const auto& params = dense_base.params();
 
@@ -53,7 +53,7 @@ int run(int argc, char** argv) {
       Parts dense{};
       run_case(case_name, [&] {
         gpusim::Device dev =
-            fresh_device(sim, std::size_t{2} << 30);
+            session.device(std::size_t{2} << 30);
         auto q = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
         auto k = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
         auto v = dev.alloc<half_t>(static_cast<std::size_t>(seq) * kdim);
@@ -80,7 +80,7 @@ int run(int argc, char** argv) {
                       sparsity);
         run_case(case_name, [&] {
         gpusim::Device dev =
-            fresh_device(sim, std::size_t{2} << 30);
+            session.device(std::size_t{2} << 30);
         Rng rng(7000 + seq + kdim);
         Cvs mask_host = make_attention_mask(seq, 8, 256, sparsity, rng);
         auto mask = to_device(dev, mask_host);

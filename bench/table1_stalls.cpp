@@ -18,13 +18,13 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
 
   std::printf("# Table 1: stall reasons, Blocked-ELL SpMM, block=4, "
               "%dx%dx%d @ 90%%\n",
               m, k, n);
   run_case("table1 blocked_ell block=4", [&] {
-  gpusim::Device dev = fresh_device(sim);
+  gpusim::Device dev = session.device();
   BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, 4);
   auto ell = to_device(dev, ell_host);
   auto b = dev.alloc<half_t>(static_cast<std::size_t>(k) * n);

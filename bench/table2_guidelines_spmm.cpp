@@ -31,7 +31,7 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int k = scale == Scale::kPaper ? 1024 : 512;
   const int n = 256;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
 
   std::printf("# Table 2: 5-guideline profile of SpMM kernels, %dx%dx%d @ "
               "90%%\n",
@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
     char case_name[48];
     std::snprintf(case_name, sizeof(case_name), "table2 v=%d", v);
     run_case(case_name, [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     Cvs a_host = make_suite_cvs({m, k}, 0.9, v);
     auto a = to_device(dev, a_host);
     BlockedEll ell_host = make_suite_blocked_ell({m, k}, 0.9, v);

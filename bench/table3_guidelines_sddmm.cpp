@@ -31,7 +31,7 @@ int run(int argc, char** argv) {
   const int m = scale == Scale::kPaper ? 2048 : 1024;
   const int kdim = 256;
   const int n = scale == Scale::kPaper ? 1024 : 512;
-  DenseBaseline base(gpusim::DeviceConfig::volta_v100(), {}, sim);
+  DenseBaseline base(session.hw(), {}, sim);
 
   std::printf("# Table 3: 5-guideline profile of SDDMM kernels, "
               "%dx%dx%d, C 90%% sparse\n",
@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
     char case_name[48];
     std::snprintf(case_name, sizeof(case_name), "table3 v=%d", v);
     run_case(case_name, [&] {
-    gpusim::Device dev = fresh_device(sim);
+    gpusim::Device dev = session.device();
     Rng rng(991 + v);
     Cvs mask_host = make_cvs_mask(m, n, v, 0.9, rng, 0.25);
     auto mask = to_device(dev, mask_host);

@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
     std::snprintf(case_name, sizeof(case_name), "table4 mode=%s",
                   mode_names[i]);
     run_case(case_name, [&] {
-      gpusim::Device dev = fresh_device(sim, std::size_t{6} << 30);
+      gpusim::Device dev = session.device(std::size_t{6} << 30);
       cfg.mode = modes[i];
       auto r = transformer::run_transformer_forward(dev, cfg, 17);
       thr[i] = r.throughput(clock_hz, cfg.batch);

@@ -8,6 +8,7 @@
 
 #include "vsparse/common/macros.hpp"
 #include "vsparse/formats/dense.hpp"
+#include "vsparse/gpusim/arch.hpp"
 #include "vsparse/gpusim/engine/engine.hpp"
 #include "vsparse/gpusim/faults.hpp"
 #include "vsparse/gpusim/trace/export.hpp"
@@ -26,6 +27,83 @@ gpusim::Device fresh_device(const gpusim::SimOptions& sim,
   gpusim::Device dev = fresh_device(dram_bytes);
   dev.set_sim_options(sim);
   return dev;
+}
+
+gpusim::Device fresh_device(const gpusim::SimOptions& sim,
+                            const gpusim::DeviceConfig& hw,
+                            std::size_t dram_bytes) {
+  gpusim::DeviceConfig cfg = hw;
+  cfg.dram_capacity = dram_bytes;
+  gpusim::Device dev(cfg);
+  dev.set_sim_options(sim);
+  return dev;
+}
+
+bool arch_flag_present(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--arch=", 7) == 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+gpusim::DeviceConfig resolve_arch_or_exit(const std::string& name) {
+  if (name == "help" || name == "list") {
+    std::fprintf(stderr, "architecture presets:\n");
+    for (const gpusim::ArchPreset& preset : gpusim::arch_presets()) {
+      std::fprintf(stderr, "  %-18s %s\n", preset.name, preset.summary);
+    }
+    std::exit(2);
+  }
+  const gpusim::ArchPreset* preset = gpusim::find_arch_preset(name.c_str());
+  if (preset == nullptr) {
+    std::fprintf(stderr, "unknown --arch=%s (known: %s)\n", name.c_str(),
+                 gpusim::arch_preset_names().c_str());
+    std::exit(2);
+  }
+  return preset->make();
+}
+
+std::vector<gpusim::DeviceConfig> resolve_arch_csv(const char* list) {
+  std::vector<gpusim::DeviceConfig> out;
+  const std::string s(list);
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(resolve_arch_or_exit(s.substr(pos, comma - pos)));
+    if (comma == s.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const char* arch_flag_value(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--arch=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+gpusim::DeviceConfig parse_arch(int argc, char** argv) {
+  if (const char* value = arch_flag_value(argc, argv)) {
+    return resolve_arch_csv(value).front();
+  }
+  return gpusim::DeviceConfig::volta_v100();
+}
+
+std::vector<gpusim::DeviceConfig> parse_arch_list(int argc, char** argv,
+                                                  const char* defaults) {
+  const char* value = arch_flag_value(argc, argv);
+  return resolve_arch_csv(value != nullptr ? value : defaults);
+}
+
+void DriverSession::announce_arch() const {
+  std::printf("# arch: %s\n", hw_.arch);
+  std::fflush(stdout);
 }
 
 namespace {

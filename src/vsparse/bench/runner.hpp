@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "vsparse/gpusim/costmodel.hpp"
 #include "vsparse/gpusim/device.hpp"
@@ -27,6 +28,30 @@ gpusim::Device fresh_device(std::size_t dram_bytes = std::size_t{1} << 30);
 /// on the returned device defaults to `sim.threads` workers.
 gpusim::Device fresh_device(const gpusim::SimOptions& sim,
                             std::size_t dram_bytes = std::size_t{1} << 30);
+
+/// A bench device on an explicit architecture (gpusim/arch.hpp preset
+/// or hand-modified config) with the execution policy baked in.
+gpusim::Device fresh_device(const gpusim::SimOptions& sim,
+                            const gpusim::DeviceConfig& hw,
+                            std::size_t dram_bytes = std::size_t{1} << 30);
+
+/// The simulated architecture for a bench driver: `--arch=NAME` looks
+/// up the named preset table (gpusim/arch.hpp); no flag returns the
+/// paper's volta-v100, keeping default driver output byte-identical.
+/// `--arch=help` lists the table and exits; an unknown name is a usage
+/// error (exit 2).  A comma list resolves to its first entry (the
+/// cross-architecture drivers read the full list via parse_arch_list).
+gpusim::DeviceConfig parse_arch(int argc, char** argv);
+
+/// Multi-architecture form for comparison drivers: `--arch=A,B,...`
+/// resolves every name against the preset table; without the flag the
+/// driver's `defaults` comma list is used.
+std::vector<gpusim::DeviceConfig> parse_arch_list(int argc, char** argv,
+                                                  const char* defaults);
+
+/// Whether an explicit --arch=NAME flag was passed (drivers echo a
+/// `# arch:` line only then).
+bool arch_flag_present(int argc, char** argv);
 
 /// Host thread count for the simulator, shared by every bench driver.
 /// Sources, in priority order: a `--threads=N` argument, the
@@ -160,6 +185,9 @@ class SimThroughput {
 /// one declaration wires up the common command-line surface
 ///
 ///   --threads=N             host simulation threads (parse_threads)
+///   --arch=NAME             architecture preset (parse_arch); all
+///                           devices and cost evaluations the driver
+///                           builds through the session use it
 ///   --trace=PREFIX          Perfetto/metrics launch tracing
 ///   --trace-sample=N        sampled warp-op events
 ///   --sanitize[=LIST]       kernel hazard analysis (SanitizerSession)
@@ -176,7 +204,8 @@ class SimThroughput {
 /// finish() emits in the exact order the hand-rolled drivers did
 /// (throughput summary, then the `# trace:` note, then the
 /// `# sanitizer:` summary), so converting a driver leaves its clean-run
-/// stdout byte-identical.
+/// stdout byte-identical.  An explicit --arch=NAME additionally prints
+/// one `# arch: NAME` line up front (no flag, no line).
 class DriverSession {
  public:
   DriverSession(int argc, char** argv)
@@ -185,7 +214,10 @@ class DriverSession {
         sim_{.threads = parse_threads(argc, argv),
              .trace = trace_.options(),
              .sanitize = sanitize_.options()},
-        throughput_(sim_.threads) {}
+        throughput_(sim_.threads),
+        hw_(parse_arch(argc, argv)) {
+    if (arch_flag_present(argc, argv)) announce_arch();
+  }
 
   /// SimOptions with threads, tracing, and sanitizing installed; pass
   /// to kernels or fresh_device so every launch inherits them.
@@ -193,6 +225,16 @@ class DriverSession {
   int threads() const { return sim_.threads; }
   TraceSession& trace() { return trace_; }
   SanitizerSession& sanitize() { return sanitize_; }
+
+  /// The simulated architecture (--arch preset; volta-v100 default).
+  const gpusim::DeviceConfig& hw() const { return hw_; }
+  const char* arch() const { return hw_.arch; }
+
+  /// A fresh device on this session's architecture with its SimOptions
+  /// installed — what most figure drivers should build per case.
+  gpusim::Device device(std::size_t dram_bytes = std::size_t{1} << 30) const {
+    return fresh_device(sim_, hw_, dram_bytes);
+  }
 
   /// Standard driver epilogue; returns the process exit code.
   int finish() {
@@ -203,10 +245,13 @@ class DriverSession {
   }
 
  private:
+  void announce_arch() const;
+
   TraceSession trace_;
   SanitizerSession sanitize_;
   gpusim::SimOptions sim_;
   SimThroughput throughput_;
+  gpusim::DeviceConfig hw_;
 };
 
 /// Memoized dense baselines evaluated under one hardware model.

@@ -15,10 +15,37 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace vsparse::gpusim {
 
+/// Native MMA instruction shape of the tensor cores (m x n x k per
+/// step).  Volta issues HMMA.884 (m8n8k4) — the shape all the paper's
+/// octet mappings are built on; Turing/Ampere expose the wider
+/// mma.m16n8k8 / m16n8k16 PTX shapes.  The functional kernels always
+/// decompose into 884 steps (Ampere emulates them), so this field is
+/// dispatch-policy metadata: which kernel mapping wins flips with the
+/// shape (the paper's Fig. 15 HMMA-SWITCH study), and the policy cache
+/// keys per architecture.
+struct MmaShape {
+  int m = 8;
+  int n = 8;
+  int k = 4;
+};
+
 struct DeviceConfig {
+  // --- architecture identity ------------------------------------------
+  /// Stable preset name ("volta-v100", ...).  Keys autotuned dispatch
+  /// policies per architecture; hand-modified configs keep the name of
+  /// the preset they started from.
+  const char* arch = "volta-v100";
+  MmaShape mma;  ///< native tensor-core step shape (see above)
+  /// The Fig. 15 HMMA...SWITCH proposal: the TCU swaps operand buses on
+  /// the inverted-pattern steps at no extra issue cost.  Off on every
+  /// shipping part; the "volta-hmma-switch" preset is the paper's
+  /// what-if architecture point.
+  bool hmma_switch = false;
+
   // --- SM array -----------------------------------------------------
   int num_sms = 80;
   int subcores_per_sm = 4;
@@ -84,6 +111,8 @@ struct DeviceConfig {
   /// crossover points).
   static DeviceConfig ampere_a100() {
     DeviceConfig cfg;
+    cfg.arch = "ampere-a100";
+    cfg.mma = MmaShape{16, 8, 16};
     cfg.num_sms = 108;
     cfg.l1_bytes = 192 << 10;
     cfg.max_smem_per_cta = 164 << 10;
@@ -95,6 +124,12 @@ struct DeviceConfig {
     cfg.l2_bytes_per_cycle_total = 3200.0;
     return cfg;
   }
+
+  /// Look up a named preset from the architecture table (gpusim/
+  /// arch.hpp): "volta-v100" | "turing-t4" | "ampere-a100" |
+  /// "volta-hmma-switch".  Raises kBadDispatch for unknown names;
+  /// `arch_presets()` enumerates the table for CLIs and tests.
+  static DeviceConfig preset(std::string_view name);
 };
 
 }  // namespace vsparse::gpusim

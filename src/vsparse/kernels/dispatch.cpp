@@ -1,17 +1,33 @@
 #include "vsparse/kernels/dispatch.hpp"
 
+#include <algorithm>
+
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/kernels/policy.hpp"
 #include "vsparse/serve/supervisor.hpp"
-#include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
-#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
-#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
-#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
-#include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
-#include "vsparse/kernels/spmm/spmm_fpu.hpp"
-#include "vsparse/kernels/spmm/spmm_octet.hpp"
-#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
-#include "vsparse/kernels/spmm/spmm_wmma.hpp"
 
 namespace vsparse::kernels {
+
+namespace {
+
+double cvs_density(const CvsDevice& m) {
+  const double total = static_cast<double>(m.rows) * m.cols;
+  if (total == 0) return 0.0;
+  return static_cast<double>(m.col_idx.size()) * m.v / total;
+}
+
+}  // namespace
+
+DispatchShape spmm_dispatch_shape(const CvsDevice& a,
+                                  const DenseDevice<half_t>& b) {
+  return DispatchShape{a.rows, a.cols, b.cols, a.v, cvs_density(a)};
+}
+
+DispatchShape sddmm_dispatch_shape(const DenseDevice<half_t>& a,
+                                   const CvsDevice& mask) {
+  return DispatchShape{mask.rows, a.cols, mask.cols, mask.v,
+                       cvs_density(mask)};
+}
 
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
                const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
@@ -31,25 +47,21 @@ KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
     VSPARSE_CHECK_RAISE(algo == SpmmAlgorithm::kOctet, ErrorCode::kBadDispatch,
                         "kernels.dispatch",
                         "ABFT is only implemented for the octet SpMM kernel");
-    return spmm_octet_abft(dev, a, b, c, {}, *options.abft, options.sim);
+    const AbftOptions abft = *options.abft;
+    return kernel_for(algo).spmm_abft_launch(
+        SpmmCall{dev, a, b, c, options.sim, &abft});
   }
   if (algo == SpmmAlgorithm::kAuto) {
-    algo = a.v >= 2 ? SpmmAlgorithm::kOctet : SpmmAlgorithm::kFpuSubwarp;
+    const DispatchShape shape = spmm_dispatch_shape(a, b);
+    const KernelDesc* cached =
+        options.policy != nullptr
+            ? options.policy->lookup(KernelOp::kSpmm, dev.config().arch,
+                                     shape)
+            : nullptr;
+    algo = cached != nullptr ? static_cast<SpmmAlgorithm>(cached->algorithm)
+                             : resolve_auto_spmm(shape);
   }
-  switch (algo) {
-    case SpmmAlgorithm::kOctet:
-      return spmm_octet(dev, a, b, c, {}, options.sim);
-    case SpmmAlgorithm::kWmmaWarp:
-      return spmm_wmma_warp(dev, a, b, c, options.sim);
-    case SpmmAlgorithm::kFpuSubwarp:
-      return spmm_fpu_subwarp(dev, a, b, c, {}, options.sim);
-    case SpmmAlgorithm::kCsrFine:
-      return spmm_csr_fine(dev, a, b, c, options.sim);
-    case SpmmAlgorithm::kAuto:
-      break;
-  }
-  VSPARSE_RAISE(ErrorCode::kBadDispatch, "kernels.dispatch",
-                "unreachable spmm algorithm");
+  return kernel_for(algo).spmm_launch(SpmmCall{dev, a, b, c, options.sim});
 }
 
 KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
@@ -65,22 +77,17 @@ KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
   }
   SddmmAlgorithm algo = options.algorithm;
   if (algo == SddmmAlgorithm::kAuto) {
-    algo = mask.v >= 2 ? SddmmAlgorithm::kOctet : SddmmAlgorithm::kFpuSubwarp;
+    const DispatchShape shape = sddmm_dispatch_shape(a, mask);
+    const KernelDesc* cached =
+        options.policy != nullptr
+            ? options.policy->lookup(KernelOp::kSddmm, dev.config().arch,
+                                     shape)
+            : nullptr;
+    algo = cached != nullptr ? static_cast<SddmmAlgorithm>(cached->algorithm)
+                             : resolve_auto_sddmm(shape);
   }
-  switch (algo) {
-    case SddmmAlgorithm::kOctet:
-      return sddmm_octet(dev, a, b, mask, out_values, {}, options.sim);
-    case SddmmAlgorithm::kWmmaWarp:
-      return sddmm_wmma_warp(dev, a, b, mask, out_values, options.sim);
-    case SddmmAlgorithm::kFpuSubwarp:
-      return sddmm_fpu_subwarp(dev, a, b, mask, out_values, {}, options.sim);
-    case SddmmAlgorithm::kCsrFine:
-      return sddmm_csr_fine(dev, a, b, mask, out_values, options.sim);
-    case SddmmAlgorithm::kAuto:
-      break;
-  }
-  VSPARSE_RAISE(ErrorCode::kBadDispatch, "kernels.dispatch",
-                "unreachable sddmm algorithm");
+  return kernel_for(algo).sddmm_launch(
+      SddmmCall{dev, a, b, mask, out_values, options.sim});
 }
 
 HostRun<DenseMatrix<half_t>> spmm_host(const Cvs& a,
@@ -116,43 +123,6 @@ HostRun<Cvs> sddmm_host(const DenseMatrix<half_t>& a,
   auto host = out.host();
   std::copy(host.begin(), host.end(), result.values.begin());
   return {std::move(result), std::move(run)};
-}
-
-// ---- deprecated wrappers (forward to the descriptor entry points) ----
-
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo, const gpusim::SimOptions& sim) {
-  return spmm(dev, a, b, c, SpmmOptions{.algorithm = algo, .sim = sim});
-}
-
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               const AbftOptions& abft, SpmmAlgorithm algo,
-               const gpusim::SimOptions& sim) {
-  return spmm(dev, a, b, c,
-              SpmmOptions{.algorithm = algo, .abft = abft, .sim = sim});
-}
-
-KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
-                const DenseDevice<half_t>& b, const CvsDevice& mask,
-                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
-                const gpusim::SimOptions& sim) {
-  return sddmm(dev, a, b, mask, out_values,
-               SddmmOptions{.algorithm = algo, .sim = sim});
-}
-
-DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo,
-                              const gpusim::SimOptions& sim) {
-  return spmm_host(a, b, SpmmOptions{.algorithm = algo, .sim = sim}).result;
-}
-
-Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
-               const Cvs& mask, SddmmAlgorithm algo,
-               const gpusim::SimOptions& sim) {
-  return sddmm_host(a, b, mask, SddmmOptions{.algorithm = algo, .sim = sim})
-      .result;
 }
 
 }  // namespace vsparse::kernels

@@ -8,30 +8,34 @@
 //   sddmm(dev, a, b, mask, out, {.sim = {.threads = 4}});
 //
 // One descriptor struct per operation bundles everything a call can
-// vary — algorithm, optional ABFT fault tolerance, and the engine's
-// SimOptions (threads, watchdog, per-SM stats, tracing) — so adding a
+// vary — algorithm, optional ABFT fault tolerance, the engine's
+// SimOptions (threads, watchdog, per-SM stats, tracing), serving
+// supervision, and an optional autotuned policy cache — so adding a
 // knob never multiplies the overload set again.
 //
 // Selection policy (documented, overridable):
 //   * V in {2,4,8}  -> TCU-based 1-D Octet Tiling (the paper's kernel)
 //   * V == 1        -> FPU 1-D subwarp tiling (Sputnik semantics; the
 //                      TCU mappings need at least 2-wide vectors)
+//   * policy cache  -> with SpmmOptions::policy attached, kAuto first
+//                      probes the autotuned per-architecture cache
+//                      (kernels/policy.hpp) and falls back to the rule
+//                      above on miss
 //   * Algorithm::k* -> force a specific implementation (for studies)
 //
-// All entry points return the KernelRun (counters + launch shape) so
-// callers keep full observability; the host round trips return a
-// HostRun carrying the downloaded result *and* the KernelRun.
-//
-// The pre-descriptor signatures (positional algo / AbftOptions
-// arguments) remain as thin deprecated wrappers for one release.
+// The algorithm enums and the kernel metadata behind every branch live
+// in kernels/registry.hpp; this header stays the stable entry-point
+// surface.  All entry points return the KernelRun (counters + launch
+// shape) so callers keep full observability; the host round trips
+// return a HostRun carrying the downloaded result *and* the KernelRun.
 #pragma once
 
 #include <optional>
 
-#include "vsparse/formats/blocked_ell.hpp"
 #include "vsparse/formats/cvs.hpp"
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/kernels/api.hpp"
+#include "vsparse/kernels/registry.hpp"
 
 namespace vsparse::serve {
 struct ServePolicy;
@@ -40,21 +44,7 @@ struct ServeReport;
 
 namespace vsparse::kernels {
 
-enum class SpmmAlgorithm {
-  kAuto,        ///< octet for V>=2, FPU subwarp for V=1
-  kOctet,       ///< TCU-based 1-D Octet Tiling (§5.3)
-  kWmmaWarp,    ///< classic warp-level WMMA mapping (§5.2)
-  kFpuSubwarp,  ///< Sputnik-extended FPU tiling (§5.1)
-  kCsrFine,     ///< fine-grained row-per-warp (cuSPARSE-style, V=1)
-};
-
-enum class SddmmAlgorithm {
-  kAuto,        ///< octet(reg) for V>=2, FPU subwarp for V=1
-  kOctet,       ///< §6.3 with the extra-registers inverted-pattern fix
-  kWmmaWarp,    ///< §6.2
-  kFpuSubwarp,  ///< §6.1
-  kCsrFine,     ///< fine-grained (V=1)
-};
+class PolicyCache;
 
 /// Everything one spmm() call can vary.
 struct SpmmOptions {
@@ -80,6 +70,13 @@ struct SpmmOptions {
   /// Out-param (like SimOptions::per_sm_stats): when set together with
   /// `serve`, receives the attempt-by-attempt ServeReport.
   serve::ServeReport* serve_report = nullptr;
+
+  /// Opt-in autotuned dispatch policy (kernels/policy.hpp): consulted
+  /// only when `algorithm` is kAuto and no ABFT is requested.  Null
+  /// (the default) or a cache miss reproduces the static heuristic
+  /// exactly — same off-by-default contract as `serve`.  The cache
+  /// must outlive the call.
+  const PolicyCache* policy = nullptr;
 };
 
 /// Everything one sddmm() call can vary.  `abft` is reserved: no SDDMM
@@ -93,7 +90,19 @@ struct SddmmOptions {
   /// Serving supervision, as in SpmmOptions.
   const serve::ServePolicy* serve = nullptr;
   serve::ServeReport* serve_report = nullptr;
+
+  /// Autotuned dispatch policy, as in SpmmOptions.
+  const PolicyCache* policy = nullptr;
 };
+
+/// The DispatchShape (registry/policy key) of one SpMM call's operands
+/// — O(1) host-side metadata only.
+DispatchShape spmm_dispatch_shape(const CvsDevice& a,
+                                  const DenseDevice<half_t>& b);
+
+/// Likewise for SDDMM (the mask is the sparse operand; N is its cols).
+DispatchShape sddmm_dispatch_shape(const DenseDevice<half_t>& a,
+                                   const CvsDevice& mask);
 
 /// C[MxN] = A_cvs[MxK] * B[KxN] (half, row-major B/C).
 KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
@@ -129,40 +138,5 @@ HostRun<DenseMatrix<half_t>> spmm_host(const Cvs& a,
 HostRun<Cvs> sddmm_host(const DenseMatrix<half_t>& a,
                         const DenseMatrix<half_t>& b, const Cvs& mask,
                         const SddmmOptions& options = {});
-
-// ---------------------------------------------------------------------
-// Deprecated pre-descriptor signatures — thin wrappers over the
-// SpmmOptions/SddmmOptions entry points, kept for one release.  They
-// deliberately have no default for `algo`, so an argument-free call
-// resolves to the new API unambiguously.
-// ---------------------------------------------------------------------
-
-[[deprecated("use spmm(dev, a, b, c, SpmmOptions{.algorithm = ...})")]]
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               SpmmAlgorithm algo, const gpusim::SimOptions& sim = {});
-
-[[deprecated("use spmm(dev, a, b, c, SpmmOptions{.abft = ...})")]]
-KernelRun spmm(gpusim::Device& dev, const CvsDevice& a,
-               const DenseDevice<half_t>& b, DenseDevice<half_t>& c,
-               const AbftOptions& abft,
-               SpmmAlgorithm algo = SpmmAlgorithm::kAuto,
-               const gpusim::SimOptions& sim = {});
-
-[[deprecated("use sddmm(dev, a, b, mask, out, SddmmOptions{...})")]]
-KernelRun sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
-                const DenseDevice<half_t>& b, const CvsDevice& mask,
-                gpusim::Buffer<half_t>& out_values, SddmmAlgorithm algo,
-                const gpusim::SimOptions& sim = {});
-
-[[deprecated("use spmm_host(a, b, SpmmOptions{...}).result")]]
-DenseMatrix<half_t> spmm_host(const Cvs& a, const DenseMatrix<half_t>& b,
-                              SpmmAlgorithm algo,
-                              const gpusim::SimOptions& sim = {});
-
-[[deprecated("use sddmm_host(a, b, mask, SddmmOptions{...}).result")]]
-Cvs sddmm_host(const DenseMatrix<half_t>& a, const DenseMatrix<half_t>& b,
-               const Cvs& mask, SddmmAlgorithm algo,
-               const gpusim::SimOptions& sim = {});
 
 }  // namespace vsparse::kernels

@@ -1,0 +1,294 @@
+#include "vsparse/kernels/policy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "vsparse/serve/error.hpp"
+
+namespace vsparse::kernels {
+
+int extent_bucket(int extent) {
+  if (extent <= 1) return 0;
+  int bucket = 0;
+  int reach = 1;
+  while (reach < extent) {
+    reach *= 2;
+    ++bucket;
+  }
+  return bucket;  // ceil(log2(extent))
+}
+
+int density_bucket(double density) {
+  // The paper's sparsity grid (Fig. 17/18 sweeps); one extra bucket
+  // catches the >99% tail.
+  static constexpr double kGrid[] = {0.50, 0.70, 0.80, 0.90,
+                                     0.95, 0.98, 0.99};
+  const double sparsity = 1.0 - density;
+  int bucket = 0;
+  for (double edge : kGrid) {
+    if (sparsity <= edge) return bucket;
+    ++bucket;
+  }
+  return bucket;  // sparser than the whole grid
+}
+
+std::string shape_class_key(KernelOp op, std::string_view arch,
+                            const DispatchShape& shape) {
+  std::string key;
+  key.reserve(48);
+  key += kernel_op_name(op);
+  key += '|';
+  key += arch;
+  key += '|';
+  key += 'm';
+  key += std::to_string(extent_bucket(shape.m));
+  key += 'k';
+  key += std::to_string(extent_bucket(shape.k));
+  key += 'n';
+  key += std::to_string(extent_bucket(shape.n));
+  key += 'd';
+  key += std::to_string(density_bucket(shape.density));
+  key += 'v';
+  key += std::to_string(shape.v);
+  return key;
+}
+
+void PolicyCache::insert(KernelOp op, std::string_view arch,
+                         const DispatchShape& shape, std::string_view kernel,
+                         double cycles) {
+  entries_[shape_class_key(op, arch, shape)] =
+      PolicyEntry{std::string(kernel), cycles};
+}
+
+const KernelDesc* PolicyCache::lookup(KernelOp op, std::string_view arch,
+                                      const DispatchShape& shape) const {
+  const auto it = entries_.find(shape_class_key(op, arch, shape));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  const KernelDesc* desc = find_kernel(it->second.kernel);
+  if (desc == nullptr || desc->op != op || !desc->dispatchable() ||
+      !desc->supports_v(shape.v)) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return desc;
+}
+
+// ---- JSON serialization -------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else {
+      out += ch;
+    }
+  }
+}
+
+std::string format_cycles(double cycles) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << cycles;
+  return os.str();
+}
+
+/// Minimal recursive-descent JSON reader — just enough for the policy
+/// schema (objects, arrays, strings, numbers).  Kept here rather than
+/// adding a dependency; tools/validate_policy_cache.py is the richer
+/// offline checker.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void expect(char ch) {
+    skip_ws();
+    check(pos_ < text_.size() && text_[pos_] == ch,
+          std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consume(char ch) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\') {
+        check(pos_ < text_.size(), "truncated escape");
+        ch = text_[pos_++];
+        check(ch == '"' || ch == '\\' || ch == '/', "unsupported escape");
+      }
+      out += ch;
+    }
+    check(pos_ < text_.size(), "unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    check(pos_ > start, "expected number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  void check(bool ok, const std::string& what) {
+    VSPARSE_CHECK_RAISE(ok, ErrorCode::kBadDispatch, "kernels.policy",
+                        "malformed policy cache at offset "
+                            << pos_ << ": " << what);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string PolicyCache::to_json() const {
+  std::vector<std::pair<std::string, const PolicyEntry*>> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) sorted.emplace_back(key, &entry);
+  std::sort(sorted.begin(), sorted.end());
+
+  std::string out;
+  out += "{\n  \"version\": \"";
+  out += kPolicyCacheVersion;
+  out += "\",\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, entry] : sorted) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"key\": \"";
+    append_escaped(out, key);
+    out += "\", \"kernel\": \"";
+    append_escaped(out, entry->kernel);
+    out += "\", \"cycles\": ";
+    out += format_cycles(entry->cycles);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+PolicyCache PolicyCache::from_json(std::string_view text) {
+  PolicyCache cache;
+  JsonReader in(text);
+  in.expect('{');
+  bool saw_version = false;
+  if (in.consume('}')) {
+    VSPARSE_RAISE(ErrorCode::kBadDispatch, "kernels.policy",
+                  "policy cache has no version tag");
+  }
+  do {
+    const std::string field = in.string();
+    in.expect(':');
+    if (field == "version") {
+      const std::string version = in.string();
+      VSPARSE_CHECK_RAISE(version == kPolicyCacheVersion,
+                          ErrorCode::kBadDispatch, "kernels.policy",
+                          "policy cache version \""
+                              << version << "\" does not match \""
+                              << kPolicyCacheVersion
+                              << "\"; re-run the autotuner");
+      saw_version = true;
+    } else if (field == "entries") {
+      in.expect('[');
+      if (!in.consume(']')) {
+        do {
+          in.expect('{');
+          std::string key, kernel;
+          double cycles = 0.0;
+          do {
+            const std::string name = in.string();
+            in.expect(':');
+            if (name == "key") {
+              key = in.string();
+            } else if (name == "kernel") {
+              kernel = in.string();
+            } else if (name == "cycles") {
+              cycles = in.number();
+            } else {
+              in.check(false, "unknown entry field \"" + name + "\"");
+            }
+          } while (in.consume(','));
+          in.expect('}');
+          in.check(!key.empty() && !kernel.empty(),
+                   "entry missing key/kernel");
+          VSPARSE_CHECK_RAISE(find_kernel(kernel) != nullptr,
+                              ErrorCode::kBadDispatch, "kernels.policy",
+                              "policy cache entry names unknown kernel \""
+                                  << kernel << "\"");
+          cache.entries_[key] = PolicyEntry{kernel, cycles};
+        } while (in.consume(','));
+        in.expect(']');
+      }
+    } else {
+      in.check(false, "unknown field \"" + field + "\"");
+    }
+  } while (in.consume(','));
+  in.expect('}');
+  VSPARSE_CHECK_RAISE(saw_version, ErrorCode::kBadDispatch, "kernels.policy",
+                      "policy cache has no version tag");
+  VSPARSE_CHECK_RAISE(in.at_end(), ErrorCode::kBadDispatch, "kernels.policy",
+                      "trailing content after policy cache object");
+  return cache;
+}
+
+void PolicyCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  VSPARSE_CHECK_RAISE(out.good(), ErrorCode::kBadDispatch, "kernels.policy",
+                      "cannot open policy cache for writing: " << path);
+  const std::string text = to_json();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  VSPARSE_CHECK_RAISE(out.good(), ErrorCode::kBadDispatch, "kernels.policy",
+                      "short write persisting policy cache: " << path);
+}
+
+PolicyCache PolicyCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VSPARSE_CHECK_RAISE(in.good(), ErrorCode::kBadDispatch, "kernels.policy",
+                      "cannot open policy cache: " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(text.str());
+}
+
+}  // namespace vsparse::kernels

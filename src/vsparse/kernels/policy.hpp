@@ -1,0 +1,111 @@
+// Versioned dispatch-policy cache — the third registry consumer.
+//
+// kAuto's static heuristic (octet for V >= 2, FPU subwarp otherwise)
+// is right in the bulk of the paper's sweeps but leaves ground on the
+// margins: skinny outputs where the FPU tiling's lower launch overhead
+// wins, near-dense panels where WMMA beats octet, V = 1 shapes where
+// the fine-grained kernel overtakes the subwarp tiling.  The offline
+// autotuner (autotune_policy, kernels/autotune.hpp) sweeps the full
+// registry palette over a grid of shape classes per architecture
+// preset, scores candidates with the existing cost model, and persists
+// the winners here.
+//
+// Key structure: (op, arch, shape class) -> kernel name, where a shape
+// class buckets M/K/N by log2, density by the paper's sparsity grid,
+// and keeps V exact.  Lookup is O(1): one small key build plus one
+// unordered_map probe — no scan of the registry or the cache.
+//
+// Contract: the cache is *advisory and opt-in*.  SpmmOptions::policy /
+// SddmmOptions::policy default to null, and a null or missing-entry
+// cache makes kAuto fall back to the static heuristic — dispatch is
+// bit- and counter-identical to a build without this layer.  A cache
+// never overrides an explicit algorithm request, never selects a
+// kernel that does not support the operand's V, and never applies to
+// ABFT launches (only the octet kernel has an ABFT variant).
+//
+// The JSON file is versioned ("vsparse-policy-v1"); loading any other
+// version raises kBadDispatch rather than silently misapplying stale
+// policies.  tools/validate_policy_cache.py checks the same schema
+// offline in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "vsparse/kernels/registry.hpp"
+
+namespace vsparse::kernels {
+
+/// Schema version tag; bump on any incompatible key/field change.
+inline constexpr const char* kPolicyCacheVersion = "vsparse-policy-v1";
+
+/// Log2 bucket of a problem extent: 0 for extents <= 1, else
+/// ceil(log2(extent)).  Adjacent power-of-two shapes (the paper's
+/// sweep grid) land in distinct buckets; off-grid shapes share the
+/// bucket of the next power of two.
+int extent_bucket(int extent);
+
+/// Density bucket over the paper's sparsity grid {50, 70, 80, 90, 95,
+/// 98, 99%}: index of the first grid sparsity >= the operand's, 0 for
+/// denser-than-50% operands.
+int density_bucket(double density);
+
+/// The canonical cache key for one dispatch decision:
+/// "<op>|<arch>|m<mb>k<kb>n<nb>d<db>v<V>".
+std::string shape_class_key(KernelOp op, std::string_view arch,
+                            const DispatchShape& shape);
+
+/// One cached decision, with provenance for tooling.
+struct PolicyEntry {
+  std::string kernel;   ///< stable registry name ("spmm_octet")
+  double cycles = 0.0;  ///< winner's model cycles when tuned
+};
+
+class PolicyCache {
+ public:
+  PolicyCache() = default;
+
+  /// Record the winner for a shape class (last insert wins).
+  void insert(KernelOp op, std::string_view arch, const DispatchShape& shape,
+              std::string_view kernel, double cycles);
+
+  /// O(1) probe.  Returns the cached kernel's desc, or nullptr when the
+  /// class is absent, the cached name is unknown, or the kernel cannot
+  /// take this operand (wrong op / unsupported V / not dispatchable) —
+  /// every miss falls back to the static heuristic at the call site.
+  const KernelDesc* lookup(KernelOp op, std::string_view arch,
+                           const DispatchShape& shape) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Probe counters (lookup is logically const; the counters are
+  /// observability, mirroring SimOptions::per_sm_stats).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Deterministic serialization: entries sorted by key, fixed field
+  /// order, version tag first.
+  std::string to_json() const;
+
+  /// Parse; raises kBadDispatch on malformed JSON, a missing/mismatched
+  /// version tag, or entries naming unknown kernels.
+  static PolicyCache from_json(std::string_view text);
+
+  void save(const std::string& path) const;
+  static PolicyCache load(const std::string& path);
+
+  /// Raw view for tests/tooling.
+  const std::unordered_map<std::string, PolicyEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::string, PolicyEntry> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace vsparse::kernels

@@ -10,24 +10,18 @@
 
 #include "vsparse/formats/blocked_ell.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
-#include "vsparse/kernels/dense/gemm.hpp"
-#include "vsparse/kernels/sddmm/sddmm_csr_fine.hpp"
-#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
-#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
-#include "vsparse/kernels/sddmm/sddmm_wmma.hpp"
-#include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
-#include "vsparse/kernels/spmm/spmm_csr_fine.hpp"
-#include "vsparse/kernels/spmm/spmm_fpu.hpp"
-#include "vsparse/kernels/spmm/spmm_octet.hpp"
-#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
-#include "vsparse/kernels/spmm/spmm_wmma.hpp"
+#include "vsparse/kernels/policy.hpp"
+#include "vsparse/kernels/registry.hpp"
 
 namespace vsparse::serve {
 namespace {
 
+using kernels::DispatchShape;
+using kernels::KernelOp;
 using kernels::KernelRun;
-using kernels::SpmmAlgorithm;
+using kernels::LadderEntry;
 using kernels::SddmmAlgorithm;
+using kernels::SpmmAlgorithm;
 
 // splitmix64 — the jitter hash.  Everything the backoff depends on is
 // policy state, so the schedule is bit-identical at any thread count.
@@ -110,43 +104,61 @@ Cvs download_cvs(const CvsDevice& a) {
   return host;
 }
 
-struct SpmmShape {
-  int m = 0, k = 0, n = 0, v = 1;
-};
-
-bool spmm_rung_eligible(ServeRung rung, const SpmmShape& s) {
-  switch (rung) {
-    case ServeRung::kOctet:
-    case ServeRung::kOctetAbft:
-    case ServeRung::kWmmaWarp:
-      return s.v >= 2 && s.n % 64 == 0;
-    case ServeRung::kBlockedEll:
-      // block = V; the kernel accepts blocks {2,4,8,16} and N % 64.
-      return s.v >= 2 && s.n % 64 == 0;
-    case ServeRung::kDenseGemm:
-      return s.m % 64 == 0 && s.n % 64 == 0 && s.k % 16 == 0;
-    case ServeRung::kFpuSubwarp:
-      return s.n % 16 == 0;
-    case ServeRung::kCsrFine:
-      return s.v == 1 && s.n % 32 == 0;
-    case ServeRung::kNumRungs:
-      break;
-  }
-  return false;
+double cvs_density(const CvsDevice& m) {
+  const double total = static_cast<double>(m.rows) * m.cols;
+  if (total == 0) return 0.0;
+  return static_cast<double>(m.col_idx.size()) * m.v / total;
 }
 
-bool sddmm_rung_eligible(ServeRung rung, int v) {
-  switch (rung) {
-    case ServeRung::kOctet:
-    case ServeRung::kWmmaWarp:
-      return v >= 2;
-    case ServeRung::kFpuSubwarp:
-      return true;
-    case ServeRung::kCsrFine:
-      return v == 1;
-    default:
-      return false;
+/// The ServeRung a ladder entry reports/traces as.  The report's rung
+/// vocabulary predates the registry and is part of the stable JSON
+/// schema, so the mapping lives here, not in KernelDesc (kernels must
+/// not depend on serve's reporting types).
+ServeRung serve_rung_of(const LadderEntry& entry) {
+  switch (entry.desc->format) {
+    case kernels::OperandFormat::kBlockedEll:
+      return ServeRung::kBlockedEll;
+    case kernels::OperandFormat::kDense:
+      return ServeRung::kDenseGemm;
+    case kernels::OperandFormat::kCvs:
+      break;
   }
+  // SpmmAlgorithm and SddmmAlgorithm share enumerator values for the
+  // four CVS kernels (registry_test pins this).
+  switch (static_cast<SpmmAlgorithm>(entry.desc->algorithm)) {
+    case SpmmAlgorithm::kOctet:
+      return entry.abft ? ServeRung::kOctetAbft : ServeRung::kOctet;
+    case SpmmAlgorithm::kWmmaWarp:
+      return ServeRung::kWmmaWarp;
+    case SpmmAlgorithm::kFpuSubwarp:
+      return ServeRung::kFpuSubwarp;
+    case SpmmAlgorithm::kCsrFine:
+      return ServeRung::kCsrFine;
+    default:
+      break;
+  }
+  VSPARSE_RAISE(ErrorCode::kInternal, "serve.supervisor",
+                "kernel desc with no serve rung mapping: "
+                    << entry.desc->name);
+}
+
+/// One resolved rung: the registry entry plus its report identity.
+struct Rung {
+  LadderEntry entry;
+  ServeRung id;
+};
+
+std::vector<Rung> build_rungs(const ServePolicy& policy, KernelOp op,
+                              const LadderEntry& entry,
+                              const DispatchShape& shape) {
+  std::vector<Rung> rungs{{entry, serve_rung_of(entry)}};
+  if (policy.ladder) {
+    for (const LadderEntry& fb : kernels::fallback_ladder(op, shape)) {
+      if (fb.desc == entry.desc && fb.abft == entry.abft) continue;
+      rungs.push_back({fb, serve_rung_of(fb)});
+    }
+  }
+  return rungs;
 }
 
 /// The generic retry + degradation-ladder loop shared by both ops.
@@ -154,10 +166,9 @@ bool sddmm_rung_eligible(ServeRung rung, int v) {
 /// written output after an aborted attempt.  Returns the successful
 /// run or rethrows the last failure after recording the give-up.
 KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
-                     ServeReport& report,
-                     const std::vector<ServeRung>& rungs,
+                     ServeReport& report, const std::vector<Rung>& rungs,
                      const std::function<void()>& reset_output,
-                     const std::function<KernelRun(ServeRung)>& run_rung) {
+                     const std::function<KernelRun(const Rung&)>& run_rung) {
   std::exception_ptr last_eptr;
   ErrorCode last_code = ErrorCode::kInternal;
   std::string last_site = "serve.supervisor";
@@ -165,7 +176,7 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
   bool output_dirty = false;
 
   for (std::size_t ri = 0; ri < rungs.size(); ++ri) {
-    const ServeRung rung = rungs[ri];
+    const Rung& rung = rungs[ri];
     for (int attempt = 0; attempt <= policy.retry.max_retries; ++attempt) {
       std::uint64_t backoff = 0;
       if (attempt > 0) {
@@ -175,7 +186,7 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
         report.backoff_cycles += backoff;
         if (sink != nullptr) {
           sink->annotate(gpusim::TraceEventKind::kServeRetry,
-                         static_cast<std::uint64_t>(rung),
+                         static_cast<std::uint64_t>(rung.id),
                          static_cast<std::uint64_t>(attempt));
         }
       }
@@ -185,7 +196,7 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
       }
       ++total_attempts;
       ServeAttempt at;
-      at.rung = rung;
+      at.rung = rung.id;
       at.attempt = attempt;
       at.backoff_cycles = backoff;
       try {
@@ -193,7 +204,7 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
         at.ok = true;
         report.attempts.push_back(std::move(at));
         report.completed = true;
-        report.final_rung = rung;
+        report.final_rung = rung.id;
         report.run = run;
         return run;
       } catch (const vsparse::Error& e) {
@@ -217,8 +228,8 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
       ++report.fallbacks;
       if (sink != nullptr) {
         sink->annotate(gpusim::TraceEventKind::kServeFallback,
-                       static_cast<std::uint64_t>(rungs[ri]),
-                       static_cast<std::uint64_t>(rungs[ri + 1]));
+                       static_cast<std::uint64_t>(rungs[ri].id),
+                       static_cast<std::uint64_t>(rungs[ri + 1].id));
       }
       continue;
     }
@@ -258,18 +269,19 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
 /// demands this much headroom up front so a fallback can never abort
 /// mid-ladder on an allocation failure.
 std::size_t spmm_ladder_workspace(const ServePolicy& policy,
-                                  const SpmmShape& s,
-                                  const std::vector<ServeRung>& rungs) {
+                                  const DispatchShape& s,
+                                  const std::vector<Rung>& rungs) {
   if (!policy.ladder) return 0;
   const std::size_t dense_bytes =
       static_cast<std::size_t>(s.m) * static_cast<std::size_t>(s.k) *
       sizeof(half_t);
   std::size_t worst = 0;
-  for (ServeRung rung : rungs) {
+  for (const Rung& rung : rungs) {
     std::size_t need = 0;
-    if (rung == ServeRung::kDenseGemm) {
+    if (rung.entry.desc->format == kernels::OperandFormat::kDense) {
       need = dense_bytes;
-    } else if (rung == ServeRung::kBlockedEll) {
+    } else if (rung.entry.desc->format ==
+               kernels::OperandFormat::kBlockedEll) {
       need = dense_bytes + (static_cast<std::size_t>(s.m) / s.v) *
                                (static_cast<std::size_t>(s.k) / s.v) *
                                sizeof(std::int32_t);
@@ -296,57 +308,36 @@ KernelRun supervised_spmm(gpusim::Device& dev, const CvsDevice& a,
   report.op = "spmm";
 
   gpusim::Trace* sink = resolve_sink(dev, options.sim);
-  const SpmmShape shape{c.rows, b.rows, c.cols, a.v};
-
-  // Inner attempts must not re-enter the supervisor.
-  kernels::SpmmOptions inner = options;
-  inner.serve = nullptr;
-  inner.serve_report = nullptr;
+  const DispatchShape shape{c.rows, b.rows, c.cols, a.v, cvs_density(a)};
 
   // ---- rung list: requested entry first, then the canonical ladder --
-  ServeRung entry;
+  LadderEntry entry{nullptr, false};
   if (options.abft.has_value()) {
     VSPARSE_CHECK_RAISE(options.algorithm == SpmmAlgorithm::kAuto ||
                             options.algorithm == SpmmAlgorithm::kOctet,
                         ErrorCode::kBadDispatch, "serve.supervisor",
                         "ABFT is only implemented for the octet SpMM kernel");
-    entry = ServeRung::kOctetAbft;
+    entry = {&kernels::kernel_for(SpmmAlgorithm::kOctet), true};
   } else {
-    switch (options.algorithm) {
-      case SpmmAlgorithm::kAuto:
-        entry = a.v >= 2 ? ServeRung::kOctet : ServeRung::kFpuSubwarp;
-        break;
-      case SpmmAlgorithm::kOctet:
-        entry = ServeRung::kOctet;
-        break;
-      case SpmmAlgorithm::kWmmaWarp:
-        entry = ServeRung::kWmmaWarp;
-        break;
-      case SpmmAlgorithm::kFpuSubwarp:
-        entry = ServeRung::kFpuSubwarp;
-        break;
-      case SpmmAlgorithm::kCsrFine:
-        entry = ServeRung::kCsrFine;
-        break;
-      default:
-        entry = ServeRung::kFpuSubwarp;
-        break;
+    SpmmAlgorithm algo = options.algorithm;
+    if (algo == SpmmAlgorithm::kAuto) {
+      const kernels::KernelDesc* cached =
+          options.policy != nullptr
+              ? options.policy->lookup(KernelOp::kSpmm, dev.config().arch,
+                                       shape)
+              : nullptr;
+      algo = cached != nullptr
+                 ? static_cast<SpmmAlgorithm>(cached->algorithm)
+                 : kernels::resolve_auto_spmm(shape);
     }
+    entry = {&kernels::kernel_for(algo), false};
   }
-  if (!spmm_rung_eligible(entry, shape)) {
+  if (!entry.desc->eligible(shape)) {
     reject(report, sink, ErrorCode::kBadDispatch, "serve.supervisor",
            "requested spmm algorithm is not eligible for this shape");
   }
-  std::vector<ServeRung> rungs{entry};
-  if (policy.ladder) {
-    for (ServeRung rung :
-         {ServeRung::kOctetAbft, ServeRung::kBlockedEll, ServeRung::kDenseGemm,
-          ServeRung::kFpuSubwarp, ServeRung::kCsrFine}) {
-      if (rung != entry && spmm_rung_eligible(rung, shape)) {
-        rungs.push_back(rung);
-      }
-    }
-  }
+  const std::vector<Rung> rungs =
+      build_rungs(policy, KernelOp::kSpmm, entry, shape);
 
   // ---- admission: quota, then device-memory reservation -------------
   const std::size_t operand_bytes = a.row_ptr.bytes() + a.col_idx.bytes() +
@@ -387,49 +378,41 @@ KernelRun supervised_spmm(gpusim::Device& dev, const CvsDevice& a,
     }
   };
 
-  auto run_rung = [&](ServeRung rung) -> KernelRun {
-    switch (rung) {
-      case ServeRung::kOctet:
-        return kernels::spmm_octet(dev, a, b, c, {}, inner.sim);
-      case ServeRung::kOctetAbft: {
-        KernelRun run =
-            kernels::spmm_octet_abft(dev, a, b, c, {}, abft_opts, inner.sim);
-        // ABFT reports exhaustion instead of throwing; classify it so
-        // the retry/ladder policy can act on it.
-        if (!run.abft.clean) {
-          VSPARSE_RAISE(ErrorCode::kAbftExhausted, "serve.abft",
-                        "ABFT retries exhausted with "
-                            << run.abft.corrupted_tiles
-                            << " corrupted tiles remaining");
-        }
-        return run;
-      }
-      case ServeRung::kBlockedEll: {
+  auto run_rung = [&](const Rung& rung) -> KernelRun {
+    kernels::SpmmCall call{dev, a, b, c, options.sim};
+    switch (rung.entry.desc->format) {
+      case kernels::OperandFormat::kBlockedEll:
         if (!ell_dev.has_value()) {
           const Cvs host = download_cvs(a);
           ell_dev = to_device(
               dev, BlockedEll::from_dense(host.to_dense(), a.v));
         }
-        return kernels::spmm_blocked_ell(dev, *ell_dev, b, c, inner.sim);
-      }
-      case ServeRung::kDenseGemm: {
+        call.ell = &*ell_dev;
+        break;
+      case kernels::OperandFormat::kDense:
         if (!dense_a.has_value()) {
           const Cvs host = download_cvs(a);
           dense_a = to_device(dev, host.to_dense());
         }
-        return kernels::hgemm_tcu(dev, *dense_a, b, c, {}, inner.sim);
-      }
-      case ServeRung::kFpuSubwarp:
-        return kernels::spmm_fpu_subwarp(dev, a, b, c, {}, inner.sim);
-      case ServeRung::kCsrFine:
-        return kernels::spmm_csr_fine(dev, a, b, c, inner.sim);
-      case ServeRung::kWmmaWarp:
-        return kernels::spmm_wmma_warp(dev, a, b, c, inner.sim);
-      case ServeRung::kNumRungs:
+        call.dense_a = &*dense_a;
+        break;
+      case kernels::OperandFormat::kCvs:
         break;
     }
-    VSPARSE_RAISE(ErrorCode::kInternal, "serve.supervisor",
-                  "unreachable spmm rung");
+    if (rung.entry.abft) {
+      call.abft = &abft_opts;
+      KernelRun run = rung.entry.desc->spmm_abft_launch(call);
+      // ABFT reports exhaustion instead of throwing; classify it so
+      // the retry/ladder policy can act on it.
+      if (!run.abft.clean) {
+        VSPARSE_RAISE(ErrorCode::kAbftExhausted, "serve.abft",
+                      "ABFT retries exhausted with "
+                          << run.abft.corrupted_tiles
+                          << " corrupted tiles remaining");
+      }
+      return run;
+    }
+    return rung.entry.desc->spmm_launch(call);
   };
 
   try {
@@ -458,45 +441,26 @@ KernelRun supervised_sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
   report.op = "sddmm";
 
   gpusim::Trace* sink = resolve_sink(dev, options.sim);
+  const DispatchShape shape{mask.rows, a.cols, mask.cols, mask.v,
+                            cvs_density(mask)};
 
-  kernels::SddmmOptions inner = options;
-  inner.serve = nullptr;
-  inner.serve_report = nullptr;
-
-  ServeRung entry;
-  switch (options.algorithm) {
-    case SddmmAlgorithm::kAuto:
-      entry = mask.v >= 2 ? ServeRung::kOctet : ServeRung::kFpuSubwarp;
-      break;
-    case SddmmAlgorithm::kOctet:
-      entry = ServeRung::kOctet;
-      break;
-    case SddmmAlgorithm::kWmmaWarp:
-      entry = ServeRung::kWmmaWarp;
-      break;
-    case SddmmAlgorithm::kFpuSubwarp:
-      entry = ServeRung::kFpuSubwarp;
-      break;
-    case SddmmAlgorithm::kCsrFine:
-      entry = ServeRung::kCsrFine;
-      break;
-    default:
-      entry = ServeRung::kFpuSubwarp;
-      break;
+  SddmmAlgorithm algo = options.algorithm;
+  if (algo == SddmmAlgorithm::kAuto) {
+    const kernels::KernelDesc* cached =
+        options.policy != nullptr
+            ? options.policy->lookup(KernelOp::kSddmm, dev.config().arch,
+                                     shape)
+            : nullptr;
+    algo = cached != nullptr ? static_cast<SddmmAlgorithm>(cached->algorithm)
+                             : kernels::resolve_auto_sddmm(shape);
   }
-  if (!sddmm_rung_eligible(entry, mask.v)) {
+  const LadderEntry entry{&kernels::kernel_for(algo), false};
+  if (!entry.desc->eligible(shape)) {
     reject(report, sink, ErrorCode::kBadDispatch, "serve.supervisor",
            "requested sddmm algorithm is not eligible for this mask");
   }
-  std::vector<ServeRung> rungs{entry};
-  if (policy.ladder) {
-    for (ServeRung rung :
-         {ServeRung::kWmmaWarp, ServeRung::kFpuSubwarp, ServeRung::kCsrFine}) {
-      if (rung != entry && sddmm_rung_eligible(rung, mask.v)) {
-        rungs.push_back(rung);
-      }
-    }
-  }
+  const std::vector<Rung> rungs =
+      build_rungs(policy, KernelOp::kSddmm, entry, shape);
 
   // SDDMM has no re-encode rungs, so the footprint is operands only.
   const std::size_t operand_bytes =
@@ -510,25 +474,9 @@ KernelRun supervised_sddmm(gpusim::Device& dev, const DenseDevice<half_t>& a,
                std::to_string(policy.memory_quota_bytes) + "B");
   }
 
-  auto run_rung = [&](ServeRung rung) -> KernelRun {
-    switch (rung) {
-      case ServeRung::kOctet:
-        return kernels::sddmm_octet(dev, a, b, mask, out_values, {},
-                                    inner.sim);
-      case ServeRung::kWmmaWarp:
-        return kernels::sddmm_wmma_warp(dev, a, b, mask, out_values,
-                                        inner.sim);
-      case ServeRung::kFpuSubwarp:
-        return kernels::sddmm_fpu_subwarp(dev, a, b, mask, out_values, {},
-                                          inner.sim);
-      case ServeRung::kCsrFine:
-        return kernels::sddmm_csr_fine(dev, a, b, mask, out_values,
-                                       inner.sim);
-      default:
-        break;
-    }
-    VSPARSE_RAISE(ErrorCode::kInternal, "serve.supervisor",
-                  "unreachable sddmm rung");
+  auto run_rung = [&](const Rung& rung) -> KernelRun {
+    return rung.entry.desc->sddmm_launch(
+        kernels::SddmmCall{dev, a, b, mask, out_values, options.sim});
   };
 
   return run_ladder(policy, sink, report, rungs,

@@ -1,7 +1,7 @@
 // Options-struct dispatch API: the descriptor entry points produce the
-// same results and counters as the deprecated positional overloads
-// they replace (one test per deprecated wrapper), the host round
-// trips return the KernelRun alongside the result, and the reserved
+// same results and counters as calling the concrete kernels directly
+// (dispatch through the registry adds nothing), the host round trips
+// return the KernelRun alongside the result, and the reserved
 // SddmmOptions::abft field is rejected loudly.
 #include <gtest/gtest.h>
 
@@ -14,6 +14,11 @@
 #include "vsparse/formats/reference.hpp"
 #include "vsparse/gpusim/trace/counters.hpp"
 #include "vsparse/kernels/dispatch.hpp"
+#include "vsparse/kernels/sddmm/sddmm_octet.hpp"
+#include "vsparse/kernels/sddmm/sddmm_fpu.hpp"
+#include "vsparse/kernels/spmm/spmm_octet.hpp"
+#include "vsparse/kernels/spmm/spmm_octet_abft.hpp"
+#include "vsparse/kernels/spmm/spmm_wmma.hpp"
 
 namespace vsparse::kernels {
 namespace {
@@ -56,29 +61,24 @@ struct SpmmDeviceRun {
   }
 };
 
-// The deprecated overloads are exercised on purpose; silence the
-// warning locally so -Werror builds stay clean.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(ApiOptions, SpmmAlgorithmWrapperMatchesOptionsCall) {
+TEST(ApiOptions, SpmmDispatchMatchesDirectKernelCall) {
   const SpmmFixture f;
   SpmmDeviceRun via_options(f);
   const auto new_run =
       spmm(via_options.dev, via_options.da, via_options.db, via_options.dc,
            {.algorithm = SpmmAlgorithm::kWmmaWarp});
 
-  SpmmDeviceRun via_wrapper(f);
-  const auto old_run = spmm(via_wrapper.dev, via_wrapper.da, via_wrapper.db,
-                            via_wrapper.dc, SpmmAlgorithm::kWmmaWarp);
+  SpmmDeviceRun direct(f);
+  const auto direct_run =
+      spmm_wmma_warp(direct.dev, direct.da, direct.db, direct.dc);
 
-  EXPECT_EQ(new_run.config.profile.name, old_run.config.profile.name);
-  EXPECT_TRUE(gpusim::counters_equal(new_run.stats, old_run.stats));
+  EXPECT_EQ(new_run.config.profile.name, direct_run.config.profile.name);
+  EXPECT_TRUE(gpusim::counters_equal(new_run.stats, direct_run.stats));
   EXPECT_EQ(bits_of(via_options.dc.buf.host()),
-            bits_of(via_wrapper.dc.buf.host()));
+            bits_of(direct.dc.buf.host()));
 }
 
-TEST(ApiOptions, SpmmAbftWrapperMatchesOptionsCall) {
+TEST(ApiOptions, SpmmAbftDispatchMatchesDirectKernelCall) {
   const SpmmFixture f;
   SpmmDeviceRun via_options(f);
   const auto new_run =
@@ -87,15 +87,16 @@ TEST(ApiOptions, SpmmAbftWrapperMatchesOptionsCall) {
   EXPECT_TRUE(new_run.abft.enabled);
   EXPECT_TRUE(new_run.abft.clean);
 
-  SpmmDeviceRun via_wrapper(f);
-  const auto old_run = spmm(via_wrapper.dev, via_wrapper.da, via_wrapper.db,
-                            via_wrapper.dc, AbftOptions{});
-  EXPECT_TRUE(old_run.abft.enabled);
+  SpmmDeviceRun direct(f);
+  const auto direct_run = spmm_octet_abft(direct.dev, direct.da, direct.db,
+                                          direct.dc, {}, AbftOptions{});
+  EXPECT_TRUE(direct_run.abft.enabled);
+  EXPECT_TRUE(gpusim::counters_equal(new_run.stats, direct_run.stats));
   EXPECT_EQ(bits_of(via_options.dc.buf.host()),
-            bits_of(via_wrapper.dc.buf.host()));
+            bits_of(direct.dc.buf.host()));
 }
 
-TEST(ApiOptions, SddmmAlgorithmWrapperMatchesOptionsCall) {
+TEST(ApiOptions, SddmmDispatchMatchesDirectKernelCall) {
   Rng rng(22);
   DenseMatrix<half_t> a(32, 64);
   a.fill_random_int(rng);
@@ -103,7 +104,7 @@ TEST(ApiOptions, SddmmAlgorithmWrapperMatchesOptionsCall) {
   b.fill_random_int(rng);
   Cvs mask = make_cvs_mask(32, 64, 4, 0.6, rng);
 
-  const auto run_both = [&](bool use_wrapper) {
+  const auto run_both = [&](bool use_direct) {
     gpusim::Device dev(test_config());
     auto da = to_device(dev, a);
     auto db = to_device(dev, b);
@@ -111,32 +112,34 @@ TEST(ApiOptions, SddmmAlgorithmWrapperMatchesOptionsCall) {
     auto out = dev.alloc<half_t>(mask.col_idx.size() *
                                  static_cast<std::size_t>(mask.v));
     const KernelRun run =
-        use_wrapper
-            ? sddmm(dev, da, db, dmask, out, SddmmAlgorithm::kOctet)
+        use_direct
+            ? sddmm_octet(dev, da, db, dmask, out)
             : sddmm(dev, da, db, dmask, out,
                     {.algorithm = SddmmAlgorithm::kOctet});
     return std::make_pair(run.stats, bits_of(out.host()));
   };
 
-  const auto new_api = run_both(false);
-  const auto old_api = run_both(true);
-  EXPECT_TRUE(gpusim::counters_equal(new_api.first, old_api.first));
-  EXPECT_EQ(new_api.second, old_api.second);
+  const auto dispatched = run_both(false);
+  const auto direct = run_both(true);
+  EXPECT_TRUE(gpusim::counters_equal(dispatched.first, direct.first));
+  EXPECT_EQ(dispatched.second, direct.second);
 }
 
-TEST(ApiOptions, SpmmHostWrapperMatchesHostRunResult) {
+TEST(ApiOptions, SpmmHostRoundTripMatchesDeviceRun) {
   const SpmmFixture f;
   const HostRun<DenseMatrix<half_t>> host =
       spmm_host(f.a, f.b, {.algorithm = SpmmAlgorithm::kOctet});
-  const DenseMatrix<half_t> old_result =
-      spmm_host(f.a, f.b, SpmmAlgorithm::kOctet);
 
-  ASSERT_EQ(host.result.rows(), old_result.rows());
-  ASSERT_EQ(host.result.cols(), old_result.cols());
+  SpmmDeviceRun direct(f);
+  spmm_octet(direct.dev, direct.da, direct.db, direct.dc);
+  const auto direct_bits = bits_of(direct.dc.buf.host());
+
+  ASSERT_EQ(host.result.rows(), f.a.rows);
+  ASSERT_EQ(host.result.cols(), f.b.cols());
+  std::size_t i = 0;
   for (int r = 0; r < host.result.rows(); ++r) {
     for (int c = 0; c < host.result.cols(); ++c) {
-      ASSERT_EQ(host.result.at(r, c).bits(), old_result.at(r, c).bits())
-          << r << "," << c;
+      ASSERT_EQ(host.result.at(r, c).bits(), direct_bits[i++]) << r << "," << c;
     }
   }
   // The point of HostRun: the KernelRun rides along.
@@ -145,7 +148,7 @@ TEST(ApiOptions, SpmmHostWrapperMatchesHostRunResult) {
   EXPECT_GT(host.run.stats.ctas_launched, 0u);
 }
 
-TEST(ApiOptions, SddmmHostWrapperMatchesHostRunResult) {
+TEST(ApiOptions, SddmmHostRoundTripMatchesDeviceRun) {
   Rng rng(23);
   DenseMatrix<half_t> a(16, 32);
   a.fill_random_int(rng);
@@ -155,17 +158,21 @@ TEST(ApiOptions, SddmmHostWrapperMatchesHostRunResult) {
 
   const HostRun<Cvs> host =
       sddmm_host(a, b, mask, {.algorithm = SddmmAlgorithm::kFpuSubwarp});
-  const Cvs old_result =
-      sddmm_host(a, b, mask, SddmmAlgorithm::kFpuSubwarp);
 
-  ASSERT_EQ(host.result.values.size(), old_result.values.size());
-  for (std::size_t i = 0; i < old_result.values.size(); ++i) {
-    ASSERT_EQ(host.result.values[i].bits(), old_result.values[i].bits()) << i;
+  gpusim::Device dev;
+  auto da = to_device(dev, a);
+  auto db = to_device(dev, b);
+  auto dmask = to_device(dev, mask);
+  auto out = dev.alloc<half_t>(mask.values.size());
+  sddmm_fpu_subwarp(dev, da, db, dmask, out);
+  const auto direct_bits = bits_of(out.host());
+
+  ASSERT_EQ(host.result.values.size(), direct_bits.size());
+  for (std::size_t i = 0; i < direct_bits.size(); ++i) {
+    ASSERT_EQ(host.result.values[i].bits(), direct_bits[i]) << i;
   }
   EXPECT_GT(host.run.stats.total_instructions(), 0u);
 }
-
-#pragma GCC diagnostic pop
 
 TEST(ApiOptions, DefaultOptionsAutoSelect) {
   const SpmmFixture octets(4);

@@ -1,0 +1,265 @@
+// Policy cache: key bucketing, deterministic versioned JSON round
+// trips, the advisory lookup contract (hit steers kAuto, every kind of
+// miss falls back to the static heuristic bit-identically), and the
+// offline autotuner producing a cache that disagrees with the
+// heuristic across shape classes and presets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/trace/counters.hpp"
+#include "vsparse/kernels/autotune.hpp"
+#include "vsparse/kernels/dispatch.hpp"
+#include "vsparse/kernels/policy.hpp"
+#include "vsparse/serve/error.hpp"
+
+namespace vsparse::kernels {
+namespace {
+
+gpusim::DeviceConfig small_config(const char* arch = "volta-v100") {
+  gpusim::DeviceConfig cfg = gpusim::DeviceConfig::preset(arch);
+  cfg.dram_capacity = 128 << 20;
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+TEST(PolicyCache, ExtentBucketIsCeilLog2) {
+  EXPECT_EQ(extent_bucket(1), 0);
+  EXPECT_EQ(extent_bucket(2), 1);
+  EXPECT_EQ(extent_bucket(64), 6);
+  EXPECT_EQ(extent_bucket(65), 7);   // off-grid rounds up
+  EXPECT_EQ(extent_bucket(1024), 10);
+}
+
+TEST(PolicyCache, DensityBucketFollowsThePaperSparsityGrid) {
+  EXPECT_EQ(density_bucket(0.60), 0);   // sparsity 0.40 -> before the grid
+  EXPECT_EQ(density_bucket(0.50), 0);   // sparsity 0.50
+  EXPECT_EQ(density_bucket(0.30), 1);   // sparsity 0.70
+  EXPECT_EQ(density_bucket(0.05), 4);   // sparsity 0.95
+  EXPECT_EQ(density_bucket(0.01), 6);    // sparsity 0.99
+  EXPECT_EQ(density_bucket(0.001), 7);   // sparsity 0.999 -> tail bucket
+}
+
+TEST(PolicyCache, ShapeClassKeyIsStable) {
+  const DispatchShape shape{1024, 1024, 64, 4, 0.30};
+  EXPECT_EQ(shape_class_key(KernelOp::kSpmm, "volta-v100", shape),
+            "spmm|volta-v100|m10k10n6d1v4");
+  EXPECT_EQ(shape_class_key(KernelOp::kSddmm, "turing-t4", shape),
+            "sddmm|turing-t4|m10k10n6d1v4");
+}
+
+TEST(PolicyCache, InsertLookupHitAndMissCounters) {
+  PolicyCache cache;
+  const DispatchShape shape{1024, 1024, 64, 4, 0.30};
+  cache.insert(KernelOp::kSpmm, "volta-v100", shape, "spmm_wmma_warp", 123.0);
+
+  const KernelDesc* hit = cache.lookup(KernelOp::kSpmm, "volta-v100", shape);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_STREQ(hit->name, "spmm_wmma_warp");
+
+  // Same class, different arch / op: miss.
+  EXPECT_EQ(cache.lookup(KernelOp::kSpmm, "turing-t4", shape), nullptr);
+  EXPECT_EQ(cache.lookup(KernelOp::kSddmm, "volta-v100", shape), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PolicyCache, LookupRejectsEntriesTheOperandCannotUse) {
+  PolicyCache cache;
+  const DispatchShape v1{1024, 1024, 64, 1, 0.30};
+  // Cached kernel does not support V=1: advisory miss, not an error.
+  cache.insert(KernelOp::kSpmm, "volta-v100", v1, "spmm_octet", 1.0);
+  EXPECT_EQ(cache.lookup(KernelOp::kSpmm, "volta-v100", v1), nullptr);
+
+  // Wrong-op kernel name under an SpMM key: miss.
+  const DispatchShape v4{1024, 1024, 64, 4, 0.30};
+  cache.insert(KernelOp::kSpmm, "volta-v100", v4, "sddmm_octet", 1.0);
+  EXPECT_EQ(cache.lookup(KernelOp::kSpmm, "volta-v100", v4), nullptr);
+
+  // Ladder-only kernels are not dispatchable: miss.
+  cache.insert(KernelOp::kSpmm, "volta-v100", v4, "spmm_blocked_ell", 1.0);
+  EXPECT_EQ(cache.lookup(KernelOp::kSpmm, "volta-v100", v4), nullptr);
+}
+
+TEST(PolicyCache, JsonRoundTripIsDeterministicAndVersioned) {
+  PolicyCache cache;
+  cache.insert(KernelOp::kSpmm, "volta-v100", {1024, 1024, 64, 4, 0.30},
+               "spmm_wmma_warp", 123.456);
+  cache.insert(KernelOp::kSddmm, "turing-t4", {512, 512, 256, 1, 0.05},
+               "sddmm_csr_fine", 78.9);
+
+  const std::string json = cache.to_json();
+  EXPECT_NE(json.find(kPolicyCacheVersion), std::string::npos);
+
+  const PolicyCache back = PolicyCache::from_json(json);
+  EXPECT_EQ(back.size(), cache.size());
+  EXPECT_EQ(back.to_json(), json);  // canonical form is a fixed point
+
+  const std::string temp =
+      ::testing::TempDir() + "/vsparse_policy_roundtrip.json";
+  cache.save(temp);
+  const PolicyCache loaded = PolicyCache::load(temp);
+  EXPECT_EQ(loaded.to_json(), json);
+  std::remove(temp.c_str());
+}
+
+TEST(PolicyCache, VersionMismatchAndBadEntriesRaise) {
+  PolicyCache cache;
+  cache.insert(KernelOp::kSpmm, "volta-v100", {1024, 1024, 64, 4, 0.30},
+               "spmm_wmma_warp", 123.0);
+  std::string json = cache.to_json();
+  const std::string stale =
+      [&] {
+        std::string s = json;
+        const auto pos = s.find(kPolicyCacheVersion);
+        s.replace(pos, std::string(kPolicyCacheVersion).size(),
+                  "vsparse-policy-v0");
+        return s;
+      }();
+  EXPECT_THROW(PolicyCache::from_json(stale), vsparse::Error);
+  EXPECT_THROW(PolicyCache::from_json("{}"), vsparse::Error);
+  EXPECT_THROW(PolicyCache::from_json("not json at all"), vsparse::Error);
+
+  // An entry naming an unknown kernel is rejected at load time.
+  const auto pos = json.find("spmm_wmma_warp");
+  json.replace(pos, std::string("spmm_wmma_warp").size(), "spmm_mystery_v9");
+  EXPECT_THROW(PolicyCache::from_json(json), vsparse::Error);
+
+  EXPECT_THROW(PolicyCache::load("/nonexistent/policy.json"), vsparse::Error);
+}
+
+struct SpmmProblem {
+  Cvs a;
+  DenseMatrix<half_t> b;
+
+  SpmmProblem(int m, int k, int n, int v, double sparsity, std::uint64_t seed)
+      : b(k, n) {
+    Rng rng(seed);
+    a = make_cvs(m, k, v, sparsity, rng);
+    b.fill_random_int(rng);
+  }
+};
+
+KernelRun run_spmm(const SpmmProblem& p, const gpusim::DeviceConfig& cfg,
+                   const SpmmOptions& options,
+                   std::vector<std::uint16_t>* bits = nullptr) {
+  gpusim::Device dev(cfg);
+  auto da = to_device(dev, p.a);
+  auto db = to_device(dev, p.b);
+  DenseMatrix<half_t> ch(p.a.rows, p.b.cols());
+  auto dc = to_device(dev, ch);
+  KernelRun run = spmm(dev, da, db, dc, options);
+  if (bits != nullptr) {
+    bits->clear();
+    for (half_t h : dc.buf.host()) bits->push_back(h.bits());
+  }
+  return run;
+}
+
+// The shape class dispatch will build internally for a problem, so the
+// tests can seed cache entries for exactly that class.
+DispatchShape spmm_dispatch_shape_for_test(const SpmmProblem& p,
+                                           const gpusim::DeviceConfig& cfg) {
+  gpusim::Device dev(cfg);
+  auto da = to_device(dev, p.a);
+  auto db = to_device(dev, p.b);
+  return spmm_dispatch_shape(da, db);
+}
+
+// The acceptance bar: with a cache attached, kAuto picks at least two
+// different kernels across shape classes, on at least two presets.
+TEST(PolicyCache, AutoFollowsTheCacheAcrossClassesAndPresets) {
+  const SpmmProblem tcu(64, 96, 64, 4, 0.5, 41);
+  const SpmmProblem scalar(64, 96, 32, 1, 0.5, 42);
+
+  for (const char* arch : {"volta-v100", "turing-t4"}) {
+    const gpusim::DeviceConfig cfg = small_config(arch);
+    PolicyCache cache;
+    cache.insert(KernelOp::kSpmm, arch,
+                 spmm_dispatch_shape_for_test(tcu, cfg), "spmm_wmma_warp",
+                 1.0);
+    cache.insert(KernelOp::kSpmm, arch,
+                 spmm_dispatch_shape_for_test(scalar, cfg), "spmm_csr_fine",
+                 1.0);
+
+    // Heuristic would pick octet / fpu; the cache steers to wmma / csr.
+    EXPECT_EQ(run_spmm(tcu, cfg, {.policy = &cache}).config.profile.name,
+              "spmm_wmma_v4")
+        << arch;
+    EXPECT_EQ(run_spmm(scalar, cfg, {.policy = &cache}).config.profile.name,
+              "spmm_csr_fine_half")
+        << arch;
+    EXPECT_EQ(cache.hits(), 2u) << arch;
+  }
+}
+
+TEST(PolicyCache, ExplicitAlgorithmIgnoresTheCache) {
+  const SpmmProblem tcu(64, 96, 64, 4, 0.5, 43);
+  const gpusim::DeviceConfig cfg = small_config();
+  PolicyCache cache;
+  cache.insert(KernelOp::kSpmm, cfg.arch, spmm_dispatch_shape_for_test(tcu, cfg),
+               "spmm_wmma_warp", 1.0);
+  const KernelRun run = run_spmm(
+      tcu, cfg, {.algorithm = SpmmAlgorithm::kOctet, .policy = &cache});
+  EXPECT_EQ(run.config.profile.name, "spmm_octet_v4");
+  EXPECT_EQ(cache.hits(), 0u);  // never consulted
+}
+
+TEST(PolicyCache, MissAndNullPolicyAreBitIdentical) {
+  const SpmmProblem tcu(64, 96, 64, 4, 0.5, 44);
+  const gpusim::DeviceConfig cfg = small_config();
+
+  std::vector<std::uint16_t> bits_null, bits_empty, bits_other_arch;
+  const KernelRun run_null = run_spmm(tcu, cfg, {}, &bits_null);
+
+  PolicyCache empty;
+  const KernelRun run_empty =
+      run_spmm(tcu, cfg, {.policy = &empty}, &bits_empty);
+  EXPECT_EQ(empty.misses(), 1u);
+
+  // A cache populated only for another preset is as good as empty.
+  PolicyCache other;
+  other.insert(KernelOp::kSpmm, "turing-t4",
+               spmm_dispatch_shape_for_test(tcu, cfg), "spmm_wmma_warp", 1.0);
+  const KernelRun run_other =
+      run_spmm(tcu, cfg, {.policy = &other}, &bits_other_arch);
+
+  EXPECT_EQ(run_null.config.profile.name, run_empty.config.profile.name);
+  EXPECT_EQ(run_null.config.profile.name, run_other.config.profile.name);
+  EXPECT_TRUE(gpusim::counters_equal(run_null.stats, run_empty.stats));
+  EXPECT_TRUE(gpusim::counters_equal(run_null.stats, run_other.stats));
+  EXPECT_EQ(bits_null, bits_empty);
+  EXPECT_EQ(bits_null, bits_other_arch);
+}
+
+TEST(PolicyCache, AutotunerProducesAValidDeterministicCache) {
+  PolicyTuneSpec spec;
+  spec.arches = {"volta-v100", "turing-t4"};
+  spec.ms = {64};
+  spec.ks = {64};
+  spec.ns = {64};
+  spec.vs = {1, 4};
+  spec.sparsities = {0.7};
+
+  const PolicyCache cache = autotune_policy(spec);
+  EXPECT_FALSE(cache.empty());
+  std::set<std::string> kernels;
+  for (const auto& [key, entry] : cache.entries()) {
+    const KernelDesc* desc = find_kernel(entry.kernel);
+    ASSERT_NE(desc, nullptr) << key;
+    EXPECT_TRUE(desc->dispatchable()) << key;
+    kernels.insert(entry.kernel);
+  }
+  EXPECT_GE(kernels.size(), 2u);  // the palette disagrees across classes
+  EXPECT_EQ(autotune_policy(spec).to_json(), cache.to_json());
+}
+
+}  // namespace
+}  // namespace vsparse::kernels

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Track simulator throughput across PRs and fail on regression.
+
+The bench drivers end every run with a machine-readable line:
+
+  # throughput: {"sim_ctas":N,"wall_seconds":S,"ctas_per_sec":R,"threads":T}
+
+This tool keeps a committed trajectory file (one entry per PR) and
+compares a fresh run against the last recorded entry:
+
+  perf_trajectory.py check TRAJ.json --stdout=FILE [--tolerance=0.5]
+      Parse FILE's throughput line.  Fail (exit 1) if sim_ctas changed
+      (the workload itself drifted — record a new entry deliberately
+      instead) or if ctas_per_sec fell below (1 - tolerance) x the last
+      entry's.  Wall clock on shared CI runners is noisy, so the default
+      tolerance is a generous 50%; the trajectory file still records the
+      precise numbers for human trend reading.
+
+  perf_trajectory.py record TRAJ.json --label=LABEL --stdout=FILE
+      Append a new entry (same parse), e.g. when a PR legitimately
+      changes the workload or lands a perf improvement worth pinning.
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+import json
+import re
+import sys
+
+SCHEMA = "vsparse-perf-trajectory-v1"
+THROUGHPUT_RE = re.compile(r"^# throughput: (\{.*\})\s*$", re.M)
+
+
+def parse_throughput(path):
+    with open(path) as f:
+        text = f.read()
+    matches = THROUGHPUT_RE.findall(text)
+    if not matches:
+        sys.exit(f"FAIL: no '# throughput:' line in {path}")
+    rec = json.loads(matches[-1])
+    for field in ("sim_ctas", "wall_seconds", "ctas_per_sec", "threads"):
+        if field not in rec:
+            sys.exit(f"FAIL: throughput line missing {field!r}")
+    return rec
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"FAIL: {path} schema is {doc.get('schema')!r}, "
+                 f"want {SCHEMA!r}")
+    if not doc.get("entries"):
+        sys.exit(f"FAIL: {path} has no entries")
+    return doc
+
+
+def cmd_check(traj_path, stdout_path, tolerance):
+    doc = load_trajectory(traj_path)
+    last = doc["entries"][-1]
+    rec = parse_throughput(stdout_path)
+
+    if rec["sim_ctas"] != last["sim_ctas"]:
+        sys.exit(f"FAIL: workload drifted: run simulated {rec['sim_ctas']} "
+                 f"CTAs, trajectory entry {last['label']!r} recorded "
+                 f"{last['sim_ctas']} — if intentional, record a new entry")
+    floor = last["ctas_per_sec"] * (1.0 - tolerance)
+    if rec["ctas_per_sec"] < floor:
+        sys.exit(f"FAIL: throughput regression: {rec['ctas_per_sec']:.1f} "
+                 f"ctas/s vs recorded {last['ctas_per_sec']:.1f} "
+                 f"(floor {floor:.1f} at tolerance {tolerance})")
+    print(f"OK: {rec['ctas_per_sec']:.1f} ctas/s, "
+          f"{rec['wall_seconds']:.3f}s wall vs {last['label']!r} "
+          f"({last['ctas_per_sec']:.1f} ctas/s)")
+    return 0
+
+
+def cmd_record(traj_path, stdout_path, label):
+    doc = load_trajectory(traj_path)
+    rec = parse_throughput(stdout_path)
+    doc["entries"].append({
+        "label": label,
+        "sim_ctas": rec["sim_ctas"],
+        "wall_seconds": rec["wall_seconds"],
+        "ctas_per_sec": rec["ctas_per_sec"],
+        "threads": rec["threads"],
+    })
+    with open(traj_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"OK: recorded {label!r} ({rec['ctas_per_sec']:.1f} ctas/s)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cmd, traj_path = argv[1], argv[2]
+    stdout_path = None
+    label = None
+    tolerance = 0.5
+    for arg in argv[3:]:
+        if arg.startswith("--stdout="):
+            stdout_path = arg.split("=", 1)[1]
+        elif arg.startswith("--label="):
+            label = arg.split("=", 1)[1]
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if stdout_path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if cmd == "check":
+        return cmd_check(traj_path, stdout_path, tolerance)
+    if cmd == "record":
+        if label is None:
+            sys.exit("FAIL: record needs --label=LABEL")
+        return cmd_record(traj_path, stdout_path, label)
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a vsparse-policy-v1 dispatch-policy cache file.
+
+Usage: validate_policy_cache.py FILE [--min-entries=N] [--expect-arch=A,B]
+       [--expect-multi-kernel]
+
+Checks the JSON the autotune_policy driver writes (and PolicyCache
+::to_json emits): version tag, entry schema, canonical key format, the
+kernel names against the registry's stable exports, op/kernel
+agreement, key uniqueness, and positive finite cycles.  With
+--expect-multi-kernel it additionally requires the cache to name at
+least two distinct kernels per op — the whole point of shape-adaptive
+dispatch is that one kernel does not win everywhere.  Stdlib only —
+runs anywhere CI has a python3.
+"""
+import json
+import math
+import re
+import sys
+
+VERSION = "vsparse-policy-v1"
+
+# Stable dispatchable kernel names; keep in sync with the KernelDesc
+# table in src/vsparse/kernels/registry.cpp (ladder-only kernels are
+# never valid policy targets).
+DISPATCHABLE = {
+    "spmm": {"spmm_octet", "spmm_wmma_warp", "spmm_fpu_subwarp",
+             "spmm_csr_fine"},
+    "sddmm": {"sddmm_octet", "sddmm_wmma_warp", "sddmm_fpu_subwarp",
+              "sddmm_csr_fine"},
+}
+
+KEY_RE = re.compile(r"^(spmm|sddmm)\|([a-z0-9-]+)\|m(\d+)k(\d+)n(\d+)d(\d+)v(\d+)$")
+
+_errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        _errors.append(msg)
+
+
+def validate(path, min_entries, expect_arches, expect_multi_kernel):
+    with open(path) as f:
+        doc = json.load(f)
+
+    check(doc.get("version") == VERSION,
+          f"version is {doc.get('version')!r}, want {VERSION!r}")
+    entries = doc.get("entries")
+    check(isinstance(entries, list), "entries must be a list")
+    if not isinstance(entries, list):
+        return
+
+    check(len(entries) >= min_entries,
+          f"{len(entries)} entries, want >= {min_entries}")
+
+    seen_keys = set()
+    seen_arches = set()
+    kernels_per_op = {"spmm": set(), "sddmm": set()}
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(entry, dict):
+            check(False, f"{where} is not an object")
+            continue
+        check(set(entry) == {"key", "kernel", "cycles"},
+              f"{where} fields are {sorted(entry)}, want key/kernel/cycles")
+        key = entry.get("key", "")
+        match = KEY_RE.match(key)
+        check(match, f"{where} malformed key {key!r}")
+        check(key not in seen_keys, f"{where} duplicate key {key!r}")
+        seen_keys.add(key)
+
+        kernel = entry.get("kernel", "")
+        cycles = entry.get("cycles")
+        check(isinstance(cycles, (int, float)) and not isinstance(cycles, bool)
+              and math.isfinite(cycles) and cycles > 0,
+              f"{where} cycles {cycles!r} must be a positive finite number")
+        if match:
+            op, arch, _m, _k, _n, _d, v = match.groups()
+            seen_arches.add(arch)
+            check(kernel in DISPATCHABLE[op],
+                  f"{where} kernel {kernel!r} is not a dispatchable {op} "
+                  f"kernel")
+            kernels_per_op[op].add(kernel)
+            check(int(v) in (1, 2, 4, 8),
+                  f"{where} V={v} outside the CVS granularities")
+
+    for arch in expect_arches:
+        check(arch in seen_arches,
+              f"no entries for arch {arch!r} (saw {sorted(seen_arches)})")
+    if expect_multi_kernel:
+        for op, kernels in kernels_per_op.items():
+            if kernels:  # only ops the cache actually covers
+                check(len(kernels) >= 2,
+                      f"{op} entries all pick {sorted(kernels)}; a useful "
+                      f"policy names >= 2 kernels")
+
+    return len(entries)
+
+
+def main(argv):
+    path = None
+    min_entries = 1
+    expect_arches = []
+    expect_multi_kernel = False
+    for arg in argv[1:]:
+        if arg.startswith("--min-entries="):
+            min_entries = int(arg.split("=", 1)[1])
+        elif arg.startswith("--expect-arch="):
+            expect_arches = [a for a in arg.split("=", 1)[1].split(",") if a]
+        elif arg == "--expect-multi-kernel":
+            expect_multi_kernel = True
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    n = validate(path, min_entries, expect_arches, expect_multi_kernel)
+    if _errors:
+        for e in _errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {path} ({n} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
