@@ -1,0 +1,150 @@
+// The multi-tenant serving load driver — replays a seeded open-loop
+// request trace (SpMM / SDDMM / sparse attention from three tenants)
+// through the scheduler (serve/scheduler.hpp): EDF scheduling under
+// deadline SLOs, per-tenant quotas and backlog bounds, kernel circuit
+// breakers, and optional chaos storms composed from the fault layer.
+//
+//   --requests=N        trace length (default 200)
+//   --seed=S            trace + storm seed (default 2021)
+//   --gap=TICKS         mean inter-arrival gap (default 30000)
+//   --chaos             compose seeded chaos storms over the trace
+//   --storms=N          storms per chaos kind (default 2)
+//   --verify            fault-free cross-check: every completed request
+//                       is compared bit-for-bit (and SM-local-counter-
+//                       for-counter) against direct unsupervised
+//                       dispatch on a reference device
+//   --retries=K         max retries per ladder rung (default 2)
+//   --report=FILE       write the vsparse-load-v1 JSON report
+//   --serve-report=FILE write the per-request vsparse-serve-v1 artifact
+//   --threads=N         engine threads (determinism demo: the report
+//                       and every summary line must not change)
+//
+// Everything except the `# throughput:` line is deterministic: same
+// seed and config give byte-identical output at any --threads=N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "vsparse/bench/runner.hpp"
+#include "vsparse/serve/scheduler.hpp"
+
+namespace vsparse::bench {
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                       std::uint64_t fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+const char* flag_str(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+void print_tenant(const char* tag, const serve::TenantStats& s) {
+  std::printf(
+      "# %s: {\"name\":\"%s\",\"submitted\":%llu,\"completed\":%llu,"
+      "\"slo_met\":%llu,\"deadline_miss\":%llu,\"shed_queue\":%llu,"
+      "\"shed_deadline\":%llu,\"rejected\":%llu,\"failed\":%llu,"
+      "\"p50_latency_ticks\":%llu,\"p99_latency_ticks\":%llu}\n",
+      tag, s.name.c_str(), static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.slo_met),
+      static_cast<unsigned long long>(s.deadline_miss),
+      static_cast<unsigned long long>(s.shed_queue),
+      static_cast<unsigned long long>(s.shed_deadline),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.p50_latency_ticks),
+      static_cast<unsigned long long>(s.p99_latency_ticks));
+}
+
+int run(int argc, char** argv) {
+  DriverSession session(argc, argv);
+
+  serve::LoadConfig config;
+  config.requests = static_cast<int>(flag_u64(argc, argv, "--requests", 200));
+  config.seed = flag_u64(argc, argv, "--seed", 2021);
+  config.threads = session.threads();
+  config.mean_gap_ticks = flag_u64(argc, argv, "--gap", 30'000);
+  config.chaos = flag_present(argc, argv, "--chaos");
+  config.storms_per_kind =
+      static_cast<int>(flag_u64(argc, argv, "--storms", 2));
+  config.verify = flag_present(argc, argv, "--verify");
+  config.retry.max_retries =
+      static_cast<int>(flag_u64(argc, argv, "--retries", 2));
+  config.retry.seed = config.seed;
+
+  std::printf("# Serve load: %d requests, seed %llu, mean gap %llu, "
+              "chaos %s, verify %s, retries %d\n",
+              config.requests, static_cast<unsigned long long>(config.seed),
+              static_cast<unsigned long long>(config.mean_gap_ticks),
+              config.chaos ? "on" : "off", config.verify ? "on" : "off",
+              config.retry.max_retries);
+
+  serve::LoadResult result;
+  run_case("serve_load", [&] { result = serve::run_load(config); });
+
+  print_tenant("load-summary", result.total);
+  for (const serve::TenantStats& t : result.tenants) {
+    print_tenant("tenant", t);
+  }
+  std::printf(
+      "# load-health: {\"goodput_per_mtick\":%.3f,\"final_tick\":%llu,"
+      "\"quarantines\":%llu,\"half_opens\":%llu,\"restores\":%llu,"
+      "\"reopens\":%llu,\"policy_cache_rejections\":%llu,"
+      "\"mismatches\":%llu,\"counter_mismatches\":%llu}\n",
+      result.goodput_per_mtick,
+      static_cast<unsigned long long>(result.final_tick),
+      static_cast<unsigned long long>(result.health.quarantines),
+      static_cast<unsigned long long>(result.health.half_opens),
+      static_cast<unsigned long long>(result.health.restores),
+      static_cast<unsigned long long>(result.health.reopens),
+      static_cast<unsigned long long>(result.policy_cache_rejections),
+      static_cast<unsigned long long>(result.mismatches),
+      static_cast<unsigned long long>(result.counter_mismatches));
+  if (result.mismatches > 0 || result.counter_mismatches > 0) {
+    std::printf("# load-health: FAIL — scheduled fault-free requests were "
+                "not identical to direct dispatch\n");
+  }
+
+  if (const char* path = flag_str(argc, argv, "--report")) {
+    std::ofstream out(path);
+    out << result.to_json(config) << "\n";
+    std::printf("# load-report: %s %s\n", path,
+                out.good() ? "written" : "WRITE FAILED");
+  }
+  if (const char* path = flag_str(argc, argv, "--serve-report")) {
+    std::ofstream out(path);
+    out << result.report_json << "\n";
+    std::printf("# serve-report: %s %s\n", path,
+                out.good() ? "written" : "WRITE FAILED");
+  }
+  const bool failed = result.mismatches > 0 || result.counter_mismatches > 0;
+  return session.finish() | (failed ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace vsparse::bench
+
+int main(int argc, char** argv) { return vsparse::bench::run(argc, argv); }

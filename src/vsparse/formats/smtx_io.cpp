@@ -1,5 +1,6 @@
 #include "vsparse/formats/smtx_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -26,7 +27,10 @@ std::vector<std::int32_t> read_int_line(std::istream& is,
   }
   std::istringstream ls(line);
   std::vector<std::int32_t> out;
-  out.reserve(expected);
+  // `expected` is caller-derived from a validated header, but clamp the
+  // speculative reserve anyway — the vector still grows to whatever the
+  // line actually holds, and oversized lines fail the length checks.
+  out.reserve(std::min(expected, static_cast<std::size_t>(kMaxSmtxNnz) + 1));
   std::int64_t x;
   while (ls >> x) {
     SMTX_CHECK(x >= 0 && x <= 0x7fffffff, "smtx: index out of range");
@@ -44,6 +48,17 @@ SmtxPattern read_smtx(std::istream& is) {
   SmtxPattern p;
   p.rows = header[0];
   p.cols = header[1];
+  // Validate the header extents BEFORE they size any container: a
+  // corrupt rows of 2^31-1 must fail here, not in a rows+1 reserve.
+  SMTX_CHECK(p.rows <= kMaxSmtxExtent && p.cols <= kMaxSmtxExtent,
+             "smtx: extents " << p.rows << "x" << p.cols << " exceed cap "
+                              << kMaxSmtxExtent);
+  SMTX_CHECK(static_cast<std::int64_t>(header[2]) <= kMaxSmtxNnz,
+             "smtx: nnz " << header[2] << " exceeds cap " << kMaxSmtxNnz);
+  SMTX_CHECK(static_cast<std::int64_t>(header[2]) <=
+                 static_cast<std::int64_t>(p.rows) *
+                     static_cast<std::int64_t>(p.cols),
+             "smtx: nnz " << header[2] << " exceeds rows*cols");
   const auto nnz = static_cast<std::size_t>(header[2]);
 
   p.row_ptr = read_int_line(is, static_cast<std::size_t>(p.rows) + 1);
@@ -68,8 +83,14 @@ SmtxPattern read_smtx(std::istream& is) {
 }
 
 SmtxPattern read_smtx_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   SMTX_CHECK(is.good(), "smtx: cannot open " << path);
+  is.seekg(0, std::ios::end);
+  const auto bytes = is.tellg();
+  SMTX_CHECK(bytes >= 0 && static_cast<std::uint64_t>(bytes) <= kMaxSmtxFileBytes,
+             "smtx: file is " << bytes << " B, cap " << kMaxSmtxFileBytes
+                              << ": " << path);
+  is.seekg(0, std::ios::beg);
   return read_smtx(is);
 }
 
@@ -94,6 +115,8 @@ void write_smtx_file(const std::string& path, const SmtxPattern& p) {
 Cvs smtx_to_cvs(const SmtxPattern& p, int v, Rng& rng) {
   SMTX_CHECK(v == 1 || v == 2 || v == 4 || v == 8,
              "smtx: V must be 1, 2, 4 or 8, got " << v);
+  SMTX_CHECK(p.rows <= (0x7fffffff) / v,
+             "smtx: rows " << p.rows << " * V " << v << " overflows int");
   Cvs out;
   out.rows = p.rows * v;  // each pattern row becomes one vector-row
   out.cols = p.cols;

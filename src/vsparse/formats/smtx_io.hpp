@@ -13,6 +13,7 @@
 // synthetic substitute in bench/suite.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -20,6 +21,16 @@
 #include "vsparse/formats/cvs.hpp"
 
 namespace vsparse {
+
+/// External-artifact guardrails (loader hardening).  DLMC matrices top
+/// out around 33K x 33K with a few million nonzeros, so these caps are
+/// generous for every real artifact while keeping a corrupt or hostile
+/// header (e.g. rows = 2^31-1, which would otherwise size a rows+1
+/// reserve) from ballooning allocations.  Violations raise a
+/// structured kMalformedFormat before any proportional allocation.
+inline constexpr int kMaxSmtxExtent = 1 << 22;            ///< rows / cols
+inline constexpr std::int64_t kMaxSmtxNnz = 1 << 26;      ///< nonzeros
+inline constexpr std::uint64_t kMaxSmtxFileBytes = std::uint64_t{256} << 20;
 
 /// Pattern-only sparse matrix as stored in a .smtx file.
 struct SmtxPattern {

@@ -154,7 +154,18 @@ class JsonReader {
       ++pos_;
     }
     check(pos_ > start, "expected number");
-    return std::stod(std::string(text_.substr(start, pos_ - start)));
+    // std::stod throws unclassified std::out_of_range on exponents like
+    // 1e99999; re-raise everything as the structured taxonomy error and
+    // reject non-finite results — corrupted artifacts must never leak
+    // NaN/inf cycles into dispatch decisions.
+    double value = 0.0;
+    try {
+      value = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      check(false, "unparseable number");
+    }
+    check(std::isfinite(value), "non-finite number");
+    return value;
   }
 
   bool at_end() {
@@ -209,6 +220,14 @@ std::string PolicyCache::to_json() const {
 }
 
 PolicyCache PolicyCache::from_json(std::string_view text) {
+  // External-artifact guardrails: a policy cache is a small offline
+  // artifact, so anything oversized/overlong is corrupt or hostile,
+  // not a bigger workload.  Reject before parsing or inserting —
+  // the reserve/insert amplification stays bounded by these caps.
+  VSPARSE_CHECK_RAISE(text.size() <= kMaxPolicyCacheBytes,
+                      ErrorCode::kBadDispatch, "kernels.policy",
+                      "policy cache blob is " << text.size()
+                          << " B, cap " << kMaxPolicyCacheBytes);
   PolicyCache cache;
   JsonReader in(text);
   in.expect('{');
@@ -252,10 +271,16 @@ PolicyCache PolicyCache::from_json(std::string_view text) {
           in.expect('}');
           in.check(!key.empty() && !kernel.empty(),
                    "entry missing key/kernel");
+          in.check(key.size() <= kMaxPolicyStringLength &&
+                       kernel.size() <= kMaxPolicyStringLength,
+                   "entry key/kernel string too long");
+          in.check(cycles >= 0.0, "negative cycles");
           VSPARSE_CHECK_RAISE(find_kernel(kernel) != nullptr,
                               ErrorCode::kBadDispatch, "kernels.policy",
                               "policy cache entry names unknown kernel \""
                                   << kernel << "\"");
+          in.check(cache.entries_.size() < kMaxPolicyCacheEntries,
+                   "too many entries");
           cache.entries_[key] = PolicyEntry{kernel, cycles};
         } while (in.consume(','));
         in.expect(']');
@@ -286,6 +311,16 @@ PolicyCache PolicyCache::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   VSPARSE_CHECK_RAISE(in.good(), ErrorCode::kBadDispatch, "kernels.policy",
                       "cannot open policy cache: " << path);
+  // Check the on-disk size before slurping the file, so a bogus path
+  // (device file, multi-GB artifact) cannot balloon the process.
+  in.seekg(0, std::ios::end);
+  const auto bytes = in.tellg();
+  VSPARSE_CHECK_RAISE(
+      bytes >= 0 && static_cast<std::uint64_t>(bytes) <= kMaxPolicyCacheBytes,
+      ErrorCode::kBadDispatch, "kernels.policy",
+      "policy cache file is " << bytes << " B, cap " << kMaxPolicyCacheBytes
+                              << ": " << path);
+  in.seekg(0, std::ios::beg);
   std::ostringstream text;
   text << in.rdbuf();
   return from_json(text.str());

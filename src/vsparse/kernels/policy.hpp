@@ -29,6 +29,7 @@
 // offline in CI.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -40,6 +41,15 @@ namespace vsparse::kernels {
 
 /// Schema version tag; bump on any incompatible key/field change.
 inline constexpr const char* kPolicyCacheVersion = "vsparse-policy-v1";
+
+/// External-artifact guardrails (loader hardening): a real cache is a
+/// few KiB, so these caps are generous by orders of magnitude — any
+/// violation means a corrupt or hostile artifact, and from_json/load
+/// reject it with a structured kBadDispatch before allocating
+/// proportionally to attacker-controlled lengths.
+inline constexpr std::size_t kMaxPolicyCacheBytes = std::size_t{16} << 20;
+inline constexpr std::size_t kMaxPolicyCacheEntries = 65536;
+inline constexpr std::size_t kMaxPolicyStringLength = 256;
 
 /// Log2 bucket of a problem extent: 0 for extents <= 1, else
 /// ceil(log2(extent)).  Adjacent power-of-two shapes (the paper's

@@ -1,0 +1,115 @@
+#include "vsparse/serve/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vsparse::serve {
+namespace {
+
+// splitmix64 — the same mixer the supervisor's backoff jitter uses.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* chaos_kind_name(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kEccBurst:
+      return "ecc_burst";
+    case ChaosKind::kBrownout:
+      return "brownout";
+    case ChaosKind::kMemPressure:
+      return "mem_pressure";
+    case ChaosKind::kPolicyCorrupt:
+      return "policy_corrupt";
+    case ChaosKind::kNumKinds:
+      break;
+  }
+  return "ecc_burst";
+}
+
+ChaosPlan ChaosPlan::storms(std::uint64_t seed, std::uint64_t horizon_ticks,
+                            int storms_per_kind) {
+  ChaosPlan plan;
+  if (horizon_ticks < 16 || storms_per_kind <= 0) return plan;
+  for (int kind = 0; kind < kNumChaosKinds; ++kind) {
+    for (int i = 0; i < storms_per_kind; ++i) {
+      const std::uint64_t h =
+          mix64(seed ^ (static_cast<std::uint64_t>(kind) << 32) ^
+                static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+      ChaosWindow w;
+      w.kind = static_cast<ChaosKind>(kind);
+      w.begin = h % (horizon_ticks * 3 / 4);
+      const std::uint64_t len =
+          horizon_ticks / 16 + mix64(h) % (horizon_ticks / 16 + 1);
+      w.end = w.begin + len;
+      plan.windows.push_back(w);
+    }
+  }
+  std::sort(plan.windows.begin(), plan.windows.end(),
+            [](const ChaosWindow& a, const ChaosWindow& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.end < b.end;
+            });
+  return plan;
+}
+
+ChaosActive ChaosPlan::at(std::uint64_t tick) const {
+  ChaosActive active;
+  for (const ChaosWindow& w : windows) {
+    if (!w.covers(tick)) continue;
+    switch (w.kind) {
+      case ChaosKind::kEccBurst:
+        active.ecc_burst = true;
+        break;
+      case ChaosKind::kBrownout:
+        active.brownout = true;
+        break;
+      case ChaosKind::kMemPressure:
+        active.mem_pressure = true;
+        break;
+      case ChaosKind::kPolicyCorrupt:
+        active.policy_corrupt = true;
+        break;
+      case ChaosKind::kNumKinds:
+        break;
+    }
+  }
+  return active;
+}
+
+std::string ChaosPlan::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const ChaosWindow& w = windows[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << chaos_kind_name(w.kind) << "\",\"begin\":" << w.begin
+       << ",\"end\":" << w.end << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string corrupt_policy_cache_json(std::uint64_t seed) {
+  const std::uint64_t h = mix64(seed ^ 0xc0bb7ed);
+  switch (h % 4) {
+    case 0:  // truncated mid-entry
+      return "{\"version\":\"vsparse-policy-v1\",\"entries\":[{\"key\":\"spmm";
+    case 1:  // stale version tag
+      return "{\"version\":\"vsparse-policy-v9\",\"entries\":[]}";
+    case 2:  // numeric field that overflows double parsing
+      return "{\"version\":\"vsparse-policy-v1\",\"entries\":[{\"key\":"
+             "\"spmm|volta-v100|m6k6n6d1v4\",\"kernel\":\"spmm_octet\","
+             "\"cycles\":1e99999}]}";
+    default:  // binary garbage
+      return std::string("\x7f\x45\x4c\x46\x02\x01\x01", 7) + "policy?";
+  }
+}
+
+}  // namespace vsparse::serve

@@ -20,6 +20,7 @@ constexpr CodeRow kCodes[kNumErrorCodes] = {
     /* kOutOfMemory      */ {"out_of_memory", false, true},
     /* kQuotaExceeded    */ {"quota_exceeded", false, false},
     /* kQueueFull        */ {"queue_full", false, false},
+    /* kDeadlineExceeded */ {"deadline_exceeded", false, false},
     /* kEccUncorrectable */ {"ecc_uncorrectable", true, true},
     /* kLaunchTimeout    */ {"launch_timeout", false, true},
     /* kAbftExhausted    */ {"abft_exhausted", true, true},

@@ -37,6 +37,7 @@ enum class ErrorCode : int {
   kOutOfMemory,          ///< simulated DRAM exhausted
   kQuotaExceeded,        ///< request footprint exceeds the serve quota
   kQueueFull,            ///< admission queue at capacity (backpressure)
+  kDeadlineExceeded,     ///< SLO deadline passed before launch (load shed)
   kEccUncorrectable,     ///< SEC-DED detected a double-bit upset
   kLaunchTimeout,        ///< watchdog per-CTA op budget exceeded
   kAbftExhausted,        ///< ABFT retries spent, tiles still corrupted

@@ -11,6 +11,13 @@
 
 namespace vsparse::serve {
 
+/// Saturation ceiling of the exponential backoff schedule: one retry
+/// never waits more than ~2^40 simulated cycles (minutes of device
+/// time).  Million-launch soaks with aggressive multipliers hit this
+/// cap instead of wrapping the uint64 arithmetic — the overflow
+/// invariant serve_test pins.
+inline constexpr std::uint64_t kMaxBackoffCycles = std::uint64_t{1} << 40;
+
 /// Bounded retries with deterministic exponential backoff.  Backoff is
 /// *simulated* time: the supervisor records the cycles a real serving
 /// loop would have waited (seeded jitter decorrelates concurrent
@@ -48,6 +55,20 @@ struct ServePolicy {
   /// across requests.  Supervisor::submit_* stamps this automatically;
   /// direct dispatch callers may set it by hand.
   std::uint64_t request_id = 0;
+
+  /// Optional kernel-health gate (serve/health.hpp is the canonical
+  /// implementation).  Consulted once per candidate rung while the
+  /// supervisor builds a request's rung list — entry kernel included —
+  /// with the kernel's stable registry name and whether the ABFT
+  /// variant is meant; returning false routes the request around that
+  /// kernel (a quarantined circuit).  If the gate rejects *every* rung
+  /// the unfiltered list is used (fail-static: an all-quarantined
+  /// palette must still serve rather than reject traffic).  A function
+  /// pointer + context keeps this header a dependency leaf.  Null (the
+  /// default) changes nothing — the fault-free fast path stays bit-
+  /// and counter-identical to unsupervised dispatch.
+  bool (*kernel_gate)(void* ctx, const char* kernel, bool abft) = nullptr;
+  void* kernel_gate_ctx = nullptr;
 };
 
 }  // namespace vsparse::serve

@@ -1,0 +1,639 @@
+#include "vsparse/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <iomanip>
+#include <sstream>
+
+#include "vsparse/common/rng.hpp"
+#include "vsparse/formats/cvs.hpp"
+#include "vsparse/formats/dense.hpp"
+#include "vsparse/formats/generate.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/faults.hpp"
+#include "vsparse/kernels/dispatch.hpp"
+#include "vsparse/kernels/policy.hpp"
+#include "vsparse/kernels/softmax/sparse_softmax.hpp"
+#include "vsparse/serve/supervisor.hpp"
+
+namespace vsparse::serve {
+namespace {
+
+// splitmix64 — the same mixer the supervisor's backoff jitter uses, so
+// the whole trace is reproducible from the seed alone.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Fixed dispatch/teardown charge per supervised attempt, and the
+/// memory quota a kMemPressure storm clamps requests to (small enough
+/// that the dense-decode ladder workspace of a 128-row request no
+/// longer fits).
+constexpr std::uint64_t kDispatchOverheadTicks = 2000;
+constexpr std::size_t kPressureQuotaBytes = std::size_t{16} << 10;
+/// kBrownout watchdog budget: tight enough to kill the TCU kernels'
+/// CTAs on 128-row shapes, loose enough that the trace keeps moving.
+constexpr std::uint64_t kBrownoutCtaOps = 256;
+
+struct TraceRequest {
+  int id = 0;
+  int tenant = 0;
+  RequestOp op = RequestOp::kSpmm;
+  std::uint64_t arrival = 0;
+  std::uint64_t deadline = 0;  ///< arrival + tenant SLO
+  int m = 64, k = 64, v = 4;
+  double sparsity = 0.7;
+  std::uint64_t data_seed = 0;
+};
+
+// Everything about request i follows from (config.seed, i).  N stays
+// 64 everywhere (the soak's determinism idiom): the octet SpMM runs
+// one CTA per vector row, so a targeted fault address is read by
+// exactly one CTA and the attempt sequence is identical at any
+// --threads=N.
+std::vector<TraceRequest> build_trace(const LoadConfig& config,
+                                      const std::vector<TenantSpec>& tenants) {
+  int total_weight = 0;
+  for (const TenantSpec& t : tenants) total_weight += std::max(t.weight, 1);
+
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.requests));
+  std::uint64_t arrival = 0;
+  for (int i = 0; i < config.requests; ++i) {
+    const std::uint64_t h = mix64(
+        config.seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    TraceRequest r;
+    r.id = i;
+    arrival += 1 + mix64(h ^ 0xa441) % (2 * config.mean_gap_ticks);
+    r.arrival = arrival;
+
+    std::uint64_t pick = mix64(h ^ 0x7e4a) % static_cast<std::uint64_t>(total_weight);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const auto w = static_cast<std::uint64_t>(std::max(tenants[t].weight, 1));
+      if (pick < w) {
+        r.tenant = static_cast<int>(t);
+        break;
+      }
+      pick -= w;
+    }
+    r.deadline = arrival + tenants[r.tenant].deadline_ticks;
+
+    switch (mix64(h ^ 0x09) % 4) {
+      case 0:
+      case 1:
+        r.op = RequestOp::kSpmm;
+        break;
+      case 2:
+        r.op = RequestOp::kSddmm;
+        break;
+      default:
+        r.op = RequestOp::kAttention;
+        break;
+    }
+    r.m = ((h >> 4) & 1) ? 64 : 128;
+    r.k = ((h >> 6) & 1) ? 64 : 128;
+    r.v = ((h >> 8) & 1) ? 2 : 4;
+    r.sparsity = ((h >> 12) & 1) ? 0.9 : 0.7;
+    if (r.op == RequestOp::kAttention) {
+      r.m = r.k = 64;  // seq = head_dim = 64, one CTA per vector row
+      r.v = 4;
+    }
+    r.data_seed = mix64(h ^ 0xda7a);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+// Force integer values so every ladder rung — including the dense-GEMM
+// decode, whose fp16 accumulation order differs — is bit-identical to
+// the fault-free run (the soak's recovery-contract idiom).
+void make_integer_values(std::vector<half_t>& values, std::uint64_t seed) {
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const std::uint64_t hv = mix64(seed ^ (0x7a1ee5 + j));
+    const float mag = static_cast<float>(1 + (hv % 3));
+    values[j] = half_t((hv & 8) ? mag : -mag);
+  }
+}
+
+/// Service ticks of one completed kernel run — SM-local counters only
+/// (never the L2 split or DRAM bytes, which vary at --threads>1).
+std::uint64_t service_of_run(const kernels::KernelRun& run) {
+  const gpusim::KernelStats& s = run.stats;
+  return s.total_instructions() + 4 * s.l1_sector_misses + s.smem_wavefronts;
+}
+
+/// Service ticks of one supervised report: per-attempt dispatch
+/// overhead + recorded backoff + the successful run's modeled work.
+std::uint64_t service_of_report(const ServeReport& rep) {
+  std::uint64_t svc = kDispatchOverheadTicks *
+                      std::max<std::uint64_t>(1, rep.attempts.size());
+  svc += rep.backoff_cycles;
+  if (rep.completed) svc += service_of_run(rep.run);
+  return svc;
+}
+
+struct ExecResult {
+  bool completed = false;
+  bool rejected = false;  ///< supervisor admission (quota)
+  std::uint64_t service = kDispatchOverheadTicks;
+  std::uint64_t ctas = 0;
+  bool bit_exact = true;
+  bool counters_exact = true;
+};
+
+void fold_report(ExecResult& out, const ServeReport& rep) {
+  out.service += service_of_report(rep);
+  if (rep.completed) out.ctas += rep.run.stats.ctas_launched;
+}
+
+ExecResult run_spmm_request(const LoadConfig& config, Supervisor& sup,
+                            gpusim::Device& ref_dev, const TraceRequest& req,
+                            const ChaosActive& active, bool verify) {
+  gpusim::Device& dev = sup.device();
+  Rng rng(req.data_seed);
+  Cvs a_host = make_cvs(req.m, req.k, req.v, req.sparsity, rng);
+  make_integer_values(a_host.values, req.data_seed);
+  DenseMatrix<half_t> b_host(req.k, 64);
+  b_host.fill_random_int(rng);
+  DenseMatrix<half_t> c_host(req.m, 64);
+
+  CvsDevice a = to_device(dev, a_host);
+  DenseDevice<half_t> b = to_device(dev, b_host);
+  DenseDevice<half_t> c = to_device(dev, c_host);
+
+  // ECC burst: a sticky double-bit upset parked on the sparse operand
+  // — the octet rungs keep detecting it until the ladder re-encodes A
+  // at fresh addresses, and the repeated failures trip the breaker.
+  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
+                         /*ecc_enabled=*/true);
+  const bool armed = active.ecc_burst;
+  if (armed) {
+    plan.add_target({gpusim::FaultSite::kDramRead, a.values.addr(0),
+                     /*bit=*/1, /*n_bits=*/2, /*sticky=*/true});
+    dev.set_fault_plan(&plan);
+  }
+
+  kernels::SpmmOptions options;
+  options.sim.threads = config.threads;
+  if (active.brownout) options.sim.watchdog_cta_ops = kBrownoutCtaOps;
+
+  const ServeReport& report = sup.submit_spmm(a, b, c, options);
+  if (armed) dev.set_fault_plan(nullptr);
+
+  ExecResult out;
+  out.completed = report.completed;
+  out.rejected = report.rejected;
+  fold_report(out, report);
+  if (verify && report.completed) {
+    ref_dev.reset();
+    CvsDevice ra = to_device(ref_dev, a_host);
+    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
+    DenseDevice<half_t> rc = to_device(ref_dev, c_host);
+    const kernels::KernelRun ref =
+        kernels::spmm(ref_dev, ra, rb, rc, {.sim = {.threads = config.threads}});
+    const auto got = c.buf.host();
+    const auto want = rc.buf.host();
+    out.bit_exact = got.size() == want.size() &&
+                    std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
+    out.counters_exact = report.run.stats.sm_local_equal(ref.stats);
+
+  }
+  return out;
+}
+
+ExecResult run_sddmm_request(const LoadConfig& config, Supervisor& sup,
+                             gpusim::Device& ref_dev, const TraceRequest& req,
+                             const ChaosActive& active, bool verify) {
+  gpusim::Device& dev = sup.device();
+  Rng rng(req.data_seed);
+  DenseMatrix<half_t> a_host(req.m, req.k);
+  a_host.fill_random_int(rng);
+  DenseMatrix<half_t> b_host(req.k, 64, Layout::kColMajor);
+  b_host.fill_random_int(rng);
+  Cvs mask_host = make_cvs_mask(req.m, 64, req.v, req.sparsity, rng);
+
+  DenseDevice<half_t> a = to_device(dev, a_host);
+  DenseDevice<half_t> b = to_device(dev, b_host);
+  CvsDevice mask = to_device(dev, mask_host);
+  auto out_values = dev.alloc<half_t>(mask_host.values.size());
+
+  // The SDDMM ladder has no re-encode rung, so a sticky target would
+  // fail every rung; ECC bursts hit it with rate-based single-bit
+  // upsets instead — corrected in flight, but counted by the engine.
+  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
+                         /*ecc_enabled=*/true);
+  const bool armed = active.ecc_burst;
+  if (armed) {
+    plan.set_rates({.dram_read = 1e-4});
+    dev.set_fault_plan(&plan);
+  }
+
+  kernels::SddmmOptions options;
+  options.sim.threads = config.threads;
+  if (active.brownout) options.sim.watchdog_cta_ops = kBrownoutCtaOps;
+
+  const ServeReport& report = sup.submit_sddmm(a, b, mask, out_values, options);
+  if (armed) dev.set_fault_plan(nullptr);
+
+  ExecResult out;
+  out.completed = report.completed;
+  out.rejected = report.rejected;
+  fold_report(out, report);
+  if (verify && report.completed) {
+    ref_dev.reset();
+    DenseDevice<half_t> ra = to_device(ref_dev, a_host);
+    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
+    CvsDevice rmask = to_device(ref_dev, mask_host);
+    auto rout = ref_dev.alloc<half_t>(mask_host.values.size());
+    const kernels::KernelRun ref = kernels::sddmm(
+        ref_dev, ra, rb, rmask, rout, {.sim = {.threads = config.threads}});
+    const auto got = out_values.host();
+    const auto want = rout.host();
+    out.bit_exact = got.size() == want.size() &&
+                    std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
+    out.counters_exact = report.run.stats.sm_local_equal(ref.stats);
+
+  }
+  return out;
+}
+
+// Attention composed scheduler-side from its supervised stages (the
+// same QKᵀ∘C -> sparse softmax -> AV pipeline as transformer/
+// attention.cpp, with both matrix products inside the fault boundary).
+// The AV stage is skipped when QK fails, so supervisor numbering stays
+// dense and a failed head costs one report, not two.
+ExecResult run_attention_request(const LoadConfig& config, Supervisor& sup,
+                                 gpusim::Device& ref_dev,
+                                 const TraceRequest& req,
+                                 const ChaosActive& active, bool verify) {
+  gpusim::Device& dev = sup.device();
+  const int seq = req.m;
+  const int d = req.k;
+  Rng rng(req.data_seed);
+  DenseMatrix<half_t> q_host(seq, d);
+  q_host.fill_random_int(rng);
+  DenseMatrix<half_t> k_host(seq, d);
+  k_host.fill_random_int(rng);
+  DenseMatrix<half_t> v_host(seq, d);
+  v_host.fill_random_int(rng);
+  Cvs mask_host = make_cvs_mask(seq, seq, req.v, req.sparsity, rng);
+
+  DenseDevice<half_t> q = to_device(dev, q_host);
+  DenseDevice<half_t> k = to_device(dev, k_host);
+  DenseDevice<half_t> v = to_device(dev, v_host);
+  CvsDevice mask = to_device(dev, mask_host);
+  auto scratch = dev.alloc<half_t>(mask_host.values.size());
+  DenseMatrix<half_t> out_host(seq, d);
+  DenseDevice<half_t> out = to_device(dev, out_host);
+
+  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
+                         /*ecc_enabled=*/true);
+  const bool armed = active.ecc_burst;
+  if (armed) {
+    plan.set_rates({.dram_read = 1e-4});
+    dev.set_fault_plan(&plan);
+  }
+
+  kernels::SddmmOptions qk_options;
+  qk_options.algorithm = kernels::SddmmAlgorithm::kOctet;
+  qk_options.sim.threads = config.threads;
+  if (active.brownout) qk_options.sim.watchdog_cta_ops = kBrownoutCtaOps;
+
+  DenseDevice<half_t> kt{k.buf, d, seq, k.ld, Layout::kColMajor};
+  const ServeReport& qk_report =
+      sup.submit_sddmm(q, kt, mask, scratch, qk_options);
+
+  ExecResult out_res;
+  out_res.rejected = qk_report.rejected;
+  fold_report(out_res, qk_report);
+  if (!qk_report.completed) {
+    if (armed) dev.set_fault_plan(nullptr);
+    return out_res;  // completed stays false; AV is skipped
+  }
+  // The AV submit below appends to the supervisor's report vector,
+  // which may reallocate and invalidate qk_report — copy the stats the
+  // verify pass needs while the reference is still live.
+  const gpusim::KernelStats qk_stats = qk_report.run.stats;
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const kernels::KernelRun softmax_run =
+      kernels::sparse_softmax(dev, mask, scratch, scratch, scale);
+  out_res.service += service_of_run(softmax_run);
+  out_res.ctas += softmax_run.stats.ctas_launched;
+
+  CvsDevice probs = mask;
+  probs.values = scratch;
+  kernels::SpmmOptions av_options;
+  av_options.algorithm = kernels::SpmmAlgorithm::kOctet;
+  av_options.sim.threads = config.threads;
+  if (active.brownout) av_options.sim.watchdog_cta_ops = kBrownoutCtaOps;
+
+  const ServeReport& av_report = sup.submit_spmm(probs, v, out, av_options);
+  if (armed) dev.set_fault_plan(nullptr);
+
+  out_res.completed = av_report.completed;
+  out_res.rejected = out_res.rejected || av_report.rejected;
+  fold_report(out_res, av_report);
+  if (verify && out_res.completed) {
+    ref_dev.reset();
+    DenseDevice<half_t> rq = to_device(ref_dev, q_host);
+    DenseDevice<half_t> rk = to_device(ref_dev, k_host);
+    DenseDevice<half_t> rv = to_device(ref_dev, v_host);
+    CvsDevice rmask = to_device(ref_dev, mask_host);
+    auto rscratch = ref_dev.alloc<half_t>(mask_host.values.size());
+    DenseDevice<half_t> rout = to_device(ref_dev, out_host);
+    DenseDevice<half_t> rkt{rk.buf, d, seq, rk.ld, Layout::kColMajor};
+    const kernels::KernelRun ref_qk = kernels::sddmm(
+        ref_dev, rq, rkt, rmask, rscratch,
+        {.algorithm = kernels::SddmmAlgorithm::kOctet,
+         .sim = {.threads = config.threads}});
+    const kernels::KernelRun ref_softmax =
+        kernels::sparse_softmax(ref_dev, rmask, rscratch, rscratch, scale);
+    CvsDevice rprobs = rmask;
+    rprobs.values = rscratch;
+    const kernels::KernelRun ref_av =
+        kernels::spmm(ref_dev, rprobs, rv, rout,
+                      {.algorithm = kernels::SpmmAlgorithm::kOctet,
+                       .sim = {.threads = config.threads}});
+    const auto got = out.buf.host();
+    const auto want = rout.buf.host();
+    out_res.bit_exact =
+        got.size() == want.size() &&
+        std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
+    out_res.counters_exact =
+        qk_stats.sm_local_equal(ref_qk.stats) &&
+        softmax_run.stats.sm_local_equal(ref_softmax.stats) &&
+        av_report.run.stats.sm_local_equal(ref_av.stats);
+  }
+  return out_res;
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  return sorted[(sorted.size() - 1) * static_cast<std::size_t>(p) / 100];
+}
+
+void finish_latencies(TenantStats& stats, std::vector<std::uint64_t>& lat) {
+  std::sort(lat.begin(), lat.end());
+  stats.p50_latency_ticks = percentile(lat, 50);
+  stats.p99_latency_ticks = percentile(lat, 99);
+  stats.max_latency_ticks = lat.empty() ? 0 : lat.back();
+}
+
+void append_tenant_json(std::ostringstream& os, const TenantStats& s) {
+  os << "{\"name\":\"" << s.name << "\",\"submitted\":" << s.submitted
+     << ",\"completed\":" << s.completed << ",\"slo_met\":" << s.slo_met
+     << ",\"deadline_miss\":" << s.deadline_miss
+     << ",\"shed_queue\":" << s.shed_queue
+     << ",\"shed_deadline\":" << s.shed_deadline
+     << ",\"rejected\":" << s.rejected << ",\"failed\":" << s.failed
+     << ",\"p50_latency_ticks\":" << s.p50_latency_ticks
+     << ",\"p99_latency_ticks\":" << s.p99_latency_ticks
+     << ",\"max_latency_ticks\":" << s.max_latency_ticks << "}";
+}
+
+}  // namespace
+
+std::vector<TenantSpec> default_tenants() {
+  return {
+      {"interactive", /*deadline=*/150'000, std::size_t{1} << 20,
+       /*backlog=*/4, /*weight=*/2},
+      {"analytics", /*deadline=*/600'000, std::size_t{1} << 20,
+       /*backlog=*/8, /*weight=*/1},
+      {"background", /*deadline=*/3'000'000, std::size_t{1} << 20,
+       /*backlog=*/16, /*weight=*/1},
+  };
+}
+
+const char* request_op_name(RequestOp op) {
+  switch (op) {
+    case RequestOp::kSpmm:
+      return "spmm";
+    case RequestOp::kSddmm:
+      return "sddmm";
+    case RequestOp::kAttention:
+      return "attention";
+  }
+  return "spmm";
+}
+
+LoadResult run_load(const LoadConfig& config) {
+  const std::vector<TenantSpec> tenants =
+      config.tenants.empty() ? default_tenants() : config.tenants;
+  const std::vector<TraceRequest> trace = build_trace(config, tenants);
+  const bool verify = config.verify && !config.chaos;
+
+  gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100();
+  hw.dram_capacity = std::size_t{1} << 26;  // 64 MiB — reset per request
+  gpusim::Device dev(hw);
+  gpusim::Device ref_dev(hw);
+
+  HealthTracker health(config.health);
+  ServePolicy policy;
+  policy.retry = config.retry;
+  policy.ladder = true;
+  policy.kernel_gate = &HealthTracker::gate;
+  policy.kernel_gate_ctx = &health;
+  Supervisor sup(dev, policy);
+
+  const std::uint64_t horizon =
+      config.mean_gap_ticks * static_cast<std::uint64_t>(config.requests);
+  ChaosPlan chaos;
+  if (config.chaos) {
+    chaos = ChaosPlan::storms(mix64(config.seed ^ 0x57095), horizon,
+                              config.storms_per_kind);
+  }
+
+  LoadResult result;
+  result.tenants.resize(tenants.size());
+  std::vector<std::vector<std::uint64_t>> latencies(tenants.size());
+  std::vector<std::uint64_t> all_latencies;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    result.tenants[t].name = tenants[t].name;
+  }
+
+  std::vector<std::deque<std::size_t>> queues(tenants.size());
+  std::size_t next_arrival = 0;
+  std::uint64_t now = 0;
+
+  const auto queues_empty = [&] {
+    for (const auto& q : queues)
+      if (!q.empty()) return false;
+    return true;
+  };
+
+  while (next_arrival < trace.size() || !queues_empty()) {
+    // Admit every arrival at or before `now`; full backlogs shed.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival <= now) {
+      const TraceRequest& r = trace[next_arrival];
+      TenantStats& ts = result.tenants[static_cast<std::size_t>(r.tenant)];
+      ++ts.submitted;
+      if (queues[static_cast<std::size_t>(r.tenant)].size() >=
+          tenants[static_cast<std::size_t>(r.tenant)].max_backlog) {
+        sup.record_rejection(request_op_name(r.op), ErrorCode::kQueueFull,
+                             "serve.scheduler");
+        ++ts.shed_queue;
+      } else {
+        queues[static_cast<std::size_t>(r.tenant)].push_back(next_arrival);
+      }
+      ++next_arrival;
+    }
+
+    // Earliest-deadline-first across tenant queue fronts (FIFO within
+    // a tenant); ties break on arrival order.
+    int best = -1;
+    for (std::size_t t = 0; t < queues.size(); ++t) {
+      if (queues[t].empty()) continue;
+      const TraceRequest& cand = trace[queues[t].front()];
+      if (best < 0 || cand.deadline < trace[queues[best].front()].deadline ||
+          (cand.deadline == trace[queues[best].front()].deadline &&
+           cand.id < trace[queues[best].front()].id)) {
+        best = static_cast<int>(t);
+      }
+    }
+    if (best < 0) {
+      now = trace[next_arrival].arrival;  // idle until the next arrival
+      continue;
+    }
+
+    const TraceRequest& req = trace[queues[static_cast<std::size_t>(best)].front()];
+    queues[static_cast<std::size_t>(best)].pop_front();
+    TenantStats& ts = result.tenants[static_cast<std::size_t>(req.tenant)];
+
+    if (now > req.deadline) {
+      // Deadline already blown: shed before launch — cheaper than
+      // wasting device time on a guaranteed SLO miss.
+      sup.record_rejection(request_op_name(req.op),
+                           ErrorCode::kDeadlineExceeded, "serve.deadline");
+      ++ts.shed_deadline;
+      continue;
+    }
+
+    const ChaosActive active = chaos.at(now);
+    health.advance(now);
+    sup.mutable_policy().memory_quota_bytes =
+        active.mem_pressure
+            ? kPressureQuotaBytes
+            : tenants[static_cast<std::size_t>(req.tenant)].memory_quota_bytes;
+
+    if (active.policy_corrupt) {
+      // A corrupted dispatch-policy artifact arrives mid-storm: the
+      // hardened loader must reject it with a structured error, and
+      // serving proceeds on the static heuristic.
+      try {
+        (void)kernels::PolicyCache::from_json(corrupt_policy_cache_json(
+            config.seed ^ static_cast<std::uint64_t>(req.id)));
+      } catch (const vsparse::Error&) {
+        ++result.policy_cache_rejections;
+      }
+    }
+
+    dev.reset();
+    const std::size_t first_report = sup.reports().size();
+    ExecResult exec;
+    switch (req.op) {
+      case RequestOp::kSpmm:
+        exec = run_spmm_request(config, sup, ref_dev, req, active, verify);
+        break;
+      case RequestOp::kSddmm:
+        exec = run_sddmm_request(config, sup, ref_dev, req, active, verify);
+        break;
+      case RequestOp::kAttention:
+        exec = run_attention_request(config, sup, ref_dev, req, active, verify);
+        break;
+    }
+
+    // Feed every launch outcome to the circuit breakers.
+    for (std::size_t ri = first_report; ri < sup.reports().size(); ++ri) {
+      const ServeReport& rep = sup.reports()[ri];
+      for (const ServeAttempt& attempt : rep.attempts) {
+        if (attempt.rung == ServeRung::kNumRungs) continue;
+        health.record(health_key(rep.op, attempt.rung), attempt.ok, now);
+      }
+    }
+
+    now += exec.service;
+    result.sim_ctas += exec.ctas;
+    if (exec.completed) {
+      ++ts.completed;
+      const std::uint64_t latency = now - req.arrival;
+      latencies[static_cast<std::size_t>(req.tenant)].push_back(latency);
+      all_latencies.push_back(latency);
+      if (now <= req.deadline) {
+        ++ts.slo_met;
+      } else {
+        ++ts.deadline_miss;
+      }
+      if (!exec.bit_exact) ++result.mismatches;
+      if (!exec.counters_exact) ++result.counter_mismatches;
+    } else if (exec.rejected) {
+      ++ts.rejected;
+    } else {
+      ++ts.failed;
+    }
+  }
+
+  result.final_tick = now;
+  result.total.name = "total";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantStats& ts = result.tenants[t];
+    finish_latencies(ts, latencies[t]);
+    result.total.submitted += ts.submitted;
+    result.total.completed += ts.completed;
+    result.total.slo_met += ts.slo_met;
+    result.total.deadline_miss += ts.deadline_miss;
+    result.total.shed_queue += ts.shed_queue;
+    result.total.shed_deadline += ts.shed_deadline;
+    result.total.rejected += ts.rejected;
+    result.total.failed += ts.failed;
+  }
+  finish_latencies(result.total, all_latencies);
+  if (result.final_tick > 0) {
+    result.goodput_per_mtick = static_cast<double>(result.total.slo_met) *
+                               1e6 / static_cast<double>(result.final_tick);
+  }
+  result.health = health.totals();
+  result.health_events_json = health.events_json();
+  result.chaos_json = chaos.to_json();
+  result.report_json = sup.reports_json();
+  return result;
+}
+
+std::string LoadResult::to_json(const LoadConfig& config) const {
+  std::ostringstream os;
+  os << "{\"schema\":\"vsparse-load-v1\",\"seed\":" << config.seed
+     << ",\"requests\":" << config.requests
+     << ",\"mean_gap_ticks\":" << config.mean_gap_ticks
+     << ",\"chaos\":{\"enabled\":" << (config.chaos ? "true" : "false")
+     << ",\"storms_per_kind\":" << config.storms_per_kind
+     << ",\"windows\":" << chaos_json << "}"
+     << ",\"final_tick\":" << final_tick << ",\"goodput_per_mtick\":"
+     << std::fixed << std::setprecision(3) << goodput_per_mtick
+     << ",\"totals\":";
+  append_tenant_json(os, total);
+  os << ",\"tenants\":[";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (t) os << ",";
+    append_tenant_json(os, tenants[t]);
+  }
+  os << "],\"health\":{\"quarantines\":" << health.quarantines
+     << ",\"half_opens\":" << health.half_opens
+     << ",\"restores\":" << health.restores
+     << ",\"reopens\":" << health.reopens
+     << ",\"events\":" << health_events_json << "}"
+     << ",\"policy_cache_rejections\":" << policy_cache_rejections
+     << ",\"verify\":{\"enabled\":"
+     << ((config.verify && !config.chaos) ? "true" : "false")
+     << ",\"mismatches\":" << mismatches
+     << ",\"counter_mismatches\":" << counter_mismatches << "}"
+     << ",\"sim_ctas\":" << sim_ctas << "}";
+  return os.str();
+}
+
+}  // namespace vsparse::serve

@@ -1,0 +1,135 @@
+// Multi-tenant request scheduler — the serving front end that turns
+// the PR 4 per-request Supervisor into a *system*: an open-loop,
+// seeded stream of heterogeneous requests (SpMM / SDDMM / sparse
+// attention) from several tenants, scheduled one at a time on a
+// simulated device under admission control, per-tenant memory quotas,
+// and deadline SLOs.
+//
+// Time is a deterministic simulated clock (ticks).  Arrivals follow
+// seeded inter-arrival gaps; service time is charged from a fixed
+// model over *SM-local* engine counters (instructions, L1 missed
+// sectors, shared-memory wavefronts — never the L2/DRAM split, which
+// legitimately varies at --threads>1) plus the supervisor's recorded
+// backoff cycles.  Same seed + config => byte-identical load report at
+// any thread count.
+//
+// The control loop per step:
+//
+//   admit     arrivals up to `now` join their tenant's FIFO backlog;
+//             a full backlog sheds the request (kQueueFull)
+//   schedule  earliest-deadline-first across tenant queue fronts
+//   shed      a request whose deadline already passed is dropped
+//             before launch (kDeadlineExceeded) — load shedding
+//   execute   otherwise the request runs under the Supervisor with
+//             the tenant's quota and the HealthTracker's kernel gate;
+//             every attempt outcome feeds the circuit breakers
+//   charge    the service model advances `now`; completion latency
+//             lands in the tenant's SLO accounting
+//
+// Chaos storms (serve/chaos.hpp) modulate the execute step: ECC
+// bursts arm fault plans, brownouts shrink the watchdog budget,
+// memory-pressure windows slash the quota, policy-corrupt windows
+// feed the hardened cache loader garbage.  Fault-free runs are bit-
+// and counter-identical to direct unsupervised dispatch (verify mode
+// cross-checks every request against a reference device).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vsparse/serve/chaos.hpp"
+#include "vsparse/serve/health.hpp"
+#include "vsparse/serve/policy.hpp"
+
+namespace vsparse::serve {
+
+/// One tenant's contract with the scheduler.
+struct TenantSpec {
+  std::string name;
+  /// SLO: a request must complete within this many ticks of arrival.
+  std::uint64_t deadline_ticks = 600'000;
+  /// Per-request memory quota passed to the Supervisor's admission.
+  std::size_t memory_quota_bytes = std::size_t{1} << 20;
+  /// Backlog bound: arrivals beyond this many queued requests are shed.
+  std::size_t max_backlog = 8;
+  /// Share of the trace: tenants are drawn proportionally to weight.
+  int weight = 1;
+};
+
+/// The default three-tenant mix: a tight-SLO interactive tenant with
+/// most of the traffic, an analytics tenant, and a background tenant
+/// that tolerates long queueing but little backlog shedding.
+std::vector<TenantSpec> default_tenants();
+
+enum class RequestOp : int { kSpmm = 0, kSddmm, kAttention };
+
+const char* request_op_name(RequestOp op);
+
+/// Everything one load run varies.
+struct LoadConfig {
+  int requests = 200;
+  std::uint64_t seed = 1;
+  /// Engine threads for every launch (determinism demo knob — the
+  /// load report must not change with it).
+  int threads = 1;
+  /// Mean seeded inter-arrival gap; gaps are 1 + h % (2*mean).
+  std::uint64_t mean_gap_ticks = 30'000;
+  std::vector<TenantSpec> tenants;  ///< empty => default_tenants()
+  RetryPolicy retry;
+  HealthConfig health;
+  /// Compose seeded chaos storms over the trace horizon.
+  bool chaos = false;
+  int storms_per_kind = 2;
+  /// Cross-check every completed request against an unsupervised run
+  /// on a reference device (output bytes + SM-local counters).  Only
+  /// meaningful fault-free; forced off when chaos is on.
+  bool verify = false;
+};
+
+/// Per-tenant (and whole-run) outcome accounting.
+///   submitted = completed + failed + rejected + shed_queue + shed_deadline
+///   completed = slo_met + deadline_miss
+struct TenantStats {
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_met = 0;
+  std::uint64_t deadline_miss = 0;  ///< completed, but after the deadline
+  std::uint64_t shed_queue = 0;     ///< backlog full at admission
+  std::uint64_t shed_deadline = 0;  ///< deadline passed before launch
+  std::uint64_t rejected = 0;       ///< supervisor admission (quota)
+  std::uint64_t failed = 0;         ///< ladder exhausted / terminal error
+  std::uint64_t p50_latency_ticks = 0;
+  std::uint64_t p99_latency_ticks = 0;
+  std::uint64_t max_latency_ticks = 0;
+};
+
+/// The whole run, ready to serialize as vsparse-load-v1.
+struct LoadResult {
+  TenantStats total;
+  std::vector<TenantStats> tenants;
+  std::uint64_t final_tick = 0;
+  /// SLO-met completions per million ticks — the headline goodput.
+  double goodput_per_mtick = 0.0;
+  HealthTracker::Totals health;
+  std::uint64_t policy_cache_rejections = 0;
+  std::uint64_t mismatches = 0;          ///< verify: output bytes differ
+  std::uint64_t counter_mismatches = 0;  ///< verify: SM-local stats differ
+  std::uint64_t sim_ctas = 0;            ///< for the throughput line
+  std::string health_events_json;        ///< HealthTracker::events_json()
+  std::string chaos_json;                ///< ChaosPlan::to_json()
+  std::string report_json;               ///< supervisor vsparse-serve-v1
+
+  /// The versioned load report ({"schema":"vsparse-load-v1",...}).
+  /// Deliberately excludes wall-clock time and the thread count, so it
+  /// is byte-identical across --threads=N (tools/validate_load_report.py
+  /// checks the schema; CI diffs the bytes).
+  std::string to_json(const LoadConfig& config) const;
+};
+
+/// Run one seeded multi-tenant load trace to completion.
+LoadResult run_load(const LoadConfig& config);
+
+}  // namespace vsparse::serve

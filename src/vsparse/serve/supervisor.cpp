@@ -32,21 +32,33 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t backoff_for(const RetryPolicy& retry, std::uint64_t request_id,
-                          int rung_index, int attempt) {
-  if (retry.backoff_base_cycles == 0) return 0;
-  std::uint64_t wait = retry.backoff_base_cycles;
-  for (int i = 1; i < attempt; ++i) {
-    wait *= static_cast<std::uint64_t>(
-        retry.backoff_multiplier > 1 ? retry.backoff_multiplier : 1);
+}  // namespace
+
+std::uint64_t backoff_cycles_for(const RetryPolicy& retry,
+                                 std::uint64_t request_id, int rung_index,
+                                 int attempt) {
+  if (retry.backoff_base_cycles == 0 || attempt <= 0) return 0;
+  // Saturating exponential: base * multiplier^(attempt-1), clamped at
+  // kMaxBackoffCycles *before* the multiply that would overflow, so a
+  // million-launch soak with an aggressive multiplier plateaus instead
+  // of wrapping (the schedule stays monotone non-decreasing in attempt).
+  const std::uint64_t mult = static_cast<std::uint64_t>(
+      retry.backoff_multiplier > 1 ? retry.backoff_multiplier : 1);
+  std::uint64_t wait = std::min(retry.backoff_base_cycles, kMaxBackoffCycles);
+  for (int i = 1; i < attempt && wait < kMaxBackoffCycles; ++i) {
+    wait = wait > kMaxBackoffCycles / mult ? kMaxBackoffCycles : wait * mult;
   }
+  // Jitter stays below the (already clamped) base, so wait + jitter
+  // cannot overflow: kMaxBackoffCycles + 2^40 << 2^64.
   const std::uint64_t jitter =
       mix64(retry.seed ^ (request_id * 0x9e3779b97f4a7c15ull) ^
             (static_cast<std::uint64_t>(rung_index) << 32) ^
             static_cast<std::uint64_t>(attempt)) %
-      retry.backoff_base_cycles;
+      std::min(retry.backoff_base_cycles, kMaxBackoffCycles);
   return wait + jitter;
 }
+
+namespace {
 
 /// The trace sink this request's events land in — same inherit chain
 /// as the engine (explicit per-launch options beat the Device default).
@@ -158,6 +170,20 @@ std::vector<Rung> build_rungs(const ServePolicy& policy, KernelOp op,
       rungs.push_back({fb, serve_rung_of(fb)});
     }
   }
+  // Health gate: drop quarantined kernels (entry included) so traffic
+  // routes around an open circuit breaker — unless that would empty
+  // the list, in which case the unfiltered ladder serves (fail-static).
+  if (policy.kernel_gate != nullptr) {
+    std::vector<Rung> allowed;
+    allowed.reserve(rungs.size());
+    for (const Rung& rung : rungs) {
+      if (policy.kernel_gate(policy.kernel_gate_ctx, rung.entry.desc->name,
+                             rung.entry.abft)) {
+        allowed.push_back(rung);
+      }
+    }
+    if (!allowed.empty()) rungs = std::move(allowed);
+  }
   return rungs;
 }
 
@@ -180,8 +206,8 @@ KernelRun run_ladder(const ServePolicy& policy, gpusim::Trace* sink,
     for (int attempt = 0; attempt <= policy.retry.max_retries; ++attempt) {
       std::uint64_t backoff = 0;
       if (attempt > 0) {
-        backoff = backoff_for(policy.retry, policy.request_id,
-                              static_cast<int>(ri), attempt);
+        backoff = backoff_cycles_for(policy.retry, policy.request_id,
+                                     static_cast<int>(ri), attempt);
         ++report.retries;
         report.backoff_cycles += backoff;
         if (sink != nullptr) {

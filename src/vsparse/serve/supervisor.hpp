@@ -42,6 +42,14 @@
 
 namespace vsparse::serve {
 
+/// Deterministic saturating backoff schedule: base * multiplier^(attempt-1)
+/// + seeded jitter, clamped at kMaxBackoffCycles *before* the multiply so
+/// million-launch soaks with aggressive multipliers never wrap uint64.
+/// Exposed for the overflow regression in serve_test.
+std::uint64_t backoff_cycles_for(const RetryPolicy& retry,
+                                 std::uint64_t request_id, int rung_index,
+                                 int attempt);
+
 /// Execute one supervised SpMM under options.serve (must be non-null).
 /// On success returns the final rung's KernelRun; on give-up rethrows
 /// the last underlying error (original type preserved).  When
@@ -81,6 +89,11 @@ class Supervisor {
 
   /// Run one supervised SpMM.  `options.serve`/`serve_report` are
   /// overridden by this Supervisor's policy and report storage.
+  ///
+  /// Lifetime: the returned reference points into reports(), so the
+  /// NEXT submit_* / record_rejection call may invalidate it (vector
+  /// growth).  Copy anything needed across a later submit — the
+  /// scheduler's composed attention request is the canonical example.
   const ServeReport& submit_spmm(const CvsDevice& a,
                                  const DenseDevice<half_t>& b,
                                  DenseDevice<half_t>& c,
@@ -102,6 +115,9 @@ class Supervisor {
 
   gpusim::Device& device() { return dev_; }
   const ServePolicy& policy() const { return policy_; }
+  /// Scheduler hook: adjust quota / kernel gate between submits (the
+  /// policy is consulted afresh on every submit_*).
+  ServePolicy& mutable_policy() { return policy_; }
   const std::vector<ServeReport>& reports() const { return reports_; }
   const Totals& totals() const { return totals_; }
 

@@ -1,0 +1,223 @@
+// The kernel circuit breaker's state machine: sliding-window trip
+// thresholds (with the min-attempts cold-start guard and eviction of
+// aged-out outcomes), the Open -> Half-Open cooldown driven by the
+// simulated clock, probe-success restoration that clears the window,
+// reopen-with-escalated-cooldown on probe failure (saturating at the
+// doubling cap), the ServePolicy::kernel_gate adapter, the
+// health_key rung mapping, and byte-identical events_json() across
+// repeated identical sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vsparse/serve/health.hpp"
+
+namespace vsparse {
+namespace {
+
+using serve::BreakerState;
+using serve::HealthConfig;
+using serve::HealthEvent;
+using serve::HealthTracker;
+using serve::ServeRung;
+
+// Small, fast-tripping config: window 8, trip at >= 50% of >= 4
+// attempts, 1000-tick cooldown, 2 probe successes, 3 doublings max.
+HealthConfig test_config() {
+  HealthConfig cfg;
+  cfg.window = 8;
+  cfg.min_attempts = 4;
+  cfg.failure_percent = 50;
+  cfg.cooldown_ticks = 1000;
+  cfg.probe_successes = 2;
+  cfg.max_cooldown_doublings = 3;
+  return cfg;
+}
+
+TEST(ServeHealth, TripsAtThresholdNotBefore) {
+  HealthTracker health(test_config());
+  const std::string k = "spmm_octet";
+
+  // Three straight failures: below min_attempts, still Closed.
+  health.record(k, false, 10);
+  health.record(k, false, 20);
+  health.record(k, false, 30);
+  EXPECT_EQ(health.state(k), BreakerState::kClosed);
+  EXPECT_TRUE(health.allowed(k));
+  EXPECT_EQ(health.totals().quarantines, 0u);
+
+  // Fourth attempt reaches min_attempts with 4/4 failures: quarantine.
+  health.record(k, false, 40);
+  EXPECT_EQ(health.state(k), BreakerState::kOpen);
+  EXPECT_FALSE(health.allowed(k));
+  EXPECT_EQ(health.totals().quarantines, 1u);
+  ASSERT_EQ(health.events().size(), 1u);
+  EXPECT_EQ(health.events()[0].kind, HealthEvent::Kind::kQuarantine);
+  EXPECT_EQ(health.events()[0].tick, 40u);
+  EXPECT_EQ(health.events()[0].failures, 4);
+  EXPECT_EQ(health.events()[0].attempts, 4);
+}
+
+TEST(ServeHealth, HealthyTrafficNeverTrips) {
+  HealthTracker health(test_config());
+  for (int i = 0; i < 100; ++i) {
+    // 25% failure rate, below the 50% threshold at every prefix that
+    // clears min_attempts (pattern: ok ok ok FAIL).
+    health.record("sddmm_octet", i % 4 != 3, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(health.state("sddmm_octet"), BreakerState::kClosed);
+  EXPECT_EQ(health.totals().quarantines, 0u);
+  EXPECT_TRUE(health.events().empty());
+}
+
+TEST(ServeHealth, WindowEvictsAgedOutOutcomes) {
+  // 100% threshold over a 4-deep window: trips only when the last four
+  // attempts ALL failed.  A lone success keeps blocking the trip —
+  // until it ages out of the window.
+  HealthConfig cfg = test_config();
+  cfg.window = 4;
+  cfg.min_attempts = 4;
+  cfg.failure_percent = 100;
+  HealthTracker health(cfg);
+  const std::string k = "spmm_octet";
+  health.record(k, false, 1);
+  health.record(k, false, 2);
+  health.record(k, false, 3);
+  health.record(k, true, 4);
+  health.record(k, false, 5);
+  health.record(k, false, 6);
+  health.record(k, false, 7);
+  // Window is {ok, fail, fail, fail}: the tick-4 success still counts.
+  EXPECT_EQ(health.state(k), BreakerState::kClosed);
+  EXPECT_EQ(health.totals().quarantines, 0u);
+  // One more failure evicts the success: {fail x4} trips.
+  health.record(k, false, 8);
+  EXPECT_EQ(health.state(k), BreakerState::kOpen);
+  EXPECT_EQ(health.totals().quarantines, 1u);
+}
+
+TEST(ServeHealth, CooldownHalfOpenProbeRestore) {
+  HealthTracker health(test_config());
+  const std::string k = "spmm_octet";
+  for (int i = 0; i < 4; ++i) {
+    health.record(k, false, static_cast<std::uint64_t>(10 * (i + 1)));
+  }
+  ASSERT_EQ(health.state(k), BreakerState::kOpen);
+
+  // Cooldown is 1000 ticks from the trip at tick 40.
+  health.advance(1039);
+  EXPECT_EQ(health.state(k), BreakerState::kOpen);
+  health.advance(1040);
+  EXPECT_EQ(health.state(k), BreakerState::kHalfOpen);
+  EXPECT_TRUE(health.allowed(k));  // probes admitted
+  EXPECT_EQ(health.totals().half_opens, 1u);
+
+  // Two consecutive clean probes restore the breaker and clear the
+  // window: the next failure is 1/1, not 5/8.
+  health.record(k, true, 1100);
+  EXPECT_EQ(health.state(k), BreakerState::kHalfOpen);
+  health.record(k, true, 1200);
+  EXPECT_EQ(health.state(k), BreakerState::kClosed);
+  EXPECT_EQ(health.totals().restores, 1u);
+  health.record(k, false, 1300);
+  EXPECT_EQ(health.state(k), BreakerState::kClosed);
+}
+
+TEST(ServeHealth, ReopenEscalatesCooldownAndSaturates) {
+  HealthTracker health(test_config());
+  const std::string k = "spmm_octet";
+  for (int i = 0; i < 4; ++i) {
+    health.record(k, false, 0);
+  }
+  ASSERT_EQ(health.state(k), BreakerState::kOpen);
+
+  // Each probe failure reopens with cooldown_ticks << min(n, 3):
+  // 2000, 4000, 8000, then saturated at 8000.
+  const std::uint64_t expected_cooldowns[] = {2000, 4000, 8000, 8000, 8000};
+  std::uint64_t now = 1000;
+  for (std::uint64_t cooldown : expected_cooldowns) {
+    health.advance(now);
+    ASSERT_EQ(health.state(k), BreakerState::kHalfOpen) << "at tick " << now;
+    health.record(k, false, now);
+    ASSERT_EQ(health.state(k), BreakerState::kOpen);
+    // One tick early: still Open; at the boundary: Half-Open.
+    health.advance(now + cooldown - 1);
+    EXPECT_EQ(health.state(k), BreakerState::kOpen)
+        << "cooldown " << cooldown << " ended early";
+    now += cooldown;
+  }
+  EXPECT_EQ(health.totals().reopens, 5u);
+
+  // A restore resets the escalation: the next trip cools down at the
+  // base 1000 ticks again.
+  health.advance(now);
+  health.record(k, true, now);
+  health.record(k, true, now + 1);
+  ASSERT_EQ(health.state(k), BreakerState::kClosed);
+  for (int i = 0; i < 4; ++i) {
+    health.record(k, false, now + 10);
+  }
+  ASSERT_EQ(health.state(k), BreakerState::kOpen);
+  health.advance(now + 10 + 999);
+  EXPECT_EQ(health.state(k), BreakerState::kOpen);
+  health.advance(now + 10 + 1000);
+  EXPECT_EQ(health.state(k), BreakerState::kHalfOpen);
+}
+
+TEST(ServeHealth, GateAdapterComposesAbftSuffix) {
+  HealthTracker health(test_config());
+  for (int i = 0; i < 4; ++i) {
+    health.record("spmm_octet+abft", false, 0);
+  }
+  ASSERT_EQ(health.state("spmm_octet+abft"), BreakerState::kOpen);
+
+  // Only the ABFT variant is quarantined; the plain kernel and every
+  // unknown kernel stay admitted.
+  EXPECT_FALSE(HealthTracker::gate(&health, "spmm_octet", /*abft=*/true));
+  EXPECT_TRUE(HealthTracker::gate(&health, "spmm_octet", /*abft=*/false));
+  EXPECT_TRUE(HealthTracker::gate(&health, "spmm_blocked_ell", false));
+}
+
+TEST(ServeHealth, HealthKeyMapsRungsToRegistryNames) {
+  EXPECT_EQ(serve::health_key("spmm", ServeRung::kOctet), "spmm_octet");
+  EXPECT_EQ(serve::health_key("spmm", ServeRung::kOctetAbft),
+            "spmm_octet+abft");
+  EXPECT_EQ(serve::health_key("spmm", ServeRung::kBlockedEll),
+            "spmm_blocked_ell");
+  EXPECT_EQ(serve::health_key("spmm", ServeRung::kDenseGemm),
+            "spmm_dense_gemm");
+  EXPECT_EQ(serve::health_key("spmm", ServeRung::kFpuSubwarp),
+            "spmm_fpu_subwarp");
+  EXPECT_EQ(serve::health_key("sddmm", ServeRung::kOctet), "sddmm_octet");
+  EXPECT_EQ(serve::health_key("sddmm", ServeRung::kWmmaWarp),
+            "sddmm_wmma_warp");
+  EXPECT_EQ(serve::health_key("sddmm", ServeRung::kFpuSubwarp),
+            "sddmm_fpu_subwarp");
+}
+
+TEST(ServeHealth, IdenticalSequencesYieldIdenticalEventJson) {
+  auto run_once = [] {
+    HealthTracker health(test_config());
+    // A deterministic mixed script over two kernels: trip both, probe
+    // one back to Closed, reopen the other.
+    for (int i = 0; i < 4; ++i) {
+      health.record("spmm_octet", false, static_cast<std::uint64_t>(i));
+      health.record("sddmm_octet", false, static_cast<std::uint64_t>(i));
+    }
+    health.advance(2000);
+    health.record("spmm_octet", true, 2001);
+    health.record("spmm_octet", true, 2002);
+    health.record("sddmm_octet", false, 2003);
+    return health.events_json();
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+  // Sanity on the serialized shape (tick order, all four kinds).
+  EXPECT_NE(first.find("\"kind\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"half_open\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"restore\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"reopen\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsparse

@@ -1,0 +1,129 @@
+// The multi-tenant load scheduler's contracts: the chaos-soak load
+// report is byte-identical across engine thread counts and across
+// repeated same-seed runs (the tentpole determinism claim), a chaos
+// run actually exercises the breaker machinery and the load-shedding
+// paths while keeping the outcome accounting internally consistent,
+// and the fault-free scheduled path is bit- AND counter-identical to
+// direct unsupervised dispatch (verify mode cross-checks every
+// completed request against a reference device).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vsparse/serve/scheduler.hpp"
+
+namespace vsparse {
+namespace {
+
+using serve::LoadConfig;
+using serve::LoadResult;
+using serve::TenantStats;
+
+// The canonical chaos configuration (mirrored by the CI serve-load
+// job): 200 requests at a 12k-tick mean gap overdrives the interactive
+// tenant enough to shed, and seed 2021's storm windows fire every
+// outcome class — quarantines, restores, policy-cache rejections,
+// deadline misses.
+LoadConfig chaos_config(int threads) {
+  LoadConfig config;
+  config.requests = 200;
+  config.seed = 2021;
+  config.threads = threads;
+  config.mean_gap_ticks = 12'000;
+  config.chaos = true;
+  return config;
+}
+
+void expect_accounting_consistent(const TenantStats& t) {
+  EXPECT_EQ(t.submitted, t.completed + t.failed + t.rejected + t.shed_queue +
+                             t.shed_deadline)
+      << "tenant " << t.name;
+  EXPECT_EQ(t.completed, t.slo_met + t.deadline_miss) << "tenant " << t.name;
+  EXPECT_LE(t.p50_latency_ticks, t.p99_latency_ticks) << "tenant " << t.name;
+  EXPECT_LE(t.p99_latency_ticks, t.max_latency_ticks) << "tenant " << t.name;
+}
+
+TEST(ServeLoad, ChaosReportByteIdenticalAcrossThreadsAndRuns) {
+  const LoadConfig c1 = chaos_config(1);
+  const std::string serial = serve::run_load(c1).to_json(c1);
+  EXPECT_EQ(serial, serve::run_load(c1).to_json(c1));  // reproducible
+
+  // The thread count changes how the engine shards CTAs — and nothing
+  // else the report is allowed to observe.
+  const LoadConfig c2 = chaos_config(2);
+  EXPECT_EQ(serial, serve::run_load(c2).to_json(c2));
+  const LoadConfig c8 = chaos_config(8);
+  EXPECT_EQ(serial, serve::run_load(c8).to_json(c8));
+}
+
+TEST(ServeLoad, ChaosRunFiresBreakersSheddingAndStaysConsistent) {
+  const LoadConfig config = chaos_config(1);
+  const LoadResult res = serve::run_load(config);
+
+  // Every submitted request is accounted for exactly once, per tenant
+  // and in total.
+  EXPECT_EQ(res.total.submitted, static_cast<std::uint64_t>(config.requests));
+  expect_accounting_consistent(res.total);
+  TenantStats sum;
+  for (const TenantStats& t : res.tenants) {
+    expect_accounting_consistent(t);
+    sum.submitted += t.submitted;
+    sum.completed += t.completed;
+    sum.slo_met += t.slo_met;
+    sum.rejected += t.rejected;
+    sum.failed += t.failed;
+    sum.shed_queue += t.shed_queue;
+    sum.shed_deadline += t.shed_deadline;
+  }
+  EXPECT_EQ(sum.submitted, res.total.submitted);
+  EXPECT_EQ(sum.completed, res.total.completed);
+  EXPECT_EQ(sum.slo_met, res.total.slo_met);
+  EXPECT_EQ(sum.rejected, res.total.rejected);
+  EXPECT_EQ(sum.failed, res.total.failed);
+  EXPECT_EQ(sum.shed_queue, res.total.shed_queue);
+  EXPECT_EQ(sum.shed_deadline, res.total.shed_deadline);
+
+  // The storms actually bite: ECC bursts trip breakers (and cooldowns
+  // later probe them), memory pressure rejects at admission, load
+  // shedding fires, corrupted policy blobs are rejected — classified,
+  // not crashing the loop.
+  EXPECT_GT(res.health.quarantines, 0u);
+  EXPECT_GT(res.health.half_opens, 0u);
+  EXPECT_GT(res.total.rejected, 0u);
+  EXPECT_GT(res.total.shed_queue + res.total.shed_deadline, 0u);
+  EXPECT_GT(res.policy_cache_rejections, 0u);
+  EXPECT_GT(res.total.completed, 0u);
+  EXPECT_GT(res.goodput_per_mtick, 0.0);
+  EXPECT_GT(res.final_tick, 0u);
+
+  // Chaos mode never runs the verify cross-check.
+  EXPECT_EQ(res.mismatches, 0u);
+  EXPECT_EQ(res.counter_mismatches, 0u);
+
+  // The serialized report carries the schema tag and the chaos plan.
+  const std::string json = res.to_json(config);
+  EXPECT_NE(json.find("\"schema\":\"vsparse-load-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"ecc_burst\""), std::string::npos);
+}
+
+TEST(ServeLoad, FaultFreeScheduledPathIsBitAndCounterIdentical) {
+  LoadConfig config;
+  config.requests = 60;
+  config.seed = 7;
+  config.verify = true;  // cross-check against unsupervised dispatch
+  const LoadResult res = serve::run_load(config);
+
+  // No faults anywhere: every request completes on its first rung, and
+  // the scheduled output is byte-identical (with SM-local counters
+  // equal) to a direct dispatch of the same problem.
+  EXPECT_EQ(res.total.completed, res.total.submitted);
+  EXPECT_EQ(res.total.failed, 0u);
+  EXPECT_EQ(res.total.rejected, 0u);
+  EXPECT_EQ(res.mismatches, 0u);
+  EXPECT_EQ(res.counter_mismatches, 0u);
+  EXPECT_EQ(res.health.quarantines, 0u);
+  expect_accounting_consistent(res.total);
+}
+
+}  // namespace
+}  // namespace vsparse

@@ -8,8 +8,10 @@
 // an injected attention fault storm.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vsparse/common/rng.hpp"
@@ -90,6 +92,7 @@ TEST(ServeTaxonomy, CodePropertiesMatchTheDesignTable) {
       {kOutOfMemory, "out_of_memory", false, true},
       {kQuotaExceeded, "quota_exceeded", false, false},
       {kQueueFull, "queue_full", false, false},
+      {kDeadlineExceeded, "deadline_exceeded", false, false},
       {kEccUncorrectable, "ecc_uncorrectable", true, true},
       {kLaunchTimeout, "launch_timeout", false, true},
       {kAbftExhausted, "abft_exhausted", true, true},
@@ -304,6 +307,130 @@ TEST(ServeAdmission, RecordRejectionKeepsReportNumberingDense) {
   EXPECT_EQ(sup.totals().requests, 3u);
   EXPECT_EQ(sup.totals().completed, 2u);
   EXPECT_EQ(sup.totals().rejected, 1u);
+}
+
+// ---- backoff arithmetic ----------------------------------------------
+
+TEST(ServeBackoff, ScheduleSaturatesInsteadOfWrapping) {
+  serve::RetryPolicy retry;
+  retry.backoff_base_cycles = std::uint64_t{1} << 20;
+  retry.backoff_multiplier = 8;
+  retry.seed = 2021;
+
+  // base * 8^(k-1) crosses kMaxBackoffCycles (2^40) at k = 8; from
+  // there every attempt — including soak-scale counts that would wrap
+  // a naive pow — plateaus at the cap plus sub-base jitter.
+  for (std::int64_t step = 1; step <= 1'000'000'000; step = step * 7 + 1) {
+    const int attempt = static_cast<int>(step);
+    const std::uint64_t wait =
+        serve::backoff_cycles_for(retry, /*request_id=*/42, /*rung=*/0,
+                                  attempt);
+    EXPECT_LT(wait, serve::kMaxBackoffCycles + retry.backoff_base_cycles)
+        << "attempt " << attempt;
+    if (attempt >= 8) {
+      EXPECT_GE(wait, serve::kMaxBackoffCycles) << "attempt " << attempt;
+    }
+    // Deterministic: the same (seed, request, rung, attempt) tuple
+    // always yields the same schedule entry.
+    EXPECT_EQ(wait, serve::backoff_cycles_for(retry, 42, 0, attempt));
+  }
+
+  // Unjittered floor below saturation: attempt k waits at least
+  // base * 8^(k-1).
+  EXPECT_GE(serve::backoff_cycles_for(retry, 42, 0, 1),
+            retry.backoff_base_cycles);
+  EXPECT_GE(serve::backoff_cycles_for(retry, 42, 0, 3),
+            retry.backoff_base_cycles * 64);
+
+  // Degenerate knobs stay safe: no base means no wait, multiplier <= 1
+  // never grows, attempt <= 0 never charges.
+  serve::RetryPolicy zero = retry;
+  zero.backoff_base_cycles = 0;
+  EXPECT_EQ(serve::backoff_cycles_for(zero, 42, 0, 5), 0u);
+  EXPECT_EQ(serve::backoff_cycles_for(retry, 42, 0, 0), 0u);
+  serve::RetryPolicy flat = retry;
+  flat.backoff_multiplier = 1;
+  EXPECT_LT(serve::backoff_cycles_for(flat, 42, 0, 1'000'000),
+            2 * flat.backoff_base_cycles);
+}
+
+TEST(ServeBackoff, JitterDecorrelatesRequestsAndRungs) {
+  serve::RetryPolicy retry;  // defaults: base 1024, multiplier 2
+  const std::uint64_t a = serve::backoff_cycles_for(retry, 1, 0, 1);
+  const std::uint64_t b = serve::backoff_cycles_for(retry, 2, 0, 1);
+  const std::uint64_t c = serve::backoff_cycles_for(retry, 1, 1, 1);
+  EXPECT_NE(a, b);  // different request
+  EXPECT_NE(a, c);  // different rung
+}
+
+// ---- kernel-health gate routing ---------------------------------------
+
+bool deny_octet_gate(void*, const char* kernel, bool /*abft*/) {
+  return std::string_view(kernel) != "spmm_octet";
+}
+
+bool deny_all_gate(void*, const char*, bool) { return false; }
+
+TEST(ServeGate, QuarantinedKernelIsRoutedAround) {
+  gpusim::Device dev(test_config());
+  Problem p(dev);
+  ServePolicy policy;
+  policy.kernel_gate = &deny_octet_gate;  // octet + octet+ABFT quarantined
+  Supervisor sup(dev, policy);
+  const ServeReport& report = sup.submit_spmm(p.a, p.b, p.c);
+
+  // Fault-free, but the gate removed the first two rungs: the request
+  // lands directly on blocked-ELL with no retries or fallbacks burned.
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.final_rung, ServeRung::kBlockedEll);
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.retries, 0);
+
+  const auto got = p.c.buf.host();
+  const auto want = run_clean();
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size_bytes()), 0);
+}
+
+TEST(ServeGate, AllQuarantinedFailsStaticToUnfilteredLadder) {
+  gpusim::Device dev(test_config());
+  Problem p(dev);
+  ServePolicy policy;
+  policy.kernel_gate = &deny_all_gate;
+  Supervisor sup(dev, policy);
+  const ServeReport& report = sup.submit_spmm(p.a, p.b, p.c);
+
+  // An all-quarantined palette must still serve: the unfiltered ladder
+  // applies and the fault-free entry rung completes.
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.final_rung, ServeRung::kOctet);
+  EXPECT_EQ(report.attempts.size(), 1u);
+}
+
+// ---- report numbering at soak scale -----------------------------------
+
+TEST(ServeNumbering, StaysDenseAcrossALargeMixedSoak) {
+  gpusim::Device dev(test_config());
+  Problem p(dev);
+  Supervisor sup(dev, ServePolicy{});
+  // A rejection-heavy soak (rejections are cheap — nothing launches)
+  // with periodic real launches mixed in: request ids must stay dense
+  // with no gaps or reuse across 50k reports.
+  constexpr std::size_t kRequests = 50'000;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (i % 10'000 == 0) {
+      sup.submit_spmm(p.a, p.b, p.c);
+    } else {
+      sup.record_rejection("spmm", ErrorCode::kQueueFull, "serve.queue");
+    }
+  }
+  ASSERT_EQ(sup.reports().size(), kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(sup.reports()[i].request_id, i);
+  }
+  EXPECT_EQ(sup.totals().requests, kRequests);
+  EXPECT_EQ(sup.totals().completed, 5u);
+  EXPECT_EQ(sup.totals().rejected, kRequests - 5);
 }
 
 // ---- observability ----------------------------------------------------

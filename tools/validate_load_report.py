@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate a vsparse-load-v1 serving load report.
+
+Usage: validate_load_report.py FILE [--baseline=BENCH.json]
+       [--expect-chaos] [--expect-clean-verify]
+
+Checks the JSON the serve_load driver writes (LoadResult::to_json):
+schema tag, the per-tenant outcome accounting invariants
+(submitted = completed + failed + rejected + shed_queue + shed_deadline
+and completed = slo_met + deadline_miss, per tenant and in total, with
+tenant sums matching the totals), latency percentile ordering
+(p50 <= p99 <= max), chaos window sanity (begin < end, known kinds),
+health event consistency (non-decreasing ticks, totals matching the
+event list), and the verify block.  With --baseline the headline
+numbers (goodput, final_tick, totals, health counters) must match the
+committed BENCH_serve_load.json exactly — the report is deterministic,
+so any drift is a real behavior change that needs a baseline refresh.
+Stdlib only — runs anywhere CI has a python3.
+"""
+import json
+import sys
+
+SCHEMA = "vsparse-load-v1"
+CHAOS_KINDS = {"ecc_burst", "brownout", "mem_pressure", "policy_corrupt"}
+EVENT_KINDS = {"quarantine", "half_open", "restore", "reopen"}
+TENANT_COUNTS = ("submitted", "completed", "slo_met", "deadline_miss",
+                 "shed_queue", "shed_deadline", "rejected", "failed")
+
+_errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        _errors.append(msg)
+
+
+def check_tenant(t, where):
+    for field in TENANT_COUNTS + ("p50_latency_ticks", "p99_latency_ticks",
+                                  "max_latency_ticks"):
+        v = t.get(field)
+        check(isinstance(v, int) and v >= 0,
+              f"{where}.{field} is {v!r}, want a non-negative integer")
+    s = {f: t.get(f, 0) for f in TENANT_COUNTS}
+    check(s["submitted"] == s["completed"] + s["failed"] + s["rejected"] +
+          s["shed_queue"] + s["shed_deadline"],
+          f"{where}: submitted {s['submitted']} != completed+failed+rejected"
+          f"+shed_queue+shed_deadline")
+    check(s["completed"] == s["slo_met"] + s["deadline_miss"],
+          f"{where}: completed {s['completed']} != slo_met+deadline_miss")
+    check(t.get("p50_latency_ticks", 0) <= t.get("p99_latency_ticks", 0)
+          <= t.get("max_latency_ticks", 0),
+          f"{where}: latency percentiles not ordered p50 <= p99 <= max")
+
+
+def validate(path, expect_chaos, expect_clean_verify):
+    with open(path) as f:
+        doc = json.load(f)
+
+    check(doc.get("schema") == SCHEMA,
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check(isinstance(doc.get("final_tick"), int) and doc["final_tick"] > 0,
+          "final_tick must be a positive integer")
+
+    totals = doc.get("totals", {})
+    check(isinstance(totals, dict), "totals must be an object")
+    check_tenant(totals, "totals")
+    check(totals.get("submitted") == doc.get("requests"),
+          f"totals.submitted {totals.get('submitted')} != requests "
+          f"{doc.get('requests')}")
+
+    tenants = doc.get("tenants", [])
+    check(isinstance(tenants, list) and tenants, "tenants must be non-empty")
+    for i, t in enumerate(tenants):
+        check_tenant(t, f"tenants[{i}]")
+    for field in TENANT_COUNTS:
+        total = sum(t.get(field, 0) for t in tenants)
+        check(total == totals.get(field),
+              f"tenant {field} sum {total} != totals.{field} "
+              f"{totals.get(field)}")
+
+    goodput = doc.get("goodput_per_mtick")
+    check(isinstance(goodput, (int, float)) and goodput >= 0,
+          f"goodput_per_mtick {goodput!r} must be a non-negative number")
+    if totals.get("slo_met", 0) > 0:
+        check(goodput > 0, "slo_met > 0 but goodput_per_mtick is 0")
+
+    chaos = doc.get("chaos", {})
+    check(isinstance(chaos, dict), "chaos must be an object")
+    windows = chaos.get("windows", [])
+    if expect_chaos:
+        check(chaos.get("enabled") is True, "chaos.enabled must be true")
+        check(windows, "chaos run has no storm windows")
+    for i, w in enumerate(windows):
+        check(w.get("kind") in CHAOS_KINDS,
+              f"chaos.windows[{i}] kind {w.get('kind')!r} unknown")
+        check(isinstance(w.get("begin"), int) and isinstance(w.get("end"), int)
+              and w["begin"] < w["end"],
+              f"chaos.windows[{i}] is not a valid [begin, end) interval")
+
+    health = doc.get("health", {})
+    events = health.get("events", [])
+    by_kind = {k: 0 for k in EVENT_KINDS}
+    last_tick = 0
+    for i, e in enumerate(events):
+        kind = e.get("kind")
+        check(kind in EVENT_KINDS, f"health.events[{i}] kind {kind!r} unknown")
+        tick = e.get("tick")
+        check(isinstance(tick, int) and tick >= last_tick,
+              f"health.events[{i}] tick {tick!r} decreases")
+        last_tick = tick if isinstance(tick, int) else last_tick
+        check(isinstance(e.get("kernel"), str) and e.get("kernel"),
+              f"health.events[{i}] missing kernel name")
+        if kind in by_kind:
+            by_kind[kind] += 1
+    for counter, kind in (("quarantines", "quarantine"),
+                          ("half_opens", "half_open"),
+                          ("restores", "restore"), ("reopens", "reopen")):
+        check(health.get(counter) == by_kind[kind],
+              f"health.{counter} {health.get(counter)} != {by_kind[kind]} "
+              f"{kind} events")
+
+    verify = doc.get("verify", {})
+    check(isinstance(verify, dict), "verify must be an object")
+    if expect_clean_verify:
+        check(verify.get("enabled") is True, "verify.enabled must be true")
+        check(verify.get("mismatches") == 0,
+              f"verify.mismatches {verify.get('mismatches')} != 0: scheduled "
+              f"output diverged from direct dispatch")
+        check(verify.get("counter_mismatches") == 0,
+              f"verify.counter_mismatches {verify.get('counter_mismatches')} "
+              f"!= 0: SM-local counters diverged from direct dispatch")
+
+    return doc
+
+
+def check_baseline(doc, baseline_path):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    # The report is deterministic by contract: same seed + config give
+    # identical numbers on any machine at any thread count, so exact
+    # equality is the right check (no tolerance band).
+    for field in ("schema", "seed", "requests", "mean_gap_ticks",
+                  "final_tick", "goodput_per_mtick", "totals", "health",
+                  "policy_cache_rejections", "sim_ctas"):
+        check(doc.get(field) == base.get(field),
+              f"baseline drift in {field!r}: got {doc.get(field)!r}, "
+              f"baseline {base.get(field)!r}")
+
+
+def main(argv):
+    path = None
+    baseline = None
+    expect_chaos = False
+    expect_clean_verify = False
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline = arg.split("=", 1)[1]
+        elif arg == "--expect-chaos":
+            expect_chaos = True
+        elif arg == "--expect-clean-verify":
+            expect_clean_verify = True
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    doc = validate(path, expect_chaos, expect_clean_verify)
+    if baseline and not _errors:
+        check_baseline(doc, baseline)
+    if _errors:
+        for e in _errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {path} (goodput {doc.get('goodput_per_mtick')}/Mtick, "
+          f"{doc.get('totals', {}).get('completed')} completed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
