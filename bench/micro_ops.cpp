@@ -8,6 +8,7 @@
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/gpusim/cache.hpp"
 #include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
 #include "vsparse/gpusim/tensorcore.hpp"
 
 namespace vsparse {
@@ -105,6 +106,116 @@ void BM_WarpLdg128(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_WarpLdg128);
+
+// Per-span-op rows (DESIGN.md §2h): same logical accesses as the
+// per-lane BM_WarpLdg128 above but stated as span descriptors, so the
+// trajectory artifact shows what the fast path buys per op shape.
+
+void BM_SpanLdgUniform(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 16 << 20;
+  gpusim::Device dev(cfg);
+  auto buf = dev.alloc<half8>(64 << 10);
+  gpusim::LaunchConfig lcfg;
+  Rng rng(7);
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::Lanes<half8> dst;
+      for (int rep = 0; rep < 64; ++rep) {
+        w.ldg_span(buf.addr(rng.uniform_u64(buf.size())), 0, dst);
+      }
+      benchmark::DoNotOptimize(dst);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpanLdgUniform);
+
+void BM_SpanLdgAffine128(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 16 << 20;
+  gpusim::Device dev(cfg);
+  auto buf = dev.alloc<half8>(64 << 10);
+  gpusim::LaunchConfig lcfg;
+  Rng rng(8);
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::Lanes<half8> dst;
+      for (int rep = 0; rep < 64; ++rep) {
+        w.ldg_span(buf.addr(rng.uniform_u64(buf.size() - 32)), 16, dst);
+      }
+      benchmark::DoNotOptimize(dst);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpanLdgAffine128);
+
+void BM_SpanLdgSegmented4x8(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 16 << 20;
+  gpusim::Device dev(cfg);
+  auto buf = dev.alloc<half8>(64 << 10);
+  gpusim::LaunchConfig lcfg;
+  Rng rng(9);
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::Lanes<half8> dst;
+      std::uint64_t gbase[4];
+      for (int rep = 0; rep < 64; ++rep) {
+        for (auto& g : gbase) g = buf.addr(rng.uniform_u64(buf.size() - 8));
+        w.ldg_span(gbase, 4, 8, 16, dst);
+      }
+      benchmark::DoNotOptimize(dst);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpanLdgSegmented4x8);
+
+void BM_SpanStgAffine128(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 16 << 20;
+  gpusim::Device dev(cfg);
+  auto buf = dev.alloc<half8>(64 << 10);
+  gpusim::LaunchConfig lcfg;
+  Rng rng(10);
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::Lanes<half8> src{};
+      for (int rep = 0; rep < 64; ++rep) {
+        w.stg_span(buf.addr(rng.uniform_u64(buf.size() - 32)), 16, src);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpanStgAffine128);
+
+void BM_SpanSmemRoundTrip(benchmark::State& state) {
+  gpusim::DeviceConfig cfg;
+  cfg.dram_capacity = 1 << 20;
+  gpusim::Device dev(cfg);
+  gpusim::LaunchConfig lcfg;
+  lcfg.smem_bytes = 1024;
+  for (auto _ : state) {
+    gpusim::launch(dev, lcfg, [&](gpusim::Cta& cta) {
+      gpusim::Warp w = cta.warp(0);
+      gpusim::Lanes<half8> v{};
+      for (int rep = 0; rep < 64; ++rep) {
+        w.sts_span(0, 16, v);
+        w.lds_span(0, 16, v);
+      }
+      benchmark::DoNotOptimize(v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SpanSmemRoundTrip);
 
 void BM_MakeCvs(benchmark::State& state) {
   Rng rng(5);

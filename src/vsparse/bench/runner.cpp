@@ -200,6 +200,16 @@ int parse_threads(int argc, char** argv) {
   return 1;
 }
 
+const char* threads_source(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) return "flag";
+  }
+  if (const char* env = std::getenv("VSPARSE_SIM_THREADS")) {
+    if (*env != '\0') return "env";
+  }
+  return "default";
+}
+
 TraceSession::TraceSession(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -298,8 +308,9 @@ bool SanitizerSession::finish() {
   return ok;
 }
 
-SimThroughput::SimThroughput(int threads)
+SimThroughput::SimThroughput(int threads, const char* source)
     : threads_(threads),
+      source_(source),
       start_ctas_(gpusim::total_simulated_ctas()),
       start_(std::chrono::steady_clock::now()) {}
 
@@ -309,10 +320,13 @@ void SimThroughput::print_summary() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   const double rate = secs > 0.0 ? static_cast<double>(ctas) / secs : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
   std::printf(
       "# throughput: {\"sim_ctas\":%llu,\"wall_seconds\":%.3f,"
-      "\"ctas_per_sec\":%.1f,\"threads\":%d}\n",
-      static_cast<unsigned long long>(ctas), secs, rate, threads_);
+      "\"ctas_per_sec\":%.1f,\"threads\":%d,"
+      "\"threads_source\":\"%s\",\"host_cores\":%u}\n",
+      static_cast<unsigned long long>(ctas), secs, rate, threads_, source_,
+      cores);
 }
 
 double DenseBaseline::hgemm_cycles(int m, int k, int n) {

@@ -60,6 +60,11 @@ bool arch_flag_present(int argc, char** argv);
 /// hardware thread.  The returned value is always >= 1.
 int parse_threads(int argc, char** argv);
 
+/// Where parse_threads got its answer from: "flag" (--threads=N),
+/// "env" (VSPARSE_SIM_THREADS), or "default".  Recorded in the
+/// throughput JSON so trajectory entries carry their provenance.
+const char* threads_source(int argc, char** argv);
+
 /// Run one bench case body under an error boundary.  A throwing case
 /// does not abort the suite: the failure is reported as one
 /// machine-readable line on stdout and the driver keeps going with the
@@ -167,16 +172,23 @@ class SanitizerSession {
 /// construction, then print_summary() emits one JSON line:
 ///
 ///   # throughput: {"sim_ctas":123,"wall_seconds":4.5,
-///                  "ctas_per_sec":27.3,"threads":8}
+///                  "ctas_per_sec":27.3,"threads":8,
+///                  "threads_source":"flag","host_cores":4}
+///
+/// `threads_source` says where the worker count came from (flag, env,
+/// or default) and `host_cores` is the machine's hardware concurrency —
+/// together they let trajectory readers judge whether two entries'
+/// wall-clock numbers are comparable.
 class SimThroughput {
  public:
-  explicit SimThroughput(int threads);
+  explicit SimThroughput(int threads, const char* source = "default");
 
   /// Print the summary JSON line to stdout.
   void print_summary() const;
 
  private:
   int threads_;
+  const char* source_;
   std::uint64_t start_ctas_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -214,7 +226,7 @@ class DriverSession {
         sim_{.threads = parse_threads(argc, argv),
              .trace = trace_.options(),
              .sanitize = sanitize_.options()},
-        throughput_(sim_.threads),
+        throughput_(sim_.threads, threads_source(argc, argv)),
         hw_(parse_arch(argc, argv)) {
     if (arch_flag_present(argc, argv)) announce_arch();
   }

@@ -160,6 +160,46 @@ inline half_t hmul(half_t a, half_t b) {
   return half_t(static_cast<float>(a) * static_cast<float>(b));
 }
 
+/// Batched exact widening: dst[i] = float(src[i]) for i in [0, n).
+/// Uses the packed F16C form (VCVTPH2PS, 8 halves per instruction) when
+/// available; bit-identical to the scalar conversion either way, so
+/// callers may freely hoist per-element conversions into one batch.
+inline void half_to_float_n(const half_t* src, float* dst, std::size_t n) {
+#if defined(__F16C__)
+  const std::size_t vec = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < vec; i += 8) {
+    __m128i h;
+    std::memcpy(&h, src + i, sizeof(h));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (std::size_t t = 0; t < (n & 7); ++t) {
+    dst[vec + t] = static_cast<float>(src[vec + t]);
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+#endif
+}
+
+/// Batched rounding narrow: dst[i] = half_t(src[i]) for i in [0, n),
+/// round-to-nearest-even.  Uses the packed F16C form (VCVTPS2PH, 8
+/// floats per instruction) with the same rounding control as the scalar
+/// conversion, so results are bit-identical either way and callers may
+/// freely hoist per-element narrowing into one batch.
+inline void float_to_half_n(const float* src, half_t* dst, std::size_t n) {
+#if defined(__F16C__)
+  const std::size_t vec = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < vec; i += 8) {
+    const __m128i h =
+        _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    std::memcpy(static_cast<void*>(dst + i), &h, sizeof(h));
+  }
+  for (std::size_t t = vec; t < n; ++t) dst[t] = half_t(src[t]);
+#else
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half_t(src[i]);
+#endif
+}
+
 /// True iff the value is a NaN pattern.
 inline bool isnan(half_t h) {
   return (h.bits() & 0x7c00u) == 0x7c00u && (h.bits() & 0x3ffu) != 0;

@@ -1,5 +1,7 @@
 #include "vsparse/gpusim/cache.hpp"
 
+#include <algorithm>
+
 namespace vsparse::gpusim {
 
 namespace detail {
@@ -19,71 +21,18 @@ SetArray::SetArray(std::size_t capacity_bytes, int line_bytes,
   VSPARSE_CHECK(lines % static_cast<std::size_t>(ways) == 0);
   sets_ = static_cast<int>(lines / static_cast<std::size_t>(ways));
   VSPARSE_CHECK(sets_ >= 1);
-  lines_.resize(lines);
-}
-
-SetArray::Line* SetArray::find_line(std::uint64_t line_addr, std::size_t set) {
-  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
-  for (int w = 0; w < ways_; ++w) {
-    if (base[w].tag == line_addr) return &base[w];
-  }
-  return nullptr;
-}
-
-std::size_t SetArray::set_index(std::uint64_t line_addr) const {
-  // XOR-folded set hashing, as GPU caches use: without it, power-of-two
-  // strides (e.g. the 512 B row stride of a 256-column half matrix)
-  // alias a handful of sets and the effective capacity collapses.
-  std::uint64_t h = line_addr;
-  h ^= h >> 8;
-  h ^= h >> 16;
-  return static_cast<std::size_t>(h % static_cast<std::uint64_t>(sets_));
-}
-
-bool SetArray::access(std::uint64_t sector_addr, std::uint64_t tick) {
-  VSPARSE_DCHECK(sector_addr % static_cast<std::uint64_t>(sector_bytes_) == 0);
-  const std::uint64_t line_addr =
-      sector_addr / static_cast<std::uint64_t>(line_bytes_);
-  const std::size_t set = set_index(line_addr);
-  const int sector_idx = static_cast<int>(
-      (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
-      static_cast<std::uint64_t>(sectors_per_line_));
-  const std::uint32_t sector_bit = 1u << sector_idx;
-
-  if (Line* line = find_line(line_addr, set)) {
-    line->lru = tick;
-    if (line->sector_valid & sector_bit) return true;
-    line->sector_valid |= sector_bit;  // sector miss, line resident
-    return false;
-  }
-
-  // Line miss: evict the LRU way of the set, install with one sector.
-  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
-  Line* victim = base;
-  for (int w = 1; w < ways_; ++w) {
-    if (base[w].lru < victim->lru) victim = &base[w];
-  }
-  victim->tag = line_addr;
-  victim->sector_valid = sector_bit;
-  victim->lru = tick;
-  return false;
-}
-
-void SetArray::invalidate_sector(std::uint64_t sector_addr) {
-  const std::uint64_t line_addr =
-      sector_addr / static_cast<std::uint64_t>(line_bytes_);
-  const std::size_t set = set_index(line_addr);
-  if (Line* line = find_line(line_addr, set)) {
-    const int sector_idx = static_cast<int>(
-        (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
-        static_cast<std::uint64_t>(sectors_per_line_));
-    line->sector_valid &= ~(1u << sector_idx);
-    if (line->sector_valid == 0) line->tag = kInvalidTag;
-  }
+  const auto usets = static_cast<std::uint64_t>(sets_);
+  if ((usets & (usets - 1)) == 0) sets_mask_ = usets - 1;
+  sets_magic_ = ~std::uint64_t{0} / usets + 1;  // ceil(2^64 / sets_)
+  tags_.assign(lines, kInvalidTag);
+  valid_.assign(lines, 0);
+  lru_.assign(lines, 0);
 }
 
 void SetArray::flush() {
-  for (Line& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(valid_.begin(), valid_.end(), 0u);
+  std::fill(lru_.begin(), lru_.end(), std::uint64_t{0});
 }
 
 }  // namespace detail
@@ -93,22 +42,9 @@ ShardedCache::ShardedCache(std::size_t capacity_bytes, int line_bytes,
     : array_(capacity_bytes, line_bytes, sector_bytes, ways),
       num_slices_(num_slices) {
   VSPARSE_CHECK(num_slices >= 1);
-  slices_ = std::make_unique<Slice[]>(static_cast<std::size_t>(num_slices));
-}
-
-bool ShardedCache::access(std::uint64_t sector_addr) {
-  Slice& slice = slice_of_sector(sector_addr);
-  std::lock_guard<std::mutex> lock(slice.mu);
-  // Per-slice LRU clock: within a set (which belongs to exactly one
-  // slice) ticks are monotone in access order, so LRU decisions match
-  // a single global clock — slicing never changes serial counters.
-  return array_.access(sector_addr, ++slice.tick);
-}
-
-void ShardedCache::invalidate_sector(std::uint64_t sector_addr) {
-  Slice& slice = slice_of_sector(sector_addr);
-  std::lock_guard<std::mutex> lock(slice.mu);
-  array_.invalidate_sector(sector_addr);
+  const auto uslices = static_cast<std::size_t>(num_slices);
+  if ((uslices & (uslices - 1)) == 0) slice_mask_ = uslices - 1;
+  slices_ = std::make_unique<Slice[]>(uslices);
 }
 
 void ShardedCache::flush() {

@@ -20,9 +20,11 @@
 //     any slice count.
 #pragma once
 
+#include <atomic>
+#include <bit>
+#include <thread>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "vsparse/common/macros.hpp"
@@ -46,10 +48,103 @@ class SetArray {
   /// Access one sector (sector-aligned address) stamping LRU with
   /// `tick`.  Returns true on hit; on miss the sector is filled
   /// (evicting the LRU line of the set if the line was not resident).
-  bool access(std::uint64_t sector_addr, std::uint64_t tick);
+  /// Kept inline: this is the single hottest call in the simulator
+  /// (every unique sector of every warp memory op walks it).
+  bool access(std::uint64_t sector_addr, std::uint64_t tick) {
+    const std::uint64_t line_addr =
+        sector_addr / static_cast<std::uint64_t>(line_bytes_);
+    return access_in_set(sector_addr, line_addr, set_index(line_addr), tick);
+  }
+
+  /// `access` with the line address and set index precomputed (the
+  /// sharded front-end derives the slice from the same set index, so
+  /// it hashes once and passes both down).
+  bool access_in_set(std::uint64_t sector_addr, std::uint64_t line_addr,
+                     std::size_t set, std::uint64_t tick) {
+    VSPARSE_DCHECK(sector_addr % static_cast<std::uint64_t>(sector_bytes_) ==
+                   0);
+    const int sector_idx = static_cast<int>(
+        (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
+        static_cast<std::uint64_t>(sectors_per_line_));
+    const std::uint32_t sector_bit = 1u << sector_idx;
+
+    const std::size_t base = set * static_cast<std::size_t>(ways_);
+    const int w = find_way(line_addr, base);
+    if (w >= 0) {
+      lru_[base + w] = tick;
+      if (valid_[base + w] & sector_bit) return true;
+      valid_[base + w] |= sector_bit;  // sector miss, line resident
+      return false;
+    }
+
+    // Line miss: evict the LRU way of the set, install with one sector.
+    std::size_t victim = base;
+    for (int i = 1; i < ways_; ++i) {
+      if (lru_[base + i] < lru_[victim]) victim = base + i;
+    }
+    tags_[victim] = line_addr;
+    valid_[victim] = sector_bit;
+    lru_[victim] = tick;
+    return false;
+  }
 
   /// Invalidate one sector if resident (store coherence).
-  void invalidate_sector(std::uint64_t sector_addr);
+  void invalidate_sector(std::uint64_t sector_addr) {
+    const std::uint64_t line_addr =
+        sector_addr / static_cast<std::uint64_t>(line_bytes_);
+    invalidate_sector_in_set(sector_addr, line_addr, set_index(line_addr));
+  }
+
+  /// `invalidate_sector` with line address and set precomputed.
+  void invalidate_sector_in_set(std::uint64_t sector_addr,
+                                std::uint64_t line_addr, std::size_t set) {
+    const std::size_t base = set * static_cast<std::size_t>(ways_);
+    if (const int w = find_way(line_addr, base); w >= 0) {
+      const int sector_idx = static_cast<int>(
+          (sector_addr / static_cast<std::uint64_t>(sector_bytes_)) %
+          static_cast<std::uint64_t>(sectors_per_line_));
+      valid_[base + w] &= ~(1u << sector_idx);
+      if (valid_[base + w] == 0) tags_[base + w] = kInvalidTag;
+    }
+  }
+
+  /// Batched form: access every sector in `sector_bits` (bit i = sector
+  /// i of the line at `line_addr`), advancing the LRU clock by the
+  /// popcount.  Returns the subset of bits that hit.  Equivalent to
+  /// issuing the sectors one at a time in ascending order: all accesses
+  /// target the same line, so the per-sector walk would find the line
+  /// resident after the first touch, accumulate the same valid bits,
+  /// and leave lru at the final tick — exactly what one probe does.
+  std::uint32_t access_line(std::uint64_t line_addr,
+                            std::uint32_t sector_bits, std::uint64_t tick) {
+    const std::size_t base =
+        set_index(line_addr) * static_cast<std::size_t>(ways_);
+    const int w = find_way(line_addr, base);
+    if (w >= 0) {
+      lru_[base + w] = tick;
+      const std::uint32_t hits = valid_[base + w] & sector_bits;
+      valid_[base + w] |= sector_bits;
+      return hits;
+    }
+    std::size_t victim = base;
+    for (int i = 1; i < ways_; ++i) {
+      if (lru_[base + i] < lru_[victim]) victim = base + i;
+    }
+    tags_[victim] = line_addr;
+    valid_[victim] = sector_bits;
+    lru_[victim] = tick;
+    return 0;
+  }
+
+  /// Batched invalidate of every sector in `sector_bits` of one line.
+  void invalidate_line(std::uint64_t line_addr, std::uint32_t sector_bits) {
+    const std::size_t base =
+        set_index(line_addr) * static_cast<std::size_t>(ways_);
+    if (const int w = find_way(line_addr, base); w >= 0) {
+      valid_[base + w] &= ~sector_bits;
+      if (valid_[base + w] == 0) tags_[base + w] = kInvalidTag;
+    }
+  }
 
   /// Drop all contents.
   void flush();
@@ -59,28 +154,66 @@ class SetArray {
     return set_index(sector_addr / static_cast<std::uint64_t>(line_bytes_));
   }
 
+  /// Set index of a line address (XOR-folded hash, divide-free).
+  std::size_t set_index(std::uint64_t line_addr) const {
+    // XOR-folded set hashing, as GPU caches use: without it, power-of-two
+    // strides (e.g. the 512 B row stride of a 256-column half matrix)
+    // alias a handful of sets and the effective capacity collapses.
+    std::uint64_t h = line_addr;
+    h ^= h >> 8;
+    h ^= h >> 16;
+    // The reduction mod sets_ sits on the hottest path in the simulator,
+    // so avoid the hardware divide: a mask when sets_ is a power of two,
+    // else a Lemire multiply-reduction (exact for h < 2^32; folded line
+    // indices stay far below that for any practical arena, and the rare
+    // larger value falls back to the divide).  All three produce the
+    // identical h % sets_ value, so set mapping — and every cache
+    // counter — is unchanged.
+    if (sets_mask_ != 0) return static_cast<std::size_t>(h & sets_mask_);
+    if (h <= 0xFFFFFFFFu) [[likely]] {
+      const std::uint64_t lowbits = sets_magic_ * h;
+      return static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(lowbits) *
+           static_cast<std::uint64_t>(sets_)) >>
+          64);
+    }
+    return static_cast<std::size_t>(h % static_cast<std::uint64_t>(sets_));
+  }
+
+
   int num_sets() const { return sets_; }
   int ways() const { return ways_; }
   int line_bytes() const { return line_bytes_; }
   int sector_bytes() const { return sector_bytes_; }
 
  private:
-  struct Line {
-    std::uint64_t tag = kInvalidTag;
-    std::uint32_t sector_valid = 0;  ///< bit i = sector i resident
-    std::uint64_t lru = 0;           ///< last-touch tick
-  };
   static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
-  Line* find_line(std::uint64_t line_addr, std::size_t set);
-  std::size_t set_index(std::uint64_t line_addr) const;
+  /// Way index of `line_addr` within the set whose ways begin at flat
+  /// index `base`, or -1.  Tags live in their own dense array so the
+  /// scan reads 8 B per way: a 16-way L2 set spans two host cache
+  /// lines instead of the six an array-of-structs layout touches.
+  /// Keeping the read-mostly tags apart from the written-every-probe
+  /// lru/valid metadata also keeps multi-worker simulations from
+  /// ping-ponging the tag lines on every LRU stamp.
+  int find_way(std::uint64_t line_addr, std::size_t base) const {
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == line_addr) return w;
+    }
+    return -1;
+  }
 
   int line_bytes_;
   int sector_bytes_;
   int sectors_per_line_;
   int ways_;
   int sets_;
-  std::vector<Line> lines_;  ///< sets_ * ways_, set-major
+  std::uint64_t sets_mask_ = 0;   ///< sets_ - 1 when sets_ is a power of two
+  std::uint64_t sets_magic_ = 0;  ///< ceil(2^64 / sets_) for the Lemire path
+  // sets_ * ways_ entries each, set-major, structure-of-arrays.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> valid_;  ///< bit i = sector i resident
+  std::vector<std::uint64_t> lru_;    ///< last-touch tick
 };
 
 }  // namespace detail
@@ -103,6 +236,24 @@ class SectorCache {
   /// Invalidate one sector if resident (used for store coherence).
   void invalidate_sector(std::uint64_t sector_addr) {
     array_.invalidate_sector(sector_addr);
+  }
+
+  /// Batched line access (see SetArray::access_line): accesses every
+  /// sector in `sector_bits` of the line containing `line_base` (a
+  /// line-aligned byte address) and returns the hit subset.
+  std::uint32_t access_line(std::uint64_t line_base,
+                            std::uint32_t sector_bits) {
+    tick_ += static_cast<std::uint64_t>(std::popcount(sector_bits));
+    return array_.access_line(
+        line_base / static_cast<std::uint64_t>(array_.line_bytes()),
+        sector_bits, tick_);
+  }
+
+  /// Batched line invalidate (store coherence).
+  void invalidate_line(std::uint64_t line_base, std::uint32_t sector_bits) {
+    array_.invalidate_line(
+        line_base / static_cast<std::uint64_t>(array_.line_bytes()),
+        sector_bits);
   }
 
   /// Drop all contents (kernel-boundary invalidation for L1).
@@ -131,11 +282,43 @@ class ShardedCache {
   ShardedCache(std::size_t capacity_bytes, int line_bytes, int sector_bytes,
                int ways, int num_slices);
 
-  /// Thread-safe sector access (locks the owning slice).
-  bool access(std::uint64_t sector_addr);
+  /// Thread-safe sector access (locks the owning slice).  Inline for
+  /// the same reason as SetArray::access — every L1-missed sector of
+  /// every warp op lands here.
+  bool access(std::uint64_t sector_addr) {
+    const std::uint64_t line_addr =
+        sector_addr / static_cast<std::uint64_t>(array_.line_bytes());
+    const std::size_t set = array_.set_index(line_addr);
+    Slice& slice = slices_[slice_of_set(set)];
+    SliceGuard lock(slice);
+    // Per-slice LRU clock: within a set (which belongs to exactly one
+    // slice) ticks are monotone in access order, so LRU decisions match
+    // a single global clock — slicing never changes serial counters.
+    return array_.access_in_set(sector_addr, line_addr, set, ++slice.tick);
+  }
 
   /// Thread-safe sector invalidation (store coherence).
-  void invalidate_sector(std::uint64_t sector_addr);
+  void invalidate_sector(std::uint64_t sector_addr) {
+    const std::uint64_t line_addr =
+        sector_addr / static_cast<std::uint64_t>(array_.line_bytes());
+    const std::size_t set = array_.set_index(line_addr);
+    Slice& slice = slices_[slice_of_set(set)];
+    SliceGuard lock(slice);
+    array_.invalidate_sector_in_set(sector_addr, line_addr, set);
+  }
+
+  /// Batched line access under one slice lock (see
+  /// SetArray::access_line); `line_base` is a line-aligned byte address.
+  std::uint32_t access_line(std::uint64_t line_base,
+                            std::uint32_t sector_bits) {
+    const std::uint64_t line_addr =
+        line_base / static_cast<std::uint64_t>(array_.line_bytes());
+    const std::size_t set = array_.set_index(line_addr);
+    Slice& slice = slices_[slice_of_set(set)];
+    SliceGuard lock(slice);
+    slice.tick += static_cast<std::uint64_t>(std::popcount(sector_bits));
+    return array_.access_line(line_addr, sector_bits, slice.tick);
+  }
 
   /// Drop all contents.  Not concurrency-safe against in-flight
   /// accesses; only called between launches.
@@ -148,18 +331,49 @@ class ShardedCache {
   int sector_bytes() const { return array_.sector_bytes(); }
 
  private:
-  struct Slice {
-    std::mutex mu;
+  /// Per-slice state guarded by a spinlock: the critical section is a
+  /// handful of loads/stores (one set probe), far shorter than a futex
+  /// round-trip, and slices outnumber worker threads so contention is
+  /// rare — spinning is strictly cheaper than std::mutex here.
+  // One cache line per slice: adjacent slices would otherwise share a
+  // line and every lock acquisition would ping-pong it between workers.
+  struct alignas(64) Slice {
+    std::atomic_flag mu = ATOMIC_FLAG_INIT;
     std::uint64_t tick = 0;
   };
+  class SliceGuard {
+   public:
+    explicit SliceGuard(Slice& s) : s_(s) {
+      int spins = 0;
+      while (s_.mu.test_and_set(std::memory_order_acquire)) {
+        while (s_.mu.test(std::memory_order_relaxed)) {
+          // When workers outnumber cores the holder may be preempted;
+          // spinning would then burn the holder's whole quantum, so
+          // hand the CPU back after a short bounded spin.
+          if (++spins >= 256) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
+      }
+    }
+    ~SliceGuard() { s_.mu.clear(std::memory_order_release); }
+    SliceGuard(const SliceGuard&) = delete;
+    SliceGuard& operator=(const SliceGuard&) = delete;
 
-  Slice& slice_of_sector(std::uint64_t sector_addr) {
-    return slices_[array_.set_of_sector(sector_addr) %
-                   static_cast<std::size_t>(num_slices_)];
+   private:
+    Slice& s_;
+  };
+
+  std::size_t slice_of_set(std::size_t set) const {
+    return slice_mask_ != ~std::size_t{0}
+               ? (set & slice_mask_)
+               : set % static_cast<std::size_t>(num_slices_);
   }
 
   detail::SetArray array_;
   int num_slices_;
+  std::size_t slice_mask_ = ~std::size_t{0};  ///< num_slices-1 if pow2
   std::unique_ptr<Slice[]> slices_;
 };
 

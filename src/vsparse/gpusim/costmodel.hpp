@@ -26,7 +26,7 @@
 #pragma once
 
 #include "vsparse/gpusim/config.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
 #include "vsparse/gpusim/stats.hpp"
 
 #include <string>

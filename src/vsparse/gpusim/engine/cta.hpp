@@ -3,9 +3,11 @@
 // warp_ops.hpp so they stay header-only for inlining into kernels.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "vsparse/common/macros.hpp"
+#include "vsparse/fp16/vec.hpp"
 #include "vsparse/gpusim/engine/lanes.hpp"
 #include "vsparse/gpusim/engine/launch_config.hpp"
 #include "vsparse/gpusim/engine/sm_context.hpp"
@@ -17,7 +19,48 @@ namespace vsparse::gpusim {
 
 class Cta;
 
+/// Per-lane A/B fragments for mma.m8n8k4: 4 halves each.
+using MmaFragAB = Lanes<half4>;
+/// Per-lane accumulator fragment: one 8-float output row.
+using MmaFragC = Lanes<std::array<float, 8>>;
+
+struct MmaFlags {
+  bool switch_groups = false;  ///< the Fig. 15 architecture extension
+  unsigned step_mask = 0xF;    ///< which of STEP0..3 to execute
+};
+
 /// Handle through which kernel code issues warp-level operations.
+///
+/// ## Address-pattern contract (uniform / affine / divergent)
+///
+/// Every memory op exists in two forms with identical observable
+/// behavior (data movement, counters, trace events, sanitizer reports,
+/// fault injection):
+///
+///  * **per-lane** (`ldg`/`stg`/`lds`/`sts`): the kernel materializes a
+///    32-entry address array.  This is the fully general *divergent*
+///    form — any lane may point anywhere — and the engine pays one
+///    address translation, one bounds check, and one sector/bank
+///    dedup step per active lane.
+///  * **span** (`ldg_span`/`stg_span`/`lds_span`/`sts_span`): the
+///    kernel *states* the pattern as segments of an affine sequence:
+///    lanes split into `segs` consecutive segments of `width` lanes
+///    each (`segs * width <= 32`), and lane `l = seg*width + t`
+///    addresses `seg_base[seg] + t*stride`.  *Uniform* is `stride == 0`;
+///    pure *affine* is one segment.  The engine services each segment
+///    with one hull translation / bounds check and closed-form (or
+///    compare-with-previous) sector and bank-conflict accounting —
+///    O(segs) consultations instead of O(32).
+///
+/// Span ops are counter- and bit-exact with their per-lane forms by
+/// construction (DESIGN.md §2h gives the equivalence argument), and
+/// they *self-divert*: when a sanitizer or fault plan is attached — or
+/// a shared-memory hull check fails and per-lane reporting is owed —
+/// the span op expands its descriptor into lane arrays and runs the
+/// per-lane path, so the slow diagnostic surfaces see exactly the
+/// per-lane access sequence.  Kernels should state patterns with span
+/// ops and reserve hand-built lane arrays for genuinely divergent
+/// accesses.
 class Warp {
  public:
   Warp(Cta* cta, int warp_id) : cta_(cta), warp_id_(warp_id) {}
@@ -51,6 +94,82 @@ class Warp {
   template <class V>
   void sts(const Lanes<std::uint32_t>& off, const Lanes<V>& src,
            std::uint32_t mask = kFullMask);
+
+  /// Span global load: lane `l = seg*width + t` (t < width, seg < segs)
+  /// reads sizeof(V) bytes from `seg_base[seg] + t*stride`.  One hull
+  /// translation and one monotone sector walk per segment replace the 32
+  /// per-lane ones; counters match `ldg` on the expanded addresses
+  /// bit-for-bit (see the class comment for the full contract).
+  template <class V>
+  void ldg_span(const std::uint64_t* seg_base, int segs, int width,
+                std::uint32_t stride, Lanes<V>& dst,
+                std::uint32_t mask = kFullMask);
+
+  /// Affine global load: lane l reads from `base + l*stride`
+  /// (stride == 0 is the uniform broadcast pattern).
+  template <class V>
+  void ldg_span(std::uint64_t base, std::uint32_t stride, Lanes<V>& dst,
+                std::uint32_t mask = kFullMask);
+
+  /// Span global store (write-through, same pattern grammar as
+  /// ldg_span).
+  template <class V>
+  void stg_span(const std::uint64_t* seg_base, int segs, int width,
+                std::uint32_t stride, const Lanes<V>& src,
+                std::uint32_t mask = kFullMask);
+
+  /// Affine global store.
+  template <class V>
+  void stg_span(std::uint64_t base, std::uint32_t stride, const Lanes<V>& src,
+                std::uint32_t mask = kFullMask);
+
+  /// Span shared-memory load: lane `l = seg*width + t` reads from byte
+  /// offset `seg_off[seg] + t*stride`.  One hull bounds check per
+  /// segment; the bank-conflict degree is computed in closed form for
+  /// full-mask affine/repeated patterns and by the per-lane scan
+  /// otherwise — identical to `lds` either way.
+  template <class V>
+  void lds_span(const std::uint32_t* seg_off, int segs, int width,
+                std::uint32_t stride, Lanes<V>& dst,
+                std::uint32_t mask = kFullMask);
+
+  /// Affine shared-memory load.
+  template <class V>
+  void lds_span(std::uint32_t off, std::uint32_t stride, Lanes<V>& dst,
+                std::uint32_t mask = kFullMask);
+
+  /// Span shared-memory store.
+  template <class V>
+  void sts_span(const std::uint32_t* seg_off, int segs, int width,
+                std::uint32_t stride, const Lanes<V>& src,
+                std::uint32_t mask = kFullMask);
+
+  /// Affine shared-memory store.
+  template <class V>
+  void sts_span(std::uint32_t off, std::uint32_t stride, const Lanes<V>& src,
+                std::uint32_t mask = kFullMask);
+
+  /// Warp-wide mma.m8n8k4: four octets each compute an (8x4)·(4x8)
+  /// product accumulated in fp32.  Charges one HMMA issue slot per
+  /// executed step.  Fragment layout and the SWITCH extension are
+  /// documented in gpusim/tensorcore.hpp.
+  void mma_m8n8k4(const MmaFragAB& a, const MmaFragAB& b, MmaFragC& c,
+                  MmaFlags flags = {});
+
+  /// Warp-level WMMA (8x16)·(16x32) with fp32 accumulation, used by the
+  /// classic-mapping baseline kernels (§5.2, §6.2).  Consumes assembled
+  /// logical tiles and charges the 16 HMMA.884 steps the hardware
+  /// instruction decomposes into.
+  void wmma_m8n32k16(const half_t (&a)[8][16], const half_t (&b)[16][32],
+                     float (&c)[8][32]);
+
+  /// Strided in-place WMMA form: accumulates row i of the product into
+  /// c_rows[i][0..32) for i < rows, where each row pointer may alias a
+  /// larger accumulator tile.  Rows past `rows` are skipped entirely —
+  /// bit-identical to running the [8][32] form on zero-padded A rows
+  /// and discarding the padded output rows, without the staging copies.
+  void wmma_m8n32k16(const half_t (&a)[8][16], const half_t (&b)[16][32],
+                     float* const (&c_rows)[8], int rows);
 
   /// Warp shuffle: dst[lane] = src[srclane[lane]] for active lanes.
   template <class T>

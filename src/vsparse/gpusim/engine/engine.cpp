@@ -3,14 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <vector>
 
-#include "vsparse/gpusim/engine/scheduler.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
 #include "vsparse/gpusim/engine/sm_context.hpp"
-#include "vsparse/gpusim/engine/thread_pool.hpp"
 #include "vsparse/gpusim/faults.hpp"
 #include "vsparse/gpusim/sanitizer/shadow.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
@@ -21,32 +19,9 @@ namespace {
 
 std::atomic<std::uint64_t> g_total_ctas{0};
 
-/// Run one CTA on its home SM: fresh zeroed smem, fresh watchdog
-/// budget, then the body.
-void run_cta(SmContext& sm, const LaunchConfig& cfg, int cta_id,
-             const std::function<void(Cta&)>& body) {
-  sm.prepare_smem(cfg.smem_bytes);
-  sm.watchdog_reset();
-  const std::uint64_t warps = static_cast<std::uint64_t>(cfg.cta_threads / 32);
-  if (SmTrace* t = sm.trace()) {
-    t->emit(TraceEventKind::kCtaBegin, cta_id, /*warp=*/-1, warps);
-  }
-  if (SmSanitizer* san = sm.sanitizer()) {
-    san->on_cta_begin(cta_id, static_cast<int>(warps));
-  }
-  Cta cta(&sm, &cfg, cta_id);
-  body(cta);
-  // Only a CTA that ran to completion is checked for barrier-count
-  // mismatches — an aborted body is not a synccheck finding.
-  if (SmSanitizer* san = sm.sanitizer()) {
-    san->on_cta_end();
-  }
-  sm.stats().ctas_launched += 1;
-  sm.stats().warps_launched += warps;
-  if (SmTrace* t = sm.trace()) {
-    t->emit(TraceEventKind::kCtaEnd, cta_id, /*warp=*/-1);
-  }
-}
+}  // namespace
+
+namespace engine_detail {
 
 /// Merge the per-SM trace buffers into one LaunchTrace and hand it to
 /// the sink.  Event order — launch begin, SM 0's stream, SM 1's, ...,
@@ -144,7 +119,11 @@ void finish_sanitizer(Sanitizer& sink, const LaunchConfig& cfg,
   }
 }
 
-}  // namespace
+void note_simulated_ctas(std::uint64_t ctas) {
+  g_total_ctas.fetch_add(ctas, std::memory_order_relaxed);
+}
+
+}  // namespace engine_detail
 
 std::uint64_t total_simulated_ctas() {
   return g_total_ctas.load(std::memory_order_relaxed);
@@ -153,149 +132,10 @@ std::uint64_t total_simulated_ctas() {
 KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
                        const std::function<void(Cta&)>& body,
                        const SimOptions& opts) {
-  VSPARSE_CHECK(cfg.grid >= 1);
-  VSPARSE_CHECK(cfg.cta_threads >= 32 && cfg.cta_threads <= 1024 &&
-                cfg.cta_threads % 32 == 0);
-  VSPARSE_CHECK(cfg.smem_bytes <= dev.config().max_smem_per_cta);
-  VSPARSE_CHECK(cfg.profile.regs_per_thread <=
-                dev.config().max_regs_per_thread);
-
-  Scheduler sched(cfg.grid, dev.config().num_sms);
-
-  int threads = opts.threads > 0 ? opts.threads : dev.sim_options().threads;
-  if (threads < 1) threads = 1;
-  if (threads > sched.num_active_sms()) threads = sched.num_active_sms();
-
-  const std::uint64_t watchdog = opts.watchdog_cta_ops > 0
-                                     ? opts.watchdog_cta_ops
-                                     : dev.sim_options().watchdog_cta_ops;
-
-  // Tracing: the per-call TraceOptions win when they carry a sink,
-  // otherwise the Device default applies (the `threads` inherit chain).
-  const TraceOptions& tropts = opts.trace.sink != nullptr
-                                   ? opts.trace
-                                   : dev.sim_options().trace;
-
-  // Sanitizing: same per-call-wins-else-device-default chain.
-  const SanitizerOptions& sanopts = opts.sanitize.sink != nullptr
-                                        ? opts.sanitize
-                                        : dev.sim_options().sanitize;
-
-  // per_sm_stats documents "the most recent launch": zero it up front
-  // so a launch that unwinds (or one with a smaller active-SM set than
-  // its predecessor) can never leave stale SM blocks behind.
-  if (opts.per_sm_stats != nullptr) {
-    opts.per_sm_stats->assign(static_cast<std::size_t>(dev.config().num_sms),
-                              KernelStats{});
-  }
-
-  // Fresh per-SM contexts: cold L1s (= the kernel-boundary invalidation
-  // the serial engine performed with flush_l1), empty counter blocks.
-  std::vector<SmContext> sms;
-  sms.reserve(static_cast<std::size_t>(sched.num_active_sms()));
-  std::vector<SmTrace> traces;
-  if (tropts.enabled()) {
-    traces.reserve(static_cast<std::size_t>(sched.num_active_sms()));
-  }
-  // Sanitizer state: one collector per active SM plus one launch-wide
-  // allocation snapshot (sorted, immutable — the boundscheck hot path
-  // never takes the Device's alloc mutex).
-  std::vector<SmSanitizer> sanitizers;
-  std::vector<AllocRecord> alloc_snapshot;
-  if (sanopts.enabled()) {
-    alloc_snapshot = dev.allocation_snapshot();
-    sanitizers.reserve(static_cast<std::size_t>(sched.num_active_sms()));
-  }
-  for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
-    sms.emplace_back(&dev, sm);
-    sms.back().set_watchdog_limit(watchdog);
-    if (tropts.enabled()) {
-      traces.emplace_back(sm, tropts);
-      sms.back().set_trace(&traces.back());
-    }
-    if (sanopts.enabled()) {
-      sanitizers.emplace_back(sm, sanopts, &alloc_snapshot, cfg.smem_bytes);
-      if (tropts.enabled()) sanitizers.back().set_trace(&traces.back());
-      sms.back().set_sanitizer(&sanitizers.back());
-    }
-  }
-
-  if (threads == 1) {
-    // Serial path: CTAs run to completion in *global* launch order, so
-    // the shared-L2 access sequence — and with it every L2/DRAM
-    // counter — is bit-identical to the historical single-threaded
-    // engine.
-    try {
-      for (int cta = 0; cta < cfg.grid; ++cta) {
-        run_cta(sms[static_cast<std::size_t>(sched.sm_of(cta))], cfg, cta,
-                body);
-      }
-    } catch (...) {
-      if (tropts.enabled()) {
-        finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
-                     /*aborted=*/true);
-      }
-      if (sanopts.enabled()) {
-        finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
-                         /*aborted=*/true);
-      }
-      rethrow_launch_error(std::current_exception(), sms);
-    }
-  } else {
-    // Parallel path: workers claim whole SMs and run each SM's CTA
-    // list in launch order.  Per-SM state sees the same sequence as
-    // the serial path; only the interleaving of accesses to the
-    // slice-locked L2 differs.
-    std::mutex error_mu;
-    std::exception_ptr first_error;
-    ThreadPool::instance().run(threads, [&] {
-      for (int sm; (sm = sched.next_sm()) >= 0;) {
-        SmContext& ctx = sms[static_cast<std::size_t>(sm)];
-        try {
-          for (int cta = sched.first_cta(sm); cta < cfg.grid;
-               cta += sched.cta_stride()) {
-            run_cta(ctx, cfg, cta, body);
-          }
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    });
-    if (first_error) {
-      if (tropts.enabled()) {
-        finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
-                     /*aborted=*/true);
-      }
-      if (sanopts.enabled()) {
-        finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
-                         /*aborted=*/true);
-      }
-      rethrow_launch_error(first_error, sms);
-    }
-  }
-
-  // Merge: uint64 sums are commutative and associative, so the merged
-  // block is independent of which worker ran which SM.
-  KernelStats total;
-  for (const SmContext& sm : sms) total += sm.stats();
-  g_total_ctas.fetch_add(total.ctas_launched, std::memory_order_relaxed);
-
-  if (tropts.enabled()) {
-    finish_trace(*tropts.sink, cfg, dev.config().num_sms, traces, sms,
-                 /*aborted=*/false);
-  }
-  if (sanopts.enabled()) {
-    finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
-                     /*aborted=*/false);
-  }
-
-  if (opts.per_sm_stats) {
-    for (const SmContext& sm : sms) {
-      (*opts.per_sm_stats)[static_cast<std::size_t>(sm.sm_id())] = sm.stats();
-    }
-  }
-  return total;
+  // Compatibility form: instantiate the devirtualized engine once for
+  // std::function bodies.  New code should go through launch() so the
+  // body inlines into the CTA loop.
+  return run_launch_direct(dev, cfg, body, opts);
 }
 
 }  // namespace vsparse::gpusim

@@ -1,12 +1,15 @@
-// The type-erased launch core: validates a launch, shards the SM array
-// across the thread pool, and merges per-SM counters.  The templated
-// `launch()` adapter in launch.hpp is the public entry point; keeping
-// the engine body out-of-line means the scheduling/threading logic is
-// compiled once instead of into every kernel translation unit.
+// Launch-boundary engine pieces: the type-erased run_launch
+// compatibility entry, the process-wide CTA counter, and the
+// engine_detail helpers (trace/sanitizer merge, error augmentation)
+// that the devirtualized `run_launch_direct<Body>` template in
+// launch.hpp calls.  The hot per-CTA loop lives in that template so
+// each kernel body is a direct, inlinable call; only the cold
+// launch-boundary work is compiled once here.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "vsparse/gpusim/device.hpp"
 #include "vsparse/gpusim/engine/cta.hpp"
@@ -16,10 +19,24 @@
 
 namespace vsparse::gpusim {
 
+class SmContext;
+class SmTrace;
+class SmSanitizer;
+struct SanitizerOptions;
+class Trace;
+class Sanitizer;
+
 /// Execute `body` once per CTA of the launch, distributing SMs across
 /// host threads per `opts` (threads == 0 inherits the Device default),
 /// and return the merged hardware counters.  The first exception thrown
 /// by any CTA body is rethrown on the calling thread after the join.
+///
+/// This is the type-erased compatibility form.  The hot path is the
+/// devirtualized `run_launch_direct<Body>` template (engine/launch.hpp)
+/// that `launch()` — and through it every registry launch thunk
+/// (kernels/registry.hpp) — instantiates per kernel, so each kernel's
+/// CTA loop is a direct, inlinable call instead of a std::function
+/// dispatch.
 KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
                        const std::function<void(Cta&)>& body,
                        const SimOptions& opts);
@@ -28,5 +45,34 @@ KernelStats run_launch(Device& dev, const LaunchConfig& cfg,
 /// all devices and launches.  Benches snapshot it to report simulator
 /// throughput (simulated CTAs per wall-clock second).
 std::uint64_t total_simulated_ctas();
+
+namespace engine_detail {
+
+// Out-of-line helpers shared by every run_launch_direct instantiation —
+// the cold launch-boundary work (merging trace/sanitizer collectors,
+// error augmentation, the global CTA counter) compiles once here while
+// the per-CTA loop specializes per kernel body.
+
+/// Merge the per-SM trace buffers into one LaunchTrace and hand it to
+/// the sink (bit-identical for any host thread count).
+void finish_trace(Trace& sink, const LaunchConfig& cfg, int num_sms,
+                  std::vector<SmTrace>& traces,
+                  const std::vector<SmContext>& sms, bool aborted);
+
+/// Merge the per-SM sanitizer collectors into one record and hand it to
+/// the sink (SM-id merge order + cross-SM dedup, thread-count exact).
+void finish_sanitizer(Sanitizer& sink, const LaunchConfig& cfg,
+                      const SanitizerOptions& opts,
+                      const std::vector<SmSanitizer>& sans, bool aborted);
+
+/// Rethrow a launch error; LaunchTimeoutError gains a per-SM progress
+/// dump.
+[[noreturn]] void rethrow_launch_error(std::exception_ptr err,
+                                       const std::vector<SmContext>& sms);
+
+/// Add to the process-wide simulated-CTA counter.
+void note_simulated_ctas(std::uint64_t ctas);
+
+}  // namespace engine_detail
 
 }  // namespace vsparse::gpusim

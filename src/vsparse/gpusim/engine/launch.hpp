@@ -27,22 +27,211 @@
 // launches.
 #pragma once
 
-#include <functional>
+#include <exception>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "vsparse/gpusim/engine/engine.hpp"
+#include "vsparse/gpusim/engine/scheduler.hpp"
+#include "vsparse/gpusim/engine/thread_pool.hpp"
 #include "vsparse/gpusim/engine/warp_ops.hpp"
 
 namespace vsparse::gpusim {
 
+namespace engine_detail {
+
+/// Run one CTA on its home SM: fresh zeroed smem, fresh watchdog
+/// budget, then the body — called directly so `Body` inlines.
+template <class Body>
+void run_cta_direct(SmContext& sm, const LaunchConfig& cfg, int cta_id,
+                    Body& body) {
+  sm.prepare_smem(cfg.smem_bytes);
+  sm.watchdog_reset();
+  const std::uint64_t warps = static_cast<std::uint64_t>(cfg.cta_threads / 32);
+  if (SmTrace* t = sm.trace()) {
+    t->emit(TraceEventKind::kCtaBegin, cta_id, /*warp=*/-1, warps);
+  }
+  if (SmSanitizer* san = sm.sanitizer()) {
+    san->on_cta_begin(cta_id, static_cast<int>(warps));
+  }
+  Cta cta(&sm, &cfg, cta_id);
+  body(cta);
+  // Only a CTA that ran to completion is checked for barrier-count
+  // mismatches — an aborted body is not a synccheck finding.
+  if (SmSanitizer* san = sm.sanitizer()) {
+    san->on_cta_end();
+  }
+  sm.stats().ctas_launched += 1;
+  sm.stats().warps_launched += warps;
+  if (SmTrace* t = sm.trace()) {
+    t->emit(TraceEventKind::kCtaEnd, cta_id, /*warp=*/-1);
+  }
+}
+
+}  // namespace engine_detail
+
+/// The devirtualized launch engine: the full scheduling/threading body,
+/// specialized per kernel `Body` so the per-CTA call is direct (and
+/// inlinable) instead of a std::function dispatch.  Cold
+/// launch-boundary work (trace/sanitizer merge, error augmentation, the
+/// global CTA counter) stays out-of-line in engine.cpp behind
+/// engine_detail.  The registry launch thunks (kernels/registry.hpp)
+/// reach this through `launch()`, making each of them a concrete,
+/// monomorphic entry point for its kernel.
+template <class Body>
+KernelStats run_launch_direct(Device& dev, const LaunchConfig& cfg,
+                              Body&& body_in, const SimOptions& opts = {}) {
+  auto& body = body_in;  // run to completion before return; by-ref is safe
+  VSPARSE_CHECK(cfg.grid >= 1);
+  VSPARSE_CHECK(cfg.cta_threads >= 32 && cfg.cta_threads <= 1024 &&
+                cfg.cta_threads % 32 == 0);
+  VSPARSE_CHECK(cfg.smem_bytes <= dev.config().max_smem_per_cta);
+  VSPARSE_CHECK(cfg.profile.regs_per_thread <=
+                dev.config().max_regs_per_thread);
+
+  Scheduler sched(cfg.grid, dev.config().num_sms);
+
+  int threads = opts.threads > 0 ? opts.threads : dev.sim_options().threads;
+  if (threads < 1) threads = 1;
+  if (threads > sched.num_active_sms()) threads = sched.num_active_sms();
+
+  const std::uint64_t watchdog = opts.watchdog_cta_ops > 0
+                                     ? opts.watchdog_cta_ops
+                                     : dev.sim_options().watchdog_cta_ops;
+
+  // Tracing: the per-call TraceOptions win when they carry a sink,
+  // otherwise the Device default applies (the `threads` inherit chain).
+  const TraceOptions& tropts = opts.trace.sink != nullptr
+                                   ? opts.trace
+                                   : dev.sim_options().trace;
+
+  // Sanitizing: same per-call-wins-else-device-default chain.
+  const SanitizerOptions& sanopts = opts.sanitize.sink != nullptr
+                                        ? opts.sanitize
+                                        : dev.sim_options().sanitize;
+
+  // per_sm_stats documents "the most recent launch": zero it up front
+  // so a launch that unwinds (or one with a smaller active-SM set than
+  // its predecessor) can never leave stale SM blocks behind.
+  if (opts.per_sm_stats != nullptr) {
+    opts.per_sm_stats->assign(static_cast<std::size_t>(dev.config().num_sms),
+                              KernelStats{});
+  }
+
+  // Fresh per-SM contexts: cold L1s (= the kernel-boundary invalidation
+  // the serial engine performed with flush_l1), empty counter blocks.
+  std::vector<SmContext> sms;
+  sms.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  std::vector<SmTrace> traces;
+  if (tropts.enabled()) {
+    traces.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  }
+  // Sanitizer state: one collector per active SM plus one launch-wide
+  // allocation snapshot (sorted, immutable — the boundscheck hot path
+  // never takes the Device's alloc mutex).
+  std::vector<SmSanitizer> sanitizers;
+  std::vector<AllocRecord> alloc_snapshot;
+  if (sanopts.enabled()) {
+    alloc_snapshot = dev.allocation_snapshot();
+    sanitizers.reserve(static_cast<std::size_t>(sched.num_active_sms()));
+  }
+  for (int sm = 0; sm < sched.num_active_sms(); ++sm) {
+    sms.emplace_back(&dev, sm);
+    sms.back().set_watchdog_limit(watchdog);
+    if (tropts.enabled()) {
+      traces.emplace_back(sm, tropts);
+      sms.back().set_trace(&traces.back());
+    }
+    if (sanopts.enabled()) {
+      sanitizers.emplace_back(sm, sanopts, &alloc_snapshot, cfg.smem_bytes);
+      if (tropts.enabled()) sanitizers.back().set_trace(&traces.back());
+      sms.back().set_sanitizer(&sanitizers.back());
+    }
+  }
+
+  if (threads == 1) {
+    // Serial path: CTAs run to completion in *global* launch order, so
+    // the shared-L2 access sequence — and with it every L2/DRAM
+    // counter — is bit-identical to the historical single-threaded
+    // engine.
+    try {
+      for (int cta = 0; cta < cfg.grid; ++cta) {
+        engine_detail::run_cta_direct(
+            sms[static_cast<std::size_t>(sched.sm_of(cta))], cfg, cta, body);
+      }
+    } catch (...) {
+      if (tropts.enabled()) {
+        engine_detail::finish_trace(*tropts.sink, cfg, dev.config().num_sms,
+                                    traces, sms, /*aborted=*/true);
+      }
+      if (sanopts.enabled()) {
+        engine_detail::finish_sanitizer(*sanopts.sink, cfg, sanopts,
+                                        sanitizers, /*aborted=*/true);
+      }
+      engine_detail::rethrow_launch_error(std::current_exception(), sms);
+    }
+  } else {
+    // Parallel path: workers claim whole SMs and run each SM's CTA
+    // list in launch order.  Per-SM state sees the same sequence as
+    // the serial path; only the interleaving of accesses to the
+    // slice-locked L2 differs.
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    ThreadPool::instance().run(threads, [&] {
+      for (int sm; (sm = sched.next_sm()) >= 0;) {
+        SmContext& ctx = sms[static_cast<std::size_t>(sm)];
+        try {
+          for (int cta = sched.first_cta(sm); cta < cfg.grid;
+               cta += sched.cta_stride()) {
+            engine_detail::run_cta_direct(ctx, cfg, cta, body);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+    if (first_error) {
+      if (tropts.enabled()) {
+        engine_detail::finish_trace(*tropts.sink, cfg, dev.config().num_sms,
+                                    traces, sms, /*aborted=*/true);
+      }
+      if (sanopts.enabled()) {
+        engine_detail::finish_sanitizer(*sanopts.sink, cfg, sanopts,
+                                        sanitizers, /*aborted=*/true);
+      }
+      engine_detail::rethrow_launch_error(first_error, sms);
+    }
+  }
+
+  // Merge: uint64 sums are commutative and associative, so the merged
+  // block is independent of which worker ran which SM.
+  KernelStats total;
+  for (const SmContext& sm : sms) total += sm.stats();
+  engine_detail::note_simulated_ctas(total.ctas_launched);
+
+  if (tropts.enabled()) {
+    engine_detail::finish_trace(*tropts.sink, cfg, dev.config().num_sms,
+                                traces, sms, /*aborted=*/false);
+  }
+  if (sanopts.enabled()) {
+    engine_detail::finish_sanitizer(*sanopts.sink, cfg, sanopts, sanitizers,
+                                    /*aborted=*/false);
+  }
+
+  if (opts.per_sm_stats) {
+    for (const SmContext& sm : sms) {
+      (*opts.per_sm_stats)[static_cast<std::size_t>(sm.sm_id())] = sm.stats();
+    }
+  }
+  return total;
+}
+
 template <class Body>
 KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body,
                    const SimOptions& opts = {}) {
-  // Type-erase the kernel body so the scheduling engine compiles once.
-  // The reference capture is safe: run_launch joins every worker before
-  // returning.
-  const std::function<void(Cta&)> erased = [&body](Cta& cta) { body(cta); };
-  return run_launch(dev, cfg, erased, opts);
+  return run_launch_direct(dev, cfg, std::forward<Body>(body), opts);
 }
 
 }  // namespace vsparse::gpusim

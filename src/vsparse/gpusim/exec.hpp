@@ -1,21 +1,25 @@
-// Umbrella header for the execution engine — kept so kernels, tests,
-// and downstream users keep a single include for the whole warp-
-// synchronous execution surface.  The engine itself is layered under
-// engine/:
+// DEPRECATED umbrella header — the execution engine is layered under
+// engine/ and in-tree code now includes the explicit headers it uses:
 //
 //   engine/lanes.hpp          per-lane register slices (Lanes<T>)
 //   engine/launch_config.hpp  KernelProfile + LaunchConfig
 //   engine/sim_options.hpp    SimOptions{threads} host execution options
 //   engine/sm_context.hpp     per-SM state: L1, smem arena, stats block
 //   engine/cta.hpp            Cta / Warp handles kernels program against
-//   engine/warp_ops.hpp       ldg/stg/lds/sts/shfl template bodies
+//   engine/warp_ops.hpp       ldg/stg/lds/sts/shfl + span template bodies
 //   engine/scheduler.hpp      CTA->SM round-robin + SM->worker claiming
 //   engine/thread_pool.hpp    persistent worker pool
 //   engine/engine.hpp         run_launch(): validate, shard, merge
 //   engine/launch.hpp         the templated launch() entry point
 //
-// See engine/launch.hpp for the execution and determinism contract.
+// This shim keeps downstream single-include users compiling for one
+// deprecation cycle; switch to the explicit engine/ headers above.
 #pragma once
+
+#pragma message( \
+    "vsparse/gpusim/exec.hpp is deprecated; include the explicit " \
+    "vsparse/gpusim/engine/*.hpp headers instead (see this header " \
+    "for the layering map)")
 
 #include "vsparse/gpusim/engine/cta.hpp"
 #include "vsparse/gpusim/engine/lanes.hpp"

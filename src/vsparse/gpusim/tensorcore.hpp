@@ -36,36 +36,30 @@
 // lack of an assembler, §7.1.3; we expose it for the ablation bench).
 #pragma once
 
-#include <array>
-
 #include "vsparse/fp16/vec.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/cta.hpp"
 
 namespace vsparse::gpusim {
 
-/// Per-lane A/B fragments for mma.m8n8k4: 4 halves each.
-using MmaFragAB = Lanes<half4>;
-/// Per-lane accumulator fragment: one 8-float output row.
-using MmaFragC = Lanes<std::array<float, 8>>;
+// The MMA ops are Warp methods (`Warp::mma_m8n8k4`,
+// `Warp::wmma_m8n32k16` in engine/cta.hpp) so that `Warp` is the single
+// entry point for every warp-level operation.  The fragment types
+// (MmaFragAB, MmaFragC, MmaFlags) live beside them.  The free-function
+// forms below forward to the methods for source compatibility.
 
-struct MmaFlags {
-  bool switch_groups = false;  ///< the Fig. 15 architecture extension
-  unsigned step_mask = 0xF;    ///< which of STEP0..3 to execute
-};
+/// Compatibility forwarder; prefer `w.mma_m8n8k4(a, b, c, flags)`.
+inline void mma_m8n8k4(Warp& w, const MmaFragAB& a, const MmaFragAB& b,
+                       MmaFragC& c, MmaFlags flags = {}) {
+  w.mma_m8n8k4(a, b, c, flags);
+}
 
-/// Warp-wide mma.m8n8k4: four octets each compute an (8x4)·(4x8)
-/// product accumulated in fp32.  Charges one HMMA issue slot per
-/// executed step.
-void mma_m8n8k4(Warp& w, const MmaFragAB& a, const MmaFragAB& b, MmaFragC& c,
-                MmaFlags flags = {});
-
-/// Warp-level WMMA (8x16)·(16x32) with fp32 accumulation, used by the
-/// classic-mapping baseline kernels (§5.2, §6.2).  The per-thread
-/// fragment layouts of Figs. 10/13 live in the *kernels'* load code
-/// (that is where they constrain memory coalescing); this op consumes
-/// the assembled logical tiles and charges the 16 HMMA.884 steps the
-/// hardware instruction decomposes into.
-void wmma_m8n32k16(Warp& w, const half_t (&a)[8][16], const half_t (&b)[16][32],
-                   float (&c)[8][32]);
+/// Compatibility forwarder; prefer `w.wmma_m8n32k16(a, b, c)`.
+/// The per-thread fragment layouts of Figs. 10/13 live in the
+/// *kernels'* load code (that is where they constrain memory
+/// coalescing); the op consumes the assembled logical tiles.
+inline void wmma_m8n32k16(Warp& w, const half_t (&a)[8][16],
+                          const half_t (&b)[16][32], float (&c)[8][32]) {
+  w.wmma_m8n32k16(a, b, c);
+}
 
 }  // namespace vsparse::gpusim

@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "vsparse/gpusim/costmodel.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
 #include "vsparse/gpusim/stats.hpp"
 #include "vsparse/kernels/abft.hpp"
 

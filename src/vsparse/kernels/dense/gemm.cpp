@@ -1,5 +1,7 @@
 #include "vsparse/kernels/dense/gemm.hpp"
 
+#include <cstring>
+
 #include "vsparse/common/math.hpp"
 #include "vsparse/gpusim/tensorcore.hpp"
 
@@ -34,51 +36,49 @@ constexpr std::uint32_t b_smem_off(int k, int n) {
 constexpr std::size_t kSmemBytes = (kMaxTileM * kTileK + kTileK * kTileN) * 2;
 
 /// Stage 16 A-tile rows starting at tile-local row `tr0` through this
-/// warp: one LDG.128 (8 halves/lane) + one STS.128.
+/// warp: one LDG.128 (8 halves/lane) + one STS.128.  Each row is a
+/// 2-lane segment sweeping 32 contiguous bytes, in both global and
+/// shared memory — a 16-segment affine span.
 void stage_a_tile(Warp& w, const DenseDevice<half_t>& a, int m0, int tr0,
                   int k0) {
-  AddrLanes addr;
-  Lanes<std::uint32_t> soff;
+  std::uint64_t gbase[16];
+  std::uint32_t sbase[16];
   Lanes<half8> frag;
-  for (int lane = 0; lane < 32; ++lane) {
-    const int r = tr0 + lane / 2;
-    const int k = 8 * (lane % 2);
-    addr[static_cast<std::size_t>(lane)] = a.addr(m0 + r, k0 + k);
-    soff[static_cast<std::size_t>(lane)] = a_smem_off(r, k);
+  for (int seg = 0; seg < 16; ++seg) {
+    gbase[seg] = a.addr(m0 + tr0 + seg, k0);
+    sbase[seg] = a_smem_off(tr0 + seg, 0);
   }
   w.count(Op::kImad, 2);  // address arithmetic for the two index exprs
-  w.ldg(addr, frag);
-  w.sts(soff, frag);
+  w.ldg_span(gbase, 16, 2, 16, frag, 0xFFFFFFFFu);
+  w.sts_span(sbase, 16, 2, 16, frag, 0xFFFFFFFFu);
 }
 
 /// Stage B rows [k0+4w, k0+4w+4) x [n0, n0+64).  Row-major B loads 8
 /// consecutive n per lane; col-major B loads 8 consecutive k per lane
 /// (both 128 B coalesced, as cuBLAS achieves for either transpose).
 void stage_b_tile(Warp& w, const DenseDevice<half_t>& b, int k0, int n0) {
-  AddrLanes addr;
-  Lanes<std::uint32_t> soff;
   Lanes<half8> frag;
   w.count(Op::kImad, 2);
   if (b.layout == Layout::kRowMajor) {
+    // Four B rows per warp, each an 8-lane segment of 128 contiguous
+    // bytes in global and shared memory.
     const int warp_k0 = 4 * w.warp_id();
-    for (int lane = 0; lane < 32; ++lane) {
-      const int k = warp_k0 + lane / 8;
-      const int n = 8 * (lane % 8);
-      addr[static_cast<std::size_t>(lane)] = b.addr(k0 + k, n0 + n);
-      soff[static_cast<std::size_t>(lane)] = b_smem_off(k, n);
+    std::uint64_t gbase[4];
+    std::uint32_t sbase[4];
+    for (int seg = 0; seg < 4; ++seg) {
+      gbase[seg] = b.addr(k0 + warp_k0 + seg, n0);
+      sbase[seg] = b_smem_off(warp_k0 + seg, 0);
     }
-    w.ldg(addr, frag);
-    w.sts(soff, frag);
+    w.ldg_span(gbase, 4, 8, 16, frag, 0xFFFFFFFFu);
+    w.sts_span(sbase, 4, 8, 16, frag, 0xFFFFFFFFu);
   } else {
-    // Column-major: lane loads 8 consecutive k of one column; the warp
-    // covers 16 columns x 16 k.
-    for (int lane = 0; lane < 32; ++lane) {
-      const int n = 16 * w.warp_id() + lane / 2;
-      const int k = 8 * (lane % 2);
-      addr[static_cast<std::size_t>(lane)] = b.addr(k0 + k, n0 + n);
-      soff[static_cast<std::size_t>(lane)] = b_smem_off(k, n);
+    // Column-major: lane loads 8 consecutive k of one column — 16
+    // column segments of 2 lanes, contiguous down the column.
+    std::uint64_t gbase[16];
+    for (int seg = 0; seg < 16; ++seg) {
+      gbase[seg] = b.addr(k0, n0 + 16 * w.warp_id() + seg);
     }
-    w.ldg(addr, frag);
+    w.ldg_span(gbase, 16, 2, 16, frag, 0xFFFFFFFFu);
     // Transpose into smem element-wise: 8 STS.32 per half8 would be the
     // real pattern; we charge one STS per k-element group.
     for (int e = 0; e < 8; ++e) {
@@ -97,40 +97,35 @@ void stage_b_tile(Warp& w, const DenseDevice<half_t>& b, int k0, int n0) {
 }
 
 /// Load an 8x16 A fragment (row-major from smem) for wmma, charging the
-/// LDS traffic (8 B per lane).
-void load_a_frag(Warp& w, int row0, int k0_in_tile, half_t (&a)[8][16]) {
-  Lanes<std::uint32_t> off;
-  Lanes<half4> frag;
-  for (int lane = 0; lane < 32; ++lane) {
-    const int r = row0 + lane / 4;
-    const int k = k0_in_tile + 4 * (lane % 4);
-    off[static_cast<std::size_t>(lane)] = a_smem_off(r, k);
+/// LDS traffic (8 B per lane): eight 4-lane row segments, stride 8 B.
+void load_a_frag(Warp& w, Cta& cta, int row0, int k0_in_tile,
+                 half_t (&a)[8][16]) {
+  std::uint32_t soff[8];
+  for (int seg = 0; seg < 8; ++seg) {
+    soff[seg] = a_smem_off(row0 + seg, k0_in_tile);
   }
-  w.lds(off, frag);
-  for (int lane = 0; lane < 32; ++lane) {
-    for (int e = 0; e < 4; ++e) {
-      a[lane / 4][4 * (lane % 4) + e] = frag[static_cast<std::size_t>(lane)][e];
-    }
+  Lanes<half4> frag;
+  w.lds_span(soff, 8, 4, 8, frag, 0xFFFFFFFFu);
+  for (int i = 0; i < 8; ++i) {
+    // Each fragment row is 16 contiguous halves in smem.
+    std::memcpy(a[i], cta.smem() + soff[i], 16 * sizeof(half_t));
   }
 }
 
-/// Load a 16x32 B fragment from smem (two LDS.128 per lane).
-void load_b_frag(Warp& w, int n0_in_tile, half_t (&b)[16][32]) {
+/// Load a 16x32 B fragment from smem (two LDS.128 per lane): eight
+/// 4-lane row segments per pass, stride 16 B.
+void load_b_frag(Warp& w, Cta& cta, int n0_in_tile, half_t (&b)[16][32]) {
   for (int half_k = 0; half_k < 2; ++half_k) {
-    Lanes<std::uint32_t> off;
+    std::uint32_t soff[8];
+    for (int seg = 0; seg < 8; ++seg) {
+      soff[seg] = b_smem_off(8 * half_k + seg, n0_in_tile);
+    }
     Lanes<half8> frag;
-    for (int lane = 0; lane < 32; ++lane) {
-      const int k = 8 * half_k + lane / 4;
-      const int n = n0_in_tile + 8 * (lane % 4);
-      off[static_cast<std::size_t>(lane)] = b_smem_off(k, n);
-    }
-    w.lds(off, frag);
-    for (int lane = 0; lane < 32; ++lane) {
-      const int k = 8 * half_k + lane / 4;
-      for (int e = 0; e < 8; ++e) {
-        b[k][8 * (lane % 4) + e] = frag[static_cast<std::size_t>(lane)][e];
-      }
-    }
+    w.lds_span(soff, 8, 4, 16, frag, 0xFFFFFFFFu);
+  }
+  for (int k = 0; k < 16; ++k) {
+    std::memcpy(b[k], cta.smem() + b_smem_off(k, n0_in_tile),
+                32 * sizeof(half_t));
   }
 }
 
@@ -206,22 +201,17 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
       cta.for_each_warp([&](Warp& w) {
         for (int rh = 0; rh < rows_per_warp / 8; ++rh) {  // 8-row halves
           half_t afrag[8][16];
-          load_a_frag(w, rows_per_warp * w.warp_id() + 8 * rh, 0, afrag);
+          load_a_frag(w, cta, rows_per_warp * w.warp_id() + 8 * rh, 0, afrag);
           for (int ch = 0; ch < 2; ++ch) {         // two 32-col halves
             half_t bfrag[16][32];
-            load_b_frag(w, 32 * ch, bfrag);
-            float cfrag[8][32];
+            load_b_frag(w, cta, 32 * ch, bfrag);
+            // Accumulate in place through the strided-row overload (no
+            // cfrag staging copies; identical fold order).
+            float* crow[8];
             for (int i = 0; i < 8; ++i) {
-              for (int j = 0; j < 32; ++j) {
-                cfrag[i][j] = acc[w.warp_id()][8 * rh + i][32 * ch + j];
-              }
+              crow[i] = &acc[w.warp_id()][8 * rh + i][32 * ch];
             }
-            gpusim::wmma_m8n32k16(w, afrag, bfrag, cfrag);
-            for (int i = 0; i < 8; ++i) {
-              for (int j = 0; j < 32; ++j) {
-                acc[w.warp_id()][8 * rh + i][32 * ch + j] = cfrag[i][j];
-              }
-            }
+            w.wmma_m8n32k16(afrag, bfrag, crow, 8);
           }
         }
       });
@@ -235,19 +225,20 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
         w.count(Op::kCvt,
                 static_cast<std::uint64_t>(rows_per_warp) * kTileN / 32);
         for (int group = 0; group < rows_per_warp / 4; ++group) {
-          AddrLanes addr;
+          // Four 8-lane row segments of 128 contiguous bytes; one
+          // batched narrow per row fills the segment's lanes.
+          std::uint64_t gbase[4];
           Lanes<half8> frag;
-          for (int lane = 0; lane < 32; ++lane) {
-            const int lr = 4 * group + lane / 8;  // warp-local row
-            const int col = 8 * (lane % 8);
-            addr[static_cast<std::size_t>(lane)] =
-                c.addr(m0 + rows_per_warp * w.warp_id() + lr, n0 + col);
-            for (int e = 0; e < 8; ++e) {
-              frag[static_cast<std::size_t>(lane)][e] =
-                  half_t(acc[w.warp_id()][lr][col + e]);
-            }
+          for (int seg = 0; seg < 4; ++seg) {
+            const int lr = 4 * group + seg;  // warp-local row
+            gbase[seg] = c.addr(m0 + rows_per_warp * w.warp_id() + lr, n0);
+            half_t row[kTileN];
+            float_to_half_n(acc[w.warp_id()][lr], row, kTileN);
+            std::memcpy(static_cast<void*>(&frag[static_cast<std::size_t>(
+                            8 * seg)]),
+                        row, kTileN * sizeof(half_t));
           }
-          w.stg(addr, frag);
+          w.stg_span(gbase, 4, 8, 16, frag, 0xFFFFFFFFu);
         }
       });
     } else {
@@ -257,25 +248,26 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
       cta.for_each_warp([&](Warp& w) {
         auto ws = workspace.host();
         for (int group = 0; group < rows_per_warp / 2; ++group) {
-          AddrLanes addr;
+          // Two 16-lane row segments of 256 contiguous bytes each.
+          std::uint64_t gbase[2];
           Lanes<std::array<float, 4>> frag;
-          for (int lane = 0; lane < 32; ++lane) {
-            const int lr = 2 * group + lane / 16;
-            const int col = 4 * (lane % 16);
+          for (int seg = 0; seg < 2; ++seg) {
+            const int lr = 2 * group + seg;
             const std::size_t idx =
                 static_cast<std::size_t>(m0 + rows_per_warp * w.warp_id() +
                                          lr) *
                     n +
-                static_cast<std::size_t>(n0 + col);
-            addr[static_cast<std::size_t>(lane)] = workspace.addr(idx);
-            for (int e = 0; e < 4; ++e) {
-              ws[idx + static_cast<std::size_t>(e)] +=
-                  acc[w.warp_id()][lr][col + e];
-              frag[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] =
-                  ws[idx + static_cast<std::size_t>(e)];
+                static_cast<std::size_t>(n0);
+            gbase[seg] = workspace.addr(idx);
+            for (int col = 0; col < kTileN; ++col) {
+              ws[idx + static_cast<std::size_t>(col)] +=
+                  acc[w.warp_id()][lr][col];
             }
+            std::memcpy(
+                static_cast<void*>(&frag[static_cast<std::size_t>(16 * seg)]),
+                &ws[idx], kTileN * sizeof(float));
           }
-          w.stg(addr, frag);
+          w.stg_span(gbase, 2, 16, 16, frag, 0xFFFFFFFFu);
         }
       });
     }
@@ -300,20 +292,17 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
         const std::int64_t base =
             static_cast<std::int64_t>(cta.cta_id()) * 2048 + pass * 128;
         if (base >= total) break;
-        AddrLanes laddr{}, saddr{};
+        // Lane `l` covers floats [base + 4l, base + 4l + 4): a single
+        // affine span (prefix-masked at the ragged tail).
         Lanes<std::array<float, 4>> fin{};
         Lanes<half4> fout{};
         std::uint32_t mask = 0;
         for (int lane = 0; lane < 32; ++lane) {
-          const std::int64_t idx = base + lane * 4;
-          if (idx + 4 > total) continue;
-          laddr[static_cast<std::size_t>(lane)] =
-              workspace.addr(static_cast<std::size_t>(idx));
-          saddr[static_cast<std::size_t>(lane)] =
-              c.buf.addr(static_cast<std::size_t>(idx));
+          if (base + lane * 4 + 4 > total) break;
           mask |= 1u << lane;
         }
-        w.ldg(laddr, fin, mask);
+        w.ldg_span(workspace.addr(static_cast<std::size_t>(base)), 16, fin,
+                   mask);
         w.count(Op::kCvt, 4);
         for (int lane = 0; lane < 32; ++lane) {
           if (!(mask & (1u << lane))) continue;
@@ -325,7 +314,7 @@ KernelRun hgemm_tcu(gpusim::Device& dev, const DenseDevice<half_t>& a,
             fout[static_cast<std::size_t>(lane)][e] = h;
           }
         }
-        w.stg(saddr, fout, mask);
+        w.stg_span(c.buf.addr(static_cast<std::size_t>(base)), 8, fout, mask);
       }
     }, sim);
     stats += rstats;
@@ -377,34 +366,33 @@ KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
     for (int k0 = 0; k0 < k; k0 += kTileK) {
       cta.for_each_warp([&](Warp& w) {
         // A: warp stages its 16 x 16 rows (fp32: 4 floats per lane x 2).
+        // Eight 4-lane row segments per pass, 64 contiguous bytes each.
         w.count(Op::kImad, 4);
         for (int pass = 0; pass < 2; ++pass) {
-          AddrLanes addr;
-          Lanes<std::uint32_t> soff;
+          std::uint64_t gbase[8];
+          std::uint32_t sbase[8];
           Lanes<std::array<float, 4>> frag;
-          for (int lane = 0; lane < 32; ++lane) {
-            const int r = 16 * w.warp_id() + 8 * pass + lane / 4;
-            const int kk = 4 * (lane % 4);
-            addr[static_cast<std::size_t>(lane)] = a.addr(m0 + r, k0 + kk);
-            soff[static_cast<std::size_t>(lane)] =
-                a_off(16 * w.warp_id() + 8 * pass + lane / 4, kk);
+          for (int seg = 0; seg < 8; ++seg) {
+            const int r = 16 * w.warp_id() + 8 * pass + seg;
+            gbase[seg] = a.addr(m0 + r, k0);
+            sbase[seg] = a_off(r, 0);
           }
-          w.ldg(addr, frag);
-          w.sts(soff, frag);
+          w.ldg_span(gbase, 8, 4, 16, frag, 0xFFFFFFFFu);
+          w.sts_span(sbase, 8, 4, 16, frag, 0xFFFFFFFFu);
         }
-        // B: warp stages rows [4w, 4w+4).
+        // B: warp stages rows [4w, 4w+4) — two 16-lane row segments of
+        // 256 contiguous bytes per pass.
         for (int pass = 0; pass < 2; ++pass) {
-          AddrLanes addr;
-          Lanes<std::uint32_t> soff;
+          std::uint64_t gbase[2];
+          std::uint32_t sbase[2];
           Lanes<std::array<float, 4>> frag;
-          for (int lane = 0; lane < 32; ++lane) {
-            const int kk = 4 * w.warp_id() + 2 * pass + lane / 16;
-            const int nn = 4 * (lane % 16);
-            addr[static_cast<std::size_t>(lane)] = b.addr(k0 + kk, n0 + nn);
-            soff[static_cast<std::size_t>(lane)] = b_off(kk, nn);
+          for (int seg = 0; seg < 2; ++seg) {
+            const int kk = 4 * w.warp_id() + 2 * pass + seg;
+            gbase[seg] = b.addr(k0 + kk, n0);
+            sbase[seg] = b_off(kk, 0);
           }
-          w.ldg(addr, frag);
-          w.sts(soff, frag);
+          w.ldg_span(gbase, 2, 16, 16, frag, 0xFFFFFFFFu);
+          w.sts_span(sbase, 2, 16, 16, frag, 0xFFFFFFFFu);
         }
       });
       cta.sync();
@@ -417,14 +405,13 @@ KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
         // Charge representative smem reads: each lane re-reads A and B
         // fragments (register-blocked 2x4 micro-tile => per k: 2 A + 4 B
         // loads per lane, vectorized by 4).
-        Lanes<std::uint32_t> off{};
+        // Each rep reads 32 consecutive words starting at rep*128 (the
+        // modulus in the historical form never wrapped), i.e. a pure
+        // affine span of stride 4.
         Lanes<std::array<float, 4>> dummy;
         for (int rep = 0; rep < 6; ++rep) {
-          for (int lane = 0; lane < 32; ++lane) {
-            off[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
-                (rep * 128 + lane * 4) % (kTileM * kTileK * 4));
-          }
-          w.lds(off, dummy);
+          w.lds_span(static_cast<std::uint32_t>(rep * 128), 4, dummy,
+                     0xFFFFFFFFu);
         }
         // Functional math for the warp's stripe.
         for (int i = 0; i < 16; ++i) {
@@ -444,18 +431,17 @@ KernelRun sgemm_fpu(gpusim::Device& dev, const DenseDevice<float>& a,
     }
     cta.for_each_warp([&](Warp& w) {
       for (int group = 0; group < 8; ++group) {  // fp32: 4 floats/lane
-        AddrLanes addr;
+        // Two 16-lane row segments of 256 contiguous bytes each.
+        std::uint64_t gbase[2];
         Lanes<std::array<float, 4>> frag;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int r = 16 * w.warp_id() + 2 * group + lane / 16;
-          const int col = 4 * (lane % 16);
-          addr[static_cast<std::size_t>(lane)] = c.addr(m0 + r, n0 + col);
-          for (int e = 0; e < 4; ++e) {
-            frag[static_cast<std::size_t>(lane)][e] =
-                acc[w.warp_id()][r - 16 * w.warp_id()][col + e];
-          }
+        for (int seg = 0; seg < 2; ++seg) {
+          const int lr = 2 * group + seg;
+          gbase[seg] = c.addr(m0 + 16 * w.warp_id() + lr, n0);
+          std::memcpy(
+              static_cast<void*>(&frag[static_cast<std::size_t>(16 * seg)]),
+              acc[w.warp_id()][lr], kTileN * sizeof(float));
         }
-        w.stg(addr, frag);
+        w.stg_span(gbase, 2, 16, 16, frag, 0xFFFFFFFFu);
       }
     });
   }, sim);

@@ -9,7 +9,6 @@ namespace vsparse::kernels {
 
 namespace {
 
-using gpusim::AddrLanes;
 using gpusim::Cta;
 using gpusim::Lanes;
 using gpusim::Op;
@@ -49,11 +48,10 @@ KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
     const int row = cta.cta_id();
     Warp w = cta.warp(0);
     {
-      AddrLanes addr{};
+      // Two consecutive int32 row-pointer slots: a 4-byte-stride span.
       Lanes<std::int32_t> d{};
-      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(row));
-      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(row) + 1);
-      w.ldg(addr, d, 0x3u);
+      w.ldg_span(mask.row_ptr.addr(static_cast<std::size_t>(row)), 4, d,
+                 0x3u);
       w.count(Op::kImad, 2);
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(row)];
@@ -62,31 +60,24 @@ KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
     const int k_chunks = ceil_div(k, 32);
     for (std::int32_t j = begin; j < end; ++j) {
       const std::int32_t col = col_host[static_cast<std::size_t>(j)];
-      // Column index (single-lane load).
+      // Column index (single-lane load: a one-lane span).
       {
-        AddrLanes addr{};
         Lanes<std::int32_t> d{};
-        addr[0] = mask.col_idx.addr(static_cast<std::size_t>(j));
-        w.ldg(addr, d, 0x1u);
+        w.ldg_span(mask.col_idx.addr(static_cast<std::size_t>(j)), 4, d,
+                   0x1u);
         w.count(Op::kImad, 1);
       }
       float dot = 0.0f;
       for (int c = 0; c < k_chunks; ++c) {
-        AddrLanes aaddr{}, baddr{};
+        // Lane l covers k = 32c + l: the A row and the col-major B
+        // column are both element-contiguous — two affine spans.
+        const int nl = std::min(32, k - 32 * c);
+        const std::uint32_t msk = nl >= 32 ? 0xFFFFFFFFu : (1u << nl) - 1u;
         Lanes<T> av{}, bv{};
-        std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int kk = 32 * c + lane;
-          if (kk >= k) continue;
-          aaddr[static_cast<std::size_t>(lane)] = a.addr(row, kk);
-          baddr[static_cast<std::size_t>(lane)] = b.addr(kk, col);
-          msk |= 1u << lane;
-        }
-        w.ldg(aaddr, av, msk);
-        w.ldg(baddr, bv, msk);
+        w.ldg_span(a.addr(row, 32 * c), sizeof(T), av, msk);
+        w.ldg_span(b.addr(32 * c, col), sizeof(T), bv, msk);
         w.count(Op::kFfma, 1);
-        for (int lane = 0; lane < 32; ++lane) {
-          if (!(msk & (1u << lane))) continue;
+        for (int lane = 0; lane < nl; ++lane) {
           dot += static_cast<float>(av[static_cast<std::size_t>(lane)]) *
                  static_cast<float>(bv[static_cast<std::size_t>(lane)]);
         }
@@ -97,12 +88,11 @@ KernelRun sddmm_csr_fine_impl(gpusim::Device& dev, const DenseDevice<T>& a,
       // Mask multiply + single-lane store.
       const float mv =
           static_cast<float>(mask_vals[static_cast<std::size_t>(j)]);
-      AddrLanes saddr{};
       Lanes<T> out{};
-      saddr[0] = out_values.addr(static_cast<std::size_t>(j));
       out[0] = T(dot * mv);
       w.count(Op::kFfma, 1);
-      w.stg(saddr, out, 0x1u);
+      w.stg_span(out_values.addr(static_cast<std::size_t>(j)), sizeof(T),
+                 out, 0x1u);
     }
   }, sim);
 

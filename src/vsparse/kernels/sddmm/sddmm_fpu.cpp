@@ -10,7 +10,6 @@ namespace vsparse::kernels {
 
 namespace {
 
-using gpusim::AddrLanes;
 using gpusim::Cta;
 using gpusim::Lanes;
 using gpusim::Op;
@@ -69,11 +68,9 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
     Warp w = cta.warp(0);
 
     {
-      AddrLanes addr{};
+      // Two consecutive int32 row-pointer slots: a 4-byte-stride span.
       Lanes<std::int32_t> d{};
-      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(vr));
-      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
-      w.ldg(addr, d, 0x3u);
+      w.ldg_span(mask.row_ptr.addr(static_cast<std::size_t>(vr)), 4, d, 0x3u);
       w.count(Op::kImad, 4);
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
@@ -83,19 +80,15 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
     const int jcnt =
         std::min<std::int32_t>(tile_n * kSubwarps, end - j0);
 
-    // Column indices for the CTA's vectors (one coalesced LDG.32).
+    // Column indices for the CTA's vectors (one coalesced LDG.32):
+    // consecutive int32 slots, an affine span with a prefix mask.
     std::int32_t cols[32 * kSubwarps];
     {
-      AddrLanes addr{};
+      const int nl = std::min(jcnt, 32);
+      const std::uint32_t msk = nl >= 32 ? 0xFFFFFFFFu : (1u << nl) - 1u;
       Lanes<std::int32_t> d{};
-      std::uint32_t msk = 0;
-      for (int l = 0; l < std::min(jcnt, 32); ++l) {
-        addr[static_cast<std::size_t>(l)] =
-            mask.col_idx.addr(static_cast<std::size_t>(j0 + l));
-        msk |= 1u << l;
-      }
-      w.ldg(addr, d, msk);
-      for (int l = 0; l < std::min(jcnt, 32); ++l) {
+      w.ldg_span(mask.col_idx.addr(static_cast<std::size_t>(j0)), 4, d, msk);
+      for (int l = 0; l < nl; ++l) {
         cols[l] = d[static_cast<std::size_t>(l)];
       }
     }
@@ -108,42 +101,42 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
       const int kcnt = std::min(kTileK, k - k0);
       // ---- A rows: each thread loads its 8-wide K slice of each of
       // the V rows (redundantly per subwarp — no smem, §6.1).
+      // Lane (8s + t) reads the 8-wide slice at k0 + 8t of the same A
+      // row: four 8-lane segments sharing one base (the redundant
+      // per-subwarp broadcast), each striding the row.
+      const int nt = std::min(kSubwarpSize, ceil_div(kcnt, 8));
+      const std::uint32_t seg_prefix = (nt >= 8 ? 0xFFu : (1u << nt) - 1u);
+      const std::uint32_t kmask = seg_prefix * 0x01010101u;  // x4 segments
       for (int t = 0; t < v; ++t) {
-        AddrLanes addr{};
-        std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int kk = 8 * (lane % kSubwarpSize);
-          if (kk >= kcnt) continue;
-          addr[static_cast<std::size_t>(lane)] = a.addr(vr * v + t, k0 + kk);
-          msk |= 1u << lane;
+        std::uint64_t gbase[kSubwarps];
+        for (int s = 0; s < kSubwarps; ++s) {
+          gbase[s] = a.addr(vr * v + t, k0);
         }
         w.count(Op::kImad, 1);
         if constexpr (sizeof(T) == 2) {
           Lanes<std::array<T, 8>> d{};
-          w.ldg(addr, d, msk);
+          w.ldg_span(gbase, kSubwarps, kSubwarpSize, 16, d, kmask);
         } else {
           // fp32: 8 floats = 32 B -> two LDG.128.
           Lanes<std::array<T, 4>> d{};
-          w.ldg(addr, d, msk);
-          AddrLanes addr2 = addr;
-          for (auto& x : addr2) x += 16;
-          w.ldg(addr2, d, msk);
+          w.ldg_span(gbase, kSubwarps, kSubwarpSize, 32, d, kmask);
+          for (auto& x : gbase) x += 16;
+          w.ldg_span(gbase, kSubwarps, kSubwarpSize, 32, d, kmask);
         }
       }
       // ---- per output vector: B column slices + MACs ----------------
       for (int lj = 0; lj < tile_n; ++lj) {
         // All four subwarps issue together: lane (8s+t) loads column
-        // cols[s*tile_n + lj], k slice 8t.
-        AddrLanes addr{};
+        // cols[s*tile_n + lj], k slice 8t — a four-segment span whose
+        // bases are the gathered column starts, each segment striding
+        // its B column; segments past jcnt drop out of the mask.
+        std::uint64_t gbase[kSubwarps] = {};
         std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int s = lane / kSubwarpSize;
-          const int t = lane % kSubwarpSize;
+        for (int s = 0; s < kSubwarps; ++s) {
           const int j = s * tile_n + lj;
-          const int kk = 8 * t;
-          if (j >= jcnt || kk >= kcnt) continue;
-          addr[static_cast<std::size_t>(lane)] = b.addr(k0 + kk, cols[j]);
-          msk |= 1u << lane;
+          if (j >= jcnt) continue;
+          gbase[s] = b.addr(k0, cols[j]);
+          msk |= seg_prefix << (kSubwarpSize * s);
         }
         // Per-column address arithmetic on the gathered indices (the
         // dominant "Wait" source the paper profiles for this kernel).
@@ -152,13 +145,13 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
         if (msk == 0) continue;
         if constexpr (sizeof(T) == 2) {
           Lanes<std::array<T, 8>> d{};
-          w.ldg(addr, d, msk);
+          w.ldg_span(gbase, kSubwarps, kSubwarpSize, 16, d, msk);
         } else {
           Lanes<std::array<T, 4>> d{};
-          w.ldg(addr, d, msk);
-          AddrLanes addr2 = addr;
-          for (auto& x : addr2) x += 16;
-          w.ldg(addr2, d, msk);
+          w.ldg_span(gbase, kSubwarps, kSubwarpSize, 32, d, msk);
+          std::uint64_t gb2[kSubwarps];
+          for (int s = 0; s < kSubwarps; ++s) gb2[s] = gbase[s] + 16;
+          w.ldg_span(gb2, kSubwarps, kSubwarpSize, 32, d, msk);
         }
         // MACs: 8 per thread per (v, lj); fp16 multiplies pair into
         // HMUL2, the fp32 accumulation stays scalar FADD.
@@ -200,14 +193,16 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
       w.count(Op::kCvt, static_cast<std::uint64_t>(v));
     }
     for (int pass = 0; pass < ceil_div(jcnt, 32); ++pass) {
-      AddrLanes addr{};
-      std::uint32_t msk = 0;
+      // The output vectors are consecutive: an affine span of stride
+      // v*sizeof(T) with a prefix mask.
+      const int nl = std::min(32, jcnt - pass * 32);
+      const std::uint32_t msk = nl >= 32 ? 0xFFFFFFFFu : (1u << nl) - 1u;
+      const std::uint64_t obase = out_values.addr(
+          static_cast<std::size_t>(j0 + pass * 32) *
+          static_cast<std::size_t>(v));
       Lanes<std::array<T, 8>> frag{};
-      for (int lane = 0; lane < 32; ++lane) {
+      for (int lane = 0; lane < nl; ++lane) {
         const int l = pass * 32 + lane;
-        if (l >= jcnt) continue;
-        addr[static_cast<std::size_t>(lane)] = out_values.addr(
-            static_cast<std::size_t>(j0 + l) * static_cast<std::size_t>(v));
         const int s = l / tile_n;
         const int lj = l % tile_n;
         for (int t = 0; t < v; ++t) {
@@ -218,16 +213,16 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
           frag[static_cast<std::size_t>(lane)][static_cast<std::size_t>(t)] =
               T(acc[s][lj][t] * mv);
         }
-        msk |= 1u << lane;
       }
       // Width V elements per lane.
+      const auto vbytes = static_cast<std::uint32_t>(v * sizeof(T));
       switch (static_cast<int>(v * sizeof(T))) {
         case 2: {
           Lanes<std::array<std::byte, 2>> d{};
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 2);
-          w.stg(addr, d, msk);
+          w.stg_span(obase, vbytes, d, msk);
           break;
         }
         case 4: {
@@ -235,7 +230,7 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 4);
-          w.stg(addr, d, msk);
+          w.stg_span(obase, vbytes, d, msk);
           break;
         }
         case 8: {
@@ -243,7 +238,7 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 8);
-          w.stg(addr, d, msk);
+          w.stg_span(obase, vbytes, d, msk);
           break;
         }
         case 16: {
@@ -251,10 +246,10 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 16);
-          w.stg(addr, d, msk);
+          w.stg_span(obase, vbytes, d, msk);
           break;
         }
-        default: {  // fp32 V=8: two 16 B stores
+        default: {  // fp32 V=8: two 16 B stores at stride 32
           if constexpr (sizeof(T) == 4) {
             Lanes<std::array<std::byte, 16>> lo{}, hi{};
             for (int l = 0; l < 32; ++l) {
@@ -266,10 +261,8 @@ KernelRun sddmm_fpu_impl(gpusim::Device& dev, const DenseDevice<T>& a,
                               16,
                           16);
             }
-            w.stg(addr, lo, msk);
-            AddrLanes addr2 = addr;
-            for (auto& x : addr2) x += 16;
-            w.stg(addr2, hi, msk);
+            w.stg_span(obase, vbytes, lo, msk);
+            w.stg_span(obase + 16, vbytes, hi, msk);
           }
           break;
         }

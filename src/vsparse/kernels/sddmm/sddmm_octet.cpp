@@ -10,7 +10,6 @@ namespace vsparse::kernels {
 
 namespace {
 
-using gpusim::AddrLanes;
 using gpusim::Cta;
 using gpusim::Lanes;
 using gpusim::Op;
@@ -79,11 +78,9 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
     Warp w = cta.warp(0);
 
     {
-      AddrLanes addr{};
+      // Two consecutive int32 row-pointer slots: a 4-byte-stride span.
       Lanes<std::int32_t> d{};
-      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(vr));
-      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
-      w.ldg(addr, d, 0x3u);
+      w.ldg_span(mask.row_ptr.addr(static_cast<std::size_t>(vr)), 4, d, 0x3u);
       w.count(Op::kImad, 3);
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
@@ -92,18 +89,14 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
     if (j0 >= end) return;  // early-exit CTA (most of them at high sparsity)
     const int jcnt = std::min<std::int32_t>(kTileN, end - j0);
 
-    // The tile's 32 column indices (one coalesced LDG.32).
+    // The tile's 32 column indices (one coalesced LDG.32): consecutive
+    // int32 slots, an affine span with a prefix mask.
     std::int32_t cols[kTileN];
     {
-      AddrLanes addr{};
+      const std::uint32_t msk =
+          jcnt >= 32 ? 0xFFFFFFFFu : (1u << jcnt) - 1u;
       Lanes<std::int32_t> d{};
-      std::uint32_t msk = 0;
-      for (int l = 0; l < jcnt; ++l) {
-        addr[static_cast<std::size_t>(l)] =
-            mask.col_idx.addr(static_cast<std::size_t>(j0 + l));
-        msk |= 1u << l;
-      }
-      w.ldg(addr, d, msk);
+      w.ldg_span(mask.col_idx.addr(static_cast<std::size_t>(j0)), 4, d, msk);
       w.count(Op::kImad, 2);
       for (int l = 0; l < jcnt; ++l) {
         cols[l] = d[static_cast<std::size_t>(l)];
@@ -117,21 +110,24 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
       const int kcnt = std::min(kTileK, k - k0);
 
       // ---- A fragment: V rows x 64 ks, LDG.128 straight to registers.
-      // 8 lanes per row; V = 8 needs two passes.
+      // 8 lanes per row; V = 8 needs two passes.  Each pass is a
+      // four-segment span: segment s sweeps row vr*v + (4*pass + s) at
+      // 16 B stride; rows past V drop whole segments, K past kcnt a
+      // per-segment prefix.
+      const std::uint32_t kprefix =
+          kcnt >= 64 ? 0xFFu : (1u << ceil_div(kcnt, 8)) - 1u;
       for (int pass = 0; pass < ceil_div(v * 8, 32); ++pass) {
-        AddrLanes addr{};
+        std::uint64_t gbase[4] = {};
         Lanes<half8> d{};
         std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int flat = pass * 32 + lane;
-          const int t = flat / 8;
-          const int kk = 8 * (flat % 8);
-          if (t >= v || kk >= kcnt) continue;
-          addr[static_cast<std::size_t>(lane)] = a.addr(vr * v + t, k0 + kk);
-          msk |= 1u << lane;
+        for (int seg = 0; seg < 4; ++seg) {
+          const int t = pass * 4 + seg;
+          if (t >= v) continue;
+          gbase[seg] = a.addr(vr * v + t, k0);
+          msk |= kprefix << (8 * seg);
         }
         w.count(Op::kImad, 1);
-        w.ldg(addr, d, msk);
+        w.ldg_span(gbase, 4, 8, 16, d, msk);
       }
 
       // ---- 4 sub-steps of 8 output vectors each --------------------
@@ -140,20 +136,20 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
         if (jbase >= jcnt) break;
         // B fragment: 8 columns x 64 ks, two LDG.128 (8 128 B
         // transactions — each column is contiguous in the col-major B).
+        // Four-segment gather span per pass: segment bases are the
+        // gathered column starts, 16 B lane stride down each column.
         for (int pass = 0; pass < 2; ++pass) {
-          AddrLanes addr{};
+          std::uint64_t gbase[4] = {};
           Lanes<half8> d{};
           std::uint32_t msk = 0;
-          for (int lane = 0; lane < 32; ++lane) {
-            const int flat = pass * 32 + lane;
-            const int j = jbase + flat / 8;
-            const int kk = 8 * (flat % 8);
-            if (j >= jcnt || kk >= kcnt) continue;
-            addr[static_cast<std::size_t>(lane)] = b.addr(k0 + kk, cols[j]);
-            msk |= 1u << lane;
+          for (int seg = 0; seg < 4; ++seg) {
+            const int j = jbase + pass * 4 + seg;
+            if (j >= jcnt) continue;
+            gbase[seg] = b.addr(k0, cols[j]);
+            msk |= kprefix << (8 * seg);
           }
           w.count(Op::kImad, 1);
-          w.ldg(addr, d, msk);
+          w.ldg_span(gbase, 4, 8, 16, d, msk);
         }
         // Four mma.m8n8k4 per sub-step: each octet owns a 16-wide K
         // slice of the (8 x 64)·(64 x V) switched product.
@@ -199,14 +195,13 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
     w.count(Op::kCvt, static_cast<std::uint64_t>(v));
     {
       // One output vector per lane: width V*2 bytes, contiguous in the
-      // CVS value array (perfectly coalesced).
-      AddrLanes addr{};
-      std::uint32_t msk = 0;
-      for (int l = 0; l < jcnt; ++l) {
-        addr[static_cast<std::size_t>(l)] = out_values.addr(
-            static_cast<std::size_t>(j0 + l) * static_cast<std::size_t>(v));
-        msk |= 1u << l;
-      }
+      // CVS value array (perfectly coalesced) — an affine span of
+      // stride V*2 with a prefix mask.
+      const std::uint64_t obase = out_values.addr(
+          static_cast<std::size_t>(j0) * static_cast<std::size_t>(v));
+      const auto ostride = static_cast<std::uint32_t>(v) * 2u;
+      const std::uint32_t msk =
+          jcnt >= 32 ? 0xFFFFFFFFu : (1u << jcnt) - 1u;
       const auto fill = [&](auto& frag) {
         for (int l = 0; l < jcnt; ++l) {
           for (int t = 0; t < v; ++t) {
@@ -222,19 +217,19 @@ KernelRun sddmm_octet(gpusim::Device& dev, const DenseDevice<half_t>& a,
         case 2: {
           Lanes<half2> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
         case 4: {
           Lanes<half4> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
         default: {
           Lanes<half8> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
       }

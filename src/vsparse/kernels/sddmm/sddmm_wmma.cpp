@@ -66,11 +66,9 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
     Warp w = cta.warp(0);
 
     {
-      AddrLanes addr{};
+      // Two consecutive int32 row-pointer slots: a 4-byte-stride span.
       Lanes<std::int32_t> d{};
-      addr[0] = mask.row_ptr.addr(static_cast<std::size_t>(vr));
-      addr[1] = mask.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
-      w.ldg(addr, d, 0x3u);
+      w.ldg_span(mask.row_ptr.addr(static_cast<std::size_t>(vr)), 4, d, 0x3u);
       w.count(Op::kImad, 3);
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
@@ -81,15 +79,11 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
 
     std::int32_t cols[kTileN];
     {
-      AddrLanes addr{};
+      // Consecutive int32 slots: an affine span with a prefix mask.
+      const std::uint32_t msk =
+          jcnt >= 32 ? 0xFFFFFFFFu : (1u << jcnt) - 1u;
       Lanes<std::int32_t> d{};
-      std::uint32_t msk = 0;
-      for (int l = 0; l < jcnt; ++l) {
-        addr[static_cast<std::size_t>(l)] =
-            mask.col_idx.addr(static_cast<std::size_t>(j0 + l));
-        msk |= 1u << l;
-      }
-      w.ldg(addr, d, msk);
+      w.ldg_span(mask.col_idx.addr(static_cast<std::size_t>(j0)), 4, d, msk);
       for (int l = 0; l < jcnt; ++l) cols[l] = d[static_cast<std::size_t>(l)];
     }
 
@@ -102,20 +96,21 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
       // contiguous halves, but lanes of a thread group hold the SAME
       // 16-element row slices (4 copies across groups) and consecutive
       // lanes sit 16 elements apart -> 16 B coalescing (§6.2).
+      // Lane 8g+r reads k slice 16*(r % 4): eight 4-lane segments (two
+      // per thread group) that all share the row base and stride 32 B —
+      // the replication is the repeated-segment form of the span.
+      const std::uint32_t kprefix =
+          kcnt >= 64 ? 0xFu : (1u << ceil_div(kcnt, 16)) - 1u;
+      std::uint32_t amask = 0;
+      for (int seg = 0; seg < 8; ++seg) amask |= kprefix << (4 * seg);
       for (int t = 0; t < v; ++t) {
-        AddrLanes addr{};
-        Lanes<half8> d{};
-        std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          // Thread group g = lane/8 holds a replicated copy; lanes
-          // within the group stride by 16 halves.
-          const int kk = 16 * (lane % 8) % kTileK;
-          if (kk >= kcnt) continue;
-          addr[static_cast<std::size_t>(lane)] = a.addr(vr * v + t, k0 + kk);
-          msk |= 1u << lane;
+        std::uint64_t gbase[8];
+        for (int seg = 0; seg < 8; ++seg) {
+          gbase[seg] = a.addr(vr * v + t, k0);
         }
+        Lanes<half8> d{};
         w.count(Op::kImad, 1);
-        w.ldg(addr, d, msk);
+        w.ldg_span(gbase, 8, 4, 32, d, amask);
       }
 
       // ---- RHS fragment (the 32 B columns), 16 B coalesced ----------
@@ -134,15 +129,11 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
         }
         w.count(Op::kImad, 1);
         w.ldg(addr, d, msk);
-        // Round-trip through smem to fix up the 16 B-coalesced layout.
-        Lanes<std::uint32_t> soff{};
-        for (int lane = 0; lane < 32; ++lane) {
-          soff[static_cast<std::size_t>(lane)] =
-              static_cast<std::uint32_t>(lane * 16);
-        }
-        w.sts(soff, d, msk);
+        // Round-trip through smem to fix up the 16 B-coalesced layout;
+        // the staging slots are consecutive 16 B chunks — affine spans.
+        w.sts_span(0, 16, d, msk);
         Lanes<half8> d2{};
-        w.lds(soff, d2, msk);
+        w.lds_span(0, 16, d2, msk);
       }
 
       // ---- 4 zero-padded wmma.m8n32k16 per K stride ------------------
@@ -170,13 +161,13 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
     w.count(Op::kHfma, static_cast<std::uint64_t>(v));
     w.count(Op::kCvt, static_cast<std::uint64_t>(v));
     {
-      AddrLanes addr{};
-      std::uint32_t msk = 0;
-      for (int l = 0; l < jcnt; ++l) {
-        addr[static_cast<std::size_t>(l)] = out_values.addr(
-            static_cast<std::size_t>(j0 + l) * static_cast<std::size_t>(v));
-        msk |= 1u << l;
-      }
+      // One output vector per lane, contiguous in the CVS value array:
+      // an affine span of stride V*2 with a prefix mask.
+      const std::uint64_t obase = out_values.addr(
+          static_cast<std::size_t>(j0) * static_cast<std::size_t>(v));
+      const auto ostride = static_cast<std::uint32_t>(v) * 2u;
+      const std::uint32_t msk =
+          jcnt >= 32 ? 0xFFFFFFFFu : (1u << jcnt) - 1u;
       const auto fill = [&](auto& frag) {
         for (int l = 0; l < jcnt; ++l) {
           for (int t = 0; t < v; ++t) {
@@ -192,19 +183,19 @@ KernelRun sddmm_wmma_warp(gpusim::Device& dev, const DenseDevice<half_t>& a,
         case 2: {
           Lanes<half2> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
         case 4: {
           Lanes<half4> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
         default: {
           Lanes<half8> frag{};
           fill(frag);
-          w.stg(addr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
       }

@@ -13,35 +13,36 @@ namespace vsparse::kernels {
 
 namespace {
 
-using gpusim::AddrLanes;
 using gpusim::Cta;
 using gpusim::Lanes;
 using gpusim::Op;
 using gpusim::Warp;
 
 /// One warp load of a V-wide half vector per active lane (LDG.16/32/
-/// 64/128 depending on V).
-void issue_vector_ldg(Warp& w, const AddrLanes& addr, std::uint32_t msk,
+/// 64/128 depending on V).  A row's vectors are consecutive in memory,
+/// so the chunk is a single-segment affine span of stride v*2 bytes.
+void issue_vector_ldg(Warp& w, std::uint64_t base, std::uint32_t msk,
                       int v) {
+  const auto stride = static_cast<std::uint32_t>(v) * 2u;
   switch (v) {
     case 1: {
       Lanes<half_t> d{};
-      w.ldg(addr, d, msk);
+      w.ldg_span(base, stride, d, msk);
       break;
     }
     case 2: {
       Lanes<half2> d{};
-      w.ldg(addr, d, msk);
+      w.ldg_span(base, stride, d, msk);
       break;
     }
     case 4: {
       Lanes<half4> d{};
-      w.ldg(addr, d, msk);
+      w.ldg_span(base, stride, d, msk);
       break;
     }
     default: {
       Lanes<half8> d{};
-      w.ldg(addr, d, msk);
+      w.ldg_span(base, stride, d, msk);
       break;
     }
   }
@@ -79,11 +80,10 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
     if (vr >= pattern.vec_rows()) return;
     Warp w = cta.warp(0);
     {
-      AddrLanes addr{};
+      // Two consecutive int32 row-pointer slots: a 4-byte-stride span.
       Lanes<std::int32_t> d{};
-      addr[0] = pattern.row_ptr.addr(static_cast<std::size_t>(vr));
-      addr[1] = pattern.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
-      w.ldg(addr, d, 0x3u);
+      w.ldg_span(pattern.row_ptr.addr(static_cast<std::size_t>(vr)), 4, d,
+                 0x3u);
       w.count(Op::kImad, 2);
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
@@ -99,26 +99,24 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
     }
 
     // Helper issuing one strided pass over the row's vectors: each
-    // active lane loads/stores one V-wide vector.
+    // active lane covers one V-wide vector.  Lane l addresses
+    // (begin + c0 + l) * v — consecutive vectors, so every chunk is a
+    // single-segment affine span with a prefix mask.
     const auto for_each_chunk = [&](auto&& body) {
       for (std::int32_t c0 = 0; c0 < cnt; c0 += 32) {
         const int cc = std::min<std::int32_t>(32, cnt - c0);
-        AddrLanes addr{};
-        std::uint32_t msk = 0;
-        for (int l = 0; l < cc; ++l) {
-          addr[static_cast<std::size_t>(l)] = in_values.addr(
-              static_cast<std::size_t>(begin + c0 + l) *
-              static_cast<std::size_t>(v));
-          msk |= 1u << l;
-        }
-        body(c0, cc, addr, msk);
+        const std::uint64_t base = in_values.addr(
+            static_cast<std::size_t>(begin + c0) * static_cast<std::size_t>(v));
+        const std::uint32_t msk =
+            cc >= 32 ? 0xFFFFFFFFu : (1u << cc) - 1u;
+        body(c0, cc, base, msk);
       }
     };
 
     // Pass 1: running maximum (for numerical stability).
-    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+    for_each_chunk([&](std::int32_t c0, int cc, std::uint64_t base,
                        std::uint32_t msk) {
-      issue_vector_ldg(w, addr, msk, v);
+      issue_vector_ldg(w, base, msk, v);
       w.count(Op::kHfma, static_cast<std::uint64_t>(v));  // max ops
       for (int l = 0; l < cc; ++l) {
         for (int t = 0; t < v; ++t) {
@@ -136,9 +134,9 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
     w.count(Op::kHfma, static_cast<std::uint64_t>(5 * v));
 
     // Pass 2: sum of exponentials (MUFU.EX2 ~ one issue slot each).
-    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+    for_each_chunk([&](std::int32_t c0, int cc, std::uint64_t base,
                        std::uint32_t msk) {
-      issue_vector_ldg(w, addr, msk, v);
+      issue_vector_ldg(w, base, msk, v);
       w.count(Op::kMisc, static_cast<std::uint64_t>(v));  // EX2
       w.count(Op::kFfma, static_cast<std::uint64_t>(v));
       for (int l = 0; l < cc; ++l) {
@@ -156,18 +154,17 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
     w.count(Op::kFfma, static_cast<std::uint64_t>(5 * v));
 
     // Pass 3: normalize and store.
-    for_each_chunk([&](std::int32_t c0, int cc, AddrLanes& addr,
+    for_each_chunk([&](std::int32_t c0, int cc, std::uint64_t base,
                        std::uint32_t msk) {
-      issue_vector_ldg(w, addr, msk, v);
+      issue_vector_ldg(w, base, msk, v);
       w.count(Op::kMisc, static_cast<std::uint64_t>(v));  // EX2
       w.count(Op::kFfma, static_cast<std::uint64_t>(v));
       w.count(Op::kCvt, static_cast<std::uint64_t>(v));
-      AddrLanes oaddr{};
-      for (int l = 0; l < cc; ++l) {
-        oaddr[static_cast<std::size_t>(l)] = out_values.addr(
-            static_cast<std::size_t>(begin + c0 + l) *
-            static_cast<std::size_t>(v));
-      }
+      // The output vectors mirror the input layout: same affine span,
+      // rebased onto out_values.
+      const std::uint64_t obase = out_values.addr(
+          static_cast<std::size_t>(begin + c0) * static_cast<std::size_t>(v));
+      const auto ostride = static_cast<std::uint32_t>(v) * 2u;
       const auto fill_and_store = [&](auto frag_proto) {
         using Frag = decltype(frag_proto);
         Lanes<Frag> frag{};
@@ -184,7 +181,7 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
                 half_t(denom[t] > 0 ? e / denom[t] : 0.0f);
           }
         }
-        w.stg(oaddr, frag, msk);
+        w.stg_span(obase, ostride, frag, msk);
       };
       switch (v) {
         case 1: {
@@ -199,7 +196,7 @@ KernelRun sparse_softmax(gpusim::Device& dev, const CvsDevice& pattern,
             frag[static_cast<std::size_t>(l)] =
                 half_t(denom[0] > 0 ? e / denom[0] : 0.0f);
           }
-          w.stg(oaddr, frag, msk);
+          w.stg_span(obase, ostride, frag, msk);
           break;
         }
         case 2:
@@ -243,31 +240,27 @@ KernelRun dense_softmax(gpusim::Device& dev, DenseDevice<half_t>& mat,
     half_t* row = &host[static_cast<std::size_t>(r) *
                         static_cast<std::size_t>(mat.ld)];
 
-    // Lane l covers columns l*8 + [0,8) strided by 256 (LDG.128 passes).
+    // Lane l covers columns l*8 + [0,8) strided by 256 (LDG.128 passes):
+    // contiguous 16 B chunks of one row — an affine span per pass.
     const auto pass = [&](bool store, auto&& body) {
       for (int c0 = 0; c0 < cols; c0 += 256) {
-        AddrLanes addr{};
-        std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int cc = c0 + lane * 8;
-          if (cc >= cols) continue;
-          addr[static_cast<std::size_t>(lane)] = mat.addr(r, cc);
-          msk |= 1u << lane;
-        }
+        const int active = std::min(32, (cols - c0 + 7) / 8);
+        const std::uint32_t msk =
+            active >= 32 ? 0xFFFFFFFFu : (1u << active) - 1u;
+        const std::uint64_t base = mat.addr(r, c0);
         Lanes<half8> d{};
-        w.ldg(addr, d, msk);
+        w.ldg_span(base, 16, d, msk);
         body(c0, std::min(256, cols - c0));
         if (store) {
           // Re-pack the (now updated) row values into the store frags.
-          for (int lane = 0; lane < 32; ++lane) {
-            if (!(msk & (1u << lane))) continue;
+          for (int lane = 0; lane < active; ++lane) {
             for (int e = 0; e < 8; ++e) {
               const int cc = c0 + lane * 8 + e;
               if (cc < cols) d[static_cast<std::size_t>(lane)][e] = row[cc];
             }
           }
           w.count(Op::kCvt, 8);
-          w.stg(addr, d, msk);
+          w.stg_span(base, 16, d, msk);
         }
       }
     };
@@ -329,29 +322,25 @@ KernelRun dense_softmax_f32(gpusim::Device& dev, DenseDevice<float>& mat,
     float* row = &host[static_cast<std::size_t>(r) *
                        static_cast<std::size_t>(mat.ld)];
 
-    // Lane l covers 4 floats (LDG.128) strided by 128 columns per pass.
+    // Lane l covers 4 floats (LDG.128) strided by 128 columns per pass:
+    // contiguous 16 B chunks of one row — an affine span per pass.
     const auto pass = [&](bool store, auto&& body) {
       for (int c0 = 0; c0 < cols; c0 += 128) {
-        AddrLanes addr{};
-        std::uint32_t msk = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int cc = c0 + lane * 4;
-          if (cc >= cols) continue;
-          addr[static_cast<std::size_t>(lane)] = mat.addr(r, cc);
-          msk |= 1u << lane;
-        }
+        const int active = std::min(32, (cols - c0 + 3) / 4);
+        const std::uint32_t msk =
+            active >= 32 ? 0xFFFFFFFFu : (1u << active) - 1u;
+        const std::uint64_t base = mat.addr(r, c0);
         Lanes<std::array<float, 4>> d{};
-        w.ldg(addr, d, msk);
+        w.ldg_span(base, 16, d, msk);
         body(c0, std::min(128, cols - c0));
         if (store) {
-          for (int lane = 0; lane < 32; ++lane) {
-            if (!(msk & (1u << lane))) continue;
+          for (int lane = 0; lane < active; ++lane) {
             for (int e = 0; e < 4; ++e) {
               const int cc = c0 + lane * 4 + e;
               if (cc < cols) d[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] = row[cc];
             }
           }
-          w.stg(addr, d, msk);
+          w.stg_span(base, 16, d, msk);
         }
       }
     };

@@ -1,5 +1,6 @@
 #include "vsparse/kernels/spmm/spmm_blocked_ell.hpp"
 
+#include <cstring>
 #include <string>
 
 #include "vsparse/common/math.hpp"
@@ -61,7 +62,10 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
     Warp w = cta.warp(0);
     w.count(Op::kImad, 4);
 
-    float acc[32][kPreferredTileN] = {};
+    // Accumulator for the blk x tile_n output block; zero only the
+    // rows in use (blk <= 16, rows past blk are never read).
+    float acc[32][kPreferredTileN];
+    std::memset(acc, 0, static_cast<std::size_t>(blk) * sizeof(acc[0]));
 
     const auto block_off = [&](int r, int cc) {
       return static_cast<std::uint32_t>((r * blk + cc) * 2);
@@ -70,19 +74,16 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
       return static_cast<std::uint32_t>(blk * blk * 2 + (r * kPreferredTileN + nn) * 2);
     };
 
-    // Gather the block-row's column indices up front (coalesced).
+    // Gather the block-row's column indices up front (coalesced):
+    // consecutive int32 slots, a pure affine span per pass.
     for (int p = 0; p * 32 < a.blocks_per_row; ++p) {
-      AddrLanes addr{};
+      const int nl = std::min(32, a.blocks_per_row - p * 32);
+      const std::uint32_t mask = nl >= 32 ? 0xFFFFFFFFu : (1u << nl) - 1u;
       Lanes<std::int32_t> d{};
-      std::uint32_t mask = 0;
-      for (int l = 0; l < 32 && p * 32 + l < a.blocks_per_row; ++l) {
-        addr[static_cast<std::size_t>(l)] = a.col_idx.addr(
-            static_cast<std::size_t>(brow) *
-                static_cast<std::size_t>(a.blocks_per_row) +
-            static_cast<std::size_t>(p * 32 + l));
-        mask |= 1u << l;
-      }
-      w.ldg(addr, d, mask);
+      w.ldg_span(a.col_idx.addr(static_cast<std::size_t>(brow) *
+                                    static_cast<std::size_t>(a.blocks_per_row) +
+                                static_cast<std::size_t>(p * 32)),
+                 4, d, mask);
       w.count(Op::kImad, 2);
     }
 
@@ -108,52 +109,49 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
                  static_cast<std::size_t>(a.blocks_per_row) +
              static_cast<std::size_t>(slot)) *
             static_cast<std::size_t>(blk) * static_cast<std::size_t>(blk);
+        // One chunk per lane, consecutive in both global and shared
+        // memory: affine spans of stride chunk_bytes.
         for (int pass = 0; pass < ceil_div(chunks, 32); ++pass) {
-          AddrLanes addr{};
-          Lanes<std::uint32_t> soff{};
-          std::uint32_t mask = 0;
-          for (int l = 0; l < 32; ++l) {
-            const int chunk = pass * 32 + l;
-            if (chunk >= chunks) break;
-            addr[static_cast<std::size_t>(l)] = a.values.addr(
-                base + static_cast<std::size_t>(chunk) *
-                           static_cast<std::size_t>(chunk_bytes / 2));
-            soff[static_cast<std::size_t>(l)] =
-                static_cast<std::uint32_t>(chunk * chunk_bytes);
-            mask |= 1u << l;
-          }
+          const int nl = std::min(32, chunks - pass * 32);
+          const std::uint32_t mask = nl >= 32 ? 0xFFFFFFFFu : (1u << nl) - 1u;
+          const std::uint64_t gbase = a.values.addr(
+              base + static_cast<std::size_t>(pass) * 32 *
+                         static_cast<std::size_t>(chunk_bytes / 2));
+          const auto sbase = static_cast<std::uint32_t>(pass * 32 * chunk_bytes);
+          const auto cstride = static_cast<std::uint32_t>(chunk_bytes);
           if (chunk_bytes == 16) {
             Lanes<half8> d{};
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, cstride, d, mask);
+            w.sts_span(sbase, cstride, d, mask);
           } else {
             Lanes<half4> d{};
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, cstride, d, mask);
+            w.sts_span(sbase, cstride, d, mask);
           }
         }
       }
 
       // ---- stage the b x 128 B stripe through smem -------------------
-      // Each pass: 32 lanes x 8 halves = 2 rows of 128.
+      // Each pass: 32 lanes x 8 halves = 2 rows of 128, i.e. two
+      // 16-lane segments striding a B row; when tile_n is 64 only the
+      // first 8 lanes of each segment are active (prefix mask).
       for (int pass = 0; pass < ceil_div(blk, 2); ++pass) {
-        AddrLanes addr{};
-        Lanes<std::uint32_t> soff{};
-        Lanes<half8> d{};
+        std::uint64_t gbase[2] = {};
+        std::uint32_t soff[2] = {};
         std::uint32_t mask = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int r = 2 * pass + lane / 16;
+        const std::uint32_t seg_bits =
+            tile_n >= kPreferredTileN ? 0xFFFFu : 0xFFu;
+        for (int seg = 0; seg < 2; ++seg) {
+          const int r = 2 * pass + seg;
           if (r >= blk) continue;
-          const int nn = 8 * (lane % 16);
-          if (nn >= tile_n) continue;
-          addr[static_cast<std::size_t>(lane)] =
-              b.addr(bcol * blk + r, n0 + nn);
-          soff[static_cast<std::size_t>(lane)] = btile_off(r, nn);
-          mask |= 1u << lane;
+          gbase[seg] = b.addr(bcol * blk + r, n0);
+          soff[seg] = btile_off(r, 0);
+          mask |= seg_bits << (16 * seg);
         }
+        Lanes<half8> d{};
         w.count(Op::kImad, 2);
-        w.ldg(addr, d, mask);
-        w.sts(soff, d, mask);
+        w.ldg_span(gbase, 2, 16, 16, d, mask);
+        w.sts_span(soff, 2, 16, 16, d, mask);
       }
       cta.sync();
 
@@ -164,7 +162,18 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
       const int row_tiles = ceil_div(blk, 8);
       for (int rt = 0; rt < row_tiles; ++rt) {
         half_t afrag[8][16] = {};
-        {
+        if (blk == 16) {
+          // Unclamped gather: one 4-lane segment per block row, lanes
+          // striding 8 B through it — a pure affine span.
+          std::uint32_t soff[8];
+          for (int seg = 0; seg < 8; ++seg) {
+            soff[seg] = block_off(rt * 8 + seg, 0);
+          }
+          Lanes<half4> d;
+          w.lds_span(soff, 8, 4, 8, d, 0xFFFFFFFFu);
+        } else {
+          // Small blocks clamp both coordinates (divergent pattern):
+          // keep the per-lane op.
           Lanes<std::uint32_t> off{};
           Lanes<half4> d;
           for (int lane = 0; lane < 32; ++lane) {
@@ -177,44 +186,35 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
         for (int r = 0; r < 8; ++r) {
           const int gr = rt * 8 + r;
           if (gr >= blk) break;
-          for (int cc = 0; cc < blk; ++cc) {
-            afrag[r][cc] = *reinterpret_cast<const half_t*>(cta.smem() +
-                                                            block_off(gr, cc));
-          }
+          // The block row is contiguous in smem.
+          std::memcpy(afrag[r], cta.smem() + block_off(gr, 0),
+                      static_cast<std::size_t>(blk) * sizeof(half_t));
         }
         for (int ct = 0; ct < tile_n / 32; ++ct) {
           half_t bfrag[16][32] = {};
           for (int pass = 0; pass < 2; ++pass) {
-            Lanes<std::uint32_t> off{};
-            Lanes<half8> d;
-            for (int lane = 0; lane < 32; ++lane) {
-              const int r = std::min(8 * pass + lane / 4, blk - 1);
-              const int nn = 32 * ct + 8 * (lane % 4);
-              off[static_cast<std::size_t>(lane)] = btile_off(r, nn);
+            // Eight 4-lane segments, one per (clamped) B row, each
+            // sweeping 32 halves at stride 16 B.
+            std::uint32_t off[8];
+            for (int seg = 0; seg < 8; ++seg) {
+              const int r = std::min(8 * pass + seg, blk - 1);
+              off[seg] = btile_off(r, 32 * ct);
             }
-            w.lds(off, d);
+            Lanes<half8> d;
+            w.lds_span(off, 8, 4, 16, d, 0xFFFFFFFFu);
           }
           for (int r = 0; r < blk && r < 16; ++r) {
-            for (int nn = 0; nn < 32; ++nn) {
-              bfrag[r][nn] = *reinterpret_cast<const half_t*>(
-                  cta.smem() + btile_off(r, 32 * ct + nn));
-            }
+            std::memcpy(bfrag[r], cta.smem() + btile_off(r, 32 * ct),
+                        32 * sizeof(half_t));
           }
-          float cfrag[8][32];
-          for (int r = 0; r < 8; ++r) {
-            for (int nn = 0; nn < 32; ++nn) {
-              const int gr = rt * 8 + r;
-              cfrag[r][nn] = gr < blk ? acc[gr][32 * ct + nn] : 0.0f;
-            }
+          // Accumulate straight into the acc tile (strided rows); rows
+          // past blk would only ever add zero products and be discarded.
+          const int crows = std::min(8, blk - rt * 8);
+          float* crow[8] = {};
+          for (int r = 0; r < crows; ++r) {
+            crow[r] = &acc[rt * 8 + r][32 * ct];
           }
-          gpusim::wmma_m8n32k16(w, afrag, bfrag, cfrag);
-          for (int r = 0; r < 8; ++r) {
-            const int gr = rt * 8 + r;
-            if (gr >= blk) break;
-            for (int nn = 0; nn < 32; ++nn) {
-              acc[gr][32 * ct + nn] = cfrag[r][nn];
-            }
-          }
+          w.wmma_m8n32k16(afrag, bfrag, crow, crows);
         }
       }
       cta.sync();
@@ -222,22 +222,32 @@ KernelRun spmm_blocked_ell(gpusim::Device& dev, const BlockedEllDevice& a,
 
     // ---- writeback ----------------------------------------------------
     w.count(Op::kCvt, static_cast<std::uint64_t>(blk * tile_n / 32));
+    // tile_n/8 lanes cover one output row; rows past blk drop whole
+    // segments, so the span mask is a per-segment prefix.
+    const int wwidth = tile_n / 8;
+    const int wsegs = 32 / wwidth;
+    const int rows_per_pass = 256 / tile_n;
     for (int pass = 0; pass < ceil_div(blk * tile_n, 32 * 8); ++pass) {
-      AddrLanes addr{};
+      std::uint64_t gbase[4] = {};
       Lanes<half8> frag{};
       std::uint32_t mask = 0;
-      for (int lane = 0; lane < 32; ++lane) {
-        const int flat = (pass * 32 + lane) * 8;
-        const int r = flat / tile_n;
+      const std::uint32_t seg_bits =
+          wwidth >= 32 ? 0xFFFFFFFFu : (1u << wwidth) - 1u;
+      for (int seg = 0; seg < wsegs; ++seg) {
+        const int r = pass * rows_per_pass + seg;
         if (r >= blk) continue;
-        const int nn = flat % tile_n;
-        addr[static_cast<std::size_t>(lane)] = c.addr(brow * blk + r, n0 + nn);
-        for (int e = 0; e < 8; ++e) {
-          frag[static_cast<std::size_t>(lane)][e] = half_t(acc[r][nn + e]);
-        }
-        mask |= 1u << lane;
+        gbase[seg] = c.addr(brow * blk + r, n0);
+        mask |= seg_bits << (seg * wwidth);
+        // One batched narrow covers the whole row: the segment's
+        // wwidth lanes are contiguous half8 slots spanning
+        // acc[r][0..tile_n).  Bit-identical to per-element conversion.
+        half_t row[kPreferredTileN];
+        float_to_half_n(acc[r], row, static_cast<std::size_t>(tile_n));
+        std::memcpy(
+            static_cast<void*>(&frag[static_cast<std::size_t>(seg * wwidth)]),
+            row, static_cast<std::size_t>(tile_n) * sizeof(half_t));
       }
-      w.stg(addr, frag, mask);
+      w.stg_span(gbase, wsegs, wwidth, 16, frag, mask);
     }
   }, sim);
 

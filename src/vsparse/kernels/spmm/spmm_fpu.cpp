@@ -1,6 +1,7 @@
 #include "vsparse/kernels/spmm/spmm_fpu.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "vsparse/common/math.hpp"
@@ -10,7 +11,6 @@ namespace vsparse::kernels {
 
 namespace {
 
-using gpusim::AddrLanes;
 using gpusim::Cta;
 using gpusim::Lanes;
 using gpusim::Op;
@@ -18,33 +18,6 @@ using gpusim::Warp;
 
 constexpr int kSubwarpSize = 8;
 constexpr int kSubwarps = 4;  // per CTA (one warp)
-
-/// Issue one warp-wide global load where lane `l` reads `width` bytes
-/// from addr[l]; splits into the widest legal LDG ops.  Returns data as
-/// raw bytes per lane.
-template <int kWidth>
-void ldg_bytes(Warp& w, const AddrLanes& addr, std::uint32_t mask,
-               std::array<std::array<std::byte, kWidth>, 32>& out) {
-  static_assert(kWidth == 2 || kWidth == 4 || kWidth == 8 || kWidth == 16 ||
-                kWidth == 32);
-  if constexpr (kWidth <= 16) {
-    Lanes<std::array<std::byte, kWidth>> dst;
-    w.ldg(addr, dst, mask);
-    for (int l = 0; l < 32; ++l) out[static_cast<std::size_t>(l)] = dst[static_cast<std::size_t>(l)];
-  } else {
-    // 32 B per lane: two LDG.128.
-    for (int half = 0; half < 2; ++half) {
-      AddrLanes a2 = addr;
-      for (auto& x : a2) x += static_cast<std::uint64_t>(16 * half);
-      Lanes<std::array<std::byte, 16>> dst;
-      w.ldg(a2, dst, mask);
-      for (int l = 0; l < 32; ++l) {
-        std::memcpy(out[static_cast<std::size_t>(l)].data() + 16 * half,
-                    dst[static_cast<std::size_t>(l)].data(), 16);
-      }
-    }
-  }
-}
 
 template <class T>
 KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
@@ -97,17 +70,12 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
     const int n0 = (cta.cta_id() / row_groups) * tile_n;
     Warp w = cta.warp(0);
 
-    // Row extents for the 4 vector-rows (one LDG.32, 5 lanes).
+    // Row extents for the 4 vector-rows (one LDG.32, 5 lanes, affine).
     {
-      AddrLanes addr{};
       Lanes<std::int32_t> dst{};
       std::uint32_t mask = 0;
-      for (int l = 0; l < 5 && vr0 + l <= vec_rows; ++l) {
-        addr[static_cast<std::size_t>(l)] =
-            a.row_ptr.addr(static_cast<std::size_t>(vr0 + l));
-        mask |= 1u << l;
-      }
-      w.ldg(addr, dst, mask);
+      for (int l = 0; l < 5 && vr0 + l <= vec_rows; ++l) mask |= 1u << l;
+      w.ldg_span(a.row_ptr.addr(static_cast<std::size_t>(vr0)), 4, dst, mask);
       w.count(Op::kImad, 4);
     }
     std::int32_t begin[kSubwarps], cnt[kSubwarps];
@@ -123,8 +91,15 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
       max_cnt = std::max(max_cnt, cnt[s]);
     }
 
-    // Per-subwarp fp32 accumulators for the V x TileN tile.
-    float acc[kSubwarps][8][64] = {};
+    // Per-subwarp fp32 accumulators for the V x TileN tile (zero only
+    // the [v][tile_n] region the parameters actually use).
+    float acc[kSubwarps][8][64];
+    for (int s = 0; s < kSubwarps; ++s) {
+      for (int vv = 0; vv < v; ++vv) {
+        std::memset(acc[s][vv], 0,
+                    static_cast<std::size_t>(tile_n) * sizeof(float));
+      }
+    }
 
     const auto idx_off = [&](int s, int j) {
       return static_cast<std::uint32_t>((s * tile_k + j) * 4);
@@ -148,84 +123,84 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
       const int i0 = step * tile_k;
 
       // ---- stage LHS indices: each lane takes two consecutive ints of
-      // its subwarp's chunk per pass (one LDG.64 when tile_k=16). ------
+      // its subwarp's chunk per pass (one LDG.64 when tile_k=16).  Each
+      // subwarp reads an affine run, so the whole pass is one 4-segment
+      // span (active lanes form a per-segment prefix). ----------------
       for (int p = 0; p < tile_k / 16; ++p) {
-        AddrLanes addr{};
         Lanes<std::array<std::int32_t, 2>> dst{};
-        Lanes<std::uint32_t> soff{};
+        std::uint64_t gbase[kSubwarps] = {};
+        std::uint32_t sbase[kSubwarps] = {};
         std::uint32_t mask = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int s = lane / kSubwarpSize;
-          const int t = lane % kSubwarpSize;
-          const int j = 16 * p + 2 * t;  // two consecutive indices per lane
-          if (i0 + j >= cnt[s]) continue;
-          addr[static_cast<std::size_t>(lane)] = a.col_idx.addr(
-              static_cast<std::size_t>(begin[s] + i0 + j));
-          soff[static_cast<std::size_t>(lane)] = idx_off(s, j);
-          mask |= 1u << lane;
+        for (int s = 0; s < kSubwarps; ++s) {
+          const int rem = cnt[s] - (i0 + 16 * p);  // indices left this pass
+          const int nt = std::clamp((rem + 1) / 2, 0, kSubwarpSize);
+          if (nt == 0) continue;
+          gbase[s] = a.col_idx.addr(
+              static_cast<std::size_t>(begin[s] + i0 + 16 * p));
+          sbase[s] = idx_off(s, 16 * p);
+          mask |= ((1u << nt) - 1u) << (kSubwarpSize * s);
         }
         w.count(Op::kImad, 2);
-        w.ldg(addr, dst, mask);
-        w.sts(soff, dst, mask);
+        w.ldg_span(gbase, kSubwarps, kSubwarpSize, 8, dst, mask);
+        w.sts_span(sbase, kSubwarps, kSubwarpSize, 8, dst, mask);
       }
 
-      // ---- stage LHS values: one V-vector per lane per pass. ---------
+      // ---- stage LHS values: one V-vector per lane per pass (same
+      // 4-segment span shape, stride = the vector's byte size). --------
       const int passes = tile_k / kSubwarpSize;
+      const std::uint32_t vbytes =
+          static_cast<std::uint32_t>(v) * static_cast<std::uint32_t>(sizeof(T));
       for (int p = 0; p < passes; ++p) {
-        AddrLanes addr{};
-        Lanes<std::uint32_t> soff{};
+        const int j0 = p * kSubwarpSize;
+        std::uint64_t gbase[kSubwarps] = {};
+        std::uint32_t sbase[kSubwarps] = {};
         std::uint32_t mask = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int s = lane / kSubwarpSize;
-          const int t = lane % kSubwarpSize;
-          const int j = p * kSubwarpSize + t;
-          if (i0 + j >= cnt[s]) continue;
-          addr[static_cast<std::size_t>(lane)] = a.values.addr(
-              static_cast<std::size_t>(begin[s] + i0 + j) *
-              static_cast<std::size_t>(v));
-          soff[static_cast<std::size_t>(lane)] = val_off(s, j, 0);
-          mask |= 1u << lane;
+        for (int s = 0; s < kSubwarps; ++s) {
+          const int nt = std::clamp(cnt[s] - (i0 + j0), 0, kSubwarpSize);
+          if (nt == 0) continue;
+          gbase[s] = a.values.addr(static_cast<std::size_t>(begin[s] + i0 + j0) *
+                                   static_cast<std::size_t>(v));
+          sbase[s] = val_off(s, j0, 0);
+          mask |= ((1u << nt) - 1u) << (kSubwarpSize * s);
         }
         w.count(Op::kImad, 2);
-        switch (static_cast<int>(v * sizeof(T))) {
+        switch (static_cast<int>(vbytes)) {
           case 2: {
             Lanes<std::array<std::byte, 2>> d;
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
+            w.sts_span(sbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
             break;
           }
           case 4: {
             Lanes<std::array<std::byte, 4>> d;
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
+            w.sts_span(sbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
             break;
           }
           case 8: {
             Lanes<std::array<std::byte, 8>> d;
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
+            w.sts_span(sbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
             break;
           }
           case 16: {
             Lanes<std::array<std::byte, 16>> d;
-            w.ldg(addr, d, mask);
-            w.sts(soff, d, mask);
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
+            w.sts_span(sbase, kSubwarps, kSubwarpSize, vbytes, d, mask);
             break;
           }
-          default: {  // float V=8: 32 B per vector, two passes
-            std::array<std::array<std::byte, 32>, 32> d;
-            ldg_bytes<32>(w, addr, mask, d);
-            Lanes<std::array<std::byte, 16>> lo, hi;
-            for (int l = 0; l < 32; ++l) {
-              std::memcpy(lo[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data(), 16);
-              std::memcpy(hi[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data() + 16, 16);
+          default: {  // float V=8: 32 B per vector, two LDG.128/STS.128
+            std::uint64_t gb2[kSubwarps];
+            std::uint32_t sb2[kSubwarps];
+            for (int s = 0; s < kSubwarps; ++s) {
+              gb2[s] = gbase[s] + 16;
+              sb2[s] = sbase[s] + 16;
             }
-            w.sts(soff, lo, mask);
-            Lanes<std::uint32_t> soff2 = soff;
-            for (auto& o : soff2) o += 16;
-            w.sts(soff2, hi, mask);
+            Lanes<std::array<std::byte, 16>> lo, hi;
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, vbytes, lo, mask);
+            w.ldg_span(gb2, kSubwarps, kSubwarpSize, vbytes, hi, mask);
+            w.sts_span(sbase, kSubwarps, kSubwarpSize, vbytes, lo, mask);
+            w.sts_span(sb2, kSubwarps, kSubwarpSize, vbytes, hi, mask);
             break;
           }
         }
@@ -247,88 +222,103 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
         // single half): a fixed 4B read would over-read the last staged
         // entry into bytes no sts ever wrote.
         {
-          Lanes<std::uint32_t> off{};
-          for (int lane = 0; lane < 32; ++lane) {
-            off[static_cast<std::size_t>(lane)] =
-                val_off(lane / kSubwarpSize, kk, 0);
-          }
+          std::uint32_t soff[kSubwarps];
+          for (int s = 0; s < kSubwarps; ++s) soff[s] = val_off(s, kk, 0);
           if (static_cast<int>(v * sizeof(T)) == 2) {
             Lanes<std::array<std::byte, 2>> d{};
-            w.lds(off, d, active);
+            w.lds_span(soff, kSubwarps, kSubwarpSize, 0, d, active);
           } else {
             Lanes<std::array<std::byte, 4>> d{};
-            w.lds(off, d, active);
+            w.lds_span(soff, kSubwarps, kSubwarpSize, 0, d, active);
           }
         }
         w.count(Op::kImad, 2);
         w.count(Op::kIadd3, 1);
 
-        // Load each thread's B-row slice straight to registers.
-        AddrLanes addr{};
-        for (int lane = 0; lane < 32; ++lane) {
-          if (!(active & (1u << lane))) continue;
-          const int s = lane / kSubwarpSize;
-          const int t = lane % kSubwarpSize;
-          const std::int32_t row = staged_idx(s, kk);
-          addr[static_cast<std::size_t>(lane)] = b.addr(row, n0 + wt * t);
+        // Load each thread's B-row slice straight to registers: each
+        // subwarp strides through one B row, a 4-segment affine span.
+        std::uint64_t gbase[kSubwarps] = {};
+        for (int s = 0; s < kSubwarps; ++s) {
+          if (!(active & (1u << (kSubwarpSize * s)))) continue;
+          gbase[s] = b.addr(staged_idx(s, kk), n0);
         }
-        constexpr int kSliceBytes = 16;  // upper bound; actual below
-        std::array<std::array<std::byte, kSliceBytes>, 32> slice{};
+        // MACs: V * wt per thread.  Half precision uses HMUL + FADD
+        // (fp32 accumulate, §3.1); single uses FFMA.  The staged A
+        // values are shared by all 8 lanes of a subwarp, so widen them
+        // once per subwarp (exact), and each lane's B slice once per
+        // lane instead of once per (vv, e) — same products, same
+        // per-accumulator fold order, bit-identical results.  The MAC
+        // loop consumes the span destination directly (no staging copy);
+        // only lanes the span wrote are read.
+        // The slice-width switch below fixes the per-lane element count
+        // at compile time (kWt = SB / sizeof(T)), so the innermost MAC
+        // loops fully unroll/vectorize instead of iterating a runtime
+        // bound.  Same products, same fold order, bit-identical.
+        const auto mac = [&]<std::size_t SB>(
+                             const Lanes<std::array<std::byte, SB>>& d) {
+          constexpr int kWt = static_cast<int>(SB / sizeof(T));
+          if constexpr (sizeof(T) == 2) {
+            w.count(Op::kHfma, static_cast<std::uint64_t>(v * kWt));
+            w.count(Op::kFfma, static_cast<std::uint64_t>(v * kWt));
+          } else {
+            w.count(Op::kFfma, static_cast<std::uint64_t>(v * kWt));
+          }
+          for (int s = 0; s < kSubwarps; ++s) {
+            if (!(active & (1u << (kSubwarpSize * s)))) continue;
+            float av[8];
+            if constexpr (sizeof(T) == 2) {
+              // The v staged A values sit contiguously in smem: one
+              // batched widen (exact) replaces v scalar converts.
+              half_to_float_n(reinterpret_cast<const half_t*>(
+                                  cta.smem() + val_off(s, kk, 0)),
+                              av, static_cast<std::size_t>(v));
+            } else {
+              for (int vv = 0; vv < v; ++vv) av[vv] = staged_val(s, kk, vv);
+            }
+            for (int t = 0; t < kSubwarpSize; ++t) {
+              const int lane = kSubwarpSize * s + t;
+              const auto* bvals = reinterpret_cast<const T*>(
+                  d[static_cast<std::size_t>(lane)].data());
+              float bf[8];
+              if constexpr (sizeof(T) == 2) {
+                half_to_float_n(bvals, bf, static_cast<std::size_t>(kWt));
+              } else {
+                for (int e = 0; e < kWt; ++e) bf[e] = bvals[e];
+              }
+              for (int vv = 0; vv < v; ++vv) {
+                for (int e = 0; e < kWt; ++e) {
+                  acc[s][vv][kWt * t + e] += av[vv] * bf[e];
+                }
+              }
+            }
+          }
+        };
         const int slice_bytes = wt * static_cast<int>(sizeof(T));
+        const std::uint32_t sstride = static_cast<std::uint32_t>(slice_bytes);
         switch (slice_bytes) {
           case 2: {
-            Lanes<std::array<std::byte, 2>> d{};
-            w.ldg(addr, d, active);
-            for (int l = 0; l < 32; ++l)
-              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data(), 2);
+            Lanes<std::array<std::byte, 2>> d;
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, active);
+            mac(d);
             break;
           }
           case 4: {
-            Lanes<std::array<std::byte, 4>> d{};
-            w.ldg(addr, d, active);
-            for (int l = 0; l < 32; ++l)
-              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data(), 4);
+            Lanes<std::array<std::byte, 4>> d;
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, active);
+            mac(d);
             break;
           }
           case 8: {
-            Lanes<std::array<std::byte, 8>> d{};
-            w.ldg(addr, d, active);
-            for (int l = 0; l < 32; ++l)
-              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data(), 8);
+            Lanes<std::array<std::byte, 8>> d;
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, active);
+            mac(d);
             break;
           }
           default: {
-            Lanes<std::array<std::byte, 16>> d{};
-            w.ldg(addr, d, active);
-            for (int l = 0; l < 32; ++l)
-              std::memcpy(slice[static_cast<std::size_t>(l)].data(),
-                          d[static_cast<std::size_t>(l)].data(), 16);
+            Lanes<std::array<std::byte, 16>> d;
+            w.ldg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, active);
+            mac(d);
             break;
-          }
-        }
-
-        // MACs: V * wt per thread.  Half precision uses HMUL + FADD
-        // (fp32 accumulate, §3.1); single uses FFMA.
-        if constexpr (sizeof(T) == 2) {
-          w.count(Op::kHfma, static_cast<std::uint64_t>(v * wt));
-          w.count(Op::kFfma, static_cast<std::uint64_t>(v * wt));
-        } else {
-          w.count(Op::kFfma, static_cast<std::uint64_t>(v * wt));
-        }
-        for (int lane = 0; lane < 32; ++lane) {
-          if (!(active & (1u << lane))) continue;
-          const int s = lane / kSubwarpSize;
-          const int t = lane % kSubwarpSize;
-          const auto* bvals =
-              reinterpret_cast<const T*>(slice[static_cast<std::size_t>(lane)].data());
-          for (int vv = 0; vv < v; ++vv) {
-            const float av = staged_val(s, kk, vv);
-            for (int e = 0; e < wt; ++e) {
-              acc[s][vv][wt * t + e] += av * static_cast<float>(bvals[e]);
-            }
           }
         }
       }
@@ -339,15 +329,13 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
       w.count(Op::kCvt, static_cast<std::uint64_t>(v));
     }
     for (int vv = 0; vv < v; ++vv) {
-      AddrLanes addr{};
+      std::uint64_t gbase[kSubwarps] = {};
       std::uint32_t mask = 0;
       Lanes<std::array<std::byte, 16>> frag{};
       for (int lane = 0; lane < 32; ++lane) {
         const int s = lane / kSubwarpSize;
         const int t = lane % kSubwarpSize;
         if (vr0 + s >= vec_rows) continue;
-        addr[static_cast<std::size_t>(lane)] =
-            c.addr((vr0 + s) * v + vv, n0 + wt * t);
         for (int e = 0; e < wt; ++e) {
           const T value = T(acc[s][vv][wt * t + e]);
           std::memcpy(frag[static_cast<std::size_t>(lane)].data() +
@@ -356,14 +344,19 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
         }
         mask |= 1u << lane;
       }
+      for (int s = 0; s < kSubwarps; ++s) {
+        if (vr0 + s >= vec_rows) continue;
+        gbase[s] = c.addr((vr0 + s) * v + vv, n0);
+      }
       const int slice_bytes = wt * static_cast<int>(sizeof(T));
+      const std::uint32_t sstride = static_cast<std::uint32_t>(slice_bytes);
       switch (slice_bytes) {
         case 2: {
           Lanes<std::array<std::byte, 2>> d{};
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 2);
-          w.stg(addr, d, mask);
+          w.stg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, mask);
           break;
         }
         case 4: {
@@ -371,7 +364,7 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 4);
-          w.stg(addr, d, mask);
+          w.stg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, mask);
           break;
         }
         case 8: {
@@ -379,11 +372,11 @@ KernelRun spmm_fpu_impl(gpusim::Device& dev, const CvsDeviceT<T>& a,
           for (int l = 0; l < 32; ++l)
             std::memcpy(d[static_cast<std::size_t>(l)].data(),
                         frag[static_cast<std::size_t>(l)].data(), 8);
-          w.stg(addr, d, mask);
+          w.stg_span(gbase, kSubwarps, kSubwarpSize, sstride, d, mask);
           break;
         }
         default:
-          w.stg(addr, frag, mask);
+          w.stg_span(gbase, kSubwarps, kSubwarpSize, sstride, frag, mask);
           break;
       }
     }

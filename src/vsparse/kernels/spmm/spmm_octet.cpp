@@ -1,6 +1,7 @@
 #include "vsparse/kernels/spmm/spmm_octet.hpp"
 
 #include <bit>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -78,77 +79,63 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
     const int n0 = (cta.cta_id() / vec_rows) * kTileN;
     Warp w = cta.warp(0);
 
-    // Row extent: two scalar loads of csrRowPtr (one LDG.32, 2 lanes).
+    // Row extent: two scalar loads of csrRowPtr (one LDG.32, affine).
     {
-      AddrLanes addr{};
       Lanes<std::int32_t> dst{};
-      addr[0] = a.row_ptr.addr(static_cast<std::size_t>(vr));
-      addr[1] = a.row_ptr.addr(static_cast<std::size_t>(vr) + 1);
-      w.ldg(addr, dst, 0x3u);
+      w.ldg_span(a.row_ptr.addr(static_cast<std::size_t>(vr)), 4, dst, 0x3u);
       w.count(Op::kImad, 3);  // vr/n0 decomposition + pointer math
     }
     const std::int32_t begin = row_ptr[static_cast<std::size_t>(vr)];
     const std::int32_t end = row_ptr[static_cast<std::size_t>(vr) + 1];
 
-    // fp32 accumulator for the V x 64 output tile (2V registers/lane).
-    float acc[8][kTileN] = {};
+    // fp32 accumulator for the V x 64 output tile (2V registers/lane);
+    // zero only the v rows in use.
+    float acc[8][kTileN];
+    std::memset(acc, 0, static_cast<std::size_t>(v) * kTileN * sizeof(float));
 
-    std::vector<BFrag> frags(static_cast<std::size_t>(tile_k / 4));
+    BFrag frags[8];  // tile_k <= 32 => at most 8 steps
 
     for (std::int32_t i0 = begin; i0 < end; i0 += tile_k) {
       const int cnt = std::min<std::int32_t>(tile_k, end - i0);
 
       // ---- stage the LHS fragment (indices + values) into smem ------
+      // Both staging reads are pure affine spans: `cnt` consecutive
+      // vectors of the CVS stream, one lane each.
+      const int nstage = std::min(cnt, 32);
+      const std::uint32_t stage_mask =
+          nstage >= 32 ? 0xFFFFFFFFu : (1u << nstage) - 1u;
       {
         // Indices: one lane per staged vector, LDG.32 coalesced.
-        AddrLanes addr{};
         Lanes<std::int32_t> idx{};
-        std::uint32_t mask = 0;
-        for (int l = 0; l < std::min(cnt, 32); ++l) {
-          addr[static_cast<std::size_t>(l)] =
-              a.col_idx.addr(static_cast<std::size_t>(i0 + l));
-          mask |= 1u << l;
-        }
-        w.ldg(addr, idx, mask);
-        Lanes<std::uint32_t> soff{};
-        for (int l = 0; l < std::min(cnt, 32); ++l) {
-          soff[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(l * 4);
-        }
-        w.sts(soff, idx, mask);
+        w.ldg_span(a.col_idx.addr(static_cast<std::size_t>(i0)), 4, idx,
+                   stage_mask);
+        w.sts_span(0, 4, idx, stage_mask);
         w.count(Op::kImad, 2);
       }
       {
         // Values: one V-wide vector per lane; the CVS layout keeps the
         // whole stride contiguous, so this is 128 B coalesced.
-        std::uint32_t mask = 0;
-        AddrLanes addr{};
-        for (int l = 0; l < std::min(cnt, 32); ++l) {
-          addr[static_cast<std::size_t>(l)] = a.values.addr(
-              static_cast<std::size_t>(i0 + l) * static_cast<std::size_t>(v));
-          mask |= 1u << l;
-        }
-        Lanes<std::uint32_t> soff{};
-        for (int l = 0; l < std::min(cnt, 32); ++l) {
-          soff[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(
-              tile_k * 4 + l * v * 2);
-        }
+        const std::uint64_t vbase = a.values.addr(
+            static_cast<std::size_t>(i0) * static_cast<std::size_t>(v));
+        const std::uint32_t vstride = static_cast<std::uint32_t>(v) * 2;
+        const std::uint32_t voff = static_cast<std::uint32_t>(tile_k * 4);
         switch (v) {
           case 2: {
             Lanes<half2> val;
-            w.ldg(addr, val, mask);
-            w.sts(soff, val, mask);
+            w.ldg_span(vbase, vstride, val, stage_mask);
+            w.sts_span(voff, vstride, val, stage_mask);
             break;
           }
           case 4: {
             Lanes<half4> val;
-            w.ldg(addr, val, mask);
-            w.sts(soff, val, mask);
+            w.ldg_span(vbase, vstride, val, stage_mask);
+            w.sts_span(voff, vstride, val, stage_mask);
             break;
           }
           default: {
             Lanes<half8> val;
-            w.ldg(addr, val, mask);
-            w.sts(soff, val, mask);
+            w.ldg_span(vbase, vstride, val, stage_mask);
+            w.sts_span(voff, vstride, val, stage_mask);
             break;
           }
         }
@@ -169,20 +156,18 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
       };
 
       // ---- per 4-vector step: load the 64x4 B fragment ---------------
+      // Four 8-lane segments, one per staged B row, each striding
+      // through 64 half columns (8 halves per lane).
       const auto load_bfrag = [&](int s, BFrag& f) {
         f.valid = std::min(4, cnt - 4 * s);
-        AddrLanes addr{};
-        std::uint32_t mask = 0;
-        for (int lane = 0; lane < 32; ++lane) {
-          const int j = lane / 8;  // which of the 4 B rows
-          if (j >= f.valid) continue;
-          const std::int32_t col = staged_col(4 * s + j);
-          addr[static_cast<std::size_t>(lane)] =
-              b.addr(col, n0 + 8 * (lane % 8));
-          mask |= 1u << lane;
+        std::uint64_t gbase[4] = {};
+        for (int j = 0; j < f.valid; ++j) {
+          gbase[j] = b.addr(staged_col(4 * s + j), n0);
         }
+        const std::uint32_t mask =
+            f.valid >= 4 ? 0xFFFFFFFFu : (1u << (8 * f.valid)) - 1u;
         w.count(Op::kImad, 1);
-        w.ldg(addr, f.lanes, mask);
+        w.ldg_span(gbase, 4, 8, 16, f.lanes, mask);
       };
 
       // ---- the octet-tiling MMA: (64x4)·(4xV) -------------------------
@@ -194,15 +179,29 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
           // over it in half2 units, predicated to the vectors actually
           // staged (a residue step stages fewer than 4, and the slots
           // beyond f.valid were never written).
-          Lanes<std::uint32_t> off{};
-          Lanes<half2> d;
-          std::uint32_t lmask = 0;
-          for (int lane = 0; lane < 32; ++lane) {
-            off[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
-                tile_k * 4 + 4 * s * v * 2 + (lane % (2 * v)) * 4);
-            if ((lane % (2 * v)) * 2 / v < f.valid) lmask |= 1u << lane;
+          // Lanes broadcast over the step's 8V bytes in half2 units:
+          // 32/(2V) repeated segments of width 2V, stride 4.  Active
+          // lanes are a per-segment prefix when a residue step staged
+          // fewer than 4 vectors.
+          const int swidth = 2 * v;
+          const int nseg = 32 / swidth;
+          std::uint32_t soff[16];
+          const std::uint32_t sbase =
+              static_cast<std::uint32_t>(tile_k * 4 + 4 * s * v * 2);
+          for (int seg = 0; seg < nseg; ++seg) soff[seg] = sbase;
+          std::uint32_t lmask;
+          if (f.valid >= 4) {
+            lmask = 0xFFFFFFFFu;
+          } else {
+            const int nt = std::min(swidth, f.valid * v / 2);
+            const std::uint32_t seg_bits = (1u << nt) - 1u;
+            lmask = 0;
+            for (int seg = 0; seg < nseg; ++seg) {
+              lmask |= seg_bits << (seg * swidth);
+            }
           }
-          w.lds(off, d, lmask);
+          Lanes<half2> d;
+          w.lds_span(soff, nseg, swidth, 4, d, lmask);
         }
         // Two mma.m8n8k4 (8 HMMA) cover the 64 output rows; with the
         // future-work SASS edit, STEP 2&3 vanish for V <= 4.
@@ -210,18 +209,23 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
             (params.skip_steps_for_small_v && v <= 4) ? 0x3u : 0xFu;
         w.count(Op::kHmma,
                 2 * static_cast<std::uint64_t>(std::popcount(steps_mask)));
-        // Functional math: acc[t][nn] += A[k_j][t] * B[k_j][nn].
+        // Functional math: acc[t][nn] += A[k_j][t] * B[k_j][nn].  Each
+        // accumulator element receives exactly one += of the same
+        // product as the naive loop; widening the B lane once (exact)
+        // and running e innermost only reorders independent updates.
         for (int j = 0; j < f.valid; ++j) {
           float avals[8];
           for (int t = 0; t < v; ++t) avals[t] = staged_val(4 * s + j, t);
-          for (int lane = 0; lane < 32; ++lane) {
-            if (lane / 8 != j) continue;
-            const int nn0 = 8 * (lane % 8);
-            for (int e = 0; e < 8; ++e) {
-              const float bv =
-                  static_cast<float>(f.lanes[static_cast<std::size_t>(lane)][e]);
-              for (int t = 0; t < v; ++t) {
-                acc[t][nn0 + e] += avals[t] * bv;
+          for (int lz = 0; lz < 8; ++lz) {
+            const int lane = 8 * j + lz;
+            const int nn0 = 8 * lz;
+            float bf[8];
+            half_to_float_n(f.lanes[static_cast<std::size_t>(lane)].v.data(),
+                            bf, 8);
+            for (int t = 0; t < v; ++t) {
+              const float at = avals[t];
+              for (int e = 0; e < 8; ++e) {
+                acc[t][nn0 + e] += at * bf[e];
               }
             }
           }
@@ -248,21 +252,25 @@ KernelRun spmm_octet(gpusim::Device& dev, const CvsDevice& a,
     w.count(Op::kCvt, static_cast<std::uint64_t>(v * kTileN / 32));
     const int row_groups = ceil_div(v * kTileN, 32 * 8);  // rows per STG.128
     for (int g = 0; g < row_groups; ++g) {
-      AddrLanes addr{};
+      // Each 8-lane group covers one full 64-wide output row: a
+      // 4-segment span, stride 16 B, prefix-active in the rows left.
+      std::uint64_t gbase[4] = {};
       Lanes<half8> frag{};
       std::uint32_t mask = 0;
-      for (int lane = 0; lane < 32; ++lane) {
-        const int flat = (g * 32 + lane) * 8;  // element offset in tile
-        const int t = flat / kTileN;
+      for (int seg = 0; seg < 4; ++seg) {
+        const int t = g * 4 + seg;
         if (t >= v) continue;
-        const int nn = flat % kTileN;
-        addr[static_cast<std::size_t>(lane)] = c.addr(vr * v + t, n0 + nn);
-        for (int e = 0; e < 8; ++e) {
-          frag[static_cast<std::size_t>(lane)][e] = half_t(acc[t][nn + e]);
+        gbase[seg] = c.addr(vr * v + t, n0);
+        mask |= 0xFFu << (8 * seg);
+        for (int lz = 0; lz < 8; ++lz) {
+          const int lane = 8 * seg + lz;
+          const int nn = 8 * lz;
+          for (int e = 0; e < 8; ++e) {
+            frag[static_cast<std::size_t>(lane)][e] = half_t(acc[t][nn + e]);
+          }
         }
-        mask |= 1u << lane;
       }
-      w.stg(addr, frag, mask);
+      w.stg_span(gbase, 4, 8, 16, frag, mask);
     }
   }, sim);
 

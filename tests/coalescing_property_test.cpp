@@ -10,7 +10,9 @@
 #include "vsparse/common/rng.hpp"
 #include "vsparse/fp16/vec.hpp"
 #include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
 
 namespace vsparse::gpusim {
 namespace {

@@ -1,7 +1,9 @@
 // Tests for the device arena, launch engine, and warp memory ops —
 // including the coalescing/sector accounting the paper's guideline V
 // analysis depends on.
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
 
 #include <gtest/gtest.h>
 

@@ -7,6 +7,7 @@
 
 #include "vsparse/common/rng.hpp"
 #include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
 
 namespace vsparse::gpusim {
 namespace {

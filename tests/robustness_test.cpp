@@ -23,7 +23,9 @@
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/formats/smtx_io.hpp"
 #include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
 #include "vsparse/kernels/dispatch.hpp"
 #include "vsparse/kernels/policy.hpp"
 #include "vsparse/serve/chaos.hpp"

@@ -20,11 +20,16 @@
 #include "vsparse/common/rng.hpp"
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
 #include "vsparse/gpusim/sanitizer/report.hpp"
 #include "vsparse/gpusim/trace/counters.hpp"
 #include "vsparse/gpusim/trace/trace.hpp"
 #include "vsparse/kernels/dispatch.hpp"
+
+#include "span_corpus.hpp"
 
 namespace vsparse::gpusim {
 namespace {
@@ -532,6 +537,75 @@ TEST(SanitizerSweep, ShippedSddmmCleanOnSuiteShapes) {
         << l.kernel << " reported: "
         << (l.reports.empty() ? "" : to_string(l.reports[0]));
   }
+}
+
+// ---------------------------------------------------------------------
+// Span ops under the sanitizer (DESIGN.md §2h): with any tool armed a
+// span op self-diverts onto the per-lane path, so the sanitizer sees
+// the exact per-lane access sequence.  A clean span corpus must report
+// nothing, and the diversion must not perturb results or counters —
+// neither against the unsanitized span run nor against a sanitized
+// hand-expanded per-lane run.
+
+TEST(SanitizerSpan, CorpusCleanAndUnperturbedUnderAllTools) {
+  const auto run_once = [&](bool use_span, Sanitizer* sink) {
+    Device dev(test_config(4));
+    SimOptions sim;
+    sim.threads = 1;
+    if (sink != nullptr) {
+      sim.sanitize = all_tools();
+      sim.sanitize.sink = sink;
+    }
+    return run_span_corpus(dev, use_span, sim);
+  };
+
+  Sanitizer span_sink;
+  Sanitizer lane_sink;
+  const auto span_off = run_once(true, nullptr);
+  const auto span_on = run_once(true, &span_sink);
+  const auto lane_on = run_once(false, &lane_sink);
+
+  // Zero reports on every tool for the span run.
+  ASSERT_EQ(span_sink.launches().size(), 1u);
+  EXPECT_EQ(span_sink.launches()[0].kernel, "span_corpus");
+  EXPECT_EQ(span_sink.num_reports(), 0u);
+  EXPECT_EQ(span_sink.num_reports(SanitizerTool::kRace), 0u);
+  EXPECT_EQ(span_sink.num_reports(SanitizerTool::kSync), 0u);
+  EXPECT_EQ(span_sink.num_reports(SanitizerTool::kInit), 0u);
+  EXPECT_EQ(span_sink.num_reports(SanitizerTool::kBounds), 0u);
+  EXPECT_EQ(lane_sink.num_reports(), 0u);
+
+  // The divert is invisible: sanitized span == unsanitized span ==
+  // sanitized per-lane, in bits and counters.
+  EXPECT_EQ(span_off.dst_bits, span_on.dst_bits);
+  EXPECT_TRUE(counters_equal(span_off.total, span_on.total))
+      << "sanitized span run perturbed counters";
+  EXPECT_EQ(span_on.dst_bits, lane_on.dst_bits);
+  EXPECT_TRUE(counters_equal(span_on.total, lane_on.total))
+      << "span and per-lane differ under the sanitizer";
+}
+
+TEST(SanitizerSpan, RacecheckSeesThroughSpanStores) {
+  // Two warps sts_span to the same smem words with no barrier: the
+  // span store must not mask the race from racecheck.
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.cta_threads = 64;
+  cfg.smem_bytes = 256;
+  cfg.profile.name = "span_race";
+  const auto rec = run_seeded(cfg, only(true, false, false, false),
+                              [&](Device&) {
+    return [](Cta& cta) {
+      Lanes<std::uint32_t> v{};
+      Warp w0 = cta.warp(0);
+      Warp w1 = cta.warp(1);
+      w0.sts_span(0, 4, v);
+      w1.sts_span(0, 4, v);  // WAW with warp 0, no barrier
+    };
+  });
+  EXPECT_EQ(rec.reports.size(), 1u);
+  ASSERT_FALSE(rec.reports.empty());
+  EXPECT_EQ(rec.reports[0].tool(), SanitizerTool::kRace);
 }
 
 }  // namespace

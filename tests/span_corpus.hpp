@@ -1,0 +1,176 @@
+// Shared span-vs-per-lane access corpus: one kernel body that issues
+// the same logical warp accesses either through the span descriptors
+// (ldg_span/stg_span/lds_span/sts_span) or through hand-expanded
+// per-lane address arrays.  The engine contract (DESIGN.md §2h) says
+// the two must be bit- and counter-identical — under plain runs, under
+// fault injection (spans self-divert), and under the sanitizer.  Used
+// by engine_threads_test.cpp and sanitizer_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsparse/fp16/vec.hpp"
+#include "vsparse/gpusim/device.hpp"
+#include "vsparse/gpusim/engine/lanes.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
+
+namespace vsparse::gpusim {
+
+/// Result of one corpus launch: the functional output plus counters.
+struct SpanCorpusRun {
+  std::vector<std::uint16_t> dst_bits;
+  KernelStats total;
+  std::vector<KernelStats> per_sm;
+  std::uint64_t src_addr = 0;  ///< device address of src[0] (fault targets)
+};
+
+/// Launch the corpus on `dev`.  Every CTA works a private 1024-half
+/// region and exercises: a uniform (stride-0) global broadcast, an
+/// affine vector load under a prefix mask, a four-segment gather, an
+/// affine smem round-trip plus a stride-0 smem broadcast, an affine
+/// writeback, and a two-segment store with per-segment prefix masks.
+/// With use_span the patterns go through the span ops; without it the
+/// same addresses are expanded into per-lane arrays.
+inline SpanCorpusRun run_span_corpus(Device& dev, bool use_span,
+                                     const SimOptions& sim_in) {
+  SpanCorpusRun run;
+  SimOptions sim = sim_in;
+  sim.per_sm_stats = &run.per_sm;
+
+  constexpr int kCtas = 4;
+  constexpr std::size_t kRegion = 1024;  // halves per CTA
+  std::vector<half_t> init(kCtas * kRegion);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    init[i] = half_t::from_bits(static_cast<std::uint16_t>(0x3C00u + i * 7));
+  }
+  auto src = dev.alloc_copy<half_t>(init, "corpus_src");
+  auto dst = dev.alloc<half_t>(init.size(), "corpus_dst");
+  run.src_addr = src.addr();
+
+  LaunchConfig cfg;
+  cfg.grid = kCtas;
+  cfg.cta_threads = 32;
+  cfg.smem_bytes = 1024;
+  cfg.profile.name = use_span ? "span_corpus" : "lane_corpus";
+
+  run.total = launch(dev, cfg, [&](Cta& cta) {
+    const std::size_t base =
+        static_cast<std::size_t>(cta.cta_id()) * kRegion;
+    Warp w = cta.warp(0);
+
+    // -- uniform: every lane reads the same half (stride 0) ------------
+    Lanes<half_t> u{};
+    if (use_span) {
+      w.ldg_span(src.addr(base), 0, u);
+    } else {
+      AddrLanes addr{};
+      for (int l = 0; l < 32; ++l) addr[static_cast<std::size_t>(l)] =
+          src.addr(base);
+      w.ldg(addr, u);
+    }
+
+    // -- affine half2 load, 20-lane prefix mask ------------------------
+    const std::uint32_t pmask = (1u << 20) - 1u;
+    Lanes<half2> av{};
+    if (use_span) {
+      w.ldg_span(src.addr(base + 32), 4, av, pmask);
+    } else {
+      AddrLanes addr{};
+      for (int l = 0; l < 20; ++l) {
+        addr[static_cast<std::size_t>(l)] =
+            src.addr(base + 32 + 2 * static_cast<std::size_t>(l));
+      }
+      w.ldg(addr, av, pmask);
+    }
+
+    // -- segmented gather: 4 segments x 8 lanes, 16 B stride,
+    //    irregularly spaced (16 B aligned) bases ----------------------
+    std::uint64_t gbase[4];
+    for (int seg = 0; seg < 4; ++seg) {
+      gbase[seg] = src.addr(base + 128 + 168 * static_cast<std::size_t>(seg));
+    }
+    Lanes<half8> sv{};
+    if (use_span) {
+      w.ldg_span(gbase, 4, 8, 16, sv);
+    } else {
+      AddrLanes addr{};
+      for (int l = 0; l < 32; ++l) {
+        addr[static_cast<std::size_t>(l)] =
+            gbase[l / 8] + 16u * static_cast<std::uint32_t>(l % 8);
+      }
+      w.ldg(addr, sv);
+    }
+
+    // -- smem round-trip: affine sts/lds + stride-0 broadcast ----------
+    if (use_span) {
+      w.sts_span(0, 16, sv);
+    } else {
+      Lanes<std::uint32_t> off{};
+      for (int l = 0; l < 32; ++l) off[static_cast<std::size_t>(l)] =
+          16u * static_cast<std::uint32_t>(l);
+      w.sts(off, sv);
+    }
+    cta.sync();
+    Lanes<half8> rv{};
+    Lanes<half8> bv{};
+    if (use_span) {
+      w.lds_span(0, 16, rv);
+      w.lds_span(64, 0, bv);  // uniform smem broadcast
+    } else {
+      Lanes<std::uint32_t> off{};
+      for (int l = 0; l < 32; ++l) off[static_cast<std::size_t>(l)] =
+          16u * static_cast<std::uint32_t>(l);
+      w.lds(off, rv);
+      Lanes<std::uint32_t> uoff{};
+      for (int l = 0; l < 32; ++l) uoff[static_cast<std::size_t>(l)] = 64u;
+      w.lds(uoff, bv);
+    }
+
+    // -- combine (pure per-lane bit math, identical in both variants) --
+    Lanes<half8> outv{};
+    for (int l = 0; l < 32; ++l) {
+      for (int e = 0; e < 8; ++e) {
+        const std::uint16_t bits =
+            static_cast<std::uint16_t>(rv[static_cast<std::size_t>(l)][e].bits() ^
+                                       bv[static_cast<std::size_t>(l)][e].bits() ^
+                                       u[static_cast<std::size_t>(l)].bits());
+        outv[static_cast<std::size_t>(l)][e] = half_t::from_bits(bits);
+      }
+    }
+
+    // -- affine writeback ----------------------------------------------
+    if (use_span) {
+      w.stg_span(dst.addr(base), 16, outv);
+    } else {
+      AddrLanes addr{};
+      for (int l = 0; l < 32; ++l) {
+        addr[static_cast<std::size_t>(l)] =
+            dst.addr(base + 8 * static_cast<std::size_t>(l));
+      }
+      w.stg(addr, outv);
+    }
+
+    // -- segmented store: 2 segments x 16 lanes, 14-lane prefixes ------
+    const std::uint32_t smask = 0x3FFFu | (0x3FFFu << 16);
+    std::uint64_t sbase[2] = {dst.addr(base + 512), dst.addr(base + 600)};
+    if (use_span) {
+      w.stg_span(sbase, 2, 16, 4, av, smask);
+    } else {
+      AddrLanes addr{};
+      for (int l = 0; l < 32; ++l) {
+        if (!(smask & (1u << l))) continue;
+        addr[static_cast<std::size_t>(l)] =
+            sbase[l / 16] + 4u * static_cast<std::uint32_t>(l % 16);
+      }
+      w.stg(addr, av, smask);
+    }
+  }, sim);
+
+  for (half_t h : dst.host()) run.dst_bits.push_back(h.bits());
+  return run;
+}
+
+}  // namespace vsparse::gpusim

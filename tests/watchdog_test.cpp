@@ -10,7 +10,9 @@
 #include "vsparse/common/rng.hpp"
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/exec.hpp"
+#include "vsparse/gpusim/engine/launch.hpp"
+#include "vsparse/gpusim/engine/launch_config.hpp"
+#include "vsparse/gpusim/engine/sim_options.hpp"
 #include "vsparse/gpusim/faults.hpp"
 #include "vsparse/kernels/spmm/spmm_octet.hpp"
 

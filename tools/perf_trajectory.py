@@ -3,7 +3,13 @@
 
 The bench drivers end every run with a machine-readable line:
 
-  # throughput: {"sim_ctas":N,"wall_seconds":S,"ctas_per_sec":R,"threads":T}
+  # throughput: {"sim_ctas":N,"wall_seconds":S,"ctas_per_sec":R,"threads":T,
+  #               "threads_source":"flag|env|default","host_cores":C}
+
+Newer drivers also report where the thread count came from and the
+host's hardware concurrency; both are copied into recorded entries so
+the trajectory is self-describing about what machine shape produced
+each number (older stdout without them still parses).
 
 This tool keeps a committed trajectory file (one entry per PR) and
 compares a fresh run against the last recorded entry:
@@ -77,13 +83,19 @@ def cmd_check(traj_path, stdout_path, tolerance):
 def cmd_record(traj_path, stdout_path, label):
     doc = load_trajectory(traj_path)
     rec = parse_throughput(stdout_path)
-    doc["entries"].append({
+    entry = {
         "label": label,
         "sim_ctas": rec["sim_ctas"],
         "wall_seconds": rec["wall_seconds"],
         "ctas_per_sec": rec["ctas_per_sec"],
         "threads": rec["threads"],
-    })
+    }
+    # Provenance fields (newer drivers only): which source set the
+    # thread count and how many host cores the recording machine had.
+    for field in ("threads_source", "host_cores"):
+        if field in rec:
+            entry[field] = rec[field]
+    doc["entries"].append(entry)
     with open(traj_path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
