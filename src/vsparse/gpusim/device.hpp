@@ -32,6 +32,22 @@ namespace vsparse::gpusim {
 class Device;
 class FaultPlan;
 
+/// Device-level fault domain — the whole-device failure modes the
+/// serving fleet's chaos layer arms (contrast FaultPlan, which strikes
+/// individual loads/MMAs inside an otherwise healthy launch):
+///
+///   kWedged  every launch times out before scheduling a single CTA
+///            (vsparse::Error{kLaunchTimeout, "gpusim.device.wedged"})
+///   kDead    the device is lost permanently
+///            (vsparse::Error{kDeviceLost, "gpusim.device.lost"})
+///
+/// kNone is the default and the only state a fault-free run can
+/// observe, so the check on the launch path costs one predictable
+/// branch and the bit/counter-identity contract is untouched.
+enum class DeviceFault : int { kNone = 0, kWedged, kDead };
+
+const char* device_fault_name(DeviceFault fault);
+
 /// One allocation as seen by diagnostics: the sanitizer's boundscheck
 /// snapshots the allocation table at launch start (sorted by address)
 /// and `Device::translate` names the nearest allocation in its OOB
@@ -101,7 +117,8 @@ class Device {
         allocations_(std::move(other.allocations_)),
         l2_(std::move(other.l2_)),
         sim_options_(other.sim_options_),
-        fault_plan_(other.fault_plan_) {}
+        fault_plan_(other.fault_plan_),
+        device_fault_(other.device_fault_) {}
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
   Device& operator=(Device&&) = delete;
@@ -236,6 +253,14 @@ class Device {
   void set_fault_plan(FaultPlan* plan);
   FaultPlan* fault_plan() const { return fault_plan_; }
 
+  /// Arm (or clear, with kNone) a device-level fault domain.  Checked
+  /// once at launch entry (engine_detail::check_device_serviceable)
+  /// before any CTA is scheduled; survives reset() deliberately — a
+  /// wedged device stays wedged until the fleet's chaos window ends,
+  /// however many requests are retried on it in between.
+  void set_device_fault(DeviceFault fault) { device_fault_ = fault; }
+  DeviceFault device_fault() const { return device_fault_; }
+
  private:
   struct AllocInfo {
     std::size_t bytes = 0;
@@ -265,6 +290,7 @@ class Device {
   ShardedCache l2_;
   SimOptions sim_options_;
   FaultPlan* fault_plan_ = nullptr;
+  DeviceFault device_fault_ = DeviceFault::kNone;
 };
 
 template <class T>

@@ -123,6 +123,23 @@ void note_simulated_ctas(std::uint64_t ctas) {
   g_total_ctas.fetch_add(ctas, std::memory_order_relaxed);
 }
 
+void check_device_serviceable(const Device& dev) {
+  switch (dev.device_fault()) {
+    case DeviceFault::kNone:
+      return;
+    case DeviceFault::kWedged:
+      // Deliberately a plain taxonomy error, not LaunchTimeoutError: no
+      // CTA ever ran, so there is no per-SM progress to dump, and the
+      // stable site string keeps serve reports byte-identical.
+      throw Error(ErrorCode::kLaunchTimeout, "gpusim.device.wedged",
+                  "device is wedged: launch timed out before any CTA was "
+                  "scheduled");
+    case DeviceFault::kDead:
+      throw Error(ErrorCode::kDeviceLost, "gpusim.device.lost",
+                  "device is lost: permanent fault-domain failure");
+  }
+}
+
 }  // namespace engine_detail
 
 std::uint64_t total_simulated_ctas() {

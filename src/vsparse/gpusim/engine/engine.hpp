@@ -73,6 +73,11 @@ void finish_sanitizer(Sanitizer& sink, const LaunchConfig& cfg,
 /// Add to the process-wide simulated-CTA counter.
 void note_simulated_ctas(std::uint64_t ctas);
 
+/// Throw the device's armed fault-domain error (wedge/death), if any.
+/// Called at launch entry before any CTA is scheduled; a kNone device
+/// returns immediately, keeping the fault-free path bit-identical.
+void check_device_serviceable(const Device& dev);
+
 }  // namespace engine_detail
 
 }  // namespace vsparse::gpusim

@@ -83,6 +83,7 @@ template <class Body>
 KernelStats run_launch_direct(Device& dev, const LaunchConfig& cfg,
                               Body&& body_in, const SimOptions& opts = {}) {
   auto& body = body_in;  // run to completion before return; by-ref is safe
+  engine_detail::check_device_serviceable(dev);
   VSPARSE_CHECK(cfg.grid >= 1);
   VSPARSE_CHECK(cfg.cta_threads >= 32 && cfg.cta_threads <= 1024 &&
                 cfg.cta_threads % 32 == 0);

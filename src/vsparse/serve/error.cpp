@@ -24,6 +24,7 @@ constexpr CodeRow kCodes[kNumErrorCodes] = {
     /* kEccUncorrectable */ {"ecc_uncorrectable", true, true},
     /* kLaunchTimeout    */ {"launch_timeout", false, true},
     /* kAbftExhausted    */ {"abft_exhausted", true, true},
+    /* kDeviceLost       */ {"device_lost", false, false},
     /* kInternal         */ {"internal", false, false},
 };
 

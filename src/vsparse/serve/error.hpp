@@ -41,6 +41,7 @@ enum class ErrorCode : int {
   kEccUncorrectable,     ///< SEC-DED detected a double-bit upset
   kLaunchTimeout,        ///< watchdog per-CTA op budget exceeded
   kAbftExhausted,        ///< ABFT retries spent, tiles still corrupted
+  kDeviceLost,           ///< whole-device fault domain failed permanently
   kInternal,             ///< unclassified invariant violation
   kNumCodes
 };

@@ -136,6 +136,14 @@ BreakerState HealthTracker::state(const std::string& kernel) const {
   return it == circuits_.end() ? BreakerState::kClosed : it->second.state;
 }
 
+std::vector<std::string> HealthTracker::open_kernels() const {
+  std::vector<std::string> open;
+  for (const auto& [kernel, c] : circuits_) {
+    if (c.state == BreakerState::kOpen) open.push_back(kernel);
+  }
+  return open;
+}
+
 std::string HealthTracker::events_json() const {
   std::ostringstream os;
   os << "[";

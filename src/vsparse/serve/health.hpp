@@ -101,6 +101,12 @@ class HealthTracker {
   static bool gate(void* ctx, const char* kernel, bool abft);
 
   BreakerState state(const std::string& kernel) const;
+
+  /// Health keys whose breakers are currently Open, in map (sorted)
+  /// order — the flight recorder snapshots this so a replay can rebuild
+  /// the exact gate the failing request ran under.
+  std::vector<std::string> open_kernels() const;
+
   const Totals& totals() const { return totals_; }
   const std::vector<HealthEvent>& events() const { return events_; }
 

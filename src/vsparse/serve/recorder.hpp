@@ -1,0 +1,129 @@
+// Failure flight recorder — deterministic repro bundles for serving
+// failures.
+//
+// When a supervised request exhausts its ladder on a fleet worker, the
+// scheduler captures everything needed to re-execute that one request
+// standalone: the seed-derived request identity, the chaos environment
+// the placement ran under (device fault state, ECC arming, watchdog
+// budget), the supervisor policy (retry schedule, quota, the set of
+// quarantined kernels gating the ladder at placement time), and the
+// *failure signature* — the flattened attempt trail (rung, attempt
+// ordinal, outcome, taxonomy code) plus the final classification.
+//
+// A bundle serializes as vsparse-repro-v1 JSON; tools/replay (or
+// replay_bundle below, which it wraps) rebuilds a fresh device, arms
+// the recorded fault state, re-runs execute_request — literally the
+// code the fleet ran — and diffs the resulting signature against the
+// captured one.  Same bundle => same signature, bit for bit: the
+// repro is the contract, not a best-effort hint.
+//
+// Everything in a bundle is simulated-clock/seed-derived; no wall
+// time, no host pointers, so bundles are portable across machines and
+// thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vsparse/serve/fleet.hpp"
+#include "vsparse/serve/report.hpp"
+
+namespace vsparse::serve {
+
+/// One captured failure, ready to serialize / replay.
+struct ReproBundle {
+  /// Trace request id (informational — ties the bundle to the load
+  /// report's request ledger).
+  std::uint64_t request_id = 0;
+  /// Simulated tick the failing placement started at.
+  std::uint64_t tick = 0;
+  /// Fleet worker the placement ran on.
+  int device = 0;
+
+  RequestSpec spec;
+
+  // The execution environment at placement time.
+  int threads = 1;
+  bool ecc_burst = false;
+  std::uint64_t watchdog_cta_ops = 0;
+  /// Armed device fault-domain state: "none" | "wedged" | "dead".
+  std::string device_fault = "none";
+
+  // Supervisor policy at placement time.
+  std::size_t memory_quota_bytes = 0;
+  RetryPolicy retry;
+  /// Supervisor report numbering starts here on replay, so replayed
+  /// reports carry the captured ids.
+  std::uint64_t first_request_id = 0;
+  /// Health keys whose breakers were Open at placement — replay gates
+  /// the ladder with exactly this set.
+  std::vector<std::string> open_kernels;
+
+  /// splitmix64 digest over the identity fields above — a cheap
+  /// equality check between a bundle and a ledger entry.
+  std::uint64_t options_digest = 0;
+
+  /// Canonical failure-signature JSON (signature_json output): the
+  /// flattened attempt trail + final taxonomy classification.  Replay
+  /// compares this string byte-for-byte.
+  std::string signature;
+
+  std::uint64_t compute_digest() const;
+  std::string to_json() const;
+};
+
+/// Canonical signature of one placement's report window: every attempt
+/// of every report in [reports.begin()+first, reports.end()), flattened,
+/// plus the final classification.  Built identically at capture and at
+/// replay, so signature equality is string equality.
+std::string signature_json(const std::vector<ServeReport>& reports,
+                           std::size_t first, const ExecOutcome& outcome);
+
+/// Parse one vsparse-repro-v1 document.  Raises vsparse::Error
+/// (kMalformedFormat, site "serve.recorder") on anything malformed —
+/// a repro bundle is an external artifact and gets external-artifact
+/// treatment.  Accepts both a whole recorder document
+/// ({"schema":"vsparse-repro-v1","bundles":[...]}) and a single bare
+/// bundle object; returns every bundle found.
+std::vector<ReproBundle> parse_repro_json(std::string_view text);
+
+/// Bounded capture buffer the scheduler owns: the first `capacity`
+/// failures are kept, later ones are counted as dropped (a chaos soak
+/// can fail hundreds of requests; the artifact stays small).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True if the bundle was kept (digest stamped here).
+  bool capture(ReproBundle bundle);
+
+  const std::vector<ReproBundle>& bundles() const { return bundles_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// {"schema":"vsparse-repro-v1","bundles":[...],"dropped":N}
+  std::string to_json() const;
+
+ private:
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<ReproBundle> bundles_;
+};
+
+/// Outcome of re-executing one bundle.
+struct ReplayResult {
+  /// Replayed signature == captured signature, byte for byte.
+  bool signature_match = false;
+  std::string expected_signature;  ///< from the bundle
+  std::string got_signature;      ///< rebuilt by the replay
+  ExecOutcome outcome;            ///< the replay's execution outcome
+};
+
+/// Re-execute `bundle` on a fresh device: rebuild the recorded policy
+/// (retry, quota, static quarantine gate), arm the recorded fault
+/// state, run execute_request, and diff signatures.
+ReplayResult replay_bundle(const ReproBundle& bundle);
+
+}  // namespace vsparse::serve

@@ -1,21 +1,15 @@
 #include "vsparse/serve/scheduler.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <deque>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+#include <utility>
 
-#include "vsparse/common/rng.hpp"
-#include "vsparse/formats/cvs.hpp"
-#include "vsparse/formats/dense.hpp"
-#include "vsparse/formats/generate.hpp"
 #include "vsparse/gpusim/device.hpp"
-#include "vsparse/gpusim/faults.hpp"
-#include "vsparse/kernels/dispatch.hpp"
 #include "vsparse/kernels/policy.hpp"
-#include "vsparse/kernels/softmax/sparse_softmax.hpp"
+#include "vsparse/serve/recorder.hpp"
 #include "vsparse/serve/supervisor.hpp"
 
 namespace vsparse::serve {
@@ -30,15 +24,10 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Fixed dispatch/teardown charge per supervised attempt, and the
-/// memory quota a kMemPressure storm clamps requests to (small enough
-/// that the dense-decode ladder workspace of a 128-row request no
-/// longer fits).
-constexpr std::uint64_t kDispatchOverheadTicks = 2000;
+/// The memory quota a kMemPressure storm clamps requests to (small
+/// enough that the dense-decode ladder workspace of a 128-row request
+/// no longer fits).
 constexpr std::size_t kPressureQuotaBytes = std::size_t{16} << 10;
-/// kBrownout watchdog budget: tight enough to kill the TCU kernels'
-/// CTAs on 128-row shapes, loose enough that the trace keeps moving.
-constexpr std::uint64_t kBrownoutCtaOps = 256;
 
 struct TraceRequest {
   int id = 0;
@@ -81,7 +70,7 @@ std::vector<TraceRequest> build_trace(const LoadConfig& config,
       }
       pick -= w;
     }
-    r.deadline = arrival + tenants[r.tenant].deadline_ticks;
+    r.deadline = arrival + tenants[static_cast<std::size_t>(r.tenant)].deadline_ticks;
 
     switch (mix64(h ^ 0x09) % 4) {
       case 0:
@@ -109,270 +98,6 @@ std::vector<TraceRequest> build_trace(const LoadConfig& config,
   return trace;
 }
 
-// Force integer values so every ladder rung — including the dense-GEMM
-// decode, whose fp16 accumulation order differs — is bit-identical to
-// the fault-free run (the soak's recovery-contract idiom).
-void make_integer_values(std::vector<half_t>& values, std::uint64_t seed) {
-  for (std::size_t j = 0; j < values.size(); ++j) {
-    const std::uint64_t hv = mix64(seed ^ (0x7a1ee5 + j));
-    const float mag = static_cast<float>(1 + (hv % 3));
-    values[j] = half_t((hv & 8) ? mag : -mag);
-  }
-}
-
-/// Service ticks of one completed kernel run — SM-local counters only
-/// (never the L2 split or DRAM bytes, which vary at --threads>1).
-std::uint64_t service_of_run(const kernels::KernelRun& run) {
-  const gpusim::KernelStats& s = run.stats;
-  return s.total_instructions() + 4 * s.l1_sector_misses + s.smem_wavefronts;
-}
-
-/// Service ticks of one supervised report: per-attempt dispatch
-/// overhead + recorded backoff + the successful run's modeled work.
-std::uint64_t service_of_report(const ServeReport& rep) {
-  std::uint64_t svc = kDispatchOverheadTicks *
-                      std::max<std::uint64_t>(1, rep.attempts.size());
-  svc += rep.backoff_cycles;
-  if (rep.completed) svc += service_of_run(rep.run);
-  return svc;
-}
-
-struct ExecResult {
-  bool completed = false;
-  bool rejected = false;  ///< supervisor admission (quota)
-  std::uint64_t service = kDispatchOverheadTicks;
-  std::uint64_t ctas = 0;
-  bool bit_exact = true;
-  bool counters_exact = true;
-};
-
-void fold_report(ExecResult& out, const ServeReport& rep) {
-  out.service += service_of_report(rep);
-  if (rep.completed) out.ctas += rep.run.stats.ctas_launched;
-}
-
-ExecResult run_spmm_request(const LoadConfig& config, Supervisor& sup,
-                            gpusim::Device& ref_dev, const TraceRequest& req,
-                            const ChaosActive& active, bool verify) {
-  gpusim::Device& dev = sup.device();
-  Rng rng(req.data_seed);
-  Cvs a_host = make_cvs(req.m, req.k, req.v, req.sparsity, rng);
-  make_integer_values(a_host.values, req.data_seed);
-  DenseMatrix<half_t> b_host(req.k, 64);
-  b_host.fill_random_int(rng);
-  DenseMatrix<half_t> c_host(req.m, 64);
-
-  CvsDevice a = to_device(dev, a_host);
-  DenseDevice<half_t> b = to_device(dev, b_host);
-  DenseDevice<half_t> c = to_device(dev, c_host);
-
-  // ECC burst: a sticky double-bit upset parked on the sparse operand
-  // — the octet rungs keep detecting it until the ladder re-encodes A
-  // at fresh addresses, and the repeated failures trip the breaker.
-  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
-                         /*ecc_enabled=*/true);
-  const bool armed = active.ecc_burst;
-  if (armed) {
-    plan.add_target({gpusim::FaultSite::kDramRead, a.values.addr(0),
-                     /*bit=*/1, /*n_bits=*/2, /*sticky=*/true});
-    dev.set_fault_plan(&plan);
-  }
-
-  kernels::SpmmOptions options;
-  options.sim.threads = config.threads;
-  if (active.brownout) options.sim.watchdog_cta_ops = kBrownoutCtaOps;
-
-  const ServeReport& report = sup.submit_spmm(a, b, c, options);
-  if (armed) dev.set_fault_plan(nullptr);
-
-  ExecResult out;
-  out.completed = report.completed;
-  out.rejected = report.rejected;
-  fold_report(out, report);
-  if (verify && report.completed) {
-    ref_dev.reset();
-    CvsDevice ra = to_device(ref_dev, a_host);
-    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
-    DenseDevice<half_t> rc = to_device(ref_dev, c_host);
-    const kernels::KernelRun ref =
-        kernels::spmm(ref_dev, ra, rb, rc, {.sim = {.threads = config.threads}});
-    const auto got = c.buf.host();
-    const auto want = rc.buf.host();
-    out.bit_exact = got.size() == want.size() &&
-                    std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
-    out.counters_exact = report.run.stats.sm_local_equal(ref.stats);
-
-  }
-  return out;
-}
-
-ExecResult run_sddmm_request(const LoadConfig& config, Supervisor& sup,
-                             gpusim::Device& ref_dev, const TraceRequest& req,
-                             const ChaosActive& active, bool verify) {
-  gpusim::Device& dev = sup.device();
-  Rng rng(req.data_seed);
-  DenseMatrix<half_t> a_host(req.m, req.k);
-  a_host.fill_random_int(rng);
-  DenseMatrix<half_t> b_host(req.k, 64, Layout::kColMajor);
-  b_host.fill_random_int(rng);
-  Cvs mask_host = make_cvs_mask(req.m, 64, req.v, req.sparsity, rng);
-
-  DenseDevice<half_t> a = to_device(dev, a_host);
-  DenseDevice<half_t> b = to_device(dev, b_host);
-  CvsDevice mask = to_device(dev, mask_host);
-  auto out_values = dev.alloc<half_t>(mask_host.values.size());
-
-  // The SDDMM ladder has no re-encode rung, so a sticky target would
-  // fail every rung; ECC bursts hit it with rate-based single-bit
-  // upsets instead — corrected in flight, but counted by the engine.
-  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
-                         /*ecc_enabled=*/true);
-  const bool armed = active.ecc_burst;
-  if (armed) {
-    plan.set_rates({.dram_read = 1e-4});
-    dev.set_fault_plan(&plan);
-  }
-
-  kernels::SddmmOptions options;
-  options.sim.threads = config.threads;
-  if (active.brownout) options.sim.watchdog_cta_ops = kBrownoutCtaOps;
-
-  const ServeReport& report = sup.submit_sddmm(a, b, mask, out_values, options);
-  if (armed) dev.set_fault_plan(nullptr);
-
-  ExecResult out;
-  out.completed = report.completed;
-  out.rejected = report.rejected;
-  fold_report(out, report);
-  if (verify && report.completed) {
-    ref_dev.reset();
-    DenseDevice<half_t> ra = to_device(ref_dev, a_host);
-    DenseDevice<half_t> rb = to_device(ref_dev, b_host);
-    CvsDevice rmask = to_device(ref_dev, mask_host);
-    auto rout = ref_dev.alloc<half_t>(mask_host.values.size());
-    const kernels::KernelRun ref = kernels::sddmm(
-        ref_dev, ra, rb, rmask, rout, {.sim = {.threads = config.threads}});
-    const auto got = out_values.host();
-    const auto want = rout.host();
-    out.bit_exact = got.size() == want.size() &&
-                    std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
-    out.counters_exact = report.run.stats.sm_local_equal(ref.stats);
-
-  }
-  return out;
-}
-
-// Attention composed scheduler-side from its supervised stages (the
-// same QKᵀ∘C -> sparse softmax -> AV pipeline as transformer/
-// attention.cpp, with both matrix products inside the fault boundary).
-// The AV stage is skipped when QK fails, so supervisor numbering stays
-// dense and a failed head costs one report, not two.
-ExecResult run_attention_request(const LoadConfig& config, Supervisor& sup,
-                                 gpusim::Device& ref_dev,
-                                 const TraceRequest& req,
-                                 const ChaosActive& active, bool verify) {
-  gpusim::Device& dev = sup.device();
-  const int seq = req.m;
-  const int d = req.k;
-  Rng rng(req.data_seed);
-  DenseMatrix<half_t> q_host(seq, d);
-  q_host.fill_random_int(rng);
-  DenseMatrix<half_t> k_host(seq, d);
-  k_host.fill_random_int(rng);
-  DenseMatrix<half_t> v_host(seq, d);
-  v_host.fill_random_int(rng);
-  Cvs mask_host = make_cvs_mask(seq, seq, req.v, req.sparsity, rng);
-
-  DenseDevice<half_t> q = to_device(dev, q_host);
-  DenseDevice<half_t> k = to_device(dev, k_host);
-  DenseDevice<half_t> v = to_device(dev, v_host);
-  CvsDevice mask = to_device(dev, mask_host);
-  auto scratch = dev.alloc<half_t>(mask_host.values.size());
-  DenseMatrix<half_t> out_host(seq, d);
-  DenseDevice<half_t> out = to_device(dev, out_host);
-
-  gpusim::FaultPlan plan(mix64(req.data_seed ^ 0x570) | 1,
-                         /*ecc_enabled=*/true);
-  const bool armed = active.ecc_burst;
-  if (armed) {
-    plan.set_rates({.dram_read = 1e-4});
-    dev.set_fault_plan(&plan);
-  }
-
-  kernels::SddmmOptions qk_options;
-  qk_options.algorithm = kernels::SddmmAlgorithm::kOctet;
-  qk_options.sim.threads = config.threads;
-  if (active.brownout) qk_options.sim.watchdog_cta_ops = kBrownoutCtaOps;
-
-  DenseDevice<half_t> kt{k.buf, d, seq, k.ld, Layout::kColMajor};
-  const ServeReport& qk_report =
-      sup.submit_sddmm(q, kt, mask, scratch, qk_options);
-
-  ExecResult out_res;
-  out_res.rejected = qk_report.rejected;
-  fold_report(out_res, qk_report);
-  if (!qk_report.completed) {
-    if (armed) dev.set_fault_plan(nullptr);
-    return out_res;  // completed stays false; AV is skipped
-  }
-  // The AV submit below appends to the supervisor's report vector,
-  // which may reallocate and invalidate qk_report — copy the stats the
-  // verify pass needs while the reference is still live.
-  const gpusim::KernelStats qk_stats = qk_report.run.stats;
-
-  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
-  const kernels::KernelRun softmax_run =
-      kernels::sparse_softmax(dev, mask, scratch, scratch, scale);
-  out_res.service += service_of_run(softmax_run);
-  out_res.ctas += softmax_run.stats.ctas_launched;
-
-  CvsDevice probs = mask;
-  probs.values = scratch;
-  kernels::SpmmOptions av_options;
-  av_options.algorithm = kernels::SpmmAlgorithm::kOctet;
-  av_options.sim.threads = config.threads;
-  if (active.brownout) av_options.sim.watchdog_cta_ops = kBrownoutCtaOps;
-
-  const ServeReport& av_report = sup.submit_spmm(probs, v, out, av_options);
-  if (armed) dev.set_fault_plan(nullptr);
-
-  out_res.completed = av_report.completed;
-  out_res.rejected = out_res.rejected || av_report.rejected;
-  fold_report(out_res, av_report);
-  if (verify && out_res.completed) {
-    ref_dev.reset();
-    DenseDevice<half_t> rq = to_device(ref_dev, q_host);
-    DenseDevice<half_t> rk = to_device(ref_dev, k_host);
-    DenseDevice<half_t> rv = to_device(ref_dev, v_host);
-    CvsDevice rmask = to_device(ref_dev, mask_host);
-    auto rscratch = ref_dev.alloc<half_t>(mask_host.values.size());
-    DenseDevice<half_t> rout = to_device(ref_dev, out_host);
-    DenseDevice<half_t> rkt{rk.buf, d, seq, rk.ld, Layout::kColMajor};
-    const kernels::KernelRun ref_qk = kernels::sddmm(
-        ref_dev, rq, rkt, rmask, rscratch,
-        {.algorithm = kernels::SddmmAlgorithm::kOctet,
-         .sim = {.threads = config.threads}});
-    const kernels::KernelRun ref_softmax =
-        kernels::sparse_softmax(ref_dev, rmask, rscratch, rscratch, scale);
-    CvsDevice rprobs = rmask;
-    rprobs.values = rscratch;
-    const kernels::KernelRun ref_av =
-        kernels::spmm(ref_dev, rprobs, rv, rout,
-                      {.algorithm = kernels::SpmmAlgorithm::kOctet,
-                       .sim = {.threads = config.threads}});
-    const auto got = out.buf.host();
-    const auto want = rout.buf.host();
-    out_res.bit_exact =
-        got.size() == want.size() &&
-        std::memcmp(got.data(), want.data(), got.size_bytes()) == 0;
-    out_res.counters_exact =
-        qk_stats.sm_local_equal(ref_qk.stats) &&
-        softmax_run.stats.sm_local_equal(ref_softmax.stats) &&
-        av_report.run.stats.sm_local_equal(ref_av.stats);
-  }
-  return out_res;
-}
-
 std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int p) {
   if (sorted.empty()) return 0;
   return sorted[(sorted.size() - 1) * static_cast<std::size_t>(p) / 100];
@@ -397,49 +122,107 @@ void append_tenant_json(std::ostringstream& os, const TenantStats& s) {
      << ",\"max_latency_ticks\":" << s.max_latency_ticks << "}";
 }
 
+void validate_load_config(const LoadConfig& config,
+                          const std::vector<TenantSpec>& tenants) {
+  VSPARSE_CHECK_RAISE(config.requests > 0, ErrorCode::kBadDispatch,
+                      "serve.scheduler",
+                      "requests must be positive, got " << config.requests);
+  VSPARSE_CHECK_RAISE(config.threads >= 1, ErrorCode::kBadDispatch,
+                      "serve.scheduler",
+                      "threads must be >= 1, got " << config.threads);
+  VSPARSE_CHECK_RAISE(config.mean_gap_ticks >= 1, ErrorCode::kBadDispatch,
+                      "serve.scheduler", "mean_gap_ticks must be >= 1");
+  VSPARSE_CHECK_RAISE(config.devices >= 1 && config.devices <= 32,
+                      ErrorCode::kBadDispatch, "serve.scheduler",
+                      "devices must be in [1, 32], got " << config.devices);
+  VSPARSE_CHECK_RAISE(
+      config.hedge_margin_percent >= 0 && config.hedge_margin_percent <= 100,
+      ErrorCode::kBadDispatch, "serve.scheduler",
+      "hedge_margin_percent must be in [0, 100], got "
+          << config.hedge_margin_percent);
+  VSPARSE_CHECK_RAISE(config.max_repro_bundles >= 0, ErrorCode::kBadDispatch,
+                      "serve.scheduler", "max_repro_bundles must be >= 0");
+  VSPARSE_CHECK_RAISE(!tenants.empty(), ErrorCode::kBadDispatch,
+                      "serve.scheduler", "tenant set must not be empty");
+  for (const TenantSpec& t : tenants) {
+    VSPARSE_CHECK_RAISE(!t.name.empty(), ErrorCode::kBadDispatch,
+                        "serve.scheduler", "tenant name must not be empty");
+    VSPARSE_CHECK_RAISE(t.deadline_ticks >= 1, ErrorCode::kBadDispatch,
+                        "serve.scheduler",
+                        "tenant \"" << t.name << "\" deadline must be >= 1");
+    VSPARSE_CHECK_RAISE(t.max_backlog >= 1, ErrorCode::kBadDispatch,
+                        "serve.scheduler",
+                        "tenant \"" << t.name << "\" backlog must be >= 1");
+  }
+  for (const DrainWindow& d : config.drains) {
+    VSPARSE_CHECK_RAISE(d.device >= 0 && d.device < config.devices,
+                        ErrorCode::kBadDispatch, "serve.scheduler",
+                        "drain device " << d.device << " outside fleet of "
+                                        << config.devices);
+    VSPARSE_CHECK_RAISE(d.begin < d.end, ErrorCode::kBadDispatch,
+                        "serve.scheduler",
+                        "drain window must have begin < end");
+  }
+}
+
+/// The per-request row of the exactly-once accounting ledger.
+struct LedgerEntry {
+  const char* outcome = "";  ///< terminal: one of the five outcome strings
+  int device = -1;           ///< final serving device (-1: never placed)
+  int failovers = 0;
+  bool hedged = false;
+  bool hedge_win_secondary = false;
+  std::uint64_t completion_tick = 0;
+  std::uint64_t latency = 0;
+};
+
+std::string ledger_json(const std::vector<TraceRequest>& trace,
+                        const std::vector<TenantSpec>& tenants,
+                        const std::vector<LedgerEntry>& ledger) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceRequest& r = trace[i];
+    const LedgerEntry& e = ledger[i];
+    if (i) os << ",\n";
+    os << "{\"id\":" << r.id << ",\"tenant\":\""
+       << tenants[static_cast<std::size_t>(r.tenant)].name << "\",\"op\":\""
+       << request_op_name(r.op) << "\",\"arrival\":" << r.arrival
+       << ",\"deadline\":" << r.deadline << ",\"outcome\":\"" << e.outcome
+       << "\",\"device\":" << e.device << ",\"failovers\":" << e.failovers
+       << ",\"hedged\":" << (e.hedged ? "true" : "false")
+       << ",\"hedge_win_secondary\":"
+       << (e.hedge_win_secondary ? "true" : "false")
+       << ",\"completion_tick\":" << e.completion_tick
+       << ",\"latency\":" << e.latency << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
 }  // namespace
 
 std::vector<TenantSpec> default_tenants() {
   return {
       {"interactive", /*deadline=*/150'000, std::size_t{1} << 20,
-       /*backlog=*/4, /*weight=*/2},
+       /*backlog=*/4, /*weight=*/2, /*hedge=*/true},
       {"analytics", /*deadline=*/600'000, std::size_t{1} << 20,
-       /*backlog=*/8, /*weight=*/1},
+       /*backlog=*/8, /*weight=*/1, /*hedge=*/false},
       {"background", /*deadline=*/3'000'000, std::size_t{1} << 20,
-       /*backlog=*/16, /*weight=*/1},
+       /*backlog=*/16, /*weight=*/1, /*hedge=*/false},
   };
-}
-
-const char* request_op_name(RequestOp op) {
-  switch (op) {
-    case RequestOp::kSpmm:
-      return "spmm";
-    case RequestOp::kSddmm:
-      return "sddmm";
-    case RequestOp::kAttention:
-      return "attention";
-  }
-  return "spmm";
 }
 
 LoadResult run_load(const LoadConfig& config) {
   const std::vector<TenantSpec> tenants =
       config.tenants.empty() ? default_tenants() : config.tenants;
+  validate_load_config(config, tenants);
   const std::vector<TraceRequest> trace = build_trace(config, tenants);
   const bool verify = config.verify && !config.chaos;
 
   gpusim::DeviceConfig hw = gpusim::DeviceConfig::volta_v100();
   hw.dram_capacity = std::size_t{1} << 26;  // 64 MiB — reset per request
-  gpusim::Device dev(hw);
   gpusim::Device ref_dev(hw);
-
-  HealthTracker health(config.health);
-  ServePolicy policy;
-  policy.retry = config.retry;
-  policy.ladder = true;
-  policy.kernel_gate = &HealthTracker::gate;
-  policy.kernel_gate_ctx = &health;
-  Supervisor sup(dev, policy);
 
   const std::uint64_t horizon =
       config.mean_gap_ticks * static_cast<std::uint64_t>(config.requests);
@@ -448,6 +231,24 @@ LoadResult run_load(const LoadConfig& config) {
     chaos = ChaosPlan::storms(mix64(config.seed ^ 0x57095), horizon,
                               config.storms_per_kind);
   }
+  DeviceChaosPlan device_chaos;
+  if (config.device_chaos) {
+    device_chaos =
+        DeviceChaosPlan::storms(mix64(config.seed ^ 0xf1ee7), horizon,
+                                config.devices, config.device_storms_per_kind);
+  }
+
+  ServePolicy base_policy;
+  base_policy.retry = config.retry;
+  base_policy.ladder = true;
+  FleetConfig fleet_config;
+  fleet_config.devices = config.devices;
+  fleet_config.drain_cooldown_ticks = config.drain_cooldown_ticks;
+  fleet_config.drains = config.drains;
+  Fleet fleet(fleet_config, hw, base_policy, config.health,
+              config.device_chaos ? &device_chaos : nullptr);
+  FlightRecorder recorder(
+      static_cast<std::size_t>(config.max_repro_bundles));
 
   LoadResult result;
   result.tenants.resize(tenants.size());
@@ -456,10 +257,89 @@ LoadResult run_load(const LoadConfig& config) {
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     result.tenants[t].name = tenants[t].name;
   }
+  std::vector<LedgerEntry> ledger(trace.size());
 
   std::vector<std::deque<std::size_t>> queues(tenants.size());
   std::size_t next_arrival = 0;
   std::uint64_t now = 0;
+
+  // Run one execution of `req` on worker `d` starting at `start`;
+  // returns (outcome, completion tick).  Everything request-scoped —
+  // chaos evaluation, breaker advance, quota, fault arming, flight-
+  // recorder capture, health/breaker feeding — happens here, so
+  // failover legs and hedge duplicates behave exactly like initial
+  // placements.
+  const auto run_on = [&](int d, const TraceRequest& req,
+                          std::uint64_t start)
+      -> std::pair<ExecOutcome, std::uint64_t> {
+    Fleet::Worker& w = fleet.worker(d);
+    const bool was_probe = fleet.note_placement(w, start, result.fleet);
+    if (fleet.placement_migrated(d, start)) ++result.fleet.migrated;
+
+    const ChaosActive active = chaos.at(start);
+    w.health.advance(start);
+    w.sup.mutable_policy().memory_quota_bytes =
+        active.mem_pressure
+            ? kPressureQuotaBytes
+            : tenants[static_cast<std::size_t>(req.tenant)].memory_quota_bytes;
+
+    w.dev.reset();
+    const DeviceFaultActive dfault = fleet.arm_device(w, start);
+
+    const RequestSpec spec{req.op, req.m, req.k, req.v, req.sparsity,
+                           req.data_seed};
+    ExecEnv env;
+    env.threads = config.threads;
+    env.ecc_burst = active.ecc_burst;
+    env.watchdog_cta_ops =
+        (active.brownout || dfault.brownout) ? kBrownoutCtaOps : 0;
+    env.verify = verify;
+    env.ref_dev = &ref_dev;
+
+    const std::size_t first_report = w.sup.reports().size();
+    const std::uint64_t first_id = fleet.next_request_id();
+    const ExecOutcome out = execute_request(w.sup, spec, env);
+    fleet.disarm_device(w);
+    const std::uint64_t end = start + out.service;
+    w.busy_until = end;
+
+    if (!out.completed && !out.rejected) {
+      // Capture before feeding the breakers: the tracker does not
+      // change during execution, so the open-kernel snapshot equals
+      // the gate the failing request actually ran under.
+      ReproBundle b;
+      b.request_id = static_cast<std::uint64_t>(req.id);
+      b.tick = start;
+      b.device = d;
+      b.spec = spec;
+      b.threads = config.threads;
+      b.ecc_burst = env.ecc_burst;
+      b.watchdog_cta_ops = env.watchdog_cta_ops;
+      b.device_fault = dfault.dead ? "dead" : (dfault.wedged ? "wedged" : "none");
+      b.memory_quota_bytes = w.sup.policy().memory_quota_bytes;
+      b.retry = config.retry;
+      b.first_request_id = first_id;
+      b.open_kernels = w.health.open_kernels();
+      b.signature = signature_json(w.sup.reports(), first_report, out);
+      recorder.capture(std::move(b));
+    }
+
+    // Feed every launch outcome to this worker's kernel breakers.
+    for (std::size_t ri = first_report; ri < w.sup.reports().size(); ++ri) {
+      const ServeReport& rep = w.sup.reports()[ri];
+      for (const ServeAttempt& attempt : rep.attempts) {
+        if (attempt.rung == ServeRung::kNumRungs) continue;
+        w.health.record(health_key(rep.op, attempt.rung), attempt.ok, start);
+      }
+    }
+    fleet.note_outcome(w, out, end, was_probe, result.fleet);
+    result.sim_ctas += out.ctas;
+    if (verify && out.completed) {
+      if (!out.bit_exact) ++result.mismatches;
+      if (!out.counters_exact) ++result.counter_mismatches;
+    }
+    return {out, end};
+  };
 
   const auto queues_empty = [&] {
     for (const auto& q : queues)
@@ -476,9 +356,10 @@ LoadResult run_load(const LoadConfig& config) {
       ++ts.submitted;
       if (queues[static_cast<std::size_t>(r.tenant)].size() >=
           tenants[static_cast<std::size_t>(r.tenant)].max_backlog) {
-        sup.record_rejection(request_op_name(r.op), ErrorCode::kQueueFull,
-                             "serve.scheduler");
+        fleet.worker(0).sup.record_rejection(
+            request_op_name(r.op), ErrorCode::kQueueFull, "serve.scheduler");
         ++ts.shed_queue;
+        ledger[next_arrival].outcome = "shed_queue";
       } else {
         queues[static_cast<std::size_t>(r.tenant)].push_back(next_arrival);
       }
@@ -486,14 +367,18 @@ LoadResult run_load(const LoadConfig& config) {
     }
 
     // Earliest-deadline-first across tenant queue fronts (FIFO within
-    // a tenant); ties break on arrival order.
+    // a tenant); ties break on arrival order.  Peek only — the pop
+    // happens at placement, so waiting for a free worker never
+    // reorders the backlog.
     int best = -1;
     for (std::size_t t = 0; t < queues.size(); ++t) {
       if (queues[t].empty()) continue;
       const TraceRequest& cand = trace[queues[t].front()];
-      if (best < 0 || cand.deadline < trace[queues[best].front()].deadline ||
-          (cand.deadline == trace[queues[best].front()].deadline &&
-           cand.id < trace[queues[best].front()].id)) {
+      if (best < 0 ||
+          cand.deadline < trace[queues[static_cast<std::size_t>(best)].front()].deadline ||
+          (cand.deadline ==
+               trace[queues[static_cast<std::size_t>(best)].front()].deadline &&
+           cand.id < trace[queues[static_cast<std::size_t>(best)].front()].id)) {
         best = static_cast<int>(t);
       }
     }
@@ -502,30 +387,40 @@ LoadResult run_load(const LoadConfig& config) {
       continue;
     }
 
-    const TraceRequest& req = trace[queues[static_cast<std::size_t>(best)].front()];
+    fleet.observe(now, result.fleet);
+    const int d0 = fleet.pick_free(now);
+    if (d0 < 0) {
+      // Every eligible worker is busy: jump to the next completion,
+      // probe expiry, drain end, or arrival — whichever is soonest.
+      std::uint64_t next_now = fleet.next_event_tick(now);
+      if (next_arrival < trace.size()) {
+        next_now = std::min(next_now, trace[next_arrival].arrival);
+      }
+      now = next_now > now ? next_now : now + 1;
+      continue;
+    }
+
+    const std::size_t idx = queues[static_cast<std::size_t>(best)].front();
+    const TraceRequest& req = trace[idx];
     queues[static_cast<std::size_t>(best)].pop_front();
     TenantStats& ts = result.tenants[static_cast<std::size_t>(req.tenant)];
 
     if (now > req.deadline) {
       // Deadline already blown: shed before launch — cheaper than
       // wasting device time on a guaranteed SLO miss.
-      sup.record_rejection(request_op_name(req.op),
-                           ErrorCode::kDeadlineExceeded, "serve.deadline");
+      fleet.worker(0).sup.record_rejection(request_op_name(req.op),
+                                           ErrorCode::kDeadlineExceeded,
+                                           "serve.deadline");
       ++ts.shed_deadline;
+      ledger[idx].outcome = "shed_deadline";
       continue;
     }
 
-    const ChaosActive active = chaos.at(now);
-    health.advance(now);
-    sup.mutable_policy().memory_quota_bytes =
-        active.mem_pressure
-            ? kPressureQuotaBytes
-            : tenants[static_cast<std::size_t>(req.tenant)].memory_quota_bytes;
-
-    if (active.policy_corrupt) {
+    if (chaos.at(now).policy_corrupt) {
       // A corrupted dispatch-policy artifact arrives mid-storm: the
       // hardened loader must reject it with a structured error, and
-      // serving proceeds on the static heuristic.
+      // serving proceeds on the static heuristic.  Once per request —
+      // failover legs and hedge duplicates don't re-load it.
       try {
         (void)kernels::PolicyCache::from_json(corrupt_policy_cache_json(
             config.seed ^ static_cast<std::uint64_t>(req.id)));
@@ -534,52 +429,132 @@ LoadResult run_load(const LoadConfig& config) {
       }
     }
 
-    dev.reset();
-    const std::size_t first_report = sup.reports().size();
-    ExecResult exec;
-    switch (req.op) {
-      case RequestOp::kSpmm:
-        exec = run_spmm_request(config, sup, ref_dev, req, active, verify);
-        break;
-      case RequestOp::kSddmm:
-        exec = run_sddmm_request(config, sup, ref_dev, req, active, verify);
-        break;
-      case RequestOp::kAttention:
-        exec = run_attention_request(config, sup, ref_dev, req, active, verify);
-        break;
-    }
-
-    // Feed every launch outcome to the circuit breakers.
-    for (std::size_t ri = first_report; ri < sup.reports().size(); ++ri) {
-      const ServeReport& rep = sup.reports()[ri];
-      for (const ServeAttempt& attempt : rep.attempts) {
-        if (attempt.rung == ServeRung::kNumRungs) continue;
-        health.record(health_key(rep.op, attempt.rung), attempt.ok, now);
+    // Hedge decision: a deadline-critical tenant whose remaining
+    // margin shrank below the trigger duplicates onto the next-soonest
+    // eligible worker — the classic tail-latency hedge, where the
+    // backup launches when that worker frees.  Initial placements only
+    // — failover legs never hedge.
+    const TenantSpec& tspec = tenants[static_cast<std::size_t>(req.tenant)];
+    int d1 = -1;
+    std::uint64_t hedge_start = 0;
+    if (config.hedge && tspec.hedge && config.devices > 1 &&
+        (req.deadline - now) * 100 <
+            tspec.deadline_ticks *
+                static_cast<std::uint64_t>(config.hedge_margin_percent)) {
+      for (int d = 0; d < fleet.devices(); ++d) {
+        if (d == d0) continue;
+        const Fleet::Worker& w = fleet.worker(d);
+        if (!fleet.available(w, now)) continue;
+        const std::uint64_t start = std::max(now, w.busy_until);
+        if (start >= req.deadline) continue;  // can't possibly help
+        if (d1 < 0 || start < hedge_start) {
+          d1 = d;
+          hedge_start = start;
+        }
       }
     }
 
-    now += exec.service;
-    result.sim_ctas += exec.ctas;
-    if (exec.completed) {
+    ExecOutcome out;
+    std::uint64_t end = 0;
+    int serving_device = d0;
+    if (d1 >= 0) {
+      ++result.fleet.hedges;
+      ledger[idx].hedged = true;
+      fleet.emit(now, d1, "hedge");
+      const auto [out_p, end_p] = run_on(d0, req, now);
+      if (out_p.completed && end_p <= hedge_start) {
+        // The primary finished before the backup's worker even freed:
+        // cancel the duplicate pre-launch (no device time consumed).
+        out = out_p;
+        end = end_p;
+        ++result.fleet.hedge_cancelled;
+        ++result.fleet.hedges_unlaunched;
+        fleet.emit(end, d1, "hedge_cancel");
+      } else if (const auto [out_s, end_s] = run_on(d1, req, hedge_start);
+                 out_p.completed && (!out_s.completed || end_p <= end_s)) {
+        // Primary wins (ties go to the primary); cancel the secondary.
+        out = out_p;
+        end = end_p;
+        fleet.worker(d1).busy_until = std::min(end_s, end_p);
+        ++result.fleet.hedge_cancelled;
+        fleet.emit(end, d1, "hedge_cancel");
+      } else if (out_s.completed) {
+        out = out_s;
+        end = end_s;
+        serving_device = d1;
+        ++result.fleet.hedge_wins_secondary;
+        ledger[idx].hedge_win_secondary = true;
+        fleet.worker(d0).busy_until = std::min(end_p, end_s);
+        ++result.fleet.hedge_cancelled;
+        fleet.emit(end, d0, "hedge_cancel");
+      } else if (out_p.device_failure() && out_s.device_failure()) {
+        // Both legs hit device faults: fail over past both of them.
+        out = out_p;
+        end = std::max(end_p, end_s);
+      } else if (!out_p.device_failure()) {
+        // A genuine (non-device) failure is authoritative — re-placing
+        // would just re-run the same deterministic failure.
+        out = out_p;
+        end = end_p;
+      } else {
+        out = out_s;
+        end = end_s;
+        serving_device = d1;
+      }
+    } else {
+      const auto [out_0, end_0] = run_on(d0, req, now);
+      out = out_0;
+      end = end_0;
+    }
+
+    // Failover chain: only whole-device failure signatures re-place
+    // (an ECC/kernel failure would deterministically recur), each leg
+    // on the next untried worker that can start soonest.
+    std::vector<char> tried(static_cast<std::size_t>(fleet.devices()), 0);
+    tried[static_cast<std::size_t>(d0)] = 1;
+    if (d1 >= 0) tried[static_cast<std::size_t>(d1)] = 1;
+    while (out.device_failure()) {
+      const int dn = fleet.pick_failover(end, tried);
+      if (dn < 0) break;
+      tried[static_cast<std::size_t>(dn)] = 1;
+      const std::uint64_t start2 = std::max(end, fleet.worker(dn).busy_until);
+      ++result.fleet.failovers;
+      ++ledger[idx].failovers;
+      fleet.emit(start2, dn, "failover");
+      const auto [out_n, end_n] = run_on(dn, req, start2);
+      out = out_n;
+      end = end_n;
+      serving_device = dn;
+    }
+
+    ledger[idx].device = serving_device;
+    ledger[idx].completion_tick = end;
+    if (out.completed) {
       ++ts.completed;
-      const std::uint64_t latency = now - req.arrival;
+      const std::uint64_t latency = end - req.arrival;
       latencies[static_cast<std::size_t>(req.tenant)].push_back(latency);
       all_latencies.push_back(latency);
-      if (now <= req.deadline) {
+      if (end <= req.deadline) {
         ++ts.slo_met;
       } else {
         ++ts.deadline_miss;
       }
-      if (!exec.bit_exact) ++result.mismatches;
-      if (!exec.counters_exact) ++result.counter_mismatches;
-    } else if (exec.rejected) {
+      ledger[idx].outcome = "completed";
+      ledger[idx].latency = latency;
+    } else if (out.rejected) {
       ++ts.rejected;
+      ledger[idx].outcome = "rejected";
     } else {
       ++ts.failed;
+      ledger[idx].outcome = "failed";
     }
   }
 
-  result.final_tick = now;
+  std::uint64_t final_tick = now;
+  for (int d = 0; d < fleet.devices(); ++d) {
+    final_tick = std::max(final_tick, fleet.worker(d).busy_until);
+  }
+  result.final_tick = final_tick;
   result.total.name = "total";
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     TenantStats& ts = result.tenants[t];
@@ -598,21 +573,33 @@ LoadResult run_load(const LoadConfig& config) {
     result.goodput_per_mtick = static_cast<double>(result.total.slo_met) *
                                1e6 / static_cast<double>(result.final_tick);
   }
-  result.health = health.totals();
-  result.health_events_json = health.events_json();
+  result.health = fleet.merged_health_totals();
+  result.health_events_json = fleet.merged_health_events_json();
   result.chaos_json = chaos.to_json();
-  result.report_json = sup.reports_json();
+  result.device_chaos_json = device_chaos.to_json();
+  result.fleet_events_json = fleet.events_json();
+  result.workers_json = fleet.workers_json();
+  result.report_json = reports_json(fleet.merged_reports());
+  result.repro_bundles = recorder.bundles().size();
+  result.repro_dropped = recorder.dropped();
+  result.repro_json = recorder.to_json();
+  result.request_ledger_json = ledger_json(trace, tenants, ledger);
   return result;
 }
 
 std::string LoadResult::to_json(const LoadConfig& config) const {
   std::ostringstream os;
-  os << "{\"schema\":\"vsparse-load-v1\",\"seed\":" << config.seed
+  os << "{\"schema\":\"vsparse-load-v2\",\"seed\":" << config.seed
      << ",\"requests\":" << config.requests
      << ",\"mean_gap_ticks\":" << config.mean_gap_ticks
+     << ",\"devices\":" << config.devices
      << ",\"chaos\":{\"enabled\":" << (config.chaos ? "true" : "false")
      << ",\"storms_per_kind\":" << config.storms_per_kind
      << ",\"windows\":" << chaos_json << "}"
+     << ",\"device_chaos\":{\"enabled\":"
+     << (config.device_chaos ? "true" : "false")
+     << ",\"storms_per_kind\":" << config.device_storms_per_kind
+     << ",\"windows\":" << device_chaos_json << "}"
      << ",\"final_tick\":" << final_tick << ",\"goodput_per_mtick\":"
      << std::fixed << std::setprecision(3) << goodput_per_mtick
      << ",\"totals\":";
@@ -632,6 +619,22 @@ std::string LoadResult::to_json(const LoadConfig& config) const {
      << ((config.verify && !config.chaos) ? "true" : "false")
      << ",\"mismatches\":" << mismatches
      << ",\"counter_mismatches\":" << counter_mismatches << "}"
+     << ",\"fleet\":{\"hedge\":" << (config.hedge ? "true" : "false")
+     << ",\"hedge_margin_percent\":" << config.hedge_margin_percent
+     << ",\"placements\":{\"placements\":" << fleet.placements
+     << ",\"failovers\":" << fleet.failovers
+     << ",\"migrated\":" << fleet.migrated << ",\"hedges\":" << fleet.hedges
+     << ",\"hedge_wins_secondary\":" << fleet.hedge_wins_secondary
+     << ",\"hedge_cancelled\":" << fleet.hedge_cancelled
+     << ",\"hedges_unlaunched\":" << fleet.hedges_unlaunched
+     << ",\"probes\":" << fleet.probes << ",\"drains\":" << fleet.drains
+     << ",\"drain_reopens\":" << fleet.drain_reopens
+     << ",\"restores\":" << fleet.restores
+     << ",\"devices_lost\":" << fleet.devices_lost << "}"
+     << ",\"workers\":" << workers_json << ",\"events\":" << fleet_events_json
+     << ",\"repro_bundles\":" << repro_bundles
+     << ",\"repro_dropped\":" << repro_dropped << "}"
+     << ",\"request_ledger\":" << request_ledger_json
      << ",\"sim_ctas\":" << sim_ctas << "}";
   return os.str();
 }

@@ -1,8 +1,8 @@
 // Multi-tenant request scheduler — the serving front end that turns
 // the PR 4 per-request Supervisor into a *system*: an open-loop,
 // seeded stream of heterogeneous requests (SpMM / SDDMM / sparse
-// attention) from several tenants, scheduled one at a time on a
-// simulated device under admission control, per-tenant memory quotas,
+// attention) from several tenants, scheduled across a fleet of
+// simulated devices under admission control, per-tenant memory quotas,
 // and deadline SLOs.
 //
 // Time is a deterministic simulated clock (ticks).  Arrivals follow
@@ -18,20 +18,35 @@
 //   admit     arrivals up to `now` join their tenant's FIFO backlog;
 //             a full backlog sheds the request (kQueueFull)
 //   schedule  earliest-deadline-first across tenant queue fronts
+//   place     the EDF winner goes to the least-loaded free fleet
+//             worker (serve/fleet.hpp); no free worker => the clock
+//             jumps to the next completion / probe / arrival
 //   shed      a request whose deadline already passed is dropped
 //             before launch (kDeadlineExceeded) — load shedding
-//   execute   otherwise the request runs under the Supervisor with
-//             the tenant's quota and the HealthTracker's kernel gate;
-//             every attempt outcome feeds the circuit breakers
-//   charge    the service model advances `now`; completion latency
-//             lands in the tenant's SLO accounting
+//   execute   the request runs under the worker's Supervisor with the
+//             tenant's quota and that worker's HealthTracker gate;
+//             every attempt outcome feeds the kernel breakers, every
+//             execution outcome feeds the worker's device breaker
+//   recover   a whole-device failure (wedge timeout, device loss)
+//             fails over: the request re-places on the next healthy
+//             worker, bit-identical to its fault-free reference.
+//             Deadline-critical tenants with shrinking margin hedge:
+//             the request duplicates onto a second free worker, first
+//             completion wins, the loser is cancelled and reconciled
+//   record    any supervisor-exhausted failure captures a
+//             vsparse-repro-v1 flight-recorder bundle (serve/
+//             recorder.hpp) that replays standalone
+//   charge    the service model advances the worker's busy horizon;
+//             completion latency lands in the tenant's SLO accounting
 //
 // Chaos storms (serve/chaos.hpp) modulate the execute step: ECC
 // bursts arm fault plans, brownouts shrink the watchdog budget,
 // memory-pressure windows slash the quota, policy-corrupt windows
-// feed the hardened cache loader garbage.  Fault-free runs are bit-
-// and counter-identical to direct unsupervised dispatch (verify mode
-// cross-checks every request against a reference device).
+// feed the hardened cache loader garbage.  Device storms add
+// whole-device fault domains: wedges, brownouts, flapping, permanent
+// death.  A fleet of one fault-free device is bit- and counter-
+// identical to direct unsupervised dispatch (verify mode cross-checks
+// every request against a reference device).
 #pragma once
 
 #include <cstddef>
@@ -40,6 +55,7 @@
 #include <vector>
 
 #include "vsparse/serve/chaos.hpp"
+#include "vsparse/serve/fleet.hpp"
 #include "vsparse/serve/health.hpp"
 #include "vsparse/serve/policy.hpp"
 
@@ -56,16 +72,19 @@ struct TenantSpec {
   std::size_t max_backlog = 8;
   /// Share of the trace: tenants are drawn proportionally to weight.
   int weight = 1;
+  /// Deadline-critical: when the remaining deadline margin at placement
+  /// falls under LoadConfig::hedge_margin_percent of the SLO, the
+  /// request is hedged — duplicated onto the next-soonest eligible
+  /// worker (launching when it frees; first completion wins, the loser
+  /// is cancelled).  No effect on a fleet of one.
+  bool hedge = false;
 };
 
 /// The default three-tenant mix: a tight-SLO interactive tenant with
-/// most of the traffic, an analytics tenant, and a background tenant
-/// that tolerates long queueing but little backlog shedding.
+/// most of the traffic (hedged on a fleet), an analytics tenant, and a
+/// background tenant that tolerates long queueing but little backlog
+/// shedding.
 std::vector<TenantSpec> default_tenants();
-
-enum class RequestOp : int { kSpmm = 0, kSddmm, kAttention };
-
-const char* request_op_name(RequestOp op);
 
 /// Everything one load run varies.
 struct LoadConfig {
@@ -84,8 +103,30 @@ struct LoadConfig {
   int storms_per_kind = 2;
   /// Cross-check every completed request against an unsupervised run
   /// on a reference device (output bytes + SM-local counters).  Only
-  /// meaningful fault-free; forced off when chaos is on.
+  /// meaningful fault-free; forced off when chaos is on.  Device chaos
+  /// does NOT force it off — that is how failover bit-identity is
+  /// asserted.
   bool verify = false;
+
+  // ---- fleet ----
+  /// Fleet size (1..32); 1 reproduces the single-device scheduler
+  /// exactly.
+  int devices = 1;
+  /// Compose seeded *device* storms (wedge / brownout / flap / death)
+  /// over the horizon.  No-op on a fleet of one.
+  bool device_chaos = false;
+  int device_storms_per_kind = 1;
+  /// Enable hedged launches for tenants with TenantSpec::hedge.
+  bool hedge = true;
+  /// Hedge trigger: remaining margin < deadline_ticks * percent / 100.
+  int hedge_margin_percent = 25;
+  /// Ticks a drained worker cools down before its first probe.
+  std::uint64_t drain_cooldown_ticks = 250'000;
+  /// Operator maintenance drains ([begin, end) per device).
+  std::vector<DrainWindow> drains;
+  /// Flight-recorder capacity: failures beyond this are counted, not
+  /// captured.
+  int max_repro_bundles = 16;
 };
 
 /// Per-tenant (and whole-run) outcome accounting.
@@ -106,30 +147,40 @@ struct TenantStats {
   std::uint64_t max_latency_ticks = 0;
 };
 
-/// The whole run, ready to serialize as vsparse-load-v1.
+/// The whole run, ready to serialize as vsparse-load-v2.
 struct LoadResult {
   TenantStats total;
   std::vector<TenantStats> tenants;
   std::uint64_t final_tick = 0;
   /// SLO-met completions per million ticks — the headline goodput.
   double goodput_per_mtick = 0.0;
-  HealthTracker::Totals health;
+  HealthTracker::Totals health;  ///< merged across the fleet
   std::uint64_t policy_cache_rejections = 0;
   std::uint64_t mismatches = 0;          ///< verify: output bytes differ
   std::uint64_t counter_mismatches = 0;  ///< verify: SM-local stats differ
   std::uint64_t sim_ctas = 0;            ///< for the throughput line
-  std::string health_events_json;        ///< HealthTracker::events_json()
+  PlacementStats fleet;                  ///< placements/failovers/hedges/...
+  std::uint64_t repro_bundles = 0;       ///< flight-recorder captures
+  std::uint64_t repro_dropped = 0;       ///< failures past the cap
+  std::string health_events_json;        ///< fleet-merged breaker events
   std::string chaos_json;                ///< ChaosPlan::to_json()
-  std::string report_json;               ///< supervisor vsparse-serve-v1
+  std::string device_chaos_json;         ///< DeviceChaosPlan::to_json()
+  std::string fleet_events_json;         ///< Fleet::events_json()
+  std::string workers_json;              ///< Fleet::workers_json()
+  std::string request_ledger_json;       ///< exactly-once per-request ledger
+  std::string report_json;               ///< merged vsparse-serve-v1
+  std::string repro_json;                ///< vsparse-repro-v1 artifact
 
-  /// The versioned load report ({"schema":"vsparse-load-v1",...}).
+  /// The versioned load report ({"schema":"vsparse-load-v2",...}).
   /// Deliberately excludes wall-clock time and the thread count, so it
   /// is byte-identical across --threads=N (tools/validate_load_report.py
   /// checks the schema; CI diffs the bytes).
   std::string to_json(const LoadConfig& config) const;
 };
 
-/// Run one seeded multi-tenant load trace to completion.
+/// Run one seeded multi-tenant load trace to completion.  Raises
+/// vsparse::Error (kBadDispatch, "serve.scheduler") on out-of-range
+/// config instead of running with garbage.
 LoadResult run_load(const LoadConfig& config);
 
 }  // namespace vsparse::serve

@@ -523,7 +523,7 @@ const ServeReport& Supervisor::finish(ServeReport&& report) {
 const ServeReport& Supervisor::record_rejection(const char* op, ErrorCode code,
                                                 std::string site) {
   ServeReport report;
-  report.request_id = next_request_++;
+  report.request_id = take_request_id();
   report.op = op;
   report.rejected = true;
   report.has_error = true;
@@ -537,7 +537,7 @@ const ServeReport& Supervisor::submit_spmm(const CvsDevice& a,
                                            DenseDevice<half_t>& c,
                                            kernels::SpmmOptions options) {
   ServePolicy policy = policy_;
-  policy.request_id = next_request_++;
+  policy.request_id = take_request_id();
   ServeReport report;
   options.serve = &policy;
   options.serve_report = &report;
@@ -557,7 +557,7 @@ const ServeReport& Supervisor::submit_sddmm(const DenseDevice<half_t>& a,
                                             gpusim::Buffer<half_t>& out_values,
                                             kernels::SddmmOptions options) {
   ServePolicy policy = policy_;
-  policy.request_id = next_request_++;
+  policy.request_id = take_request_id();
   ServeReport report;
   options.serve = &policy;
   options.serve_report = &report;

@@ -113,6 +113,17 @@ class Supervisor {
   const ServeReport& record_rejection(const char* op, ErrorCode code,
                                       std::string site);
 
+  /// Route request-id stamping through an external counter shared by a
+  /// fleet of per-device supervisors, so the merged report numbering
+  /// stays dense and submission-ordered across workers (failover and
+  /// hedge duplicates included).  nullptr restores the private counter.
+  /// The counter must outlive the attachment.
+  void set_request_id_source(std::uint64_t* source) { id_source_ = source; }
+
+  /// Replay hook: continue private numbering from `id`, so a replayed
+  /// request reproduces the captured report ids exactly.
+  void set_next_request_id(std::uint64_t id) { next_request_ = id; }
+
   gpusim::Device& device() { return dev_; }
   const ServePolicy& policy() const { return policy_; }
   /// Scheduler hook: adjust quota / kernel gate between submits (the
@@ -127,8 +138,13 @@ class Supervisor {
  private:
   const ServeReport& finish(ServeReport&& report);
 
+  std::uint64_t take_request_id() {
+    return id_source_ != nullptr ? (*id_source_)++ : next_request_++;
+  }
+
   gpusim::Device& dev_;
   ServePolicy policy_;
+  std::uint64_t* id_source_ = nullptr;
   std::uint64_t next_request_ = 0;
   std::vector<ServeReport> reports_;
   Totals totals_;

@@ -1,0 +1,266 @@
+// Fleet serving contracts: the devices=N load report is byte-identical
+// across engine thread counts (including under kernel + device chaos),
+// a fleet of one is insensitive to fleet-only knobs, device storms
+// drive failover / draining / death and the fleet recovers requests
+// bit-identically to their fault-free reference, hedged launches
+// reconcile exactly once, flight-recorder bundles round-trip through
+// JSON and replay to the identical failure signature, and out-of-range
+// configs raise structured errors instead of running with garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vsparse/serve/recorder.hpp"
+#include "vsparse/serve/scheduler.hpp"
+
+namespace vsparse {
+namespace {
+
+using serve::LoadConfig;
+using serve::LoadResult;
+
+// The CI fleet-soak configuration: four devices under both kernel- and
+// device-level storms.  Seed 2021's device storms include a wedge, a
+// brownout, flapping, and a permanent death, so every recovery path
+// fires within 200 requests.
+LoadConfig fleet_chaos_config(int threads) {
+  LoadConfig config;
+  config.requests = 200;
+  config.seed = 2021;
+  config.threads = threads;
+  config.mean_gap_ticks = 12'000;
+  config.chaos = true;
+  config.devices = 4;
+  config.device_chaos = true;
+  return config;
+}
+
+TEST(ServeFleet, FleetReportByteIdenticalAcrossThreadsAndRuns) {
+  const LoadConfig c1 = fleet_chaos_config(1);
+  const std::string serial = serve::run_load(c1).to_json(c1);
+  EXPECT_EQ(serial, serve::run_load(c1).to_json(c1));  // reproducible
+
+  const LoadConfig c2 = fleet_chaos_config(2);
+  EXPECT_EQ(serial, serve::run_load(c2).to_json(c2));
+  const LoadConfig c8 = fleet_chaos_config(8);
+  EXPECT_EQ(serial, serve::run_load(c8).to_json(c8));
+}
+
+TEST(ServeFleet, FleetOfOneIgnoresFleetOnlyKnobs) {
+  // On one device no hedge can trigger, no failover target exists, and
+  // device storms never schedule (death always spares device 0 and
+  // storms need a fleet) — so fleet-only knobs must not perturb a
+  // single-device report.
+  LoadConfig base;
+  base.requests = 80;
+  base.seed = 11;
+  base.chaos = true;
+  base.mean_gap_ticks = 12'000;
+  const LoadResult ref = serve::run_load(base);
+
+  LoadConfig knobs = base;
+  knobs.hedge = false;
+  knobs.hedge_margin_percent = 90;
+  knobs.drain_cooldown_ticks = 1;
+  const LoadResult got = serve::run_load(knobs);
+
+  // Behavior (as opposed to the echoed config) is identical: same
+  // clock, same outcomes, same per-request trail, same breaker events.
+  EXPECT_EQ(ref.final_tick, got.final_tick);
+  EXPECT_EQ(ref.goodput_per_mtick, got.goodput_per_mtick);
+  EXPECT_EQ(ref.total.completed, got.total.completed);
+  EXPECT_EQ(ref.total.failed, got.total.failed);
+  EXPECT_EQ(ref.sim_ctas, got.sim_ctas);
+  EXPECT_EQ(ref.report_json, got.report_json);
+  EXPECT_EQ(ref.request_ledger_json, got.request_ledger_json);
+  EXPECT_EQ(ref.health_events_json, got.health_events_json);
+  EXPECT_EQ(ref.fleet_events_json, got.fleet_events_json);
+  EXPECT_EQ(ref.fleet.hedges, 0u);
+  EXPECT_EQ(got.fleet.hedges, 0u);
+}
+
+TEST(ServeFleet, DeviceStormsDriveFailoverDrainingAndForensics) {
+  const LoadConfig config = fleet_chaos_config(1);
+  const LoadResult res = serve::run_load(config);
+
+  // The storms bite at the device level: failovers re-place wedged
+  // requests, the device breaker drains, a probe restores, one device
+  // dies for good, and the flight recorder captured the failures.
+  EXPECT_GT(res.fleet.failovers, 0u);
+  EXPECT_GT(res.fleet.drains, 0u);
+  EXPECT_GT(res.fleet.restores + res.fleet.drain_reopens, 0u);
+  EXPECT_EQ(res.fleet.devices_lost, 1u);  // death storms spare device 0
+  EXPECT_GT(res.repro_bundles, 0u);
+  EXPECT_GT(res.total.completed, 0u);
+
+  // Placement arithmetic: every executed request is one placement,
+  // plus one per launched hedge duplicate and one per failover leg.
+  const std::uint64_t executed =
+      res.total.completed + res.total.failed + res.total.rejected;
+  EXPECT_EQ(res.fleet.placements,
+            executed + res.fleet.hedges - res.fleet.hedges_unlaunched +
+                res.fleet.failovers);
+
+  // The ledger, events, and repro artifact made it into the report.
+  const std::string json = res.to_json(config);
+  EXPECT_NE(json.find("\"device_chaos\":{\"enabled\":true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"failover\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"dead\""), std::string::npos);
+}
+
+TEST(ServeFleet, FailedOverRequestsBitIdenticalToFaultFreeReference) {
+  // Device chaos only (no kernel chaos, so verify stays armed): every
+  // completed request — including every failed-over one — must be
+  // bit-identical to direct unsupervised dispatch on the reference
+  // device.  This is the failover-correctness acceptance criterion.
+  LoadConfig config;
+  config.requests = 200;
+  config.seed = 2021;
+  config.mean_gap_ticks = 12'000;
+  config.devices = 4;
+  config.device_chaos = true;
+  config.verify = true;
+  const LoadResult res = serve::run_load(config);
+
+  EXPECT_GT(res.fleet.failovers, 0u) << "storm must actually displace work";
+  EXPECT_EQ(res.mismatches, 0u);
+  EXPECT_EQ(res.counter_mismatches, 0u);
+  EXPECT_GT(res.total.completed, 0u);
+}
+
+TEST(ServeFleet, HedgedRequestsReconcileExactlyOnce) {
+  // Margin at 100% makes every interactive placement hedge whenever a
+  // second worker is free.  Fault-free, so every hedge has a winner
+  // and a cancelled loser, and accounting stays exactly-once.
+  LoadConfig config;
+  config.requests = 60;
+  config.seed = 7;
+  config.devices = 2;
+  config.hedge_margin_percent = 100;
+  config.verify = true;
+  const LoadResult res = serve::run_load(config);
+
+  EXPECT_GT(res.fleet.hedges, 0u);
+  EXPECT_EQ(res.fleet.hedge_cancelled, res.fleet.hedges)
+      << "every fault-free hedge must cancel exactly one loser";
+  EXPECT_EQ(res.fleet.failovers, 0u);
+  EXPECT_EQ(res.total.completed, res.total.submitted);
+  EXPECT_EQ(res.mismatches, 0u) << "hedge winners must stay bit-identical";
+  EXPECT_EQ(res.counter_mismatches, 0u);
+  const std::uint64_t executed =
+      res.total.completed + res.total.failed + res.total.rejected;
+  EXPECT_EQ(res.fleet.placements,
+            executed + res.fleet.hedges - res.fleet.hedges_unlaunched);
+
+  // Hedging is thread-invariant like everything else.
+  LoadConfig c8 = config;
+  c8.threads = 8;
+  EXPECT_EQ(serve::run_load(config).to_json(config),
+            serve::run_load(c8).to_json(c8));
+}
+
+TEST(ServeFleet, OperatorDrainMigratesBacklogAndRestores) {
+  // Drain device 1 over the middle of the trace: placements migrate to
+  // device 0, nothing fails, and device 1 serves again after the
+  // window.
+  LoadConfig config;
+  config.requests = 60;
+  config.seed = 7;
+  config.devices = 2;
+  config.hedge = false;
+  config.drains = {{1, 200'000, 700'000}};
+  const LoadResult res = serve::run_load(config);
+
+  EXPECT_GT(res.fleet.migrated, 0u)
+      << "a drained-but-idle device must show up as migration pressure";
+  EXPECT_EQ(res.total.failed, 0u);
+  EXPECT_EQ(res.total.completed, res.total.submitted);
+  // Both devices served: the drain ended and placements resumed.
+  const std::string json = res.to_json(config);
+  EXPECT_EQ(json.find("\"placements\":0,"), std::string::npos)
+      << "every worker must have taken placements: " << json;
+}
+
+TEST(ServeFleet, KernelProbeRestoreRacesDeviceDrainDeterministically) {
+  // Kernel breakers (chaos ECC storms) probe and restore while device
+  // breakers drain the same workers (device storms + an operator
+  // drain).  The interleaving is entirely simulated-clock driven, so
+  // the merged health event stream must be byte-identical at any
+  // engine thread count.
+  LoadConfig c1 = fleet_chaos_config(1);
+  c1.drains = {{2, 300'000, 900'000}};
+  const LoadResult r1 = serve::run_load(c1);
+  EXPECT_GT(r1.health.quarantines, 0u);
+  EXPECT_GT(r1.health.half_opens, 0u);
+  EXPECT_GT(r1.fleet.drains + r1.fleet.probes, 0u);
+
+  LoadConfig c8 = c1;
+  c8.threads = 8;
+  const LoadResult r8 = serve::run_load(c8);
+  EXPECT_EQ(r1.health_events_json, r8.health_events_json);
+  EXPECT_EQ(r1.fleet_events_json, r8.fleet_events_json);
+  EXPECT_EQ(r1.to_json(c1), r8.to_json(c8));
+}
+
+TEST(ServeFleet, ReproBundlesRoundTripAndReplayToIdenticalSignature) {
+  const LoadConfig config = fleet_chaos_config(1);
+  const LoadResult res = serve::run_load(config);
+  ASSERT_GT(res.repro_bundles, 0u);
+
+  // JSON round-trip: parse what the recorder serialized.
+  const std::vector<serve::ReproBundle> bundles =
+      serve::parse_repro_json(res.repro_json);
+  ASSERT_EQ(bundles.size(), res.repro_bundles);
+
+  for (const serve::ReproBundle& b : bundles) {
+    // The digest survives the round-trip (identity fields intact).
+    EXPECT_EQ(b.options_digest, b.compute_digest());
+    // Replay re-executes the recorded failure standalone and must land
+    // on the identical attempt-trail signature, byte for byte.
+    const serve::ReplayResult r = serve::replay_bundle(b);
+    EXPECT_TRUE(r.signature_match)
+        << "request " << b.request_id << " expected " << r.expected_signature
+        << " got " << r.got_signature;
+  }
+
+  // A tampered bundle must not silently parse.
+  EXPECT_THROW(serve::parse_repro_json("{\"schema\":\"bogus\"}"),
+               vsparse::Error);
+  EXPECT_THROW(serve::parse_repro_json("not json"), vsparse::Error);
+}
+
+TEST(ServeFleet, OutOfRangeConfigRaisesStructuredErrors) {
+  const auto expect_raise = [](LoadConfig config) {
+    EXPECT_THROW(serve::run_load(config), vsparse::Error);
+  };
+  LoadConfig c;
+  c.requests = 0;
+  expect_raise(c);
+  c = LoadConfig{};
+  c.devices = 0;
+  expect_raise(c);
+  c = LoadConfig{};
+  c.devices = 33;
+  expect_raise(c);
+  c = LoadConfig{};
+  c.hedge_margin_percent = 101;
+  expect_raise(c);
+  c = LoadConfig{};
+  c.mean_gap_ticks = 0;
+  expect_raise(c);
+  c = LoadConfig{};
+  c.tenants = serve::default_tenants();
+  c.tenants[0].name = "";
+  expect_raise(c);
+  c = LoadConfig{};
+  c.drains = {{5, 0, 100}};  // device outside the fleet of one
+  expect_raise(c);
+  c = LoadConfig{};
+  c.drains = {{0, 100, 100}};  // empty window
+  expect_raise(c);
+}
+
+}  // namespace
+}  // namespace vsparse

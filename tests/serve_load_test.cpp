@@ -100,10 +100,20 @@ TEST(ServeLoad, ChaosRunFiresBreakersSheddingAndStaysConsistent) {
   EXPECT_EQ(res.mismatches, 0u);
   EXPECT_EQ(res.counter_mismatches, 0u);
 
-  // The serialized report carries the schema tag and the chaos plan.
+  // The serialized report carries the schema tag, the chaos plan, the
+  // fleet section, and the exactly-once request ledger.
   const std::string json = res.to_json(config);
-  EXPECT_NE(json.find("\"schema\":\"vsparse-load-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"vsparse-load-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"ecc_burst\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_ledger\":["), std::string::npos);
+  EXPECT_NE(json.find("\"fleet\":{"), std::string::npos);
+  // Single device, no device chaos: no fleet recovery machinery fires.
+  EXPECT_EQ(res.fleet.failovers, 0u);
+  EXPECT_EQ(res.fleet.hedges, 0u);
+  EXPECT_EQ(res.fleet.devices_lost, 0u);
+  // Every executed request is exactly one placement on device 0.
+  EXPECT_EQ(res.fleet.placements,
+            res.total.completed + res.total.failed + res.total.rejected);
 }
 
 TEST(ServeLoad, FaultFreeScheduledPathIsBitAndCounterIdentical) {

@@ -1,0 +1,91 @@
+// BoundedQueue shutdown contracts: close() must wake a consumer
+// blocked in pop_wait() on an empty queue and a producer blocked in
+// push_wait() on a full one (shutdown can't hang), a closed queue
+// still drains what it already accepted, and there is deliberately no
+// reopen — every post-close admission is a counted rejection, forever.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "vsparse/serve/queue.hpp"
+
+namespace vsparse {
+namespace {
+
+using serve::BoundedQueue;
+
+TEST(ServeQueue, CloseWakesConsumerBlockedOnEmptyQueue) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    const auto item = q.pop_wait();  // blocks: queue is empty, not closed
+    EXPECT_FALSE(item.has_value()) << "closed empty queue must yield nullopt";
+    woke.store(true);
+  });
+  // Let the consumer reach the wait; close() is correct in either
+  // interleaving (before or after the block), the sleep just makes the
+  // interesting one overwhelmingly likely.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ServeQueue, CloseWakesProducerBlockedOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(7));  // fill to capacity
+  std::atomic<bool> woke{false};
+  std::thread producer([&] {
+    const bool pushed = q.push_wait(8);  // blocks: queue is full
+    EXPECT_FALSE(pushed) << "push_wait on a closed queue must fail";
+    woke.store(true);
+  });
+  q.close();
+  producer.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_EQ(q.rejected(), 1u);  // the woken push is a counted rejection
+
+  // The item admitted before close still drains.
+  const auto item = q.pop_wait();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+  EXPECT_FALSE(q.pop_wait().has_value());
+}
+
+TEST(ServeQueue, ClosedQueueRejectsEveryAdmissionPath) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  q.close();
+  q.close();  // idempotent: double-close is not an error
+
+  // No reopen exists: every admission path fails and is counted.
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_FALSE(q.push_wait(3));  // must not block on a closed queue
+  EXPECT_EQ(q.rejected(), 2u);
+  EXPECT_EQ(q.accepted(), 1u);
+
+  // Drain-after-close: the backlog survives, then nullopt forever.
+  auto item = q.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 1);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.pop_wait().has_value());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ServeQueue, BackpressureCountsSurviveClose) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: backpressure rejection
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: also a rejection
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.rejected(), 2u);
+  EXPECT_EQ(q.capacity(), 2u);
+}
+
+}  // namespace
+}  // namespace vsparse

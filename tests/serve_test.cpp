@@ -96,6 +96,7 @@ TEST(ServeTaxonomy, CodePropertiesMatchTheDesignTable) {
       {kEccUncorrectable, "ecc_uncorrectable", true, true},
       {kLaunchTimeout, "launch_timeout", false, true},
       {kAbftExhausted, "abft_exhausted", true, true},
+      {kDeviceLost, "device_lost", false, false},
       {kInternal, "internal", false, false},
   };
   for (const Row& r : rows) {

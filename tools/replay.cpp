@@ -1,0 +1,108 @@
+// Standalone flight-recorder replay — re-executes vsparse-repro-v1
+// bundles captured by the fleet scheduler and diffs failure signatures.
+//
+//   replay FILE [--bundle=K] [--quiet]
+//
+// FILE is either a whole recorder document
+// ({"schema":"vsparse-repro-v1","bundles":[...]}) or a single bare
+// bundle object.  Every selected bundle is re-executed on a fresh
+// device (serve::replay_bundle): the recorded retry policy, memory
+// quota, quarantine gate, and device fault state are rebuilt, the
+// request re-runs through execute_request — the same code path the
+// fleet ran — and the resulting attempt-trail signature is compared
+// byte-for-byte against the captured one.
+//
+// Exit 0: every replayed signature matched.  Exit 1: at least one
+// diverged (prints both signatures).  Exit 2: unreadable / malformed
+// input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vsparse/serve/recorder.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  const char* path = nullptr;
+  long only = -1;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bundle=", 9) == 0) {
+      only = std::strtol(argv[i] + 9, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "replay: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr, "usage: replay FILE [--bundle=K] [--quiet]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  std::vector<vsparse::serve::ReproBundle> bundles;
+  try {
+    bundles = vsparse::serve::parse_repro_json(text.str());
+  } catch (const vsparse::Error& e) {
+    std::fprintf(stderr, "replay: malformed bundle: %s\n", e.what());
+    return 2;
+  }
+  if (bundles.empty()) {
+    std::printf("# replay: {\"bundles\":0,\"matched\":0,\"diverged\":0}\n");
+    return 0;
+  }
+
+  std::uint64_t matched = 0, diverged = 0, replayed = 0;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    if (only >= 0 && static_cast<long>(i) != only) continue;
+    const vsparse::serve::ReproBundle& b = bundles[i];
+    const vsparse::serve::ReplayResult r = vsparse::serve::replay_bundle(b);
+    ++replayed;
+    if (r.signature_match) {
+      ++matched;
+      if (!quiet) {
+        std::printf("# replay-bundle: {\"index\":%zu,\"request_id\":%llu,"
+                    "\"device\":%d,\"match\":true}\n",
+                    i, static_cast<unsigned long long>(b.request_id),
+                    b.device);
+      }
+    } else {
+      ++diverged;
+      std::printf("# replay-bundle: {\"index\":%zu,\"request_id\":%llu,"
+                  "\"device\":%d,\"match\":false}\n",
+                  i, static_cast<unsigned long long>(b.request_id), b.device);
+      std::printf("#   expected: %s\n", r.expected_signature.c_str());
+      std::printf("#   got:      %s\n", r.got_signature.c_str());
+    }
+  }
+  if (only >= 0 && replayed == 0) {
+    std::fprintf(stderr, "replay: --bundle=%ld out of range (%zu bundles)\n",
+                 only, bundles.size());
+    return 2;
+  }
+  std::printf("# replay: {\"bundles\":%llu,\"matched\":%llu,"
+              "\"diverged\":%llu}\n",
+              static_cast<unsigned long long>(replayed),
+              static_cast<unsigned long long>(matched),
+              static_cast<unsigned long long>(diverged));
+  return diverged == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }
