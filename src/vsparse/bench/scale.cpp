@@ -1,5 +1,7 @@
 #include "vsparse/bench/scale.hpp"
 
+#include "vsparse/common/env.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,7 +10,7 @@ namespace vsparse::bench {
 
 Scale parse_scale(int argc, char** argv) {
   std::string choice;
-  if (const char* env = std::getenv("VSPARSE_BENCH_SCALE")) choice = env;
+  if (const char* env = env_get("VSPARSE_BENCH_SCALE")) choice = env;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) choice = argv[i] + 8;
   }

@@ -7,11 +7,12 @@
 // variable; every bench prints the scale it used.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace vsparse::bench {
 
-enum class Scale { kSmall, kPaper };
+enum class Scale : std::uint8_t { kSmall, kPaper };
 
 /// Parse --scale= from argv (falling back to VSPARSE_BENCH_SCALE, then
 /// kSmall) and echo the choice to stdout.

@@ -1,0 +1,22 @@
+// Environment-variable access for single-threaded setup code.
+//
+// std::getenv is not safe against a concurrent setenv, which is why
+// concurrency-mt-unsafe flags every call site.  In this codebase all
+// environment reads happen in bench/CLI setup before any simulator
+// worker thread exists, and nothing in-process ever calls setenv — so
+// the reads are safe, and the suppression lives here, once, instead of
+// on every call site.
+#pragma once
+
+#include <cstdlib>
+
+namespace vsparse {
+
+/// Read an environment variable during process setup.  Returns nullptr
+/// when unset, exactly like std::getenv.  Only call before simulator
+/// worker threads are spawned.
+inline const char* env_get(const char* name) {
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+}
+
+}  // namespace vsparse

@@ -16,7 +16,7 @@
 
 namespace vsparse {
 
-enum class Layout { kRowMajor, kColMajor };
+enum class Layout : std::uint8_t { kRowMajor, kColMajor };
 
 /// Dense rows x cols matrix with explicit layout.
 template <class T>
@@ -109,11 +109,18 @@ struct DenseDevice {
   }
 };
 
-/// Upload a host matrix to the device.
+/// Upload a host matrix to the device.  The buffer declares 15
+/// elements of vector-load tail slack (Device::alloc): the widest
+/// vectorized access any kernel issues from an unaligned base inside
+/// the matrix is 16 elements, so the last in-bounds element can be
+/// loaded as the head of one such vector without a false OOB — the
+/// same Sputnik-style contract the CVS arrays declare (cvs.cpp), and
+/// what the static verifier's contracts assume for dense operands.
 template <class T>
 DenseDevice<T> to_device(gpusim::Device& dev, const DenseMatrix<T>& m) {
-  return DenseDevice<T>{dev.alloc_copy<T>(m.data()), m.rows(), m.cols(),
-                        m.ld(), m.layout()};
+  return DenseDevice<T>{dev.alloc_copy<T>(m.data(), "dense",
+                                          /*tail_slack_elems=*/15),
+                        m.rows(), m.cols(), m.ld(), m.layout()};
 }
 
 /// A rows x cols window of a device matrix starting at (r0, c0), backed

@@ -44,7 +44,7 @@ class FaultPlan;
 /// kNone is the default and the only state a fault-free run can
 /// observe, so the check on the launch path costs one predictable
 /// branch and the bit/counter-identity contract is untouched.
-enum class DeviceFault : int { kNone = 0, kWedged, kDead };
+enum class DeviceFault : std::uint8_t { kNone = 0, kWedged, kDead };
 
 const char* device_fault_name(DeviceFault fault);
 

@@ -627,7 +627,16 @@ void Warp::lds_span(const std::uint32_t* seg_off, int segs, int width,
   static_assert(std::is_trivially_copyable_v<V>);
   VSPARSE_DCHECK(segs >= 1 && width >= 1 && segs * width <= 32);
   VSPARSE_DCHECK(segs * width >= 32 || (mask >> (segs * width)) == 0);
-  bool divert = sm().sanitizer() != nullptr || sm().faults() != nullptr;
+  // Racecheck span fast path: a sanitized span that the admission hook
+  // proves in-bounds and overlap-free (via the static verifier's
+  // span primitive) runs the span memory path below; otherwise it
+  // expands onto the per-lane op for exact per-byte reporting.  A
+  // fault plan always diverts (the fault surface is per-lane).
+  bool divert = sm().faults() != nullptr;
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    divert = divert || !san->on_smem_load_span(warp_id_, seg_off, segs, width,
+                                               stride, mask, sizeof(V));
+  }
   if (!divert && mask != 0) {
     // Hull bounds pre-scan.  On OOB, divert so the per-lane path
     // reports the exact offending lane offset (and throws identically).
@@ -776,7 +785,12 @@ void Warp::sts_span(const std::uint32_t* seg_off, int segs, int width,
   static_assert(std::is_trivially_copyable_v<V>);
   VSPARSE_DCHECK(segs >= 1 && width >= 1 && segs * width <= 32);
   VSPARSE_DCHECK(segs * width >= 32 || (mask >> (segs * width)) == 0);
-  bool divert = sm().sanitizer() != nullptr;
+  // Same admission contract as lds_span above.
+  bool divert = false;
+  if (SmSanitizer* san = sm().sanitizer()) [[unlikely]] {
+    divert = !san->on_smem_store_span(warp_id_, seg_off, segs, width, stride,
+                                      mask, sizeof(V));
+  }
   if (!divert && mask != 0) {
     for (int seg = 0; seg < segs; ++seg) {
       const std::uint32_t seg_mask = detail::span_seg_mask(mask, seg, width);

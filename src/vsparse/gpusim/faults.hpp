@@ -54,7 +54,7 @@ struct KernelStats;
 class SmTrace;
 
 /// Where in the modeled machine a fault strikes.
-enum class FaultSite : int {
+enum class FaultSite : std::uint8_t {
   kDramRead = 0,  ///< global-load data (DRAM cell / return path)
   kL2Line,        ///< global-load data attributed to the L2 line
   kSmemRead,      ///< shared-memory load data

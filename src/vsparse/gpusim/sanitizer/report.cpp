@@ -191,6 +191,7 @@ std::string sanitizer_json(const Sanitizer& sink) {
        << ",\n      \"smem_bytes\": " << launch.smem_bytes
        << ",\n      \"aborted\": " << (launch.aborted ? "true" : "false")
        << ",\n      \"suppressed\": " << launch.suppressed
+       << ",\n      \"span_fastpath_ops\": " << launch.span_fastpath_ops
        << ",\n      \"reports\": [";
     bool first_report = true;
     for (const SanitizerReport& report : launch.reports) {

@@ -17,7 +17,7 @@ namespace vsparse::gpusim {
 /// Instruction classes tracked by the simulator.  Counts are
 /// *warp-level executed instructions* (one issue slot each), matching
 /// what nsight's instruction statistics report.
-enum class Op : int {
+enum class Op : std::uint8_t {
   kHmma = 0,   ///< HMMA.884 step (tensor core)
   kHfma,       ///< HFMA2 / HMUL (fp16 FPU math)
   kFfma,       ///< FFMA / FADD / FMUL (fp32 FPU math)

@@ -1,0 +1,82 @@
+// Versioned certificate store for static launch verdicts
+// (`vsparse-static-v1`) — the persisted output of the verifier,
+// consulted O(1) at dispatch and fleet admission.
+//
+// One CertEntry records the verdict for a (kernel, shape class,
+// architecture preset) triple; the store keys entries by
+// "kernel|arch" and scans the handful of classes under that key for
+// containment (a map probe plus a short fixed-size scan — O(1) per
+// lookup, like the policy cache's shape-class buckets).
+//
+// The JSON artifact round-trips through the same external-artifact
+// guardrails as the policy cache: strict recursive-descent parse,
+// version pin, size caps checked before any allocation, structured
+// kBadDispatch raises at site "gpusim.verify.certs".  The CI
+// static-verify job regenerates the artifact from scratch every run
+// and cross-checks `proved` entries against the dynamic sanitizer;
+// the store never mutates a loaded artifact in place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "vsparse/gpusim/verify/shape_class.hpp"
+#include "vsparse/gpusim/verify/verifier.hpp"
+
+namespace vsparse::verify {
+
+inline constexpr const char* kCertStoreVersion = "vsparse-static-v1";
+inline constexpr std::uint64_t kMaxCertStoreBytes = 16ull << 20;
+inline constexpr std::size_t kMaxCertStoreEntries = 65536;
+inline constexpr std::size_t kMaxCertStringLength = 512;
+
+/// One certified (kernel, shape class, arch) verdict.
+struct CertEntry {
+  std::string kernel;  ///< stable registry name ("spmm_octet")
+  std::string arch;    ///< arch preset name ("volta-v100")
+  ShapeClass cls;
+  VerdictKind verdict = VerdictKind::kUnknown;
+  ShapeCorner counterexample;  ///< meaningful for kRefuted only
+  std::string site;            ///< failing / approximated op site
+  std::string detail;
+  int corners_checked = 0;
+  int corners_rejected = 0;
+};
+
+class CertStore {
+ public:
+  CertStore() = default;
+
+  /// Record (replacing any entry for the same kernel/arch/class name).
+  void put(CertEntry entry);
+
+  /// The verdict covering `shape` for (kernel, arch); nullptr when no
+  /// certified class contains the shape (treat as unknown).  When
+  /// multiple classes contain the shape, a refuted entry wins (safety
+  /// verdicts must not depend on class enumeration order), then
+  /// unknown, then proved.
+  const CertEntry* lookup(std::string_view kernel, std::string_view arch,
+                          const ShapeCorner& shape) const;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// All entries, sorted by (kernel, arch, class name) — the
+  /// serialization order.
+  std::vector<const CertEntry*> sorted_entries() const;
+
+  std::string to_json() const;
+  static CertStore from_json(std::string_view text);
+  void save(const std::string& path) const;
+  static CertStore load(const std::string& path);
+
+ private:
+  // "kernel|arch" -> that pair's certified classes (a handful each).
+  std::unordered_map<std::string, std::vector<CertEntry>> entries_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace vsparse::verify

@@ -1,0 +1,86 @@
+// Saturating integer intervals — the abstract domain the static
+// launch verifier evaluates address expressions in.
+//
+// An Ival is a closed interval [lo, hi] over int64 with saturating
+// arithmetic: address expressions in the kernels are sums and products
+// of loop indices, strides, and data-dependent gather indices, so a
+// sound hull only needs monotone interval arithmetic.  Saturation (not
+// wraparound) keeps the hull conservative when a contract multiplies
+// two large extents — a saturated bound can only widen the interval,
+// never alias it back into range.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "vsparse/common/macros.hpp"
+
+namespace vsparse::verify {
+
+namespace detail {
+
+inline std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return (a > 0) ? std::numeric_limits<std::int64_t>::max()
+                   : std::numeric_limits<std::int64_t>::min();
+  }
+  return out;
+}
+
+inline std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    const bool neg = (a < 0) != (b < 0);
+    return neg ? std::numeric_limits<std::int64_t>::min()
+               : std::numeric_limits<std::int64_t>::max();
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Closed interval [lo, hi]; lo <= hi always holds.
+struct Ival {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  Ival() = default;
+  /*implicit*/ Ival(std::int64_t point) : lo(point), hi(point) {}
+  Ival(std::int64_t lo_in, std::int64_t hi_in) : lo(lo_in), hi(hi_in) {
+    VSPARSE_DCHECK(lo_in <= hi_in);
+  }
+
+  bool is_point() const { return lo == hi; }
+  bool contains(std::int64_t x) const { return lo <= x && x <= hi; }
+
+  Ival operator+(const Ival& o) const {
+    return Ival(detail::sat_add(lo, o.lo), detail::sat_add(hi, o.hi));
+  }
+  Ival operator-(const Ival& o) const {
+    return Ival(detail::sat_add(lo, -o.hi), detail::sat_add(hi, -o.lo));
+  }
+  Ival operator*(const Ival& o) const {
+    const std::int64_t c[4] = {
+        detail::sat_mul(lo, o.lo), detail::sat_mul(lo, o.hi),
+        detail::sat_mul(hi, o.lo), detail::sat_mul(hi, o.hi)};
+    return Ival(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+  }
+
+  /// Smallest interval containing both.
+  Ival hull(const Ival& o) const {
+    return Ival(std::min(lo, o.lo), std::max(hi, o.hi));
+  }
+
+  std::string str() const {
+    if (is_point()) return std::to_string(lo);
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+};
+
+inline Ival operator+(std::int64_t a, const Ival& b) { return Ival(a) + b; }
+inline Ival operator*(std::int64_t a, const Ival& b) { return Ival(a) * b; }
+
+}  // namespace vsparse::verify

@@ -1,0 +1,92 @@
+#include "vsparse/gpusim/verify/shape_class.hpp"
+
+#include <sstream>
+
+namespace vsparse::verify {
+
+std::string ShapeCorner::str() const {
+  std::ostringstream os;
+  os << "m=" << m << " k=" << k << " n=" << n << " v=" << v
+     << " density=" << density;
+  return os.str();
+}
+
+std::vector<ShapeCorner> ShapeClass::corners() const {
+  std::vector<ShapeCorner> out;
+  const auto ends = [](const DimRange& r) {
+    return r.lo == r.hi ? std::vector<int>{r.lo}
+                        : std::vector<int>{r.lo, r.hi};
+  };
+  const std::vector<double> dens =
+      d_lo == d_hi ? std::vector<double>{d_lo}
+                   : std::vector<double>{d_lo, d_hi};
+  for (int mm : ends(m)) {
+    for (int kk : ends(k)) {
+      for (int nn : ends(n)) {
+        for (double dd : dens) {
+          out.push_back(ShapeCorner{mm, kk, nn, v, dd});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ShapeClass ShapeClass::singleton(const std::string& name,
+                                 const ShapeCorner& s) {
+  ShapeClass c;
+  c.name = name;
+  c.v = s.v;
+  c.m = {s.m, s.m, 1};
+  c.k = {s.k, s.k, 1};
+  c.n = {s.n, s.n, 1};
+  c.d_lo = c.d_hi = s.density;
+  return c;
+}
+
+std::vector<ShapeClass> builtin_shape_classes() {
+  std::vector<ShapeClass> out;
+
+  // fig05 profile: SpMM at 90 % sparsity, V = 1 (m x k from the paper
+  // and quick scales, n = 256).
+  {
+    ShapeClass c;
+    c.name = "fig05";
+    c.v = 1;
+    c.m = {1024, 2048, 64};
+    c.k = {512, 1024, 64};
+    c.n = {256, 256, 64};
+    c.d_lo = 0.05;
+    c.d_hi = 0.15;
+    out.push_back(c);
+  }
+
+  // fig05 dense GEMM operands (density 1; the dense kernels ignore it).
+  {
+    ShapeClass c;
+    c.name = "fig05-dense";
+    c.v = 1;
+    c.m = {1024, 2048, 64};
+    c.k = {512, 1024, 64};
+    c.n = {256, 256, 64};
+    c.d_lo = c.d_hi = 1.0;
+    out.push_back(c);
+  }
+
+  // fig17 DLMC-style sweep: suite_shapes x n in {64..256} x sparsity
+  // grid {0.5 .. 0.98}, per vector width.
+  for (int v : {1, 2, 4, 8}) {
+    ShapeClass c;
+    c.name = "fig17-v" + std::to_string(v);
+    c.v = v;
+    c.m = {256, 2048, 64};
+    c.k = {256, 2048, 64};
+    c.n = {64, 256, 64};
+    c.d_lo = 0.02;
+    c.d_hi = 0.5;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace vsparse::verify

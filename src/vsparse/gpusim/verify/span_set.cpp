@@ -1,0 +1,67 @@
+#include "vsparse/gpusim/verify/span_set.hpp"
+
+namespace vsparse::verify {
+
+namespace {
+
+struct SegFoot {
+  std::uint64_t lo = 0;  ///< first byte
+  std::uint64_t hi = 0;  ///< one past last byte
+  int t_lo = 0, t_hi = 0;
+  bool any = false;
+};
+
+SegFoot seg_footprint(const SpanRef& s, int seg) {
+  SegFoot f;
+  int t_lo = -1, t_hi = -1;
+  for (int t = 0; t < s.width; ++t) {
+    if (s.mask & (1u << (seg * s.width + t))) {
+      if (t_lo < 0) t_lo = t;
+      t_hi = t;
+    }
+  }
+  if (t_lo < 0) return f;
+  f.any = true;
+  f.t_lo = t_lo;
+  f.t_hi = t_hi;
+  f.lo = s.seg_base[seg] + static_cast<std::uint64_t>(t_lo) * s.stride;
+  f.hi = s.seg_base[seg] + static_cast<std::uint64_t>(t_hi) * s.stride +
+         s.access;
+  return f;
+}
+
+bool lanes_overlap(const SpanRef& a, int sa, const SegFoot& fa,
+                   const SpanRef& b, int sb, const SegFoot& fb) {
+  for (int ta = fa.t_lo; ta <= fa.t_hi; ++ta) {
+    if (!(a.mask & (1u << (sa * a.width + ta)))) continue;
+    const std::uint64_t a_lo =
+        a.seg_base[sa] + static_cast<std::uint64_t>(ta) * a.stride;
+    const std::uint64_t a_hi = a_lo + a.access;
+    for (int tb = fb.t_lo; tb <= fb.t_hi; ++tb) {
+      if (!(b.mask & (1u << (sb * b.width + tb)))) continue;
+      const std::uint64_t b_lo =
+          b.seg_base[sb] + static_cast<std::uint64_t>(tb) * b.stride;
+      if (a_lo < b_lo + b.access && b_lo < a_hi) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool spans_overlap(const SpanRef& a, const SpanRef& b) {
+  if (a.segs <= 0 || b.segs <= 0 || a.mask == 0 || b.mask == 0) return false;
+  for (int sa = 0; sa < a.segs; ++sa) {
+    const SegFoot fa = seg_footprint(a, sa);
+    if (!fa.any) continue;
+    for (int sb = 0; sb < b.segs; ++sb) {
+      const SegFoot fb = seg_footprint(b, sb);
+      if (!fb.any) continue;
+      if (fa.hi <= fb.lo || fb.hi <= fa.lo) continue;  // hulls disjoint
+      if (lanes_overlap(a, sa, fa, b, sb, fb)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vsparse::verify

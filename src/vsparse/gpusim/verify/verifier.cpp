@@ -1,0 +1,93 @@
+#include "vsparse/gpusim/verify/verifier.hpp"
+
+#include <string_view>
+#include <utility>
+
+#include "vsparse/gpusim/config.hpp"
+#include "vsparse/kernels/contracts.hpp"
+
+namespace vsparse::verify {
+
+const char* verdict_name(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kProved:
+      return "proved";
+    case VerdictKind::kRefuted:
+      return "refuted";
+    case VerdictKind::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+bool parse_verdict(std::string_view name, VerdictKind* out) {
+  if (name == "proved") {
+    *out = VerdictKind::kProved;
+  } else if (name == "refuted") {
+    *out = VerdictKind::kRefuted;
+  } else if (name == "unknown") {
+    *out = VerdictKind::kUnknown;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Verdict verify_kernel(kernels::ContractFn contract, const ShapeClass& cls,
+                      const gpusim::DeviceConfig& hw,
+                      std::vector<LintFinding>* lints) {
+  Verdict verdict;
+  if (contract == nullptr) {
+    verdict.kind = VerdictKind::kUnknown;
+    verdict.site = "verify.contract";
+    verdict.detail = "no static contract registered";
+    return verdict;
+  }
+  verdict.kind = VerdictKind::kProved;
+  for (const ShapeCorner& corner : cls.corners()) {
+    CtaModel m;
+    contract(m, corner, hw);
+    ++verdict.corners_checked;
+    if (lints != nullptr) {
+      for (const LintFinding& f : m.lints()) {
+        bool seen = false;
+        for (const LintFinding& g : *lints) {
+          if (g.rule == f.rule && g.site == f.site) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) lints->push_back(f);
+      }
+    }
+    if (m.rejected()) {
+      ++verdict.corners_rejected;
+      continue;  // kernel preconditions reject the shape before launch
+    }
+    if (!m.violations().empty()) {
+      verdict.kind = VerdictKind::kRefuted;
+      verdict.counterexample = corner;
+      verdict.site = m.violations().front().site;
+      verdict.detail = m.violations().front().detail;
+      return verdict;  // first counterexample wins
+    }
+    if (m.unknown() && verdict.kind == VerdictKind::kProved) {
+      verdict.kind = VerdictKind::kUnknown;
+      verdict.site = "verify.approximate";
+      verdict.detail = m.unknown_why();
+    }
+  }
+  return verdict;
+}
+
+const std::vector<ExtraContract>& extra_contracts() {
+  static const std::vector<ExtraContract> kExtras = {
+      {"hgemm_tcu", &kernels::contracts::spmm_dense_gemm},
+      {"sgemm_fpu", &kernels::contracts::sgemm_fpu},
+      {"sparse_softmax", &kernels::contracts::sparse_softmax},
+      {"dense_softmax", &kernels::contracts::dense_softmax},
+  };
+  return kExtras;
+}
+
+}  // namespace vsparse::verify

@@ -1,0 +1,74 @@
+// Static launch verifier driver — corner enumeration over a shape
+// class, one CtaModel run per corner.
+//
+// verify_kernel proves or refutes one (kernel, shape class,
+// architecture) triple: it replays the kernel's static contract
+// (kernels/contracts.cpp) at every corner of the class (the extreme
+// shapes that bound all members — shape_class.hpp) and folds the
+// per-corner outcomes into one Verdict:
+//
+//   kProved    every corner ran clean (or was rejected by the kernel's
+//              own preconditions before touching memory);
+//   kRefuted   some corner produced a violation — the verdict carries
+//              that concrete counterexample shape and the failing site;
+//   kUnknown   the contract declared an approximation (or the desc has
+//              no contract) — the dynamic sanitizer stays authoritative
+//              for this pair.
+//
+// A class whose every corner is precondition-rejected is still proved:
+// "rejects before launching" is safe for the whole class because the
+// preconditions are divisibility/membership predicates evaluated on
+// the concrete shape, not on memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vsparse/gpusim/verify/machine.hpp"
+#include "vsparse/gpusim/verify/shape_class.hpp"
+#include "vsparse/kernels/registry.hpp"
+
+namespace vsparse::gpusim {
+struct DeviceConfig;
+}  // namespace vsparse::gpusim
+
+namespace vsparse::verify {
+
+enum class VerdictKind : std::uint8_t { kProved, kRefuted, kUnknown };
+
+/// "proved" | "refuted" | "unknown" (stable certificate vocabulary).
+const char* verdict_name(VerdictKind kind);
+/// Inverse of verdict_name; false when `name` is not a verdict.
+bool parse_verdict(std::string_view name, VerdictKind* out);
+
+struct Verdict {
+  VerdictKind kind = VerdictKind::kUnknown;
+  /// The refuting concrete shape (kRefuted only).
+  ShapeCorner counterexample;
+  /// Failing op site (kRefuted) or approximation site (kUnknown).
+  std::string site;
+  std::string detail;
+  int corners_checked = 0;
+  int corners_rejected = 0;  ///< safe-by-precondition corners
+
+  bool proved() const { return kind == VerdictKind::kProved; }
+  bool refuted() const { return kind == VerdictKind::kRefuted; }
+};
+
+/// Verify one kernel contract over one shape class on one architecture.
+/// Lint findings accumulate into `*lints` (deduplicated per run) when
+/// non-null; linting never affects the verdict.
+Verdict verify_kernel(kernels::ContractFn contract, const ShapeClass& cls,
+                      const gpusim::DeviceConfig& hw,
+                      std::vector<LintFinding>* lints = nullptr);
+
+/// Kernels certified alongside the registry: the dense GEMM entry
+/// points and the softmax kernels the fig05 suites run, which have no
+/// KernelDesc but the same safety obligations.
+struct ExtraContract {
+  const char* name;
+  kernels::ContractFn contract;
+};
+const std::vector<ExtraContract>& extra_contracts();
+
+}  // namespace vsparse::verify

@@ -1,0 +1,52 @@
+// Static launch contracts — one per registered kernel, plus the
+// non-registry kernels the fig05 suites exercise (dense GEMM entry
+// points and the softmax kernels).
+//
+// A contract replays the address behaviour of one representative CTA
+// of its kernel against verify::CtaModel at a concrete corner shape
+// (see gpusim/verify/machine.hpp for the obligations it must meet).
+// Contracts model loop *extremes*, not every iteration: each staging /
+// compute / writeback loop is replayed at its first and last trip with
+// the staged-count data dependency probed at both its empty and
+// maximal value — sound because every address expression is monotone
+// in the trip index and the staged count, which is also why corner
+// shapes cover the whole shape class (shape_class.hpp).
+#pragma once
+
+#include "vsparse/kernels/registry.hpp"
+
+namespace vsparse::kernels::contracts {
+
+// SpMM
+void spmm_octet(verify::CtaModel& m, const verify::ShapeCorner& s,
+                const gpusim::DeviceConfig& hw);
+void spmm_wmma_warp(verify::CtaModel& m, const verify::ShapeCorner& s,
+                    const gpusim::DeviceConfig& hw);
+void spmm_fpu_subwarp(verify::CtaModel& m, const verify::ShapeCorner& s,
+                      const gpusim::DeviceConfig& hw);
+void spmm_csr_fine(verify::CtaModel& m, const verify::ShapeCorner& s,
+                   const gpusim::DeviceConfig& hw);
+void spmm_blocked_ell(verify::CtaModel& m, const verify::ShapeCorner& s,
+                      const gpusim::DeviceConfig& hw);
+void spmm_dense_gemm(verify::CtaModel& m, const verify::ShapeCorner& s,
+                     const gpusim::DeviceConfig& hw);
+
+// SDDMM
+void sddmm_octet(verify::CtaModel& m, const verify::ShapeCorner& s,
+                 const gpusim::DeviceConfig& hw);
+void sddmm_wmma_warp(verify::CtaModel& m, const verify::ShapeCorner& s,
+                     const gpusim::DeviceConfig& hw);
+void sddmm_fpu_subwarp(verify::CtaModel& m, const verify::ShapeCorner& s,
+                       const gpusim::DeviceConfig& hw);
+void sddmm_csr_fine(verify::CtaModel& m, const verify::ShapeCorner& s,
+                    const gpusim::DeviceConfig& hw);
+
+// Non-registry kernels certified alongside (verifier extra set).
+void sgemm_fpu(verify::CtaModel& m, const verify::ShapeCorner& s,
+               const gpusim::DeviceConfig& hw);
+void sparse_softmax(verify::CtaModel& m, const verify::ShapeCorner& s,
+                    const gpusim::DeviceConfig& hw);
+void dense_softmax(verify::CtaModel& m, const verify::ShapeCorner& s,
+                   const gpusim::DeviceConfig& hw);
+
+}  // namespace vsparse::kernels::contracts

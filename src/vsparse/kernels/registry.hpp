@@ -32,9 +32,18 @@
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/kernels/api.hpp"
 
+namespace vsparse::gpusim {
+struct DeviceConfig;
+}  // namespace vsparse::gpusim
+
+namespace vsparse::verify {
+class CtaModel;
+struct ShapeCorner;
+}  // namespace vsparse::verify
+
 namespace vsparse::kernels {
 
-enum class SpmmAlgorithm {
+enum class SpmmAlgorithm : std::uint8_t {
   kAuto,        ///< octet for V>=2, FPU subwarp for V=1 (or policy cache)
   kOctet,       ///< TCU-based 1-D Octet Tiling (§5.3)
   kWmmaWarp,    ///< classic warp-level WMMA mapping (§5.2)
@@ -43,7 +52,7 @@ enum class SpmmAlgorithm {
   kNumSpmmAlgorithms
 };
 
-enum class SddmmAlgorithm {
+enum class SddmmAlgorithm : std::uint8_t {
   kAuto,        ///< octet(reg) for V>=2, FPU subwarp for V=1 (or cache)
   kOctet,       ///< §6.3 with the extra-registers inverted-pattern fix
   kWmmaWarp,    ///< §6.2
@@ -97,6 +106,15 @@ struct SddmmCall {
   const gpusim::SimOptions& sim;
 };
 
+/// Static launch contract (gpusim/verify): replays the address
+/// behaviour of one representative CTA at a concrete corner shape
+/// against the abstract CTA model.  Every registered kernel must
+/// provide one (registry_test pins this); the verifier reports
+/// `unknown` for a null hook.
+using ContractFn = void (*)(verify::CtaModel& m,
+                            const verify::ShapeCorner& shape,
+                            const gpusim::DeviceConfig& hw);
+
 /// A desc with no SpmmAlgorithm/SddmmAlgorithm value: reachable only
 /// as a degradation-ladder rung, never by direct dispatch.
 inline constexpr int kNoAlgorithm = -1;
@@ -129,6 +147,8 @@ struct KernelDesc {
   KernelRun (*spmm_launch)(const SpmmCall& call);
   KernelRun (*spmm_abft_launch)(const SpmmCall& call);
   KernelRun (*sddmm_launch)(const SddmmCall& call);
+  /// Static launch contract for the verifier (kernels/contracts.cpp).
+  ContractFn contract;
 
   bool supports_v(int v) const {
     return v >= 1 && v <= 15 && (v_mask & (1u << v)) != 0;

@@ -28,13 +28,15 @@
 //                     the TCU swaps operand buses; no extra cost.
 #pragma once
 
+#include <cstdint>
+
 #include "vsparse/formats/cvs.hpp"
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/kernels/api.hpp"
 
 namespace vsparse::kernels {
 
-enum class InvertedPatternMode {
+enum class InvertedPatternMode : std::uint8_t {
   kExtraRegisters,  ///< "mma (reg)"
   kShuffle,         ///< "mma (shfl)"
   kArchSwitch,      ///< "mma (arch)" — needs the Fig. 15 TCU extension

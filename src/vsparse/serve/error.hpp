@@ -24,13 +24,14 @@
 // cycles.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace vsparse {
 
-enum class ErrorCode : int {
+enum class ErrorCode : std::uint8_t {
   kMalformedFormat = 0,  ///< input encoding violates a format invariant
   kBadDispatch,          ///< invalid algorithm/options combination
   kAllocOverflow,        ///< size arithmetic would overflow the allocator

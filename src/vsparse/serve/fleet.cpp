@@ -11,6 +11,7 @@
 #include "vsparse/formats/dense.hpp"
 #include "vsparse/formats/generate.hpp"
 #include "vsparse/gpusim/faults.hpp"
+#include "vsparse/gpusim/verify/certs.hpp"
 #include "vsparse/kernels/dispatch.hpp"
 #include "vsparse/kernels/softmax/sparse_softmax.hpp"
 
@@ -297,6 +298,52 @@ ExecOutcome exec_attention(Supervisor& sup, const RequestSpec& spec,
   return out_res;
 }
 
+/// The refuted certificate barring this request from the worker, or
+/// nullptr.  Admission screens the kernel(s) the request would resolve
+/// to — kAuto's pick for plain SpMM/SDDMM, the pinned octet pair for
+/// attention — against the store, using the request's nominal density
+/// (1 - sparsity).  The dispatch-level gate stays authoritative for
+/// whatever the ladder actually launches; this pre-screen only keeps
+/// provably-unsafe work from consuming a placement.
+const verify::CertEntry* admission_refuted(const verify::CertStore* certs,
+                                           std::string_view arch,
+                                           const RequestSpec& spec) {
+  if (certs == nullptr) return nullptr;
+  const double density = 1.0 - spec.sparsity;
+  const auto refuted = [&](const char* kernel, const kernels::DispatchShape& s)
+      -> const verify::CertEntry* {
+    const verify::CertEntry* entry = certs->lookup(
+        kernel, arch, verify::ShapeCorner{s.m, s.k, s.n, s.v, s.density});
+    if (entry == nullptr || entry->verdict != verify::VerdictKind::kRefuted) {
+      return nullptr;
+    }
+    return entry;
+  };
+  switch (spec.op) {
+    case RequestOp::kSpmm: {
+      const kernels::DispatchShape s{spec.m, spec.k, 64, spec.v, density};
+      return refuted(kernels::kernel_for(kernels::resolve_auto_spmm(s)).name,
+                     s);
+    }
+    case RequestOp::kSddmm: {
+      const kernels::DispatchShape s{spec.m, spec.k, 64, spec.v, density};
+      return refuted(kernels::kernel_for(kernels::resolve_auto_sddmm(s)).name,
+                     s);
+    }
+    case RequestOp::kAttention: {
+      const kernels::DispatchShape qk{spec.m, spec.k, spec.m, spec.v, density};
+      if (const verify::CertEntry* entry = refuted(
+              kernels::kernel_for(kernels::SddmmAlgorithm::kOctet).name, qk)) {
+        return entry;
+      }
+      const kernels::DispatchShape av{spec.m, spec.m, spec.k, spec.v, density};
+      return refuted(kernels::kernel_for(kernels::SpmmAlgorithm::kOctet).name,
+                     av);
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 const char* request_op_name(RequestOp op) {
@@ -313,6 +360,14 @@ const char* request_op_name(RequestOp op) {
 
 ExecOutcome execute_request(Supervisor& sup, const RequestSpec& spec,
                             const ExecEnv& env) {
+  if (admission_refuted(env.certs, sup.device().config().arch, spec) !=
+      nullptr) {
+    ExecOutcome out;
+    out.rejected = true;
+    out.final_code = ErrorCode::kBadDispatch;
+    out.final_site = "serve.verify.admission";
+    return out;
+  }
   switch (spec.op) {
     case RequestOp::kSpmm:
       return exec_spmm(sup, spec, env);

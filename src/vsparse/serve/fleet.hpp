@@ -50,9 +50,13 @@
 #include "vsparse/serve/policy.hpp"
 #include "vsparse/serve/supervisor.hpp"
 
+namespace vsparse::verify {
+class CertStore;
+}  // namespace vsparse::verify
+
 namespace vsparse::serve {
 
-enum class RequestOp : int { kSpmm = 0, kSddmm, kAttention };
+enum class RequestOp : std::uint8_t { kSpmm = 0, kSddmm, kAttention };
 
 const char* request_op_name(RequestOp op);
 
@@ -88,6 +92,13 @@ struct ExecEnv {
   /// the request to a different ladder rung).
   bool verify = false;
   gpusim::Device* ref_dev = nullptr;
+  /// Opt-in static-verification admission gate (gpusim/verify/
+  /// certs.hpp): a request whose resolved kernel carries a `refuted`
+  /// certificate for this shape class on the worker's architecture is
+  /// rejected at admission (final_site "serve.verify.admission")
+  /// before any operand is built or launched.  Null (the default),
+  /// uncovered shapes, and proved/unknown verdicts change nothing.
+  const verify::CertStore* certs = nullptr;
 };
 
 /// One execution's outcome in the scheduler's service model.
@@ -122,7 +133,7 @@ ExecOutcome execute_request(Supervisor& sup, const RequestSpec& spec,
 
 // ---- the fleet --------------------------------------------------------
 
-enum class WorkerState : int { kActive = 0, kDraining, kDead };
+enum class WorkerState : std::uint8_t { kActive = 0, kDraining, kDead };
 
 const char* worker_state_name(WorkerState state);
 

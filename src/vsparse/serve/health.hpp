@@ -36,7 +36,7 @@
 
 namespace vsparse::serve {
 
-enum class BreakerState : int { kClosed = 0, kOpen, kHalfOpen };
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
 
 const char* breaker_state_name(BreakerState state);
 
@@ -60,7 +60,7 @@ struct HealthConfig {
 
 /// One state-machine transition, in global tick order.
 struct HealthEvent {
-  enum class Kind : int { kQuarantine = 0, kHalfOpen, kRestore, kReopen };
+  enum class Kind : std::uint8_t { kQuarantine = 0, kHalfOpen, kRestore, kReopen };
 
   Kind kind = Kind::kQuarantine;
   std::uint64_t tick = 0;

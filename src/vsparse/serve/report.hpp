@@ -22,7 +22,7 @@ namespace vsparse::serve {
 
 /// The degradation-ladder rungs, in canonical fallback order for SpMM.
 /// SDDMM uses the subset {kOctet, kWmmaWarp, kFpuSubwarp, kCsrFine}.
-enum class ServeRung : int {
+enum class ServeRung : std::uint8_t {
   kOctet = 0,   ///< TCU 1-D octet tiling — the paper's kernel
   kOctetAbft,   ///< octet + ABFT checksum verify/recompute
   kBlockedEll,  ///< re-encode to Blocked-ELL, cuSPARSE-style kernel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 #include "vsparse/common/rng.hpp"
@@ -25,7 +26,7 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-enum class Mechanism {
+enum class Mechanism : std::uint8_t {
   kClean,
   kTransientEcc,
   kStickyEcc,

@@ -34,7 +34,7 @@ struct ServePolicy;
 
 namespace vsparse::transformer {
 
-enum class Mode { kDenseFloat, kDenseHalf, kSparseHalf };
+enum class Mode : std::uint8_t { kDenseFloat, kDenseHalf, kSparseHalf };
 
 struct ModelConfig {
   int seq = 1024;      ///< paper scale: 4096 (LRA byte task uses 4000)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate clang-tidy output against the committed warning baseline.
+
+Usage: run-clang-tidy ... | tee tidy.log
+       check_tidy_baseline.py tidy.log [--baseline=.clang-tidy-baseline]
+
+Parses clang-tidy diagnostics of the form
+
+  path/to/file.cpp:123:4: warning: message [check-name]
+
+dedupes them by (file, line, check) — header warnings repeat once per
+including TU — and compares the per-check counts against the ceilings
+in the baseline file.  A check above its ceiling fails the job; a check
+absent from the baseline is reported but not gated (add it at its
+current count to start ratcheting it down).  Ceilings only ever go
+down: when a count drops below its ceiling the script says so, so the
+baseline can be tightened in the same PR.  Stdlib only.
+"""
+import json
+import re
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s.*\[(?P<checks>[a-zA-Z0-9.,_-]+)\]\s*$")
+
+
+def count_diags(lines):
+    seen = set()
+    counts = {}
+    for line in lines:
+        m = DIAG_RE.match(line.rstrip("\n"))
+        if m is None:
+            continue
+        # A diagnostic may carry a comma list of check aliases; attribute
+        # it to each so suppressing an alias cannot hide a finding.
+        for check in m.group("checks").split(","):
+            key = (m.group("file"), m.group("line"), check)
+            if key in seen:
+                continue
+            seen.add(key)
+            counts[check] = counts.get(check, 0) + 1
+    return counts
+
+
+def main(argv):
+    log_path = None
+    baseline_path = ".clang-tidy-baseline"
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif log_path is None:
+            log_path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if log_path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            ceilings = json.load(f).get("ceilings", {})
+    except (OSError, ValueError) as e:
+        print(f"check_tidy_baseline: cannot read {baseline_path}: {e}",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(log_path, encoding="utf-8", errors="replace") as f:
+            counts = count_diags(f)
+    except OSError as e:
+        print(f"check_tidy_baseline: cannot read {log_path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for check in sorted(set(counts) | set(ceilings)):
+        if check == "comment":
+            continue
+        have = counts.get(check, 0)
+        ceiling = ceilings.get(check)
+        if ceiling is None:
+            if have:
+                print(f"  (ungated) {check}: {have} warning(s)")
+        elif have > ceiling:
+            print(f"FAIL: {check}: {have} warning(s), baseline allows "
+                  f"{ceiling}")
+            failed = True
+        elif have < ceiling:
+            print(f"  ratchet: {check}: {have} < ceiling {ceiling} — "
+                  f"tighten {baseline_path}")
+        else:
+            print(f"  ok: {check}: {have} (at ceiling)")
+    if failed:
+        print("check_tidy_baseline: baseline grew — fix the new warnings "
+              "or justify a NOLINT with the specific check name")
+        return 1
+    total = sum(counts.values())
+    print(f"check_tidy_baseline: OK ({total} unique warning(s), none above "
+          f"baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

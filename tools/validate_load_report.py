@@ -24,8 +24,10 @@ committed BENCH_serve_load.json exactly — the report is deterministic,
 so any drift is a real behavior change that needs a baseline refresh.
 Stdlib only — runs anywhere CI has a python3.
 """
-import json
 import sys
+
+from vsparse_validate import check, check_schema, errors, load_json, \
+    report_errors
 
 SCHEMA = "vsparse-load-v2"
 REPRO_SCHEMA = "vsparse-repro-v1"
@@ -43,13 +45,6 @@ PLACEMENT_FIELDS = ("placements", "failovers", "migrated", "hedges",
                     "restores", "devices_lost")
 TENANT_COUNTS = ("submitted", "completed", "slo_met", "deadline_miss",
                  "shed_queue", "shed_deadline", "rejected", "failed")
-
-_errors = []
-
-
-def check(cond, msg):
-    if not cond:
-        _errors.append(msg)
 
 
 def check_tenant(t, where):
@@ -218,8 +213,9 @@ def check_ledger(doc, totals, stats):
 
 
 def check_repro(repro_path, doc, by_id):
-    with open(repro_path) as f:
-        repro = json.load(f)
+    repro = load_json(repro_path)
+    if repro is None:
+        return
     check(repro.get("schema") == REPRO_SCHEMA,
           f"repro schema {repro.get('schema')!r}, want {REPRO_SCHEMA!r}")
     bundles = repro.get("bundles", [])
@@ -253,11 +249,11 @@ def check_repro(repro_path, doc, by_id):
 
 def validate(path, expect_chaos, expect_device_chaos, expect_clean_verify,
              repro_path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
+    if doc is None:
+        return {}
 
-    check(doc.get("schema") == SCHEMA,
-          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check_schema(doc, SCHEMA)
     check(isinstance(doc.get("final_tick"), int) and doc["final_tick"] > 0,
           "final_tick must be a positive integer")
 
@@ -316,15 +312,16 @@ def validate(path, expect_chaos, expect_device_chaos, expect_clean_verify,
               f"verify.counter_mismatches {verify.get('counter_mismatches')} "
               f"!= 0: SM-local counters diverged from direct dispatch")
 
-    if repro_path and not _errors:
+    if repro_path and not errors():
         check_repro(repro_path, doc, by_id)
 
     return doc
 
 
 def check_baseline(doc, baseline_path):
-    with open(baseline_path) as f:
-        base = json.load(f)
+    base = load_json(baseline_path)
+    if base is None:
+        return
     # The report is deterministic by contract: same seed + config give
     # identical numbers on any machine at any thread count, so exact
     # equality is the right check (no tolerance band).
@@ -366,12 +363,10 @@ def main(argv):
 
     doc = validate(path, expect_chaos, expect_device_chaos,
                    expect_clean_verify, repro)
-    if baseline and not _errors:
+    if baseline and not errors():
         check_baseline(doc, baseline)
-    if _errors:
-        for e in _errors:
-            print(f"FAIL: {e}", file=sys.stderr)
-        return 1
+    if errors():
+        return report_errors()
     print(f"OK: {path} (goodput {doc.get('goodput_per_mtick')}/Mtick, "
           f"{doc.get('totals', {}).get('completed')} completed, "
           f"{doc.get('fleet', {}).get('placements', {}).get('failovers')} "

@@ -13,10 +13,12 @@ least two distinct kernels per op — the whole point of shape-adaptive
 dispatch is that one kernel does not win everywhere.  Stdlib only —
 runs anywhere CI has a python3.
 """
-import json
 import math
 import re
 import sys
+
+from vsparse_validate import check, check_schema, errors, load_json, \
+    report_errors
 
 VERSION = "vsparse-policy-v1"
 
@@ -32,20 +34,13 @@ DISPATCHABLE = {
 
 KEY_RE = re.compile(r"^(spmm|sddmm)\|([a-z0-9-]+)\|m(\d+)k(\d+)n(\d+)d(\d+)v(\d+)$")
 
-_errors = []
-
-
-def check(cond, msg):
-    if not cond:
-        _errors.append(msg)
-
 
 def validate(path, min_entries, expect_arches, expect_multi_kernel):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
+    if doc is None:
+        return 0
 
-    check(doc.get("version") == VERSION,
-          f"version is {doc.get('version')!r}, want {VERSION!r}")
+    check_schema(doc, VERSION, key="version")
     entries = doc.get("entries")
     check(isinstance(entries, list), "entries must be a list")
     if not isinstance(entries, list):
@@ -120,10 +115,8 @@ def main(argv):
         return 2
 
     n = validate(path, min_entries, expect_arches, expect_multi_kernel)
-    if _errors:
-        for e in _errors:
-            print(f"FAIL: {e}", file=sys.stderr)
-        return 1
+    if errors():
+        return report_errors()
     print(f"OK: {path} ({n} entries)")
     return 0
 

@@ -14,38 +14,14 @@ Stdlib only; exit code 0 on success, 1 on validation failure.
 """
 
 import argparse
-import json
 import sys
 
+from vsparse_validate import SANITIZER_KIND_TO_TOOL as KIND_TO_TOOL
+from vsparse_validate import SANITIZER_TOOLS as TOOLS
+from vsparse_validate import check as expect
+from vsparse_validate import errors, is_uint, load_json, report_errors
+
 SCHEMA = "vsparse-sanitizer-v1"
-TOOLS = ("race", "sync", "init", "bounds")
-KIND_TO_TOOL = {
-    "raw_race": "race",
-    "war_race": "race",
-    "waw_race": "race",
-    "divergent_barrier": "sync",
-    "barrier_mismatch": "sync",
-    "uninit_smem_read": "init",
-    "global_use_after_free": "init",
-    "smem_oob": "bounds",
-    "global_oob": "bounds",
-}
-
-_errors = []
-
-
-def err(msg):
-    _errors.append(msg)
-
-
-def expect(cond, msg):
-    if not cond:
-        err(msg)
-    return cond
-
-
-def is_uint(x):
-    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
 
 
 def check_site(site, where):
@@ -107,6 +83,10 @@ def check_launch(launch, i):
            f"{where}: aborted is not a bool")
     expect(is_uint(launch.get("suppressed")),
            f"{where}: bad suppressed {launch.get('suppressed')!r}")
+    if "span_fastpath_ops" in launch:
+        expect(is_uint(launch.get("span_fastpath_ops")),
+               f"{where}: bad span_fastpath_ops "
+               f"{launch.get('span_fastpath_ops')!r}")
     reports = launch.get("reports")
     tools = []
     if expect(isinstance(reports, list), f"{where}: reports is not a list"):
@@ -169,20 +149,14 @@ def main():
                     help="fail if any report/suppression/abort is present")
     args = ap.parse_args()
 
-    try:
-        with open(args.report, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: cannot load {args.report}: {e}")
-        return 1
+    doc = load_json(args.report)
+    if doc is not None:
+        validate(doc, args.expect_clean)
 
-    validate(doc, args.expect_clean)
-
-    if _errors:
-        for e in _errors:
-            print(f"FAIL: {e}")
-        print(f"{args.report}: {len(_errors)} validation error(s)")
-        return 1
+    if errors():
+        code = report_errors(file=sys.stdout)
+        print(f"{args.report}: {len(errors())} validation error(s)")
+        return code
     n = doc.get("num_reports", 0)
     clean = " (clean)" if args.expect_clean else ""
     print(f"OK: {args.report}: {doc.get('num_launches')} launches, "

@@ -8,8 +8,10 @@ PREFIX.metrics.json against the vsparse-metrics-v1 schema, and
 cross-checks the two (same launch count, kernel names, durations).
 Stdlib only — runs anywhere CI has a python3.
 """
-import json
 import sys
+
+from vsparse_validate import SANITIZER_KIND_TO_TOOL, check, errors, \
+    load_json, report_errors
 
 REQUIRED_COUNTERS = [
     # one per KernelStats field; keep in sync with trace/counters.cpp
@@ -31,32 +33,10 @@ REQUIRED_DERIVED = [
     "total_instructions", "math_instructions", "bytes_l2_to_l1",
     "sectors_per_request", "smem_to_global_load_ratio",
 ]
-# Sanitizer hazard mirror events (trace/export.cpp, kSanitizer): the
-# instant's args carry the owning tool and hazard kind by name; keep in
-# sync with gpusim/sanitizer/report.cpp.
-SANITIZER_KIND_TO_TOOL = {
-    "raw_race": "race",
-    "war_race": "race",
-    "waw_race": "race",
-    "divergent_barrier": "sync",
-    "barrier_mismatch": "sync",
-    "uninit_smem_read": "init",
-    "global_use_after_free": "init",
-    "smem_oob": "bounds",
-    "global_oob": "bounds",
-}
-
-_errors = []
-
-
-def check(cond, msg):
-    if not cond:
-        _errors.append(msg)
-
-
 def validate_metrics(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
+    if doc is None:
+        return []
     check(doc.get("schema") == "vsparse-metrics-v1",
           f"schema is {doc.get('schema')!r}, want vsparse-metrics-v1")
     launches = doc.get("launches", [])
@@ -98,8 +78,9 @@ def validate_metrics(path):
 
 
 def validate_perfetto(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
+    if doc is None:
+        return {}
     events = doc.get("traceEvents")
     check(isinstance(events, list) and len(events) > 0,
           "perfetto export has no traceEvents")
@@ -175,10 +156,8 @@ def main():
               f"(perfetto {perfetto[i]['sanitizer_events']}, "
               f"metrics {want_san})")
 
-    if _errors:
-        for e in _errors:
-            print(f"validate_trace: FAIL: {e}", file=sys.stderr)
-        sys.exit(1)
+    if errors():
+        sys.exit(report_errors(prefix="validate_trace: "))
     total = sum(launch["events"]["total"] for launch in metrics)
     print(f"validate_trace: OK: {len(metrics)} launches, "
           f"{total} events under prefix {prefix}")
